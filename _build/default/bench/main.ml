@@ -1,0 +1,966 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation and micro-benchmarks each workload with Bechamel.
+
+   Usage:
+     dune exec bench/main.exe                 -- run everything
+     dune exec bench/main.exe fig1 table2 ... -- run a subset
+     BENCH_FULL=1 dune exec bench/main.exe    -- full 6289-ratio corpus
+                                                 (default: deterministic
+                                                 subsample)
+
+   Experiments: fig1 fig3 fig5 table2 table3 fig6 fig7 table4 ablation
+   dilution robust assay pins routing recovery wash pareto scaling
+   speed. *)
+
+let pcr16 = Bioproto.Protocols.pcr ~d:4
+
+let section title = print_string (Mdst.Report.section title)
+
+let full_corpus = Sys.getenv_opt "BENCH_FULL" = Some "1"
+
+let corpus ~every =
+  let all = Bioproto.Synth.corpus ~sum:32 () in
+  if full_corpus then all else Bioproto.Synth.sample ~every all
+
+let i2s = string_of_int
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1 / 2: mixing-forest construction for the PCR master-mix     *)
+
+let fig1 () =
+  section "Fig. 1-2: mixing forests for PCR ratio 2:1:1:1:1:1:9 (d=4)";
+  let rows =
+    List.map
+      (fun (demand, paper) ->
+        let p =
+          Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16
+            ~demand
+        in
+        [
+          i2s demand;
+          i2s (Mdst.Plan.trees p);
+          i2s (Mdst.Plan.tms p);
+          i2s (Mdst.Plan.waste p);
+          i2s (Mdst.Plan.input_total p);
+          String.concat ","
+            (Array.to_list (Array.map i2s (Mdst.Plan.input_vector p)));
+          paper;
+        ])
+      [
+        (16, "|F|=8 Tms=19 W=0 I=16");
+        (20, "|F|=10 Tms=27 W=5 I=25 I[]=3,2,2,2,2,2,12");
+      ]
+  in
+  print_string
+    (Mdst.Report.table
+       ~header:[ "D"; "|F|"; "Tms"; "W"; "I"; "I[]"; "paper" ]
+       ~rows)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3 / 4: SRS schedule of the D = 20 forest with three mixers   *)
+
+let fig3 () =
+  section "Fig. 3-4: SRS schedule, D=20, Mc=3 (paper: Tc=11, q=5)";
+  let plan =
+    Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16 ~demand:20
+  in
+  let srs = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let mms = Mdst.Mms.schedule ~plan ~mixers:3 in
+  print_string (Mdst.Gantt.render ~plan srs);
+  Printf.printf
+    "measured: SRS Tc=%d q=%d | MMS Tc=%d q=%d (SRS trades time for storage)\n"
+    (Mdst.Schedule.completion_time srs)
+    (Mdst.Storage.units ~plan srs)
+    (Mdst.Schedule.completion_time mms)
+    (Mdst.Storage.units ~plan mms)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: chip layout, cost matrix, electrode actuation             *)
+
+let fig5 () =
+  section "Fig. 5: PCR chip layout and droplet-transportation costs";
+  let layout = Chip.Layout.pcr_fig5 () in
+  print_string (Chip.Layout.render layout);
+  let matrix = Chip.Cost_matrix.build layout in
+  let ids ms = List.map (fun m -> m.Chip.Chip_module.id) ms in
+  print_newline ();
+  print_string
+    (Chip.Cost_matrix.render
+       ~rows:
+         (ids (Chip.Layout.reservoirs layout)
+         @ ids (Chip.Layout.storage_units layout)
+         @ ids (Chip.Layout.wastes layout)
+         @ ids (Chip.Layout.mixers layout))
+       ~columns:(ids (Chip.Layout.mixers layout))
+       matrix);
+  let plan =
+    Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16 ~demand:20
+  in
+  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let pass =
+    Mdst.Forest.repeated ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16 ~demand:2
+  in
+  let pass_schedule = Mdst.Oms.schedule ~plan:pass ~mixers:3 in
+  (match
+     ( Chip.Actuation.account ~layout ~plan ~schedule,
+       Chip.Actuation.account ~layout ~plan:pass ~schedule:pass_schedule )
+   with
+  | Ok streamed, Ok one_pass ->
+    let repeated = 10 * Chip.Actuation.total one_pass in
+    Printf.printf
+      "\nelectrode actuations for D=20: streamed forest %d vs repeated MM %d \
+       (%.2fx)\n"
+      (Chip.Actuation.total streamed)
+      repeated
+      (float_of_int repeated /. float_of_int (Chip.Actuation.total streamed));
+    Printf.printf "paper (hand-placed chip): 386 vs 980 (2.54x)\n"
+  | Error e, _ | _, Error e -> Printf.printf "accounting failed: %s\n" e);
+  match Chip.Placer.optimize_for ~iterations:1500 ~plan ~schedule layout with
+  | Ok (_, before, after) ->
+    Printf.printf
+      "placement optimisation (extension, after [21]): %d -> %d electrodes\n"
+      before after
+  | Error e -> Printf.printf "placer failed: %s\n" e
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: Ex.1-5 under the nine schemes                              *)
+
+(* Paper values (Tc, q, I) per protocol, columns A..I; -1 = not legible
+   in the source scan. *)
+let table2_paper =
+  [
+    ( "ex1",
+      [ (128, 1, 272); (15, 13, 41); (16, 8, 41); (128, 0, 304); (12, 12, 43);
+        (12, 8, 43); (128, 2, 240); (15, -1, 39); (16, -1, 39) ] );
+    ( "ex2",
+      [ (128, 0, 144); (34, 15, 35); (34, 4, 35); (128, 0, 144); (34, 15, 35);
+        (34, 4, 35); (128, 0, 144); (34, -1, 35); (34, -1, 35) ] );
+    ( "ex3",
+      [ (128, 1, 432); (12, 9, 45); (13, 9, 45); (128, 0, 464); (12, 10, 47);
+        (14, 9, 47); (128, 2, 288); (11, -1, 39); (13, -1, 39) ] );
+    ( "ex4",
+      [ (128, 1, 208); (20, 13, 37); (20, 6, 37); (128, 0, 256); (15, 12, 40);
+        (15, 8, 40); (128, 1, 160); (20, -1, 37); (20, -1, 37) ] );
+    ( "ex5",
+      [ (128, 2, 304); (17, 13, 40); (17, 9, 40); (128, 1, 320); (17, 12, 41);
+        (19, 13, 41); (128, 1, 208); (24, -1, 36); (24, -1, 36) ] );
+  ]
+
+let table2 () =
+  section "Table 2: Tc / q / I for Ex.1-5 under nine schemes (D=32)";
+  List.iter
+    (fun p ->
+      let id = p.Bioproto.Protocols.id in
+      let ratio = p.Bioproto.Protocols.ratio in
+      Printf.printf "\n%s = %s (%s)\n" id
+        (Dmf.Ratio.to_string ratio)
+        p.Bioproto.Protocols.name;
+      let paper_row = List.assoc id table2_paper in
+      let results =
+        Mdst.Compare.evaluate_all ~ratio ~demand:32 Mdst.Compare.table2_schemes
+      in
+      let cell v = if v < 0 then "-" else i2s v in
+      let rows =
+        List.map2
+          (fun (scheme, m) (ptc, pq, pi) ->
+            [
+              Mdst.Compare.scheme_name scheme;
+              i2s m.Mdst.Metrics.tc;
+              cell ptc;
+              i2s m.Mdst.Metrics.q;
+              cell pq;
+              i2s m.Mdst.Metrics.input_total;
+              cell pi;
+            ])
+          results paper_row
+      in
+      print_string
+        (Mdst.Report.table
+           ~header:
+             [ "scheme"; "Tc"; "Tc(paper)"; "q"; "q(paper)"; "I"; "I(paper)" ]
+           ~rows))
+    Bioproto.Protocols.table2
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: average improvements over the synthetic corpus             *)
+
+let table3_paper = function
+  | Mixtree.Algorithm.MM -> (73.0, 72.0, 76.0, 76.0, 23.2, -3.9)
+  | Mixtree.Algorithm.RMA -> (73.5, 72.1, 76.6, 76.6, 26.0, -5.5)
+  | Mixtree.Algorithm.MTCS -> (71.1, 69.8, 72.4, 72.4, 27.4, -4.4)
+  | Mixtree.Algorithm.RSM -> (0., 0., 0., 0., 0., 0.)
+
+let table3 () =
+  let ratios = corpus ~every:8 in
+  section
+    (Printf.sprintf
+       "Table 3: average %% improvements over %d synthetic ratios (L=32, \
+        D=32)%s"
+       (List.length ratios)
+       (if full_corpus then "" else " [subsampled; BENCH_FULL=1 for all 6289]"));
+  let f = Mdst.Report.float_cell in
+  let rows =
+    List.concat_map
+      (fun algorithm ->
+        let imp =
+          Mdst.Compare.average_improvements ~ratios ~demand:32 algorithm
+        in
+        let ptc_m, ptc_s, pi_m, pi_s, pq, ptc_sm = table3_paper algorithm in
+        let name = Mixtree.Algorithm.name algorithm in
+        [
+          [ "Tc: MMS||R"; name; f imp.Mdst.Compare.mms_tc_over_repeated; f ptc_m ];
+          [ "Tc: SRS||R"; name; f imp.Mdst.Compare.srs_tc_over_repeated; f ptc_s ];
+          [ "I:  MMS||R"; name; f imp.Mdst.Compare.mms_i_over_repeated; f pi_m ];
+          [ "I:  SRS||R"; name; f imp.Mdst.Compare.srs_i_over_repeated; f pi_s ];
+          [ "q:  SRS||MMS"; name; f imp.Mdst.Compare.srs_q_over_mms; f pq ];
+          [ "Tc: SRS||MMS"; name; f imp.Mdst.Compare.srs_tc_over_mms; f ptc_sm ];
+        ])
+      [ Mixtree.Algorithm.MM; Mixtree.Algorithm.RMA; Mixtree.Algorithm.MTCS ]
+  in
+  print_string
+    (Mdst.Report.table
+       ~header:[ "parameter"; "base algo"; "measured %"; "paper %" ]
+       ~rows);
+  (* The headline claim of the abstract. *)
+  let mm =
+    Mdst.Compare.average_improvements ~ratios ~demand:32 Mixtree.Algorithm.MM
+  in
+  Printf.printf
+    "headline: MMS produces droplets %.1f%% faster with %.1f%% less reactant \
+     (paper: 72.5%% / 75%%)\n"
+    mm.Mdst.Compare.mms_tc_over_repeated mm.Mdst.Compare.mms_i_over_repeated
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: average Tc and I versus demand                            *)
+
+let fig6 () =
+  let ratios = corpus ~every:40 in
+  section
+    (Printf.sprintf
+       "Fig. 6: average Tc and I vs demand over %d synthetic ratios%s"
+       (List.length ratios)
+       (if full_corpus then "" else " [subsampled]"));
+  let schemes =
+    [
+      ("RMM", Mdst.Compare.Repeated Mixtree.Algorithm.MM);
+      ("RMTCS", Mdst.Compare.Repeated Mixtree.Algorithm.MTCS);
+      ( "MM+MMS",
+        Mdst.Compare.Streamed (Mixtree.Algorithm.MM, Mdst.Streaming.MMS) );
+      ( "MTCS+MMS",
+        Mdst.Compare.Streamed (Mixtree.Algorithm.MTCS, Mdst.Streaming.MMS) );
+    ]
+  in
+  let average demand pick scheme =
+    let total =
+      List.fold_left
+        (fun acc ratio ->
+          acc + pick (Mdst.Compare.evaluate ~ratio ~demand scheme))
+        0 ratios
+    in
+    float_of_int total /. float_of_int (List.length ratios)
+  in
+  print_string "(a) average time of completion Tc vs demand D\n";
+  let header = "D" :: List.map fst schemes in
+  let rows =
+    List.map
+      (fun demand ->
+        i2s demand
+        :: List.map
+             (fun (_, s) ->
+               Mdst.Report.float_cell
+                 (average demand (fun m -> m.Mdst.Metrics.tc) s))
+             schemes)
+      [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+  in
+  print_string (Mdst.Report.table ~header ~rows);
+  print_string
+    "(expected shape: baselines grow stepwise with ceil(D/2); forests grow \
+     slowly)\n\n";
+  print_string "(b) average input-droplet usage I vs demand D\n";
+  let rows =
+    List.map
+      (fun demand ->
+        i2s demand
+        :: List.map
+             (fun (_, s) ->
+               Mdst.Report.float_cell
+                 (average demand (fun m -> m.Mdst.Metrics.input_total) s))
+             schemes)
+      [ 2; 4; 8; 12; 16; 20; 24; 28; 32 ]
+  in
+  print_string (Mdst.Report.table ~header ~rows);
+  print_string
+    "(expected shape: baselines linear in D; forests approach the ideal D \
+     droplets in = D droplets out)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 7: Tc and q versus the number of mixers                      *)
+
+let fig7 () =
+  section "Fig. 7: Tc and q vs mixers M, RMA base tree, PCR d=4, D=32";
+  let plan =
+    Mdst.Forest.build ~algorithm:Mixtree.Algorithm.RMA ~ratio:pcr16 ~demand:32
+  in
+  let rows =
+    List.map
+      (fun mixers ->
+        let mms = Mdst.Mms.schedule ~plan ~mixers in
+        let srs = Mdst.Srs.schedule ~plan ~mixers in
+        [
+          i2s mixers;
+          i2s (Mdst.Schedule.completion_time mms);
+          i2s (Mdst.Schedule.completion_time srs);
+          i2s (Mdst.Storage.units ~plan mms);
+          i2s (Mdst.Storage.units ~plan srs);
+        ])
+      [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 ]
+  in
+  print_string
+    (Mdst.Report.table
+       ~header:[ "M"; "Tc MMS"; "Tc SRS"; "q MMS"; "q SRS" ]
+       ~rows);
+  print_string
+    "(expected shape: Tc falls then saturates with M; SRS needs fewer \
+     storage units than MMS on average)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Table 4: multi-pass streaming under a storage budget                *)
+
+let table4_paper = function
+  | 4, 3, 2 -> "One (4,6)"
+  | 4, 3, 16 -> "Two (10,7)"
+  | 4, 3, 20 -> "Two (11,5)"
+  | 4, 3, 32 -> "Three (17,7)"
+  | 4, 5, 2 | 4, 7, 2 -> "One (4,6)"
+  | 4, 5, 16 | 4, 7, 16 -> "One (7,0)"
+  | _ -> "-"
+
+let table4 () =
+  section
+    "Table 4: PCR streaming with 3 mixers under storage budgets (passes, \
+     total Tc, total W)";
+  List.iter
+    (fun d ->
+      let ratio = Bioproto.Protocols.pcr ~d in
+      Printf.printf "\naccuracy d = %d (ratio %s)\n" d
+        (Dmf.Ratio.to_string ratio);
+      let rows =
+        List.concat_map
+          (fun q ->
+            List.map
+              (fun demand ->
+                let r =
+                  Mdst.Streaming.run ~algorithm:Mixtree.Algorithm.MM ~ratio
+                    ~demand ~mixers:3 ~storage_limit:q
+                    ~scheduler:Mdst.Streaming.SRS
+                in
+                [
+                  i2s q;
+                  i2s demand;
+                  i2s (Mdst.Streaming.n_passes r);
+                  Printf.sprintf "(%d,%d)" r.Mdst.Streaming.total_cycles
+                    r.Mdst.Streaming.total_waste;
+                  table4_paper (d, q, demand);
+                ])
+              [ 2; 16; 20; 32 ])
+          [ 3; 5; 7 ]
+      in
+      print_string
+        (Mdst.Report.table
+           ~header:[ "q'"; "D"; "passes"; "(Tc,W)"; "paper" ]
+           ~rows))
+    [ 4; 5; 6 ]
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: where do the savings come from?                          *)
+
+let ablation () =
+  section "Ablation 1: waste-droplet reuse on/off (the paper's key idea)";
+  let rows =
+    List.map
+      (fun p ->
+        let ratio = p.Bioproto.Protocols.ratio in
+        let on =
+          Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand:32
+        in
+        let off =
+          Mdst.Forest.repeated ~algorithm:Mixtree.Algorithm.MM ~ratio
+            ~demand:32
+        in
+        [
+          p.Bioproto.Protocols.id;
+          i2s (Mdst.Plan.tms on);
+          i2s (Mdst.Plan.tms off);
+          i2s (Mdst.Plan.waste on);
+          i2s (Mdst.Plan.waste off);
+          i2s (Mdst.Plan.input_total on);
+          i2s (Mdst.Plan.input_total off);
+        ])
+      Bioproto.Protocols.table2
+  in
+  print_string
+    (Mdst.Report.table
+       ~header:
+         [ "ratio"; "Tms on"; "Tms off"; "W on"; "W off"; "I on"; "I off" ]
+       ~rows);
+
+  section "Ablation 2: MTCS intra-pass sharing on/off (single pass)";
+  let rows =
+    List.map
+      (fun p ->
+        let ratio = p.Bioproto.Protocols.ratio in
+        let tree = Mixtree.Mtcs.build ratio in
+        let shared = Mdst.Forest.of_tree ~ratio ~demand:2 ~sharing:true tree in
+        let unshared =
+          Mdst.Forest.of_tree ~ratio ~demand:2 ~sharing:false tree
+        in
+        [
+          p.Bioproto.Protocols.id;
+          i2s (Mdst.Plan.tms shared);
+          i2s (Mdst.Plan.tms unshared);
+          i2s (Mdst.Plan.input_total shared);
+          i2s (Mdst.Plan.input_total unshared);
+        ])
+      Bioproto.Protocols.table2
+  in
+  print_string
+    (Mdst.Report.table
+       ~header:[ "ratio"; "Tms shared"; "Tms plain"; "I shared"; "I plain" ]
+       ~rows);
+
+  section "Ablation 3: scheduler choice across mixer counts (PCR, D=32)";
+  let plan =
+    Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16 ~demand:32
+  in
+  let rows =
+    List.map
+      (fun mixers ->
+        let mms = Mdst.Mms.schedule ~plan ~mixers in
+        let oms = Mdst.Oms.schedule ~plan ~mixers in
+        let srs = Mdst.Srs.schedule ~plan ~mixers in
+        [
+          i2s mixers;
+          Printf.sprintf "%d/%d"
+            (Mdst.Schedule.completion_time mms)
+            (Mdst.Storage.units ~plan mms);
+          Printf.sprintf "%d/%d"
+            (Mdst.Schedule.completion_time oms)
+            (Mdst.Storage.units ~plan oms);
+          Printf.sprintf "%d/%d"
+            (Mdst.Schedule.completion_time srs)
+            (Mdst.Storage.units ~plan srs);
+        ])
+      [ 1; 2; 3; 4; 6; 8 ]
+  in
+  print_string
+    (Mdst.Report.table
+       ~header:[ "M"; "MMS Tc/q"; "OMS Tc/q"; "SRS Tc/q" ]
+       ~rows)
+
+
+(* ------------------------------------------------------------------ *)
+(* Dilution: the N = 2 lineage ([17] DMRW, [20] dilution engine)       *)
+
+let dilution () =
+  section
+    "Dilution engine (N=2, after [17, 20]): TWM vs DMRW seeds, d = 5";
+  let d = 5 in
+  let total_stats tree_of =
+    let totals = ref (0, 0, 0) in
+    for c = 1 to Dmf.Binary.pow2 d - 1 do
+      let ratio = Mixtree.Dilution.ratio ~c ~d in
+      let pass = Mdst.Forest.of_tree ~ratio ~demand:2 ~sharing:true (tree_of c) in
+      let tms, waste, inputs = !totals in
+      totals :=
+        ( tms + Mdst.Plan.tms pass,
+          waste + Mdst.Plan.waste pass,
+          inputs + Mdst.Plan.input_total pass )
+    done;
+    !totals
+  in
+  let twm = total_stats (fun c -> Mixtree.Dilution.twm ~c ~d) in
+  let dmrw = total_stats (fun c -> Mixtree.Dilution.dmrw ~c ~d) in
+  let row name (tms, waste, inputs) =
+    [ name; i2s tms; i2s waste; i2s inputs ]
+  in
+  print_string
+    (Mdst.Report.table
+       ~header:[ "tree (sum over all 31 targets)"; "Tms"; "W"; "I" ]
+       ~rows:[ row "TWM (bit-scan)" twm; row "DMRW (binary search)" dmrw ]);
+  print_string
+    "(expected shape: DMRW trades slightly more mixes for fewer waste \
+     droplets per pass)\n";
+  (* The streaming engine of [20]: demand sweep for one target. *)
+  let ratio = Mixtree.Dilution.ratio ~c:11 ~d in
+  let tree = Mixtree.Dilution.dmrw ~c:11 ~d in
+  let rows =
+    List.map
+      (fun demand ->
+        let engine = Mdst.Forest.of_tree ~ratio ~demand ~sharing:true tree in
+        let repeated_inputs =
+          Dmf.Binary.ceil_div demand 2
+          * Mdst.Plan.input_total
+              (Mdst.Forest.of_tree ~ratio ~demand:2 ~sharing:true tree)
+        in
+        [
+          i2s demand;
+          i2s (Mdst.Plan.tms engine);
+          i2s (Mdst.Plan.waste engine);
+          i2s (Mdst.Plan.input_total engine);
+          i2s repeated_inputs;
+        ])
+      [ 2; 4; 8; 16; 32 ]
+  in
+  print_string
+    (Mdst.Report.table
+       ~header:[ "D"; "Tms"; "W"; "I engine"; "I repeated" ]
+       ~rows)
+
+(* ------------------------------------------------------------------ *)
+(* Robustness: split-error accumulation per base algorithm             *)
+
+let robust () =
+  section
+    "Split-error robustness (extension): worst-case CF error, 5% split \
+     imbalance, D = 32";
+  let epsilon = 0.05 in
+  let rows =
+    List.map
+      (fun p ->
+        let ratio = p.Bioproto.Protocols.ratio in
+        p.Bioproto.Protocols.id
+        :: List.map
+             (fun algorithm ->
+               let plan = Mdst.Forest.build ~algorithm ~ratio ~demand:32 in
+               Printf.sprintf "%.4f"
+                 (Mdst.Split_error.max_cf_error ~plan ~epsilon))
+             [ Mixtree.Algorithm.MM; Mixtree.Algorithm.RMA;
+               Mixtree.Algorithm.MTCS ])
+      Bioproto.Protocols.table2
+  in
+  print_string
+    (Mdst.Report.table ~header:[ "ratio"; "MM"; "RMA"; "MTCS" ] ~rows);
+  (* Wear on the PCR chip: streamed vs repeated. *)
+  let layout = Chip.Layout.pcr_fig5 () in
+  let plan =
+    Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16 ~demand:20
+  in
+  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let pass =
+    Mdst.Forest.repeated ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16 ~demand:2
+  in
+  let pass_schedule = Mdst.Oms.schedule ~plan:pass ~mixers:3 in
+  match
+    ( Sim.Wear.of_run ~layout ~plan ~schedule,
+      Sim.Wear.of_run ~layout ~plan:pass ~schedule:pass_schedule )
+  with
+  | Ok streamed, Ok one_pass ->
+    Printf.printf
+      "electrode wear for D=20: streamed hottest=%d total=%d vs repeated \
+       (10 passes) hottest=%d total=%d\n"
+      streamed.Sim.Wear.hottest streamed.Sim.Wear.total
+      (10 * one_pass.Sim.Wear.hottest)
+      (10 * one_pass.Sim.Wear.total)
+  | Error e, _ | _, Error e -> Printf.printf "wear analysis failed: %s\n" e
+
+
+(* ------------------------------------------------------------------ *)
+(* Demand-driven assay feeding and pin-constrained addressing          *)
+
+let assay () =
+  section
+    "Assay feeding (extension): just-in-time production for a periodic \
+     consumer";
+  let rows =
+    List.map
+      (fun (interval, label) ->
+        let requests =
+          Assay.Demand.periodic ~start:20 ~interval ~count:4 ~batches:8
+        in
+        let p =
+          Assay.Planner.plan ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16
+            ~mixers:3 ~storage_limit:5 ~scheduler:Mdst.Streaming.SRS ~requests
+        in
+        [
+          label;
+          i2s (Mdst.Streaming.n_passes p.Assay.Planner.streaming);
+          i2s p.Assay.Planner.max_lateness;
+          i2s p.Assay.Planner.total_earliness;
+          i2s p.Assay.Planner.streaming.Mdst.Streaming.total_inputs;
+          i2s p.Assay.Planner.makespan;
+        ])
+      [ (2, "4 droplets / 2 cycles"); (5, "4 droplets / 5 cycles");
+        (10, "4 droplets / 10 cycles"); (15, "4 droplets / 15 cycles");
+        (30, "4 droplets / 30 cycles") ]
+  in
+  print_string
+    (Mdst.Report.table
+       ~header:
+         [ "consumer"; "passes"; "max lateness"; "earliness"; "I"; "makespan" ]
+       ~rows);
+  print_string
+    "(expected shape: slow consumers are served just-in-time with zero \
+     lateness and zero buffering; fast consumers force larger prebuilt \
+     passes, trading buffer residency or lateness for throughput)\n"
+
+let pins () =
+  section
+    "Broadcast pin assignment (extension, after [10]): PCR chip, D = 20";
+  let plan =
+    Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16 ~demand:20
+  in
+  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let layout = Chip.Layout.pcr_fig5 () in
+  match Sim.Executor.run ~layout ~plan ~schedule with
+  | Error e -> Printf.printf "simulation failed: %s\n" e
+  | Ok (_, stats) ->
+    let assignment =
+      Chip.Pin_assign.assign ~width:(Chip.Layout.width layout)
+        ~height:(Chip.Layout.height layout) stats.Sim.Executor.addressing
+    in
+    Printf.printf
+      "%d driven electrodes, %d control pins, %.1f%% pin saving vs direct \
+       addressing\n"
+      (Chip.Pin_assign.addressed_electrodes assignment)
+      (Chip.Pin_assign.pins assignment)
+      (100. *. Chip.Pin_assign.saving assignment)
+
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent droplet routing (extension, after [8])                   *)
+
+let routing () =
+  section
+    "Parallel droplet routing (extension, after [8]): per-cycle transport \
+     on the PCR chip, D = 20";
+  let plan =
+    Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16 ~demand:20
+  in
+  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let layout = Chip.Layout.pcr_fig5 () in
+  match Sim.Parallel_transport.analyze ~layout ~plan ~schedule with
+  | Error e -> Printf.printf "analysis failed: %s\n" e
+  | Ok t ->
+    let rows =
+      List.map
+        (fun r ->
+          [
+            i2s r.Sim.Parallel_transport.cycle;
+            i2s r.Sim.Parallel_transport.moves;
+            i2s r.Sim.Parallel_transport.serial_steps;
+            i2s r.Sim.Parallel_transport.parallel_steps;
+            (if r.Sim.Parallel_transport.fallback then "yes" else "");
+          ])
+        t.Sim.Parallel_transport.cycles
+    in
+    print_string
+      (Mdst.Report.table
+         ~header:[ "cycle"; "moves"; "serial"; "parallel"; "fallback" ]
+         ~rows);
+    Printf.printf
+      "total transport sub-steps: %d serialised vs %d concurrent (%.2fx), \
+       %d fallback cycle(s)\n"
+      t.Sim.Parallel_transport.total_serial
+      t.Sim.Parallel_transport.total_parallel t.Sim.Parallel_transport.speedup
+      t.Sim.Parallel_transport.fallbacks
+
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint-based error recovery (extension)                         *)
+
+let recovery () =
+  section
+    "Error recovery (extension): split failure at every cycle of the PCR \
+     D=20 run";
+  let plan =
+    Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16 ~demand:20
+  in
+  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let pick_node_at_cycle t =
+    List.find_opt
+      (fun node -> Mdst.Schedule.cycle schedule node.Mdst.Plan.id = t)
+      (Mdst.Plan.nodes plan)
+  in
+  let rows =
+    List.filter_map
+      (fun t ->
+        match pick_node_at_cycle t with
+        | None -> None
+        | Some node ->
+          let r =
+            Mdst.Recovery.recover ~algorithm:Mixtree.Algorithm.MM ~plan
+              ~schedule ~failed_node:node.Mdst.Plan.id
+          in
+          let recovery_inputs, fresh_inputs =
+            match (r.Mdst.Recovery.recovery_plan, r.Mdst.Recovery.fresh_restart) with
+            | Some a, Some b ->
+              (i2s (Mdst.Plan.input_total a), i2s (Mdst.Plan.input_total b))
+            | _ -> ("-", "-")
+          in
+          Some
+            [
+              i2s t;
+              i2s r.Mdst.Recovery.delivered;
+              i2s (Array.length r.Mdst.Recovery.salvaged);
+              i2s r.Mdst.Recovery.remaining_demand;
+              recovery_inputs;
+              fresh_inputs;
+            ])
+      (List.init (Mdst.Schedule.completion_time schedule) (fun i -> i + 1))
+  in
+  print_string
+    (Mdst.Report.table
+       ~header:
+         [ "fail cycle"; "delivered"; "salvaged"; "remaining"; "I recover";
+           "I restart" ]
+       ~rows);
+  print_string
+    "(expected shape: the later the failure, the less remains to redo; \
+     salvaged droplets always keep recovery at or below the restart \
+     cost)\n"
+
+
+(* ------------------------------------------------------------------ *)
+(* Cross-contamination and wash overhead (extension)                   *)
+
+let wash () =
+  section
+    "Cross-contamination (extension): residue crossings and wash overhead, \
+     PCR chip";
+  let layout = Chip.Layout.pcr_fig5 () in
+  let rows =
+    List.filter_map
+      (fun demand ->
+        let plan =
+          Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16
+            ~demand
+        in
+        let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+        match Sim.Executor.run ~layout ~plan ~schedule with
+        | Error _ -> None
+        | Ok (trace, stats) ->
+          let report = Sim.Contamination.analyze ~layout ~plan ~trace in
+          Some
+            [
+              i2s demand;
+              i2s report.Sim.Contamination.total_crossings;
+              i2s report.Sim.Contamination.benign_crossings;
+              i2s (List.length report.Sim.Contamination.pairs);
+              i2s report.Sim.Contamination.contaminated_cells;
+              i2s report.Sim.Contamination.wash.washes;
+              i2s report.Sim.Contamination.wash.wash_steps;
+              Printf.sprintf "%.2f"
+                (Sim.Contamination.wash_overhead_ratio report
+                   ~transport_electrodes:stats.Sim.Executor.electrodes);
+            ])
+      [ 2; 8; 16; 20; 32 ]
+  in
+  print_string
+    (Mdst.Report.table
+       ~header:
+         [ "D"; "crossings"; "benign"; "pairs"; "cells"; "washes";
+           "wash steps"; "overhead" ]
+       ~rows);
+  print_string
+    "(benign crossings are same-value droplets — re-used spares never \
+     contaminate, one more advantage of the forest's value-keyed pool)\n"
+
+
+(* ------------------------------------------------------------------ *)
+(* Design-space exploration: mixers x storage operating points          *)
+
+let pareto () =
+  section
+    "Design-space sweep (extension): completion time across mixers x \
+     storage budgets, PCR d=4, D=32, SRS";
+  let header =
+    "Mc \\ q'" :: List.map i2s [ 1; 2; 3; 5; 7; 10 ]
+  in
+  let rows =
+    List.map
+      (fun mixers ->
+        i2s mixers
+        :: List.map
+             (fun storage_limit ->
+               let run =
+                 Mdst.Streaming.run ~algorithm:Mixtree.Algorithm.MM
+                   ~ratio:pcr16 ~demand:32 ~mixers ~storage_limit
+                   ~scheduler:Mdst.Streaming.SRS
+               in
+               Printf.sprintf "%d/%dp" run.Mdst.Streaming.total_cycles
+                 (Mdst.Streaming.n_passes run))
+             [ 1; 2; 3; 5; 7; 10 ])
+      [ 1; 2; 3; 4; 6; 8 ]
+  in
+  print_string (Mdst.Report.table ~header ~rows);
+  print_string
+    "(cells are total cycles / passes: both more mixers and more storage \
+     buy speed, with diminishing returns — the designer picks the knee)\n"
+
+
+(* ------------------------------------------------------------------ *)
+(* Scaling with the number of fluids at high accuracy (d = 8)          *)
+
+let scaling () =
+  section
+    "Scaling (extension): average engine cost vs fluid count N at L=256, \
+     D=32, MM+SRS";
+  (* A deterministic family per N: spread parts then give the remainder
+     to a carrier, mimicking real protocols (a few reagents + buffer). *)
+  let ratio_for ~n ~spread =
+    let parts = Array.make n 1 in
+    for i = 0 to n - 2 do
+      parts.(i) <- 1 + ((i * spread) mod 13)
+    done;
+    let used = Array.fold_left ( + ) 0 parts - parts.(n - 1) in
+    parts.(n - 1) <- 256 - used;
+    Dmf.Ratio.make parts
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let ratios = List.map (fun spread -> ratio_for ~n ~spread) [ 1; 3; 5 ] in
+        let average pick =
+          let total =
+            List.fold_left
+              (fun acc ratio ->
+                let result =
+                  Mdst.Engine.prepare
+                    { Mdst.Engine.ratio; demand = 32;
+                      algorithm = Mixtree.Algorithm.MM;
+                      scheduler = Mdst.Streaming.SRS; mixers = None }
+                in
+                acc + pick result.Mdst.Engine.metrics)
+              0 ratios
+          in
+          float_of_int total /. float_of_int (List.length ratios)
+        in
+        [
+          i2s n;
+          Mdst.Report.float_cell (average (fun m -> m.Mdst.Metrics.tc));
+          Mdst.Report.float_cell (average (fun m -> m.Mdst.Metrics.q));
+          Mdst.Report.float_cell (average (fun m -> m.Mdst.Metrics.input_total));
+          Mdst.Report.float_cell (average (fun m -> m.Mdst.Metrics.tms));
+        ])
+      [ 2; 3; 4; 6; 8; 10; 12 ]
+  in
+  print_string
+    (Mdst.Report.table ~header:[ "N"; "avg Tc"; "avg q"; "avg I"; "avg Tms" ] ~rows);
+  print_string
+    "(expected shape: cost grows mildly with N — the forest amortises the \
+     deeper, busier trees across the whole stream)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per experiment workload    *)
+
+let speed () =
+  section "Bechamel micro-benchmarks (ns per run, OLS on monotonic clock)";
+  let open Bechamel in
+  let forest demand () =
+    ignore
+      (Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16 ~demand)
+  in
+  let ex1 = (List.hd Bioproto.Protocols.table2).Bioproto.Protocols.ratio in
+  let plan20 =
+    Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16 ~demand:20
+  in
+  let schedule20 = Mdst.Srs.schedule ~plan:plan20 ~mixers:3 in
+  let layout = Chip.Layout.pcr_fig5 () in
+  let tests =
+    Test.make_grouped ~name:"dmfstream"
+      [
+        Test.make ~name:"fig1: forest D=20" (Staged.stage (forest 20));
+        Test.make ~name:"fig3: SRS schedule D=20"
+          (Staged.stage (fun () ->
+               ignore (Mdst.Srs.schedule ~plan:plan20 ~mixers:3)));
+        Test.make ~name:"fig3: MMS schedule D=20"
+          (Staged.stage (fun () ->
+               ignore (Mdst.Mms.schedule ~plan:plan20 ~mixers:3)));
+        Test.make ~name:"fig5: actuation accounting"
+          (Staged.stage (fun () ->
+               ignore
+                 (Chip.Actuation.account ~layout ~plan:plan20
+                    ~schedule:schedule20)));
+        Test.make ~name:"table2: Ex.1 MM+SRS evaluation"
+          (Staged.stage (fun () ->
+               ignore
+                 (Mdst.Compare.evaluate ~ratio:ex1 ~demand:32
+                    (Mdst.Compare.Streamed
+                       (Mixtree.Algorithm.MM, Mdst.Streaming.SRS)))));
+        Test.make ~name:"table3: one corpus ratio, all schemes"
+          (Staged.stage (fun () ->
+               ignore
+                 (Mdst.Compare.average_improvements
+                    ~ratios:[ Dmf.Ratio.of_string "9:5:7:11" ] ~demand:32
+                    Mixtree.Algorithm.MM)));
+        Test.make ~name:"fig6: one (ratio, D) cell"
+          (Staged.stage (fun () ->
+               ignore
+                 (Mdst.Compare.evaluate
+                    ~ratio:(Dmf.Ratio.of_string "9:5:7:11") ~demand:16
+                    (Mdst.Compare.Repeated Mixtree.Algorithm.MM))));
+        Test.make ~name:"fig7: MMS across mixer counts"
+          (Staged.stage (fun () ->
+               List.iter
+                 (fun mixers -> ignore (Mdst.Mms.schedule ~plan:plan20 ~mixers))
+                 [ 1; 3; 5; 7; 9; 11; 13; 15 ]));
+        Test.make ~name:"table4: streaming run q'=3 D=32"
+          (Staged.stage (fun () ->
+               ignore
+                 (Mdst.Streaming.run ~algorithm:Mixtree.Algorithm.MM
+                    ~ratio:pcr16 ~demand:32 ~mixers:3 ~storage_limit:3
+                    ~scheduler:Mdst.Streaming.SRS)));
+        Test.make ~name:"simulator: PCR D=20 full run"
+          (Staged.stage (fun () ->
+               ignore
+                 (Sim.Executor.run ~layout ~plan:plan20 ~schedule:schedule20)));
+      ]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (ns :: _) -> Printf.sprintf "%.0f" ns
+        | Some [] | None -> "n/a"
+      in
+      rows := [ name; ns ] :: !rows)
+    results;
+  print_string
+    (Mdst.Report.table ~header:[ "workload"; "ns/run" ]
+       ~rows:(List.sort compare !rows))
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig1", fig1); ("fig3", fig3); ("fig5", fig5); ("table2", table2);
+    ("table3", table3); ("fig6", fig6); ("fig7", fig7); ("table4", table4);
+    ("ablation", ablation); ("dilution", dilution); ("robust", robust);
+    ("assay", assay); ("pins", pins); ("routing", routing);
+    ("recovery", recovery); ("wash", wash); ("pareto", pareto);
+    ("scaling", scaling); ("speed", speed);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ :: [] | [] -> List.map fst experiments
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run -> run ()
+      | None ->
+        Printf.eprintf "unknown experiment %s (available: %s)\n" name
+          (String.concat ", " (List.map fst experiments));
+        exit 1)
+    requested

@@ -1,0 +1,681 @@
+(* dmfstream — command-line front end of the MDST droplet-streaming engine.
+
+   Subcommands: plan, schedule, compare, stream, layout, simulate,
+   dilute, robust, wear, multi, assay, pins, export, recover,
+   protocols.
+   Run [dmfstream --help] for details. *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Common arguments                                                    *)
+
+let ratio_conv =
+  let parse s =
+    match Bioproto.Protocols.find s with
+    | Some p -> Ok p.Bioproto.Protocols.ratio
+    | None -> (
+      try Ok (Dmf.Ratio.of_string s)
+      with Invalid_argument msg -> Error (`Msg msg))
+  in
+  let print ppf r = Dmf.Ratio.pp ppf r in
+  Arg.conv (parse, print)
+
+let ratio_arg =
+  let doc =
+    "Target ratio, either colon-separated integers summing to a power of \
+     two (e.g. 2:1:1:1:1:1:9) or a protocol id (pcr16, ex1..ex5)."
+  in
+  Arg.(
+    required
+    & opt (some ratio_conv) None
+    & info [ "r"; "ratio" ] ~docv:"RATIO" ~doc)
+
+let demand_arg =
+  let doc = "Number of target droplets to produce." in
+  Arg.(value & opt int 20 & info [ "D"; "demand" ] ~docv:"N" ~doc)
+
+let algorithm_conv =
+  let parse s =
+    match Mixtree.Algorithm.of_string s with
+    | Some a -> Ok a
+    | None -> Error (`Msg ("unknown algorithm " ^ s ^ " (MM, RMA, MTCS, RSM)"))
+  in
+  Arg.conv (parse, Mixtree.Algorithm.pp)
+
+let algorithm_arg =
+  let doc = "Base mixing algorithm: MM, RMA, MTCS or RSM." in
+  Arg.(
+    value
+    & opt algorithm_conv Mixtree.Algorithm.MM
+    & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
+
+let scheduler_conv =
+  let parse s =
+    match String.uppercase_ascii s with
+    | "MMS" -> Ok Mdst.Streaming.MMS
+    | "SRS" -> Ok Mdst.Streaming.SRS
+    | _ -> Error (`Msg ("unknown scheduler " ^ s ^ " (MMS or SRS)"))
+  in
+  let print ppf s =
+    Format.pp_print_string ppf (Mdst.Streaming.scheduler_name s)
+  in
+  Arg.conv (parse, print)
+
+let scheduler_arg =
+  let doc = "Forest scheduler: MMS (fastest) or SRS (storage-reduced)." in
+  Arg.(
+    value
+    & opt scheduler_conv Mdst.Streaming.SRS
+    & info [ "s"; "scheduler" ] ~docv:"SCHED" ~doc)
+
+let mixers_arg =
+  let doc = "On-chip mixers (default: Mlb of the MM tree)." in
+  Arg.(value & opt (some int) None & info [ "m"; "mixers" ] ~docv:"MC" ~doc)
+
+let storage_arg =
+  let doc = "On-chip storage units available." in
+  Arg.(value & opt int 5 & info [ "q"; "storage" ] ~docv:"Q" ~doc)
+
+let spec_of ratio demand algorithm scheduler mixers =
+  { Mdst.Engine.ratio; demand; algorithm; scheduler; mixers }
+
+(* ------------------------------------------------------------------ *)
+(* plan                                                                *)
+
+let plan_cmd =
+  let run ratio demand algorithm show_tree =
+    let tree = Mixtree.Algorithm.build algorithm ratio in
+    let plan = Mdst.Forest.build ~algorithm ~ratio ~demand in
+    Format.printf "%a@." Mdst.Plan.pp_summary plan;
+    if show_tree then
+      Format.printf "@.Base mixing tree (%a):@.%a@." Mixtree.Algorithm.pp
+        algorithm
+        (Mixtree.Tree.pp ~names:(Dmf.Ratio.names ratio))
+        tree
+  in
+  let show_tree =
+    Arg.(value & flag & info [ "tree" ] ~doc:"Also print the base mixing tree.")
+  in
+  let term = Term.(const run $ ratio_arg $ demand_arg $ algorithm_arg $ show_tree) in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Build a mixing forest and print its statistics")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* schedule                                                            *)
+
+let schedule_cmd =
+  let run ratio demand algorithm scheduler mixers gantt =
+    let result =
+      Mdst.Engine.prepare (spec_of ratio demand algorithm scheduler mixers)
+    in
+    Format.printf "%a@." Mdst.Metrics.pp result.Mdst.Engine.metrics;
+    if gantt then
+      print_string
+        (Mdst.Gantt.render ~plan:result.Mdst.Engine.plan
+           result.Mdst.Engine.schedule)
+  in
+  let gantt =
+    Arg.(value & flag & info [ "gantt" ] ~doc:"Print the Gantt chart.")
+  in
+  let term =
+    Term.(
+      const run $ ratio_arg $ demand_arg $ algorithm_arg $ scheduler_arg
+      $ mixers_arg $ gantt)
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Schedule a mixing forest on Mc mixers")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* compare                                                             *)
+
+let compare_cmd =
+  let run ratio demand mixers =
+    let results =
+      Mdst.Compare.evaluate_all ?mixers ~ratio ~demand
+        Mdst.Compare.table2_schemes
+    in
+    let rows =
+      List.map
+        (fun (scheme, m) ->
+          [
+            Mdst.Compare.scheme_name scheme;
+            string_of_int m.Mdst.Metrics.tc;
+            string_of_int m.Mdst.Metrics.q;
+            string_of_int m.Mdst.Metrics.tms;
+            string_of_int m.Mdst.Metrics.waste;
+            string_of_int m.Mdst.Metrics.input_total;
+            string_of_int m.Mdst.Metrics.passes;
+          ])
+        results
+    in
+    print_string
+      (Mdst.Report.table
+         ~header:[ "scheme"; "Tc"; "q"; "Tms"; "W"; "I"; "passes" ]
+         ~rows)
+  in
+  let term = Term.(const run $ ratio_arg $ demand_arg $ mixers_arg) in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Compare the nine schemes of Table 2 on one target ratio")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* stream                                                              *)
+
+let stream_cmd =
+  let run ratio demand algorithm scheduler mixers storage =
+    let mixers =
+      match mixers with
+      | Some m -> m
+      | None -> Mdst.Engine.default_mixers ratio
+    in
+    let result =
+      Mdst.Streaming.run ~algorithm ~ratio ~demand ~mixers
+        ~storage_limit:storage ~scheduler
+    in
+    Format.printf
+      "demand %d with <= %d storage units: %d pass(es) of up to %d droplets%s@."
+      demand storage
+      (Mdst.Streaming.n_passes result)
+      result.Mdst.Streaming.per_pass_demand
+      (if result.Mdst.Streaming.within_limit then ""
+       else " (budget infeasible even for one pair; running at D'=2)");
+    let rows =
+      List.mapi
+        (fun i pass ->
+          [
+            string_of_int (i + 1);
+            string_of_int pass.Mdst.Streaming.demand;
+            string_of_int pass.Mdst.Streaming.tc;
+            string_of_int pass.Mdst.Streaming.q;
+            string_of_int pass.Mdst.Streaming.waste;
+          ])
+        result.Mdst.Streaming.passes
+    in
+    print_string
+      (Mdst.Report.table ~header:[ "pass"; "D'"; "Tc"; "q"; "W" ] ~rows);
+    Format.printf "total: Tc=%d W=%d I=%d@." result.Mdst.Streaming.total_cycles
+      result.Mdst.Streaming.total_waste result.Mdst.Streaming.total_inputs
+  in
+  let term =
+    Term.(
+      const run $ ratio_arg $ demand_arg $ algorithm_arg $ scheduler_arg
+      $ mixers_arg $ storage_arg)
+  in
+  Cmd.v
+    (Cmd.info "stream"
+       ~doc:"Run the multi-pass streaming engine under a storage budget")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* layout                                                              *)
+
+let layout_cmd =
+  let run ratio mixers storage =
+    let mixers =
+      match mixers with
+      | Some m -> m
+      | None -> Mdst.Engine.default_mixers ratio
+    in
+    let layout =
+      Chip.Layout.default ~mixers ~storage_units:storage
+        ~n_fluids:(Dmf.Ratio.n_fluids ratio) ()
+    in
+    print_string (Chip.Layout.render layout);
+    let matrix = Chip.Cost_matrix.build layout in
+    let mixer_ids =
+      List.map (fun m -> m.Chip.Chip_module.id) (Chip.Layout.mixers layout)
+    in
+    let rows =
+      List.map
+        (fun m -> m.Chip.Chip_module.id)
+        (Chip.Layout.reservoirs layout
+        @ Chip.Layout.storage_units layout
+        @ Chip.Layout.wastes layout)
+    in
+    print_newline ();
+    print_string (Chip.Cost_matrix.render ~rows ~columns:mixer_ids matrix)
+  in
+  let term = Term.(const run $ ratio_arg $ mixers_arg $ storage_arg) in
+  Cmd.v
+    (Cmd.info "layout"
+       ~doc:"Show the default chip layout and its transport-cost matrix")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+
+let simulate_cmd =
+  let run ratio demand algorithm scheduler mixers storage show_trace =
+    let spec = spec_of ratio demand algorithm scheduler mixers in
+    let result = Mdst.Engine.prepare spec in
+    let needed =
+      Mdst.Storage.units ~plan:result.Mdst.Engine.plan
+        result.Mdst.Engine.schedule
+    in
+    let layout =
+      Chip.Layout.default ~mixers:result.Mdst.Engine.mixers
+        ~storage_units:(max storage needed)
+        ~n_fluids:(Dmf.Ratio.n_fluids ratio) ()
+    in
+    match
+      Sim.Executor.run ~layout ~plan:result.Mdst.Engine.plan
+        ~schedule:result.Mdst.Engine.schedule
+    with
+    | Error e ->
+      Format.eprintf "simulation failed: %s@." e;
+      exit 1
+    | Ok (trace, stats) ->
+      if show_trace then Format.printf "%a@." Sim.Trace.pp trace;
+      Format.printf
+        "cycles=%d moves=%d electrodes=%d dispensed=%d emitted=%d \
+         discarded=%d violations=%d@."
+        stats.Sim.Executor.cycles stats.Sim.Executor.moves
+        stats.Sim.Executor.electrodes stats.Sim.Executor.dispensed
+        (List.length stats.Sim.Executor.emitted)
+        stats.Sim.Executor.discarded stats.Sim.Executor.violations;
+      (match Sim.Executor.check ~plan:result.Mdst.Engine.plan stats with
+      | Ok () -> Format.printf "verification: every target droplet correct@."
+      | Error e ->
+        Format.eprintf "verification failed: %s@." e;
+        exit 1)
+  in
+  let show_trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the full event trace.")
+  in
+  let term =
+    Term.(
+      const run $ ratio_arg $ demand_arg $ algorithm_arg $ scheduler_arg
+      $ mixers_arg $ storage_arg $ show_trace)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Execute the schedule droplet-by-droplet on a simulated chip")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* dilute                                                              *)
+
+let dilute_cmd =
+  let run c d demand mixers use_twm =
+    let ratio = Mixtree.Dilution.ratio ~c ~d in
+    let tree =
+      if use_twm then Mixtree.Dilution.twm ~c ~d
+      else Mixtree.Dilution.dmrw ~c ~d
+    in
+    let plan = Mdst.Forest.of_tree ~ratio ~demand ~sharing:true tree in
+    let mixers =
+      match mixers with
+      | Some m -> m
+      | None -> Mdst.Engine.default_mixers ratio
+    in
+    let schedule = Mdst.Srs.schedule ~plan ~mixers in
+    Format.printf "dilution target %d/%d via %s:@." c (Dmf.Binary.pow2 d)
+      (if use_twm then "two-way mix" else "DMRW binary search");
+    Format.printf "%a@." Mdst.Plan.pp_summary plan;
+    print_string (Mdst.Gantt.render ~plan schedule)
+  in
+  let c_arg =
+    Arg.(required & opt (some int) None & info [ "c" ] ~docv:"C"
+           ~doc:"Target CF numerator (over 2^d).")
+  in
+  let d_arg =
+    Arg.(value & opt int 4 & info [ "d" ] ~docv:"D" ~doc:"Accuracy level.")
+  in
+  let twm_flag =
+    Arg.(value & flag & info [ "twm" ] ~doc:"Use the bit-scan tree instead of DMRW.")
+  in
+  let term =
+    Term.(const run $ c_arg $ d_arg $ demand_arg $ mixers_arg $ twm_flag)
+  in
+  Cmd.v
+    (Cmd.info "dilute"
+       ~doc:"Run the dilution engine (the N = 2 case, after Roy et al. [20])")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* robust                                                              *)
+
+let robust_cmd =
+  let run ratio demand epsilon =
+    Format.printf
+      "worst-case CF error under a %.1f%% split-volume imbalance:@."
+      (epsilon *. 100.);
+    let rows =
+      List.map
+        (fun algorithm ->
+          let plan = Mdst.Forest.build ~algorithm ~ratio ~demand in
+          let report = Mdst.Split_error.analyze ~plan ~epsilon in
+          [
+            Mixtree.Algorithm.name algorithm;
+            Printf.sprintf "%.5f" report.Mdst.Split_error.max_cf_error;
+            Printf.sprintf "%.5f" report.Mdst.Split_error.mean_cf_error;
+            Printf.sprintf "%.4f" report.Mdst.Split_error.worst_volume_skew;
+          ])
+        Mixtree.Algorithm.all
+    in
+    print_string
+      (Mdst.Report.table
+         ~header:[ "base algo"; "max CF err"; "mean CF err"; "vol skew" ]
+         ~rows);
+    Format.printf "(exact preparation error floor: 1/2^d = %.5f)@."
+      (1. /. float_of_int (Dmf.Ratio.sum ratio))
+  in
+  let epsilon_arg =
+    Arg.(value & opt float 0.05 & info [ "e"; "epsilon" ] ~docv:"EPS"
+           ~doc:"Per-split volume imbalance bound (e.g. 0.05).")
+  in
+  let term = Term.(const run $ ratio_arg $ demand_arg $ epsilon_arg) in
+  Cmd.v
+    (Cmd.info "robust"
+       ~doc:"Bound the CF error of every target under imbalanced splits")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* wear                                                                *)
+
+let wear_cmd =
+  let run ratio demand mixers =
+    let spec =
+      spec_of ratio demand Mixtree.Algorithm.MM Mdst.Streaming.SRS mixers
+    in
+    let result = Mdst.Engine.prepare spec in
+    let needed =
+      Mdst.Storage.units ~plan:result.Mdst.Engine.plan
+        result.Mdst.Engine.schedule
+    in
+    let layout =
+      Chip.Layout.default ~mixers:result.Mdst.Engine.mixers
+        ~storage_units:(max 1 needed)
+        ~n_fluids:(Dmf.Ratio.n_fluids ratio) ()
+    in
+    match
+      Sim.Wear.of_run ~layout ~plan:result.Mdst.Engine.plan
+        ~schedule:result.Mdst.Engine.schedule
+    with
+    | Error e ->
+      Format.eprintf "wear analysis failed: %s@." e;
+      exit 1
+    | Ok wear -> print_string (Sim.Wear.render wear)
+  in
+  let term = Term.(const run $ ratio_arg $ demand_arg $ mixers_arg) in
+  Cmd.v
+    (Cmd.info "wear"
+       ~doc:"Per-electrode actuation heatmap of a simulated run")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* multi                                                               *)
+
+let multi_cmd =
+  let run specs algorithm mixers =
+    let parse spec =
+      match String.split_on_char '@' spec with
+      | [ ratio; demand ] -> (
+        match
+          (Bioproto.Protocols.find ratio, int_of_string_opt (String.trim demand))
+        with
+        | Some p, Some demand -> (p.Bioproto.Protocols.ratio, demand)
+        | None, Some demand -> (Dmf.Ratio.of_string ratio, demand)
+        | _, None -> invalid_arg ("bad demand in " ^ spec))
+      | [ ratio ] -> (Dmf.Ratio.of_string ratio, 2)
+      | _ -> invalid_arg ("bad target spec " ^ spec)
+    in
+    let requests = List.map parse specs in
+    let plan = Mdst.Forest.build_multi ~algorithm requests in
+    let mixers =
+      match mixers with
+      | Some m -> m
+      | None -> Mdst.Engine.default_mixers (fst (List.hd requests))
+    in
+    let schedule = Mdst.Srs.schedule ~plan ~mixers in
+    Format.printf "%a@." Mdst.Plan.pp_summary plan;
+    Format.printf "Tc=%d q=%d@."
+      (Mdst.Schedule.completion_time schedule)
+      (Mdst.Storage.units ~plan schedule);
+    let separate =
+      List.fold_left
+        (fun acc (ratio, demand) ->
+          acc + Mdst.Plan.input_total (Mdst.Forest.build ~algorithm ~ratio ~demand))
+        0 requests
+    in
+    Format.printf "combined input %d vs %d prepared separately@."
+      (Mdst.Plan.input_total plan) separate
+  in
+  let specs_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"RATIO@DEMAND"
+          ~doc:"Targets, e.g. 3:3:2@8 3:3:10@8 (same number of fluids each).")
+  in
+  let term = Term.(const run $ specs_arg $ algorithm_arg $ mixers_arg) in
+  Cmd.v
+    (Cmd.info "multi"
+       ~doc:"Prepare several target mixtures in one reagent-sharing forest")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* assay                                                               *)
+
+let assay_cmd =
+  let run ratio mixers storage start interval count batches =
+    let requests = Assay.Demand.periodic ~start ~interval ~count ~batches in
+    let mixers =
+      match mixers with
+      | Some m -> m
+      | None -> Mdst.Engine.default_mixers ratio
+    in
+    let p =
+      Assay.Planner.plan ~algorithm:Mixtree.Algorithm.MM ~ratio ~mixers
+        ~storage_limit:storage ~scheduler:Mdst.Streaming.SRS ~requests
+    in
+    Format.printf "%a@." Assay.Planner.pp p;
+    Format.printf "pass starts: %s@."
+      (String.concat ", " (List.map string_of_int p.Assay.Planner.pass_starts));
+    if not (Assay.Planner.feasible p) then
+      Format.printf
+        "profile infeasible on this chip: worst delivery is %d cycle(s) late@."
+        p.Assay.Planner.max_lateness
+  in
+  let start =
+    Arg.(value & opt int 20 & info [ "start" ] ~docv:"T" ~doc:"First deadline.")
+  in
+  let interval =
+    Arg.(value & opt int 15 & info [ "interval" ] ~docv:"T"
+           ~doc:"Cycles between batches.")
+  in
+  let count =
+    Arg.(value & opt int 4 & info [ "count" ] ~docv:"N"
+           ~doc:"Droplets per batch.")
+  in
+  let batches =
+    Arg.(value & opt int 8 & info [ "batches" ] ~docv:"N"
+           ~doc:"Number of batches.")
+  in
+  let term =
+    Term.(
+      const run $ ratio_arg $ mixers_arg $ storage_arg $ start $ interval
+      $ count $ batches)
+  in
+  Cmd.v
+    (Cmd.info "assay"
+       ~doc:"Plan demand-driven production for a periodic consumer")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* pins                                                                *)
+
+let pins_cmd =
+  let run ratio demand mixers =
+    let spec =
+      spec_of ratio demand Mixtree.Algorithm.MM Mdst.Streaming.SRS mixers
+    in
+    let result = Mdst.Engine.prepare spec in
+    let needed =
+      Mdst.Storage.units ~plan:result.Mdst.Engine.plan
+        result.Mdst.Engine.schedule
+    in
+    let layout =
+      Chip.Layout.default ~mixers:result.Mdst.Engine.mixers
+        ~storage_units:(max 1 needed)
+        ~n_fluids:(Dmf.Ratio.n_fluids ratio) ()
+    in
+    match
+      Sim.Executor.run ~layout ~plan:result.Mdst.Engine.plan
+        ~schedule:result.Mdst.Engine.schedule
+    with
+    | Error e ->
+      Format.eprintf "simulation failed: %s@." e;
+      exit 1
+    | Ok (_, stats) ->
+      let assignment =
+        Chip.Pin_assign.assign ~width:(Chip.Layout.width layout)
+          ~height:(Chip.Layout.height layout)
+          stats.Sim.Executor.addressing
+      in
+      Format.printf
+        "broadcast addressing: %d driven electrodes served by %d control \
+         pins (%.1f%% fewer pins than direct addressing)@."
+        (Chip.Pin_assign.addressed_electrodes assignment)
+        (Chip.Pin_assign.pins assignment)
+        (100. *. Chip.Pin_assign.saving assignment)
+  in
+  let term = Term.(const run $ ratio_arg $ demand_arg $ mixers_arg) in
+  Cmd.v
+    (Cmd.info "pins"
+       ~doc:"Broadcast pin assignment for a simulated run (after [10])")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* export                                                              *)
+
+let export_cmd =
+  let run ratio demand algorithm scheduler mixers directory =
+    let spec = spec_of ratio demand algorithm scheduler mixers in
+    let result = Mdst.Engine.prepare spec in
+    let needed =
+      Mdst.Storage.units ~plan:result.Mdst.Engine.plan
+        result.Mdst.Engine.schedule
+    in
+    let layout =
+      Chip.Layout.default ~mixers:result.Mdst.Engine.mixers
+        ~storage_units:(max 1 needed)
+        ~n_fluids:(Dmf.Ratio.n_fluids ratio) ()
+    in
+    if not (Sys.file_exists directory) then Sys.mkdir directory 0o755;
+    let gantt_path = Filename.concat directory "gantt.svg" in
+    Viz.Gantt_svg.write ~path:gantt_path ~plan:result.Mdst.Engine.plan
+      result.Mdst.Engine.schedule;
+    let layout_path = Filename.concat directory "layout.svg" in
+    Viz.Chip_svg.write ~path:layout_path layout;
+    (match
+       Sim.Executor.run ~layout ~plan:result.Mdst.Engine.plan
+         ~schedule:result.Mdst.Engine.schedule
+     with
+    | Ok (_, stats) ->
+      let wear_path = Filename.concat directory "wear.svg" in
+      Viz.Chip_svg.write ~path:wear_path ~heatmap:stats.Sim.Executor.heatmap
+        layout;
+      Format.printf "wrote %s, %s and %s@." gantt_path layout_path wear_path
+    | Error e ->
+      Format.printf "wrote %s and %s (no wear map: %s)@." gantt_path
+        layout_path e)
+  in
+  let directory =
+    Arg.(value & opt string "out" & info [ "o"; "output" ] ~docv:"DIR"
+           ~doc:"Output directory for the SVG files.")
+  in
+  let term =
+    Term.(
+      const run $ ratio_arg $ demand_arg $ algorithm_arg $ scheduler_arg
+      $ mixers_arg $ directory)
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Export the Gantt chart, chip map and wear heatmap as SVG")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* recover                                                             *)
+
+let recover_cmd =
+  let run ratio demand algorithm scheduler mixers failed_node =
+    let result =
+      Mdst.Engine.prepare (spec_of ratio demand algorithm scheduler mixers)
+    in
+    let r =
+      Mdst.Recovery.recover ~algorithm ~plan:result.Mdst.Engine.plan
+        ~schedule:result.Mdst.Engine.schedule ~failed_node
+    in
+    Format.printf
+      "split failure at node %d (cycle %d): %d target(s) already \
+       delivered, %d droplet(s) salvaged from storage, %d still needed@."
+      r.Mdst.Recovery.failed_node r.Mdst.Recovery.failure_cycle
+      r.Mdst.Recovery.delivered
+      (Array.length r.Mdst.Recovery.salvaged)
+      r.Mdst.Recovery.remaining_demand;
+    match (r.Mdst.Recovery.recovery_plan, r.Mdst.Recovery.fresh_restart) with
+    | None, _ -> Format.printf "demand already met: no recovery needed@."
+    | Some recovery, Some fresh ->
+      Format.printf "recovery forest: %a@." Mdst.Plan.pp_summary recovery;
+      Format.printf
+        "fresh restart would need %d input droplets; salvaging saves %d@."
+        (Mdst.Plan.input_total fresh)
+        (Mdst.Recovery.reagent_saving r)
+    | Some _, None -> ()
+  in
+  let failed_node =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "f"; "fail" ] ~docv:"NODE"
+          ~doc:"Plan node whose split fails (0-based id).")
+  in
+  let term =
+    Term.(
+      const run $ ratio_arg $ demand_arg $ algorithm_arg $ scheduler_arg
+      $ mixers_arg $ failed_node)
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Plan checkpoint-based recovery from a failed mix-split")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* protocols                                                           *)
+
+let protocols_cmd =
+  let run () =
+    let rows =
+      List.map
+        (fun p ->
+          [
+            p.Bioproto.Protocols.id;
+            p.Bioproto.Protocols.name;
+            Dmf.Ratio.to_string p.Bioproto.Protocols.ratio;
+            string_of_int (Dmf.Ratio.n_fluids p.Bioproto.Protocols.ratio);
+            string_of_int (Dmf.Ratio.accuracy p.Bioproto.Protocols.ratio);
+          ])
+        Bioproto.Protocols.all
+    in
+    print_string
+      (Mdst.Report.table ~header:[ "id"; "name"; "ratio"; "N"; "d" ] ~rows)
+  in
+  Cmd.v
+    (Cmd.info "protocols" ~doc:"List the built-in bioprotocol mixtures")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "demand-driven mixture preparation on DMF biochips (DAC'14)" in
+  let info = Cmd.info "dmfstream" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            plan_cmd; schedule_cmd; compare_cmd; stream_cmd; layout_cmd;
+            simulate_cmd; dilute_cmd; robust_cmd; wear_cmd; multi_cmd;
+            assay_cmd; pins_cmd; export_cmd; recover_cmd; protocols_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/assay_feed.ml: Assay Bioproto Format List Mdst Mixtree String

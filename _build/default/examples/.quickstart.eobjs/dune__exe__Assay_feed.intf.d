@@ -1,0 +1,1 @@
+examples/assay_feed.mli:

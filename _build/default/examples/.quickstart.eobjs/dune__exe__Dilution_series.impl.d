@@ -1,0 +1,1 @@
+examples/dilution_series.ml: Format List Mdst Mixtree Printf

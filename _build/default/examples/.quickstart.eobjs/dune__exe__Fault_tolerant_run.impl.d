@@ -1,0 +1,1 @@
+examples/fault_tolerant_run.ml: Array Bioproto Chip Dmf Format List Mdst Mixtree Sim

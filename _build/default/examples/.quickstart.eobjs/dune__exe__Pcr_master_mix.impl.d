@@ -1,0 +1,1 @@
+examples/pcr_master_mix.ml: Bioproto Chip Dmf Format List Mdst Mixtree Sim

@@ -1,0 +1,1 @@
+examples/pcr_master_mix.mli:

@@ -1,0 +1,1 @@
+examples/protocol_sweep.ml: Bioproto Dmf List Mdst Mixtree Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dmf Format Mdst Mixtree

@@ -1,0 +1,1 @@
+examples/storage_constrained.ml: Bioproto Dmf Format List Mdst Mixtree

@@ -1,0 +1,58 @@
+(* Demand-driven feeding of a downstream assay.
+
+   The paper's opening motivation: a PCR thermocycler consumes
+   master-mix droplets batch by batch, so the chip must keep a stream of
+   target droplets coming — neither late (the assay stalls) nor too
+   early (finished droplets hog storage).  The assay planner couples the
+   streaming engine to a consumption profile: it picks the pass size and
+   places every pass just-in-time.
+
+   Run with: dune exec examples/assay_feed.exe *)
+
+let ratio = Bioproto.Protocols.pcr ~d:4
+
+let run title requests =
+  print_string (Mdst.Report.section title);
+  let plan =
+    Assay.Planner.plan ~algorithm:Mixtree.Algorithm.MM ~ratio ~mixers:3
+      ~storage_limit:5 ~scheduler:Mdst.Streaming.SRS ~requests
+  in
+  Format.printf "%a@." Assay.Planner.pp plan;
+  Format.printf "pass sizes: %s, starts: %s@."
+    (String.concat ","
+       (List.map
+          (fun (p : Mdst.Streaming.pass) -> string_of_int p.Mdst.Streaming.demand)
+          plan.Assay.Planner.streaming.Mdst.Streaming.passes))
+    (String.concat "," (List.map string_of_int plan.Assay.Planner.pass_starts));
+  let rows =
+    List.map
+      (fun d ->
+        [
+          string_of_int d.Assay.Planner.deadline;
+          string_of_int d.Assay.Planner.emission;
+          string_of_int d.Assay.Planner.lateness;
+          string_of_int d.Assay.Planner.earliness;
+        ])
+      (List.filteri (fun i _ -> i mod 4 = 0) plan.Assay.Planner.deliveries)
+  in
+  print_string
+    (Mdst.Report.table
+       ~header:[ "deadline"; "emission"; "late"; "early" ]
+       ~rows)
+
+let () =
+  (* A comfortable thermocycler: four droplets every 15 cycles. *)
+  run "Thermocycler, 4 droplets / 15 cycles, first batch at cycle 20"
+    (Assay.Demand.periodic ~start:20 ~interval:15 ~count:4 ~batches:8);
+  (* A hungry consumer: the chip cannot keep up and the planner reports
+     exactly how late each batch will be. *)
+  run "Overloaded consumer, 4 droplets / 2 cycles from cycle 2"
+    (Assay.Demand.periodic ~start:2 ~interval:2 ~count:4 ~batches:8);
+  (* An irregular protocol: confirmation tests at a few fixed times. *)
+  run "Irregular confirmatory screening"
+    [
+      Assay.Demand.request ~deadline:12 ~count:2;
+      Assay.Demand.request ~deadline:40 ~count:6;
+      Assay.Demand.request ~deadline:45 ~count:2;
+      Assay.Demand.request ~deadline:90 ~count:8;
+    ]

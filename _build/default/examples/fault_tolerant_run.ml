@@ -1,0 +1,79 @@
+(* A fault-tolerant streaming run, end to end.
+
+   The engine prepares 20 PCR master-mix droplets; midway, a checkpoint
+   detects that one mix-split failed to separate and both daughters were
+   discarded.  The recovery planner salvages whatever still sits in
+   storage, rebuilds only the missing mixtures, and the run continues —
+   cheaper than restarting and with a bounded CF error even under
+   imbalanced splits.
+
+   Run with: dune exec examples/fault_tolerant_run.exe *)
+
+let ratio = Bioproto.Protocols.pcr ~d:4
+let algorithm = Mixtree.Algorithm.MM
+
+let section title = print_string (Mdst.Report.section title)
+
+let () =
+  section "Nominal run: 20 droplets, 3 mixers, SRS";
+  let plan = Mdst.Forest.build ~algorithm ~ratio ~demand:20 in
+  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  Format.printf "%a@." Mdst.Plan.pp_summary plan;
+
+  section "Failure: the split of node m3,2 does not separate (cycle 3)";
+  (* Pick the node labelled m32 — third tree, second mix. *)
+  let failed =
+    List.find
+      (fun node -> node.Mdst.Plan.tree = 3 && node.Mdst.Plan.bfs = 2)
+      (Mdst.Plan.nodes plan)
+  in
+  let recovery =
+    Mdst.Recovery.recover ~algorithm ~plan ~schedule
+      ~failed_node:failed.Mdst.Plan.id
+  in
+  Format.printf
+    "checkpoint at cycle %d: %d targets already emitted, %d droplets \
+     salvaged from storage, %d droplets still owed@."
+    recovery.Mdst.Recovery.failure_cycle recovery.Mdst.Recovery.delivered
+    (Array.length recovery.Mdst.Recovery.salvaged)
+    recovery.Mdst.Recovery.remaining_demand;
+  Array.iteri
+    (fun i v ->
+      Format.printf "  salvaged droplet %d: %a@." i Dmf.Mixture.pp v)
+    recovery.Mdst.Recovery.salvaged;
+
+  (match
+     (recovery.Mdst.Recovery.recovery_plan, recovery.Mdst.Recovery.fresh_restart)
+   with
+  | Some rec_plan, Some fresh ->
+    section "Recovery forest (salvage-seeded) vs fresh restart";
+    Format.printf "recovery: %a@." Mdst.Plan.pp_summary rec_plan;
+    Format.printf "restart:  %a@." Mdst.Plan.pp_summary fresh;
+    Format.printf "salvaging saves %d input droplet(s)@."
+      (Mdst.Recovery.reagent_saving recovery);
+    let rec_schedule = Mdst.Srs.schedule ~plan:rec_plan ~mixers:3 in
+    print_string (Mdst.Gantt.render ~plan:rec_plan rec_schedule);
+    section "Robustness of the recovery run";
+    let report = Mdst.Split_error.analyze ~plan:rec_plan ~epsilon:0.05 in
+    Format.printf
+      "worst-case CF error under 5%% split imbalance: %.5f (error floor \
+       1/2^d = %.5f)@."
+      report.Mdst.Split_error.max_cf_error
+      (1. /. float_of_int (Dmf.Ratio.sum ratio))
+  | _ -> Format.printf "demand already met — nothing to recover@.");
+
+  section "Contamination picture of the nominal run";
+  let layout = Chip.Layout.pcr_fig5 () in
+  match Sim.Executor.run ~layout ~plan ~schedule with
+  | Error e -> Format.printf "simulation failed: %s@." e
+  | Ok (trace, stats) ->
+    let report = Sim.Contamination.analyze ~layout ~plan ~trace in
+    Format.printf
+      "%d same-cell crossings (%d benign: identical mixtures), %d dirty \
+       cells, wash estimate %d actuations (%.2fx transport)@."
+      report.Sim.Contamination.total_crossings
+      report.Sim.Contamination.benign_crossings
+      report.Sim.Contamination.contaminated_cells
+      report.Sim.Contamination.wash.Sim.Contamination.wash_steps
+      (Sim.Contamination.wash_overhead_ratio report
+         ~transport_electrodes:stats.Sim.Executor.electrodes)

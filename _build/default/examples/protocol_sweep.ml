@@ -1,0 +1,62 @@
+(* Scheme comparison across real bioprotocol mixtures (Table 2 scenario).
+
+   Evaluates the nine schemes of the paper's Table 2 — three repeated
+   baselines and the streaming engine with MMS / SRS on three base
+   mixing algorithms — on the five protocol ratios Ex.1..Ex.5 (all on
+   the scale 256, demand 32), and summarises the savings.
+
+   Run with: dune exec examples/protocol_sweep.exe *)
+
+let () =
+  List.iter
+    (fun p ->
+      print_string
+        (Mdst.Report.section
+           (Printf.sprintf "%s — %s (%s)" p.Bioproto.Protocols.id
+              p.Bioproto.Protocols.name
+              (Dmf.Ratio.to_string p.Bioproto.Protocols.ratio)));
+      let results =
+        Mdst.Compare.evaluate_all ~ratio:p.Bioproto.Protocols.ratio ~demand:32
+          Mdst.Compare.table2_schemes
+      in
+      let rows =
+        List.map
+          (fun (scheme, m) ->
+            [
+              Mdst.Compare.scheme_name scheme;
+              string_of_int m.Mdst.Metrics.tc;
+              string_of_int m.Mdst.Metrics.q;
+              string_of_int m.Mdst.Metrics.waste;
+              string_of_int m.Mdst.Metrics.input_total;
+            ])
+          results
+      in
+      print_string
+        (Mdst.Report.table ~header:[ "scheme"; "Tc"; "q"; "W"; "I" ] ~rows))
+    Bioproto.Protocols.table2;
+
+  print_string (Mdst.Report.section "Average savings across Ex.1..Ex.5");
+  let ratios =
+    List.map (fun p -> p.Bioproto.Protocols.ratio) Bioproto.Protocols.table2
+  in
+  let rows =
+    List.map
+      (fun algorithm ->
+        let imp =
+          Mdst.Compare.average_improvements ~ratios ~demand:32 algorithm
+        in
+        [
+          Mixtree.Algorithm.name algorithm;
+          Mdst.Report.float_cell imp.Mdst.Compare.mms_tc_over_repeated;
+          Mdst.Report.float_cell imp.Mdst.Compare.srs_tc_over_repeated;
+          Mdst.Report.float_cell imp.Mdst.Compare.mms_i_over_repeated;
+          Mdst.Report.float_cell imp.Mdst.Compare.srs_q_over_mms;
+        ])
+      [ Mixtree.Algorithm.MM; Mixtree.Algorithm.RMA; Mixtree.Algorithm.MTCS ]
+  in
+  print_string
+    (Mdst.Report.table
+       ~header:
+         [ "base algo"; "Tc: MMS||R %"; "Tc: SRS||R %"; "I: MMS||R %";
+           "q: SRS||MMS %" ]
+       ~rows)

@@ -1,0 +1,1 @@
+lib/assay/demand.ml: Int List

@@ -1,0 +1,1 @@
+lib/assay/planner.ml: Demand Format Int List Mdst

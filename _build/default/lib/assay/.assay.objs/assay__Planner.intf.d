@@ -1,0 +1,1 @@
+lib/assay/planner.mli: Demand Dmf Format Mdst Mixtree

@@ -1,0 +1,33 @@
+type request = { deadline : int; count : int }
+
+let request ~deadline ~count =
+  if count < 1 then invalid_arg "Demand.request: count must be >= 1";
+  if deadline < 0 then invalid_arg "Demand.request: negative deadline";
+  { deadline; count }
+
+let periodic ~start ~interval ~count ~batches =
+  if interval < 1 || count < 1 || batches < 1 || start < 0 then
+    invalid_arg "Demand.periodic: non-positive parameters";
+  List.init batches (fun i ->
+      request ~deadline:(start + (i * interval)) ~count)
+
+let total requests = List.fold_left (fun acc r -> acc + r.count) 0 requests
+
+let normalize requests =
+  match requests with
+  | [] -> invalid_arg "Demand.normalize: empty profile"
+  | _ :: _ ->
+    let sorted =
+      List.sort (fun a b -> Int.compare a.deadline b.deadline) requests
+    in
+    let rec merge = function
+      | a :: b :: rest when a.deadline = b.deadline ->
+        merge ({ a with count = a.count + b.count } :: rest)
+      | a :: rest -> a :: merge rest
+      | [] -> []
+    in
+    merge sorted
+
+let droplet_deadlines requests =
+  normalize requests
+  |> List.concat_map (fun r -> List.init r.count (fun _ -> r.deadline))

@@ -1,0 +1,33 @@
+(** Downstream droplet demand profiles.
+
+    The paper's motivation is {e demand-driven} preparation: a bioassay
+    consumes master-mix droplets over time — "the resultant mixture is
+    next used in several reactions, each requiring a certain amount of
+    master-mix as determined by the assay" (Section 1).  A profile lists
+    when and how many target droplets the downstream protocol needs. *)
+
+type request = {
+  deadline : int;  (** Absolute time-cycle by which the droplets are needed. *)
+  count : int;  (** Number of target droplets needed by then. *)
+}
+
+val request : deadline:int -> count:int -> request
+(** @raise Invalid_argument if [count < 1] or [deadline < 0]. *)
+
+val periodic :
+  start:int -> interval:int -> count:int -> batches:int -> request list
+(** [periodic ~start ~interval ~count ~batches] models a cyclic consumer
+    (e.g. a thermocycler drawing [count] droplets every [interval]
+    cycles, [batches] times, first at cycle [start]).
+    @raise Invalid_argument on non-positive [interval], [count] or
+    [batches], or negative [start]. *)
+
+val total : request list -> int
+(** Total droplets demanded. *)
+
+val normalize : request list -> request list
+(** Sort by deadline and merge equal deadlines.
+    @raise Invalid_argument on an empty profile. *)
+
+val droplet_deadlines : request list -> int list
+(** One deadline per individual droplet, ascending. *)

@@ -1,0 +1,155 @@
+type delivery = {
+  deadline : int;
+  emission : int;
+  lateness : int;
+  earliness : int;
+}
+
+type t = {
+  streaming : Mdst.Streaming.t;
+  pass_starts : int list;
+  deliveries : delivery list;
+  max_lateness : int;
+  total_earliness : int;
+  makespan : int;
+  surplus : int;
+}
+
+(* Relative emission cycles of one pass, one entry per droplet (each
+   component-tree root emits two). *)
+let pass_emissions (pass : Mdst.Streaming.pass) =
+  Mdst.Schedule.emission_order ~plan:pass.Mdst.Streaming.plan
+    pass.Mdst.Streaming.schedule
+  |> List.concat_map (fun (cycle, _) -> [ cycle; cycle ])
+  |> List.sort Int.compare
+
+let plan_with ~streaming ~deadlines =
+  let demand = List.length deadlines in
+  let passes = streaming.Mdst.Streaming.passes in
+  let emissions_per_pass = List.map pass_emissions passes in
+  (* Slice the deadline list into the chunks each pass serves, in pass
+     order; the last pass may produce a surplus droplet. *)
+  let chunks =
+    let rec slice deadlines = function
+      | [] -> []
+      | emissions :: rest ->
+        let n = List.length emissions in
+        let chunk = List.filteri (fun i _ -> i < n) deadlines in
+        let remaining =
+          List.filteri (fun i _ -> i >= n) deadlines
+        in
+        (emissions, chunk) :: slice remaining rest
+    in
+    slice deadlines emissions_per_pass
+  in
+  (* Backward pass: the latest start of pass i so that (a) its own chunk
+     deadlines hold and (b) the next pass can still start in time. *)
+  let no_constraint = max_int / 4 in
+  let latest_starts =
+    List.fold_right
+      (fun ((emissions, chunk), tc) acc ->
+        let own =
+          List.fold_left2
+            (fun lim emission deadline -> min lim (deadline - emission))
+            no_constraint
+            (List.filteri (fun i _ -> i < List.length chunk) emissions)
+            chunk
+        in
+        let next_bound =
+          match acc with
+          | [] -> no_constraint
+          | next :: _ -> next - tc
+        in
+        min own next_bound :: acc)
+      (List.map2
+         (fun c (pass : Mdst.Streaming.pass) -> (c, pass.Mdst.Streaming.tc))
+         chunks passes)
+      []
+  in
+  (* Forward pass: start as late as allowed but never before the previous
+     pass has finished (passes share the chip). *)
+  let pass_starts, makespan =
+    List.fold_left2
+      (fun (starts, free_at) latest (pass : Mdst.Streaming.pass) ->
+        let start = max free_at (max 0 latest) in
+        (start :: starts, start + pass.Mdst.Streaming.tc))
+      ([], 0) latest_starts passes
+  in
+  let pass_starts = List.rev pass_starts in
+  let deliveries =
+    List.concat
+      (List.map2
+         (fun start (emissions, chunk) ->
+           List.map2
+             (fun emission deadline ->
+               let emission = start + emission in
+               {
+                 deadline;
+                 emission;
+                 lateness = max 0 (emission - deadline);
+                 earliness = max 0 (deadline - emission);
+               })
+             (List.filteri (fun i _ -> i < List.length chunk) emissions)
+             chunk)
+         pass_starts chunks)
+  in
+  {
+    streaming;
+    pass_starts;
+    deliveries;
+    max_lateness = List.fold_left (fun acc d -> max acc d.lateness) 0 deliveries;
+    total_earliness =
+      List.fold_left (fun acc d -> acc + d.earliness) 0 deliveries;
+    makespan;
+    surplus =
+      List.fold_left (fun acc e -> acc + List.length e) 0 emissions_per_pass
+      - demand;
+  }
+
+(* Try every feasible even pass size and keep the plan with the least
+   lateness, then the least buffer residency, then the least reactant. *)
+let plan ~algorithm ~ratio ~mixers ~storage_limit ~scheduler ~requests =
+  let deadlines = Demand.droplet_deadlines requests in
+  let demand = List.length deadlines in
+  let max_fit =
+    Mdst.Streaming.max_demand_per_pass ~algorithm ~ratio ~mixers
+      ~storage_limit ~scheduler ~max_demand:(demand + (demand land 1))
+  in
+  let candidates =
+    match max_fit with
+    | None -> [ None ]
+    | Some top -> List.init (top / 2) (fun i -> Some (2 * (i + 1)))
+  in
+  let score t =
+    ( t.max_lateness,
+      t.total_earliness,
+      t.streaming.Mdst.Streaming.total_inputs,
+      Mdst.Streaming.n_passes t.streaming )
+  in
+  let build pass_size =
+    let streaming =
+      match pass_size with
+      | None ->
+        Mdst.Streaming.run ~algorithm ~ratio ~demand ~mixers ~storage_limit
+          ~scheduler
+      | Some pass_size ->
+        Mdst.Streaming.run_fixed ~pass_size ~algorithm ~ratio ~demand ~mixers
+          ~storage_limit ~scheduler
+    in
+    plan_with ~streaming ~deadlines
+  in
+  match List.map build candidates with
+  | [] -> assert false
+  | first :: rest ->
+    List.fold_left (fun best t -> if score t < score best then t else best)
+      first rest
+
+let feasible t = t.max_lateness = 0
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>%d deliveries in %d pass(es), makespan %d:@ max lateness %d, total \
+     earliness %d, surplus %d@]"
+    (List.length t.deliveries)
+    (Mdst.Streaming.n_passes t.streaming)
+    t.makespan t.max_lateness t.total_earliness t.surplus

@@ -1,0 +1,44 @@
+(** Demand-driven production planning.
+
+    Couples the droplet-streaming engine to a downstream demand profile:
+    the total demand is produced in storage-feasible passes (as in
+    Section 6), the passes are placed on the time axis as late as
+    possible without missing deadlines (reducing how long finished
+    droplets sit in the output buffer), and every emitted droplet is
+    matched to a demand deadline.
+
+    Matching the [i]-th emission to the [i]-th deadline (both ascending)
+    minimises the maximum lateness, by the classic exchange argument. *)
+
+type delivery = {
+  deadline : int;  (** When the droplet is needed. *)
+  emission : int;  (** Absolute cycle at which it is emitted. *)
+  lateness : int;  (** [max 0 (emission - deadline)]. *)
+  earliness : int;  (** [max 0 (deadline - emission)]: buffer residency. *)
+}
+
+type t = {
+  streaming : Mdst.Streaming.t;  (** The underlying pass structure. *)
+  pass_starts : int list;  (** Absolute start cycle of each pass. *)
+  deliveries : delivery list;  (** One per demanded droplet, by deadline. *)
+  max_lateness : int;  (** 0 iff every deadline is met. *)
+  total_earliness : int;  (** Sum of buffer-residency cycles. *)
+  makespan : int;  (** Cycle at which the last pass completes. *)
+  surplus : int;  (** Droplets produced beyond the demand (rounding). *)
+}
+
+val plan :
+  algorithm:Mixtree.Algorithm.t ->
+  ratio:Dmf.Ratio.t ->
+  mixers:int ->
+  storage_limit:int ->
+  scheduler:Mdst.Streaming.scheduler ->
+  requests:Demand.request list ->
+  t
+(** [plan] builds, schedules and places the passes for the profile.
+    @raise Invalid_argument on an empty profile or invalid resources. *)
+
+val feasible : t -> bool
+(** [max_lateness = 0]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/bioproto/protocols.ml: Dmf List String

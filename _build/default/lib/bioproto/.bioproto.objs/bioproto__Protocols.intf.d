@@ -1,0 +1,1 @@
+lib/bioproto/protocols.mli: Dmf

@@ -1,0 +1,1 @@
+lib/bioproto/synth.ml: Array Dmf List

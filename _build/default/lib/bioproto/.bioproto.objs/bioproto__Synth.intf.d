@@ -1,0 +1,1 @@
+lib/bioproto/synth.mli: Dmf

@@ -1,0 +1,46 @@
+(** Real-life bioprotocol target mixtures used in the paper's evaluation
+    (Sections 5 and 6). *)
+
+type t = {
+  id : string;  (** Short identifier, e.g. ["ex1"]. *)
+  name : string;
+  description : string;
+  ratio : Dmf.Ratio.t;
+  citation : string;  (** The paper's reference for the protocol. *)
+}
+
+val pcr_percentages : float array
+(** The PCR master-mix volumetric percentages
+    [{10; 8; 0.8; 0.8; 1; 1; 78.4}] — reactant buffer, dNTPs, forward
+    primer, reverse primer, DNA template, optimase, water [14]. *)
+
+val pcr_fluid_names : string array
+
+val pcr : d:int -> Dmf.Ratio.t
+(** [pcr ~d] is the PCR master-mix approximated at accuracy level [d].
+    [d = 4] returns the paper's hand-rounded ratio [2:1:1:1:1:1:9]
+    (Section 4.1); other levels use {!Dmf.Ratio.approximate}. *)
+
+val ex1 : t
+(** {26:21:2:2:3:3:199} — PCR master-mix on the scale 256 [3, 14]. *)
+
+val ex2 : t
+(** {128:123:5} — phenol / chloroform / isoamylalcohol, One-Step Miniprep
+    [4]. *)
+
+val ex3 : t
+(** {25:5:5:5:5:13:13:25:1:159} — 10 fluids, Molecular Barcodes [12]. *)
+
+val ex4 : t
+(** {9:17:26:9:195} — 5 fluids, Splinkerette PCR [1]. *)
+
+val ex5 : t
+(** {57:28:6:6:6:3:150} — Miniprep by alkaline lysis [15]. *)
+
+val table2 : t list
+(** [ex1 .. ex5], the rows of Table 2. *)
+
+val all : t list
+
+val find : string -> t option
+(** Look up a protocol by its [id] (case-insensitive). *)

@@ -1,0 +1,36 @@
+let partitions ~sum ~parts =
+  (* Non-increasing parts, each between 1 and [cap]. *)
+  let rec go sum parts cap =
+    if parts = 0 then if sum = 0 then [ [] ] else []
+    else if sum < parts then []
+    else
+      let upper = min cap (sum - parts + 1) in
+      let rec collect first acc =
+        if first < 1 then acc
+        else
+          let tails = go (sum - first) (parts - 1) first in
+          collect (first - 1)
+            (List.rev_append (List.rev_map (fun tail -> first :: tail) tails) acc)
+      in
+      collect upper []
+  in
+  go sum parts sum
+
+let count_partitions ~sum ~parts = List.length (partitions ~sum ~parts)
+
+let corpus ?(min_parts = 2) ?(max_parts = 12) ~sum () =
+  if not (Dmf.Binary.is_power_of_two sum) then
+    invalid_arg "Synth.corpus: ratio-sum must be a power of two";
+  List.concat_map
+    (fun parts ->
+      List.map
+        (fun partition -> Dmf.Ratio.make (Array.of_list partition))
+        (partitions ~sum ~parts))
+    (List.init (max_parts - min_parts + 1) (fun i -> min_parts + i))
+
+let corpus_size ?min_parts ?max_parts ~sum () =
+  List.length (corpus ?min_parts ?max_parts ~sum ())
+
+let sample ~every xs =
+  if every < 1 then invalid_arg "Synth.sample: step must be >= 1";
+  List.filteri (fun i _ -> i mod every = 0) xs

@@ -1,0 +1,26 @@
+(** The synthetic target-ratio corpus of Section 6.
+
+    The paper evaluates the scheduling schemes on "6058 synthetic target
+    ratios of N (2 <= N <= 12) different fluids with ratio-sum L = 32".
+    We generate the integer partitions of [L] into exactly [N] parts —
+    fluid identity is symmetric for the cost metrics, so unordered
+    partitions enumerate the distinct problem instances — and expose the
+    corpus both in full and as a deterministic sample for quicker runs. *)
+
+val partitions : sum:int -> parts:int -> int list list
+(** [partitions ~sum ~parts] is every partition of [sum] into exactly
+    [parts] parts [>= 1], each in non-increasing order. *)
+
+val count_partitions : sum:int -> parts:int -> int
+
+val corpus : ?min_parts:int -> ?max_parts:int -> sum:int -> unit -> Dmf.Ratio.t list
+(** [corpus ~sum ()] is the ratio corpus for ratio-sum [sum] (a power of
+    two), with [min_parts = 2] and [max_parts = 12] by default — the
+    paper's L = 32 corpus. *)
+
+val corpus_size : ?min_parts:int -> ?max_parts:int -> sum:int -> unit -> int
+
+val sample : every:int -> 'a list -> 'a list
+(** [sample ~every xs] keeps every [every]-th element — a deterministic
+    thinning used to keep bench runtimes reasonable.
+    @raise Invalid_argument if [every < 1]. *)

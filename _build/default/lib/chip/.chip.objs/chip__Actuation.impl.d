@@ -1,0 +1,1 @@
+lib/chip/actuation.ml: Chip_module Cost_matrix Layout List Mdst Option Printf Result Storage_alloc

@@ -1,0 +1,1 @@
+lib/chip/actuation.mli: Layout Mdst

@@ -1,0 +1,1 @@
+lib/chip/chip_module.ml: Dmf Format Geometry String

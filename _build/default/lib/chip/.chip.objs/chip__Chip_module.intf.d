@@ -1,0 +1,1 @@
+lib/chip/chip_module.mli: Dmf Format Geometry

@@ -1,0 +1,1 @@
+lib/chip/cost_matrix.ml: Array Chip_module Fun Hashtbl Layout List Option Printf Router String

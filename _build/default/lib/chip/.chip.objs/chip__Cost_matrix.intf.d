@@ -1,0 +1,1 @@
+lib/chip/cost_matrix.mli: Layout

@@ -1,0 +1,1 @@
+lib/chip/geometry.ml: Format Fun List

@@ -1,0 +1,1 @@
+lib/chip/geometry.mli: Format

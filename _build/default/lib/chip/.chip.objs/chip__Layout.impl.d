@@ -1,0 +1,1 @@
+lib/chip/layout.ml: Array Buffer Chip_module Dmf Geometry Hashtbl List Printf String

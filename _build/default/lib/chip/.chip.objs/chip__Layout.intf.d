@@ -1,0 +1,1 @@
+lib/chip/layout.mli: Chip_module Dmf Geometry

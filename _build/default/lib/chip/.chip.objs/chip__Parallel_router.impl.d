@@ -1,0 +1,1 @@
+lib/chip/parallel_router.ml: Array Chip_module Format Geometry Hashtbl Int Layout List Printf Queue Result

@@ -1,0 +1,1 @@
+lib/chip/parallel_router.mli: Geometry Layout

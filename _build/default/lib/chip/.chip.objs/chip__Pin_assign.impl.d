@@ -1,0 +1,1 @@
+lib/chip/pin_assign.ml: Geometry Hashtbl Int List Option Set

@@ -1,0 +1,1 @@
+lib/chip/pin_assign.mli: Geometry

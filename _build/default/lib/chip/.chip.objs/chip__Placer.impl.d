@@ -1,0 +1,1 @@
+lib/chip/placer.ml: Actuation Array Chip_module Cost_matrix Geometry Hashtbl Layout List Option Random

@@ -1,0 +1,1 @@
+lib/chip/placer.mli: Actuation Layout Mdst

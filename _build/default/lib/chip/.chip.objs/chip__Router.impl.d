@@ -1,0 +1,1 @@
+lib/chip/router.ml: Chip_module Geometry Hashtbl Layout List Option Queue

@@ -1,0 +1,1 @@
+lib/chip/router.mli: Chip_module Geometry Layout

@@ -1,0 +1,1 @@
+lib/chip/storage_alloc.ml: Hashtbl List Mdst Printf

@@ -1,0 +1,1 @@
+lib/chip/storage_alloc.mli: Mdst

@@ -1,0 +1,153 @@
+type movement = {
+  cycle : int;
+  description : string;
+  src : string;
+  dst : string;
+  cost : int;
+}
+
+type t = {
+  movements : movement list;
+  total_electrodes : int;
+  dispenses : int;
+  via_storage : int;
+  direct_transfers : int;
+  to_waste : int;
+  emitted : int;
+}
+
+let total t = t.total_electrodes
+
+let account ~layout ~plan ~schedule =
+  let ( let* ) r f = Result.bind r f in
+  let matrix = Cost_matrix.build layout in
+  let mixers = Layout.mixers layout in
+  let* () =
+    if List.length mixers >= Mdst.Schedule.mixers schedule then Ok ()
+    else
+      Error
+        (Printf.sprintf "layout has %d mixers, schedule needs %d"
+           (List.length mixers)
+           (Mdst.Schedule.mixers schedule))
+  in
+  let mixer_id k = (List.nth mixers (k - 1)).Chip_module.id in
+  let storage_ids =
+    List.map (fun m -> m.Chip_module.id) (Layout.storage_units layout)
+  in
+  let* allocation = Storage_alloc.allocate ~plan ~schedule ~units:storage_ids in
+  let wastes = Layout.wastes layout in
+  let* () = if wastes = [] then Error "layout has no waste reservoir" else Ok () in
+  let out = (Layout.output layout).Chip_module.id in
+  let movements = ref [] in
+  let dispenses = ref 0
+  and via_storage = ref 0
+  and direct = ref 0
+  and to_waste = ref 0
+  and emitted = ref 0 in
+  let move ~cycle ~description ~src ~dst =
+    let cost = Cost_matrix.cost matrix ~src ~dst in
+    movements := { cycle; description; src; dst; cost } :: !movements
+  in
+  let nearest_waste src =
+    List.fold_left
+      (fun best w ->
+        let c = Cost_matrix.cost matrix ~src ~dst:w.Chip_module.id in
+        match best with
+        | Some (_, bc) when bc <= c -> best
+        | Some _ | None -> Some (w.Chip_module.id, c))
+      None wastes
+    |> Option.get |> fst
+  in
+  let result =
+    try
+      List.iter
+        (fun node ->
+          let id = node.Mdst.Plan.id in
+          let t = Mdst.Schedule.cycle schedule id in
+          let mixer = mixer_id (Mdst.Schedule.mixer schedule id) in
+          let label = Mdst.Gantt.label node in
+          (* Bring the two operand droplets to the mixer. *)
+          List.iter
+            (fun (side, source) ->
+              match source with
+              | Mdst.Plan.Reserve _ ->
+                failwith
+                  "plans with reserve droplets are not supported by the \
+                   actuation backend"
+              | Mdst.Plan.Input f ->
+                incr dispenses;
+                let reservoir =
+                  (Layout.reservoir_for layout f).Chip_module.id
+                in
+                move ~cycle:t
+                  ~description:(Printf.sprintf "%s %s operand" label side)
+                  ~src:reservoir ~dst:mixer
+              | Mdst.Plan.Output { node = producer; port } -> (
+                let tp = Mdst.Schedule.cycle schedule producer in
+                let producer_mixer =
+                  mixer_id (Mdst.Schedule.mixer schedule producer)
+                in
+                if t = tp + 1 then begin
+                  incr direct;
+                  move ~cycle:t
+                    ~description:(Printf.sprintf "%s %s operand" label side)
+                    ~src:producer_mixer ~dst:mixer
+                end
+                else
+                  match
+                    Storage_alloc.unit_for allocation ~producer ~port
+                  with
+                  | None ->
+                    failwith
+                      (Printf.sprintf
+                         "droplet (%d,%d) has no storage assignment" producer
+                         port)
+                  | Some unit_id ->
+                    incr via_storage;
+                    move ~cycle:(tp + 1)
+                      ~description:
+                        (Printf.sprintf "store spare of node %d" producer)
+                      ~src:producer_mixer ~dst:unit_id;
+                    move ~cycle:t
+                      ~description:(Printf.sprintf "%s %s operand" label side)
+                      ~src:unit_id ~dst:mixer))
+            [ ("left", node.Mdst.Plan.left); ("right", node.Mdst.Plan.right) ];
+          (* Evacuate unconsumed output droplets. *)
+          List.iter
+            (fun port ->
+              match Mdst.Plan.consumer plan ~node:id ~port with
+              | Some _ -> ()
+              | None ->
+                if Mdst.Plan.is_root plan id then begin
+                  incr emitted;
+                  move ~cycle:(t + 1)
+                    ~description:(Printf.sprintf "target from %s" label)
+                    ~src:mixer ~dst:out
+                end
+                else begin
+                  incr to_waste;
+                  move ~cycle:(t + 1)
+                    ~description:(Printf.sprintf "waste from %s" label)
+                    ~src:mixer ~dst:(nearest_waste mixer)
+                end)
+            [ 0; 1 ])
+        (Mdst.Plan.nodes plan);
+      Ok ()
+    with
+    | Failure msg -> Error msg
+    | Invalid_argument msg -> Error msg
+    | Not_found -> Error "layout lacks a reservoir for some fluid"
+  in
+  let* () = result in
+  let movements = List.rev !movements in
+  Ok
+    {
+      movements;
+      total_electrodes =
+        List.fold_left (fun acc m -> acc + m.cost) 0 movements;
+      dispenses = !dispenses;
+      via_storage = !via_storage;
+      direct_transfers = !direct;
+      to_waste = !to_waste;
+      emitted = !emitted;
+    }

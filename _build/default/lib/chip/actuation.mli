@@ -1,0 +1,38 @@
+(** Electrode-actuation accounting of a schedule on a layout.
+
+    Executing a mixing forest on a chip moves droplets between modules:
+    reservoir dispenses, producer-to-consumer transfers (directly or via a
+    storage unit), waste disposal and target emission.  Each movement
+    actuates one electrode per step of its route; Section 5 compares the
+    total actuation count of the streamed forest (386 electrodes on the
+    Figure 5 layout) against repeated MM passes (980) — excessive
+    actuation degrades biochip reliability and lifetime [10]. *)
+
+type movement = {
+  cycle : int;  (** Schedule cycle during which the move happens. *)
+  description : string;  (** Human-readable droplet identity. *)
+  src : string;  (** Source module id. *)
+  dst : string;  (** Destination module id. *)
+  cost : int;  (** Electrodes actuated. *)
+}
+
+type t = {
+  movements : movement list;
+  total_electrodes : int;
+  dispenses : int;  (** Reservoir dispenses (droplets drawn). *)
+  via_storage : int;  (** Transfers that went through a storage unit. *)
+  direct_transfers : int;  (** Producer-to-consumer transfers mixer-to-mixer. *)
+  to_waste : int;
+  emitted : int;  (** Target droplets routed to the output port. *)
+}
+
+val account :
+  layout:Layout.t ->
+  plan:Mdst.Plan.t ->
+  schedule:Mdst.Schedule.t ->
+  (t, string) result
+(** [account ~layout ~plan ~schedule] derives every droplet movement and
+    its cost.  Fails if the layout lacks a reservoir for some fluid, has
+    too few mixers or storage units, or some route does not exist. *)
+
+val total : t -> int

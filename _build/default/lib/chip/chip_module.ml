@@ -1,0 +1,35 @@
+type kind =
+  | Reservoir of Dmf.Fluid.t
+  | Mixer
+  | Storage
+  | Waste
+  | Output_port
+
+type t = { id : string; kind : kind; rect : Geometry.rect }
+
+let make ~id ~kind ~rect =
+  if String.length id = 0 then invalid_arg "Chip_module.make: empty id";
+  if rect.Geometry.w < 1 || rect.Geometry.h < 1 then
+    invalid_arg "Chip_module.make: degenerate rectangle";
+  { id; kind; rect }
+
+let anchor m = Geometry.rect_center m.rect
+
+let kind_name = function
+  | Reservoir _ -> "reservoir"
+  | Mixer -> "mixer"
+  | Storage -> "storage"
+  | Waste -> "waste"
+  | Output_port -> "output"
+
+let glyph m =
+  match m.kind with
+  | Reservoir _ -> 'R'
+  | Mixer -> 'M'
+  | Storage -> 'S'
+  | Waste -> 'W'
+  | Output_port -> 'O'
+
+let pp ppf m =
+  Format.fprintf ppf "%s (%s) at (%d,%d) %dx%d" m.id (kind_name m.kind)
+    m.rect.Geometry.x m.rect.Geometry.y m.rect.Geometry.w m.rect.Geometry.h

@@ -1,0 +1,24 @@
+(** On-chip resources: reservoirs, mixers, storage units, waste
+    reservoirs and the output port (the modules of Figure 5). *)
+
+type kind =
+  | Reservoir of Dmf.Fluid.t  (** Holds one input fluid at CF 100%. *)
+  | Mixer  (** A 2x4 (1:1) mix-split module. *)
+  | Storage  (** A single-droplet storage electrode. *)
+  | Waste  (** A waste reservoir. *)
+  | Output_port  (** Where target droplets are emitted. *)
+
+type t = { id : string; kind : kind; rect : Geometry.rect }
+
+val make : id:string -> kind:kind -> rect:Geometry.rect -> t
+(** @raise Invalid_argument if [id] is empty or the rectangle is
+    degenerate. *)
+
+val anchor : t -> Geometry.point
+(** The cell where a droplet parks inside the module. *)
+
+val kind_name : kind -> string
+val glyph : t -> char
+(** One-character map symbol: [R], [M], [S], [W], [O]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+type t = {
+  labels : string list;
+  index : (string, int) Hashtbl.t;
+  cost : int option array array;
+}
+
+let build layout =
+  let labels =
+    List.map (fun m -> m.Chip_module.id) (Layout.modules layout)
+  in
+  let n = List.length labels in
+  let index = Hashtbl.create n in
+  List.iteri (fun i id -> Hashtbl.add index id i) labels;
+  let cost = Array.make_matrix n n None in
+  List.iteri
+    (fun i src ->
+      List.iteri
+        (fun j dst ->
+          if i = j then cost.(i).(j) <- Some 0
+          else if j > i then begin
+            let c = Router.distance layout ~src ~dst in
+            cost.(i).(j) <- c;
+            cost.(j).(i) <- c
+          end)
+        labels)
+    labels;
+  { labels; index; cost }
+
+let lookup t id =
+  match Hashtbl.find_opt t.index id with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Cost_matrix: unknown module %s" id)
+
+let reachable t ~src ~dst = t.cost.(lookup t src).(lookup t dst) <> None
+
+let cost t ~src ~dst =
+  match t.cost.(lookup t src).(lookup t dst) with
+  | Some c -> c
+  | None ->
+    invalid_arg (Printf.sprintf "Cost_matrix: %s unreachable from %s" dst src)
+
+let labels t = t.labels
+
+let render ?rows ?columns t =
+  let rows = Option.value ~default:t.labels rows in
+  let columns = Option.value ~default:t.labels columns in
+  let cell src dst =
+    match t.cost.(lookup t src).(lookup t dst) with
+    | Some c -> string_of_int c
+    | None -> "-"
+  in
+  let header = "" :: columns in
+  let body = List.map (fun r -> r :: List.map (cell r) columns) rows in
+  let widths =
+    List.map
+      (fun column_cells ->
+        List.fold_left (fun acc s -> max acc (String.length s)) 0 column_cells)
+      (List.map
+         (fun i -> List.map (fun row -> List.nth row i) (header :: body))
+         (List.init (List.length header) Fun.id))
+  in
+  let render_row row =
+    String.concat " "
+      (List.map2 (fun w cell -> Printf.sprintf "%*s" w cell) widths row)
+  in
+  String.concat "\n" (List.map render_row (header :: body)) ^ "\n"

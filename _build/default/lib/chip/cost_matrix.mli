@@ -1,0 +1,23 @@
+(** Droplet-transportation cost matrix (the matrix of Figure 5).
+
+    Pairwise shortest-path costs, in electrodes actuated, between every
+    pair of modules on an otherwise empty chip.  Used by the actuation
+    accounting and by the placer's objective. *)
+
+type t
+
+val build : Layout.t -> t
+(** All-pairs costs via BFS routing.  Unreachable pairs are recorded as
+    such and raise on lookup. *)
+
+val cost : t -> src:string -> dst:string -> int
+(** @raise Invalid_argument on unknown ids or unreachable pairs. *)
+
+val reachable : t -> src:string -> dst:string -> bool
+
+val labels : t -> string list
+
+val render : ?rows:string list -> ?columns:string list -> t -> string
+(** A text matrix restricted to the given module ids (all by default) —
+    the Figure 5 presentation uses reservoirs, storage and waste rows
+    against mixer columns. *)

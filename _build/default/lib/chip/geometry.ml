@@ -1,0 +1,32 @@
+type point = { x : int; y : int }
+
+let manhattan a b = abs (a.x - b.x) + abs (a.y - b.y)
+let chebyshev a b = max (abs (a.x - b.x)) (abs (a.y - b.y))
+
+let neighbours4 p =
+  [
+    { p with x = p.x - 1 };
+    { p with x = p.x + 1 };
+    { p with y = p.y - 1 };
+    { p with y = p.y + 1 };
+  ]
+
+type rect = { x : int; y : int; w : int; h : int }
+
+let rect_cells r =
+  List.concat_map
+    (fun dy -> List.init r.w (fun dx -> { x = r.x + dx; y = r.y + dy }))
+    (List.init r.h Fun.id)
+
+let rect_contains r (p : point) =
+  p.x >= r.x && p.x < r.x + r.w && p.y >= r.y && p.y < r.y + r.h
+
+let rect_overlap a b =
+  a.x < b.x + b.w && b.x < a.x + a.w && a.y < b.y + b.h && b.y < a.y + a.h
+
+let rect_center r = { x = r.x + (r.w / 2); y = r.y + (r.h / 2) }
+
+let rect_expand r ~by =
+  { x = r.x - by; y = r.y - by; w = r.w + (2 * by); h = r.h + (2 * by) }
+
+let pp_point ppf (p : point) = Format.fprintf ppf "(%d,%d)" p.x p.y

@@ -1,0 +1,25 @@
+(** Electrode-grid geometry. *)
+
+type point = { x : int; y : int }
+(** A grid cell; [x] is the column, [y] the row, both 0-based. *)
+
+val manhattan : point -> point -> int
+
+val chebyshev : point -> point -> int
+(** The 8-neighbourhood distance; DMF fluidic constraints forbid two
+    unrelated droplets within Chebyshev distance 1 of each other. *)
+
+val neighbours4 : point -> point list
+(** The 4-neighbourhood, the cells a droplet can step to. *)
+
+type rect = { x : int; y : int; w : int; h : int }
+(** An axis-aligned block of electrodes. *)
+
+val rect_cells : rect -> point list
+val rect_contains : rect -> point -> bool
+val rect_overlap : rect -> rect -> bool
+val rect_center : rect -> point
+val rect_expand : rect -> by:int -> rect
+(** Grow a rectangle by [by] cells on every side (segregation ring). *)
+
+val pp_point : Format.formatter -> point -> unit

@@ -1,0 +1,216 @@
+type t = {
+  width : int;
+  height : int;
+  modules : Chip_module.t list;
+  by_id : (string, Chip_module.t) Hashtbl.t;
+}
+
+let width l = l.width
+let height l = l.height
+let modules l = l.modules
+
+let make ~width ~height ~modules =
+  if width < 1 || height < 1 then invalid_arg "Layout.make: empty grid";
+  let by_id = Hashtbl.create 16 in
+  let grid_rect = { Geometry.x = 0; y = 0; w = width; h = height } in
+  List.iter
+    (fun m ->
+      let r = m.Chip_module.rect in
+      if
+        not
+          (Geometry.rect_contains grid_rect { Geometry.x = r.Geometry.x; y = r.Geometry.y }
+          && Geometry.rect_contains grid_rect
+               {
+                 Geometry.x = r.Geometry.x + r.Geometry.w - 1;
+                 y = r.Geometry.y + r.Geometry.h - 1;
+               })
+      then
+        invalid_arg
+          (Printf.sprintf "Layout.make: module %s outside the grid"
+             m.Chip_module.id);
+      if Hashtbl.mem by_id m.Chip_module.id then
+        invalid_arg
+          (Printf.sprintf "Layout.make: duplicate module id %s" m.Chip_module.id);
+      Hashtbl.add by_id m.Chip_module.id m)
+    modules;
+  let rec check_overlaps = function
+    | [] -> ()
+    | m :: rest ->
+      List.iter
+        (fun m' ->
+          if Geometry.rect_overlap m.Chip_module.rect m'.Chip_module.rect then
+            invalid_arg
+              (Printf.sprintf "Layout.make: modules %s and %s overlap"
+                 m.Chip_module.id m'.Chip_module.id))
+        rest;
+      check_overlaps rest
+  in
+  check_overlaps modules;
+  { width; height; modules; by_id }
+
+let find l id = Hashtbl.find_opt l.by_id id
+
+let find_exn l id =
+  match find l id with
+  | Some m -> m
+  | None -> invalid_arg (Printf.sprintf "Layout: no module %s" id)
+
+let of_kind pred l =
+  List.filter pred l.modules
+  |> List.sort (fun a b -> compare a.Chip_module.id b.Chip_module.id)
+
+let mixers l =
+  of_kind (fun m -> m.Chip_module.kind = Chip_module.Mixer) l
+  |> List.sort (fun a b ->
+         compare
+           (String.length a.Chip_module.id, a.Chip_module.id)
+           (String.length b.Chip_module.id, b.Chip_module.id))
+
+let storage_units l =
+  of_kind (fun m -> m.Chip_module.kind = Chip_module.Storage) l
+  |> List.sort (fun a b ->
+         compare
+           (String.length a.Chip_module.id, a.Chip_module.id)
+           (String.length b.Chip_module.id, b.Chip_module.id))
+
+let reservoirs l =
+  of_kind
+    (fun m ->
+      match m.Chip_module.kind with
+      | Chip_module.Reservoir _ -> true
+      | _ -> false)
+    l
+  |> List.sort (fun a b ->
+         compare
+           (String.length a.Chip_module.id, a.Chip_module.id)
+           (String.length b.Chip_module.id, b.Chip_module.id))
+
+let wastes l = of_kind (fun m -> m.Chip_module.kind = Chip_module.Waste) l
+
+let output l =
+  match of_kind (fun m -> m.Chip_module.kind = Chip_module.Output_port) l with
+  | m :: _ -> m
+  | [] -> invalid_arg "Layout: no output port"
+
+let reservoir_for l fluid =
+  let matches m =
+    match m.Chip_module.kind with
+    | Chip_module.Reservoir f -> Dmf.Fluid.equal f fluid
+    | _ -> false
+  in
+  match List.find_opt matches l.modules with
+  | Some m -> m
+  | None -> raise Not_found
+
+let in_bounds l (p : Geometry.point) =
+  p.Geometry.x >= 0 && p.Geometry.x < l.width && p.Geometry.y >= 0
+  && p.Geometry.y < l.height
+
+let module_at l p =
+  List.find_opt (fun m -> Geometry.rect_contains m.Chip_module.rect p) l.modules
+
+let free l p = in_bounds l p && module_at l p = None
+
+(* Programmatic placement: reservoirs alternate along the top and bottom
+   edges, mixers sit in a central row, storage cells in rows below the
+   mixers, waste reservoirs on the left edge, output port on the right. *)
+let default ?(mixers = 3) ?(storage_units = 5) ?(wastes = 2) ~n_fluids () =
+  if n_fluids < 1 then invalid_arg "Layout.default: need at least one fluid";
+  if mixers < 1 then invalid_arg "Layout.default: need at least one mixer";
+  let top_count = (n_fluids + 1) / 2 in
+  let bottom_count = n_fluids - top_count in
+  let reservoir_row_width count = 2 + (count * 5) in
+  let mixer_row_width = 3 + (mixers * 7) in
+  let storage_per_row w = max 1 ((w - 4) / 3) in
+  let width =
+    List.fold_left max 14
+      [ reservoir_row_width top_count; reservoir_row_width bottom_count;
+        mixer_row_width ]
+  in
+  let storage_rows =
+    Dmf.Binary.ceil_div (max storage_units 1) (storage_per_row width)
+  in
+  let height = 14 + (storage_rows * 3) in
+  let add acc m = m :: acc in
+  let ms = ref [] in
+  (* Reservoirs: even indices on the top edge, odd on the bottom. *)
+  let top = ref 0 and bottom = ref 0 in
+  for i = 0 to n_fluids - 1 do
+    let id = Printf.sprintf "R%d" (i + 1) in
+    let kind = Chip_module.Reservoir (Dmf.Fluid.make i) in
+    let m =
+      if i mod 2 = 0 then begin
+        let x = 2 + (!top * 5) in
+        incr top;
+        Chip_module.make ~id ~kind ~rect:{ Geometry.x; y = 0; w = 2; h = 2 }
+      end
+      else begin
+        let x = 2 + (!bottom * 5) in
+        incr bottom;
+        Chip_module.make ~id ~kind
+          ~rect:{ Geometry.x; y = height - 2; w = 2; h = 2 }
+      end
+    in
+    ms := add !ms m
+  done;
+  (* Mixers in a central row. *)
+  for k = 0 to mixers - 1 do
+    ms :=
+      add !ms
+        (Chip_module.make
+           ~id:(Printf.sprintf "M%d" (k + 1))
+           ~kind:Chip_module.Mixer
+           ~rect:{ Geometry.x = 3 + (k * 7); y = 5; w = 4; h = 2 })
+  done;
+  (* Storage rows below the mixers. *)
+  let per_row = storage_per_row width in
+  for s = 0 to storage_units - 1 do
+    let row = s / per_row and column = s mod per_row in
+    ms :=
+      add !ms
+        (Chip_module.make
+           ~id:(Printf.sprintf "q%d" (s + 1))
+           ~kind:Chip_module.Storage
+           ~rect:{ Geometry.x = 3 + (column * 3); y = 9 + (row * 3); w = 1; h = 1 })
+  done;
+  (* Waste reservoirs on the left edge, output port on the right. *)
+  for w = 0 to wastes - 1 do
+    ms :=
+      add !ms
+        (Chip_module.make
+           ~id:(Printf.sprintf "W%d" (w + 1))
+           ~kind:Chip_module.Waste
+           ~rect:{ Geometry.x = 0; y = 4 + (w * 4); w = 1; h = 2 })
+  done;
+  ms :=
+    add !ms
+      (Chip_module.make ~id:"OUT" ~kind:Chip_module.Output_port
+         ~rect:{ Geometry.x = width - 1; y = 5; w = 1; h = 2 });
+  make ~width ~height ~modules:(List.rev !ms)
+
+let pcr_fig5 () = default ~mixers:3 ~storage_units:5 ~wastes:2 ~n_fluids:7 ()
+
+let render l =
+  let canvas = Array.make_matrix l.height l.width '.' in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun (p : Geometry.point) -> canvas.(p.Geometry.y).(p.Geometry.x) <- Chip_module.glyph m)
+        (Geometry.rect_cells m.Chip_module.rect))
+    l.modules;
+  let buffer = Buffer.create (l.width * l.height) in
+  Array.iter
+    (fun row ->
+      Array.iter (Buffer.add_char buffer) row;
+      Buffer.add_char buffer '\n')
+    canvas;
+  let legend =
+    List.map
+      (fun m ->
+        Printf.sprintf "%s=%s" m.Chip_module.id
+          (Chip_module.kind_name m.Chip_module.kind))
+      l.modules
+  in
+  Buffer.add_string buffer (String.concat " " legend);
+  Buffer.add_char buffer '\n';
+  Buffer.contents buffer

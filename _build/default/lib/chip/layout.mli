@@ -1,0 +1,52 @@
+(** Chip layouts: an electrode grid with placed modules (Figure 5).
+
+    A layout knows the grid dimensions and the placement of every module.
+    Module ids follow the paper: reservoirs [R1..RN], mixers [M1..Mc],
+    storage units [q1..qS], waste reservoirs [W1, W2] and the output port
+    [OUT]. *)
+
+type t
+
+val make : width:int -> height:int -> modules:Chip_module.t list -> t
+(** @raise Invalid_argument if any module lies outside the grid, two
+    modules overlap, or two modules share an id. *)
+
+val default :
+  ?mixers:int -> ?storage_units:int -> ?wastes:int -> n_fluids:int -> unit -> t
+(** [default ~n_fluids ()] is a programmatically placed layout with the
+    given resources ([mixers] defaults to 3, [storage_units] to 5,
+    [wastes] to 2): reservoirs along the top and bottom edges, mixers in
+    a central row, storage rows below, waste on the left edge and the
+    output port on the right edge, all separated by segregation gaps. *)
+
+val pcr_fig5 : unit -> t
+(** The PCR master-mix chip of Figure 5: seven reservoirs, three mixers,
+    five storage units, two waste reservoirs and the output port. *)
+
+val width : t -> int
+val height : t -> int
+val modules : t -> Chip_module.t list
+
+val find : t -> string -> Chip_module.t option
+val find_exn : t -> string -> Chip_module.t
+
+val mixers : t -> Chip_module.t list
+(** In id order [M1, M2, ...]. *)
+
+val storage_units : t -> Chip_module.t list
+val reservoirs : t -> Chip_module.t list
+val wastes : t -> Chip_module.t list
+val output : t -> Chip_module.t
+
+val reservoir_for : t -> Dmf.Fluid.t -> Chip_module.t
+(** @raise Not_found if the layout has no reservoir for that fluid. *)
+
+val in_bounds : t -> Geometry.point -> bool
+
+val module_at : t -> Geometry.point -> Chip_module.t option
+
+val free : t -> Geometry.point -> bool
+(** In bounds and not covered by any module. *)
+
+val render : t -> string
+(** ASCII map of the chip. *)

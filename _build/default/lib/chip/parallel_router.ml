@@ -1,0 +1,226 @@
+type request = {
+  id : int;
+  src : Geometry.point;
+  dst : Geometry.point;
+  allow : string list;
+}
+
+type routed = { id : int; trajectory : Geometry.point list }
+
+let makespan = function
+  | [] -> 0
+  | routed ->
+    List.fold_left
+      (fun acc r -> max acc (List.length r.trajectory - 1))
+      0 routed
+
+(* Position of a parked-after-arrival trajectory at any sub-step. *)
+let position_at (positions : Geometry.point array) t =
+  if t < 0 then positions.(0)
+  else positions.(min t (Array.length positions - 1))
+
+(* The dynamic fluidic constraint between two droplets, with the
+   same-module exemption (operands meeting inside one mixer). *)
+let cells_conflict layout a b =
+  if Geometry.chebyshev a b > 1 then false
+  else
+    match (Layout.module_at layout a, Layout.module_at layout b) with
+    | Some ma, Some mb when ma.Chip_module.id = mb.Chip_module.id -> false
+    | Some _, Some _ | Some _, None | None, Some _ | None, None -> true
+
+let step_conflicts layout ~candidate ~candidate_prev reserved t =
+  List.exists
+    (fun positions ->
+      let now = position_at positions t in
+      let before = position_at positions (t - 1) in
+      cells_conflict layout candidate now
+      || cells_conflict layout candidate before
+      || cells_conflict layout candidate_prev now)
+    reserved
+
+(* Once arrived, the droplet parks at [cell]: it must stay clear of every
+   reserved trajectory for the rest of the horizon. *)
+let can_park layout reserved cell ~from_t ~horizon =
+  let rec check t =
+    if t > horizon then true
+    else if
+      step_conflicts layout ~candidate:cell ~candidate_prev:cell reserved t
+    then false
+    else check (t + 1)
+  in
+  check from_t
+
+let route_one layout ~horizon ~reserved request =
+  let allowed_cell p =
+    Layout.in_bounds layout p
+    &&
+    match Layout.module_at layout p with
+    | None -> true
+    | Some m -> List.mem m.Chip_module.id request.allow
+  in
+  if not (allowed_cell request.src && allowed_cell request.dst) then None
+  else begin
+    let key (p : Geometry.point) t = ((p.Geometry.y * 4096) + p.Geometry.x, t) in
+    let parent = Hashtbl.create 256 in
+    let queue = Queue.create () in
+    let goal = ref None in
+    Hashtbl.add parent (key request.src 0) None;
+    if
+      not
+        (step_conflicts layout ~candidate:request.src
+           ~candidate_prev:request.src reserved 0)
+    then Queue.push (request.src, 0) queue;
+    while !goal = None && not (Queue.is_empty queue) do
+      let p, t = Queue.pop queue in
+      if
+        p = request.dst
+        && can_park layout reserved p ~from_t:t ~horizon
+      then goal := Some (p, t)
+      else if t < horizon then
+        List.iter
+          (fun next ->
+            if
+              allowed_cell next
+              && (not (Hashtbl.mem parent (key next (t + 1))))
+              && not
+                   (step_conflicts layout ~candidate:next ~candidate_prev:p
+                      reserved (t + 1))
+            then begin
+              Hashtbl.add parent (key next (t + 1)) (Some (p, t));
+              Queue.push (next, t + 1) queue
+            end)
+          (p :: Geometry.neighbours4 p)
+    done;
+    match !goal with
+    | None -> None
+    | Some (p, t) ->
+      let rec backtrack (p, t) acc =
+        match Hashtbl.find parent (key p t) with
+        | None -> p :: acc
+        | Some prev -> backtrack prev (p :: acc)
+      in
+      Some (backtrack (p, t) [])
+  end
+
+let route_batch ?horizon layout requests =
+  let horizon =
+    match horizon with
+    | Some h -> h
+    | None -> 4 * 2 * (Layout.width layout + Layout.height layout)
+  in
+  let ordered =
+    List.stable_sort
+      (fun a b ->
+        Int.compare
+          (Geometry.manhattan b.src b.dst)
+          (Geometry.manhattan a.src a.dst))
+      requests
+  in
+  let rec plan reserved routed = function
+    | [] -> Ok (List.rev routed)
+    | request :: rest -> (
+      match route_one layout ~horizon ~reserved request with
+      | None -> Error (request : request)
+      | Some trajectory ->
+        let positions = Array.of_list trajectory in
+        plan (positions :: reserved)
+          ({ id = request.id; trajectory } :: routed)
+          rest)
+  in
+  (* Prioritised planning is order-sensitive: a droplet routed early may
+     cut through the still-parked source of a later one.  On failure,
+     promote the failed droplet to the front and replan — at most once
+     per droplet. *)
+  let rec attempt order retries =
+    match plan [] [] order with
+    | Ok routed -> Ok routed
+    | Error (failed : request) ->
+      if retries <= 0 then
+        Error
+          (Printf.sprintf
+             "droplet %d cannot reach (%d,%d) within %d sub-steps" failed.id
+             failed.dst.Geometry.x failed.dst.Geometry.y horizon)
+      else
+        let rest = List.filter (fun (r : request) -> r.id <> failed.id) order in
+        attempt (failed :: rest) (retries - 1)
+  in
+  match attempt ordered (List.length ordered) with
+  | Error _ as e -> e
+  | Ok routed ->
+    (* Pad every trajectory to the common makespan: droplets park. *)
+    let span = makespan routed in
+    let pad r =
+      let last = List.nth r.trajectory (List.length r.trajectory - 1) in
+      let missing = span + 1 - List.length r.trajectory in
+      { r with trajectory = r.trajectory @ List.init missing (fun _ -> last) }
+    in
+    Ok (List.map pad routed)
+
+let validate layout routed =
+  let check cond fmt =
+    Format.kasprintf (fun s -> if cond then Ok () else Error s) fmt
+  in
+  let ( let* ) = Result.bind in
+  let rec each f = function
+    | [] -> Ok ()
+    | x :: rest ->
+      let* () = f x in
+      each f rest
+  in
+  let span = makespan routed in
+  let* () =
+    each
+      (fun r ->
+        let* () =
+          check
+            (List.length r.trajectory = span + 1)
+            "droplet %d trajectory not padded" r.id
+        in
+        let rec steps = function
+          | a :: (b :: _ as rest) ->
+            let* () =
+              check
+                (Geometry.manhattan a b <= 1)
+                "droplet %d teleports" r.id
+            in
+            let* () =
+              check (Layout.in_bounds layout b) "droplet %d leaves the grid"
+                r.id
+            in
+            steps rest
+          | [ _ ] | [] -> Ok ()
+        in
+        steps r.trajectory)
+      routed
+  in
+  let arr = List.map (fun r -> (r.id, Array.of_list r.trajectory)) routed in
+  let rec pairs = function
+    | [] -> Ok ()
+    | (ida, pa) :: rest ->
+      let* () =
+        each
+          (fun (idb, pb) ->
+            let rec times t =
+              if t > span then Ok ()
+              else
+                let* () =
+                  check
+                    (not
+                       (cells_conflict layout (position_at pa t)
+                          (position_at pb t)
+                        || cells_conflict layout (position_at pa t)
+                             (position_at pb (t - 1))
+                        || cells_conflict layout
+                             (position_at pa (t - 1))
+                             (position_at pb t)))
+                    "droplets %d and %d violate segregation at sub-step %d"
+                    ida idb t
+                in
+                times (t + 1)
+            in
+            times 0)
+          rest
+      in
+      pairs rest
+  in
+  pairs arr

@@ -1,0 +1,52 @@
+(** Concurrent droplet routing with space-time reservations.
+
+    The sequential {!Router} moves one droplet at a time; real
+    compilers route all of a cycle's droplets concurrently (path
+    scheduling, Grissom and Brisk [8]).  This module plans a batch of
+    moves on a time-expanded grid: droplets step (or wait) once per
+    sub-step, and the dynamic DMF fluidic constraint is enforced — two
+    unrelated droplets may never come within Chebyshev distance 1 of
+    each other at the same sub-step or at adjacent sub-steps.  Droplets
+    heading into the same module (the two operands of one mixer) are
+    exempt from mutual segregation once both cells lie inside that
+    module.
+
+    Planning is prioritised: longer moves are routed first, each
+    against the reservations of the already-routed ones, with waiting
+    allowed.  This is a heuristic — prioritised planning is not
+    complete — so {!route_batch} can fail on pathological batches; the
+    time horizon bounds the search. *)
+
+type request = {
+  id : int;  (** Caller's identifier, echoed in the result. *)
+  src : Geometry.point;
+  dst : Geometry.point;
+  allow : string list;  (** Modules this droplet may enter. *)
+}
+
+type routed = {
+  id : int;
+  trajectory : Geometry.point list;
+      (** Position at sub-steps 0, 1, ...; repeated positions are
+          waits.  All trajectories in a batch have equal length
+          (droplets park at their destination). *)
+}
+
+val route_batch :
+  ?horizon:int ->
+  Layout.t ->
+  request list ->
+  (routed list, string) result
+(** [route_batch layout requests] plans all moves concurrently.
+    [horizon] bounds the sub-step count (default: grid perimeter x 4).
+    Fails when some droplet cannot reach its destination within the
+    horizon under the accumulated reservations. *)
+
+val makespan : routed list -> int
+(** Sub-steps until the last droplet arrives (trajectory length - 1);
+    0 for an empty batch. *)
+
+val validate : Layout.t -> routed list -> (unit, string) result
+(** Re-checks every constraint of a planned batch: unit steps or waits
+    only, in-bounds, module avoidance (except same-module pairs), and
+    the dynamic segregation rule at equal and adjacent sub-steps. *)

@@ -1,0 +1,132 @@
+type requirement = {
+  step : int;
+  must_actuate : Geometry.point list;
+  must_ground : Geometry.point list;
+}
+
+module Int_set = Set.Make (Int)
+
+type electrode = {
+  cell : Geometry.point;
+  actuate : Int_set.t;  (* steps where this electrode must be high *)
+  ground : Int_set.t;  (* steps where it must stay low *)
+}
+
+type group = {
+  mutable members : Geometry.point list;
+  mutable group_actuate : Int_set.t;
+  mutable group_ground : Int_set.t;
+}
+
+type t = {
+  width : int;
+  pin_table : (int, int) Hashtbl.t;  (* cell key -> pin (1-based) *)
+  pins : int;
+  addressed : int;
+}
+
+let key ~width (p : Geometry.point) = (p.Geometry.y * width) + p.Geometry.x
+
+let collect ~width ~height requirements =
+  let table : (int, Geometry.point * Int_set.t ref * Int_set.t ref) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let touch (p : Geometry.point) =
+    if p.Geometry.x < 0 || p.Geometry.x >= width || p.Geometry.y < 0
+       || p.Geometry.y >= height
+    then None
+    else begin
+      let k = key ~width p in
+      match Hashtbl.find_opt table k with
+      | Some entry -> Some entry
+      | None ->
+        let entry = (p, ref Int_set.empty, ref Int_set.empty) in
+        Hashtbl.add table k entry;
+        Some entry
+    end
+  in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun p ->
+          match touch p with
+          | Some (_, actuate, _) -> actuate := Int_set.add r.step !actuate
+          | None -> ())
+        r.must_actuate;
+      List.iter
+        (fun p ->
+          match touch p with
+          | Some (_, _, ground) -> ground := Int_set.add r.step !ground
+          | None -> ())
+        r.must_ground)
+    requirements;
+  Hashtbl.fold
+    (fun _ (cell, actuate, ground) acc ->
+      (* Electrodes that are only ever grounded stay on the ground pin;
+         keeping the full ground set (even where it overlaps the actuate
+         set, which only happens for infeasible inputs) is conservative:
+         such an electrode then conflicts with every pin sharing those
+         steps. *)
+      if Int_set.is_empty !actuate then acc
+      else { cell; actuate = !actuate; ground = !ground } :: acc)
+    table []
+
+let assign ~width ~height requirements =
+  let electrodes =
+    collect ~width ~height requirements
+    (* Most-constrained first gives the greedy grouping its best shot. *)
+    |> List.sort (fun a b ->
+           match
+             Int.compare
+               (Int_set.cardinal b.actuate + Int_set.cardinal b.ground)
+               (Int_set.cardinal a.actuate + Int_set.cardinal a.ground)
+           with
+           | 0 -> compare a.cell b.cell
+           | c -> c)
+  in
+  let groups : group list ref = ref [] in
+  let compatible g e =
+    Int_set.is_empty (Int_set.inter g.group_actuate e.ground)
+    && Int_set.is_empty (Int_set.inter g.group_ground e.actuate)
+  in
+  List.iter
+    (fun e ->
+      match List.find_opt (fun g -> compatible g e) !groups with
+      | Some g ->
+        g.members <- e.cell :: g.members;
+        g.group_actuate <- Int_set.union g.group_actuate e.actuate;
+        g.group_ground <- Int_set.union g.group_ground e.ground
+      | None ->
+        groups :=
+          !groups
+          @ [
+              {
+                members = [ e.cell ];
+                group_actuate = e.actuate;
+                group_ground = e.ground;
+              };
+            ])
+    electrodes;
+  let pin_table = Hashtbl.create 256 in
+  List.iteri
+    (fun i g ->
+      List.iter
+        (fun cell -> Hashtbl.replace pin_table (key ~width cell) (i + 1))
+        g.members)
+    !groups;
+  {
+    width;
+    pin_table;
+    pins = List.length !groups;
+    addressed = List.length electrodes;
+  }
+
+let pins t = t.pins
+let addressed_electrodes t = t.addressed
+
+let pin_of t p =
+  Option.value ~default:0 (Hashtbl.find_opt t.pin_table (key ~width:t.width p))
+
+let saving t =
+  if t.addressed = 0 then 0.
+  else 1. -. (float_of_int t.pins /. float_of_int t.addressed)

@@ -1,0 +1,41 @@
+(** Pin-constrained broadcast electrode addressing.
+
+    Driving every electrode from its own control pin is expensive;
+    broadcast addressing (Huang, Ho, Chakrabarty [10] — the reliability
+    reference of Section 5) lets several electrodes share one pin when
+    their actuation sequences never conflict.  We use the classic
+    three-valued model: at every actuation step an electrode either
+    {e must} be actuated (a droplet is being pulled onto it), {e must}
+    stay grounded (actuating it would tear or drag a nearby droplet), or
+    is a don't-care.  A group of electrodes may share a pin iff no
+    member's must-ground step is another member's must-actuate step.
+
+    Grouping is greedy and sound by construction: an electrode joins the
+    first existing pin whose accumulated must-actuate and must-ground
+    step sets stay conflict-free, otherwise it opens a new pin. *)
+
+type requirement = {
+  step : int;  (** Global actuation step (strictly increasing per move). *)
+  must_actuate : Geometry.point list;
+  must_ground : Geometry.point list;
+}
+
+type t
+
+val assign : width:int -> height:int -> requirement list -> t
+(** [assign ~width ~height requirements] groups the electrodes of a
+    [width x height] grid.  Electrodes never mentioned keep pin 0 (the
+    always-grounded pin). *)
+
+val pins : t -> int
+(** Number of control pins used (excluding the ground pin). *)
+
+val addressed_electrodes : t -> int
+(** Electrodes that required a driven pin. *)
+
+val pin_of : t -> Geometry.point -> int
+(** The pin of an electrode; 0 for never-driven electrodes. *)
+
+val saving : t -> float
+(** [1 - pins / addressed_electrodes], the reduction versus direct
+    addressing (0 when nothing is addressed). *)

@@ -1,0 +1,107 @@
+type flows = ((string * string) * int) list
+
+let flows_of_accounting accounting =
+  let counts = Hashtbl.create 32 in
+  List.iter
+    (fun m ->
+      let key = (m.Actuation.src, m.Actuation.dst) in
+      let current = Option.value ~default:0 (Hashtbl.find_opt counts key) in
+      Hashtbl.replace counts key (current + 1))
+    accounting.Actuation.movements;
+  Hashtbl.fold (fun key count acc -> (key, count) :: acc) counts []
+  |> List.sort compare
+
+let unreachable_penalty = 10_000
+
+let transport_cost layout flows =
+  let matrix = Cost_matrix.build layout in
+  List.fold_left
+    (fun acc ((src, dst), count) ->
+      let cost =
+        match (Layout.find layout src, Layout.find layout dst) with
+        | Some _, Some _ ->
+          if Cost_matrix.reachable matrix ~src ~dst then
+            Cost_matrix.cost matrix ~src ~dst
+          else unreachable_penalty
+        | None, _ | _, None -> unreachable_penalty
+      in
+      acc + (count * cost))
+    0 flows
+
+(* Swap the rectangles of two same-kind, same-size modules. *)
+let swap_modules layout a b =
+  let ma = Layout.find_exn layout a and mb = Layout.find_exn layout b in
+  let replace m =
+    if m.Chip_module.id = a then { m with Chip_module.rect = mb.Chip_module.rect }
+    else if m.Chip_module.id = b then
+      { m with Chip_module.rect = ma.Chip_module.rect }
+    else m
+  in
+  Layout.make ~width:(Layout.width layout) ~height:(Layout.height layout)
+    ~modules:(List.map replace (Layout.modules layout))
+
+let swap_groups layout =
+  let same_size a b =
+    a.Chip_module.rect.Geometry.w = b.Chip_module.rect.Geometry.w
+    && a.Chip_module.rect.Geometry.h = b.Chip_module.rect.Geometry.h
+  in
+  let group modules =
+    List.concat_map
+      (fun m ->
+        List.filter_map
+          (fun m' ->
+            if
+              m.Chip_module.id < m'.Chip_module.id && same_size m m'
+            then Some (m.Chip_module.id, m'.Chip_module.id)
+            else None)
+          modules)
+      modules
+  in
+  group (Layout.reservoirs layout)
+  @ group (Layout.mixers layout)
+  @ group (Layout.storage_units layout)
+
+let optimize ?(iterations = 2000) ?(seed = 42) layout ~flows =
+  let pairs = Array.of_list (swap_groups layout) in
+  if Array.length pairs = 0 then (layout, transport_cost layout flows)
+  else begin
+    let state = Random.State.make [| seed |] in
+    let current = ref layout in
+    let current_cost = ref (transport_cost layout flows) in
+    let best = ref layout in
+    let best_cost = ref !current_cost in
+    for i = 0 to iterations - 1 do
+      let a, b = pairs.(Random.State.int state (Array.length pairs)) in
+      let candidate = swap_modules !current a b in
+      let cost = transport_cost candidate flows in
+      let temperature =
+        float_of_int (iterations - i) /. float_of_int iterations
+      in
+      let accept =
+        cost <= !current_cost
+        || Random.State.float state 1.0
+           < exp (float_of_int (!current_cost - cost) /. (temperature *. 50.))
+      in
+      if accept then begin
+        current := candidate;
+        current_cost := cost;
+        if cost < !best_cost then begin
+          best := candidate;
+          best_cost := cost
+        end
+      end
+    done;
+    (!best, !best_cost)
+  end
+
+let optimize_for ?iterations ?seed ~plan ~schedule layout =
+  match Actuation.account ~layout ~plan ~schedule with
+  | Error e -> Error e
+  | Ok accounting ->
+    let flows = flows_of_accounting accounting in
+    let before = accounting.Actuation.total_electrodes in
+    let improved, _ = optimize ?iterations ?seed layout ~flows in
+    (match Actuation.account ~layout:improved ~plan ~schedule with
+    | Error e -> Error e
+    | Ok improved_accounting ->
+      Ok (improved, before, improved_accounting.Actuation.total_electrodes))

@@ -1,0 +1,41 @@
+(** Placement optimisation: "the relative positions of reservoirs and
+    mixers are optimized considering the total droplet-transportation
+    cost" (Section 5, after [21]).
+
+    Starting from a layout, the placer permutes same-kind modules across
+    their slots — reservoirs across reservoir positions, mixers across
+    mixer positions, storage across storage positions — by simulated
+    annealing against the flow-weighted transportation cost of a concrete
+    schedule.  This is a documented extension: the paper takes its layout
+    from [21] as given, while we both reproduce that fixed layout
+    ({!Layout.pcr_fig5}) and search for better ones. *)
+
+type flows = ((string * string) * int) list
+(** Movement counts between module pairs. *)
+
+val flows_of_accounting : Actuation.t -> flows
+(** Aggregate an actuation accounting into per-pair movement counts. *)
+
+val transport_cost : Layout.t -> flows -> int
+(** Flow-weighted shortest-path cost of a layout; pairs whose modules are
+    missing or unreachable contribute a large penalty. *)
+
+val optimize :
+  ?iterations:int ->
+  ?seed:int ->
+  Layout.t ->
+  flows:flows ->
+  Layout.t * int
+(** [optimize layout ~flows] anneals module permutations and returns the
+    best layout found with its cost.  Deterministic for a fixed [seed]. *)
+
+val optimize_for :
+  ?iterations:int ->
+  ?seed:int ->
+  plan:Mdst.Plan.t ->
+  schedule:Mdst.Schedule.t ->
+  Layout.t ->
+  (Layout.t * int * int, string) result
+(** Convenience wrapper: account the schedule on the layout, optimise for
+    the resulting flows and return
+    [(best_layout, cost_before, cost_after)] in actuated electrodes. *)

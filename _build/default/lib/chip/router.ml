@@ -1,0 +1,66 @@
+let bfs ~allowed ~start ~goal =
+  if not (allowed start && allowed goal) then None
+  else begin
+    let key (p : Geometry.point) = (p.Geometry.x, p.Geometry.y) in
+    let parent = Hashtbl.create 64 in
+    let queue = Queue.create () in
+    Hashtbl.add parent (key start) None;
+    Queue.push start queue;
+    let found = ref false in
+    while (not !found) && not (Queue.is_empty queue) do
+      let p = Queue.pop queue in
+      if p = goal then found := true
+      else
+        List.iter
+          (fun next ->
+            if allowed next && not (Hashtbl.mem parent (key next)) then begin
+              Hashtbl.add parent (key next) (Some p);
+              Queue.push next queue
+            end)
+          (Geometry.neighbours4 p)
+    done;
+    if not !found then None
+    else begin
+      let rec backtrack p acc =
+        match Hashtbl.find parent (key p) with
+        | None -> p :: acc
+        | Some prev -> backtrack prev (p :: acc)
+      in
+      Some (backtrack goal [])
+    end
+  end
+
+let route ?(blocked = fun _ -> false) layout ~src ~dst =
+  let allowed p =
+    Layout.in_bounds layout p
+    && (not (blocked p))
+    &&
+    match Layout.module_at layout p with
+    | None -> true
+    | Some m ->
+      m.Chip_module.id = src.Chip_module.id
+      || m.Chip_module.id = dst.Chip_module.id
+  in
+  bfs ~allowed ~start:(Chip_module.anchor src) ~goal:(Chip_module.anchor dst)
+
+let route_cells ?(blocked = fun _ -> false) layout ~allow ~src ~dst =
+  let allowed p =
+    Layout.in_bounds layout p
+    && (not (blocked p))
+    &&
+    match Layout.module_at layout p with
+    | None -> true
+    | Some m -> List.mem m.Chip_module.id allow
+  in
+  bfs ~allowed ~start:src ~goal:dst
+
+let route_ids ?blocked layout ~src ~dst =
+  route ?blocked layout ~src:(Layout.find_exn layout src)
+    ~dst:(Layout.find_exn layout dst)
+
+let path_cost = function
+  | [] -> 0
+  | path -> List.length path - 1
+
+let distance layout ~src ~dst =
+  Option.map path_cost (route_ids layout ~src ~dst)

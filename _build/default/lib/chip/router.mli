@@ -1,0 +1,44 @@
+(** Shortest-path droplet routing on the electrode grid.
+
+    Droplets move between module anchors over free electrodes.  The cells
+    of every module other than the source and destination are obstacles;
+    an optional [blocked] predicate adds dynamic obstacles (e.g. the
+    segregation ring around currently parked droplets in the
+    simulator). *)
+
+val route :
+  ?blocked:(Geometry.point -> bool) ->
+  Layout.t ->
+  src:Chip_module.t ->
+  dst:Chip_module.t ->
+  Geometry.point list option
+(** [route layout ~src ~dst] is a shortest path from the anchor of [src]
+    to the anchor of [dst] (both endpoints included), or [None] when the
+    destination is unreachable. *)
+
+val route_ids :
+  ?blocked:(Geometry.point -> bool) ->
+  Layout.t ->
+  src:string ->
+  dst:string ->
+  Geometry.point list option
+(** As {!route} but looking the modules up by id.
+    @raise Invalid_argument on unknown ids. *)
+
+val route_cells :
+  ?blocked:(Geometry.point -> bool) ->
+  Layout.t ->
+  allow:string list ->
+  src:Geometry.point ->
+  dst:Geometry.point ->
+  Geometry.point list option
+(** Cell-to-cell shortest path; cells covered by modules are obstacles
+    unless the module id is listed in [allow].  Used by the simulator,
+    whose droplets park at specific cells inside modules. *)
+
+val path_cost : Geometry.point list -> int
+(** Number of electrode actuations of a path: one per step, i.e.
+    [length - 1]; a trivial path costs 0. *)
+
+val distance : Layout.t -> src:string -> dst:string -> int option
+(** Shortest-path cost between two modules on an otherwise empty chip. *)

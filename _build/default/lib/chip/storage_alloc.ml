@@ -1,0 +1,44 @@
+type t = ((int * int), string) Hashtbl.t
+
+let allocate ~plan ~schedule ~units =
+  let residencies = Mdst.Storage.residencies ~plan schedule in
+  let sorted =
+    List.sort
+      (fun a b ->
+        compare
+          (a.Mdst.Storage.from_cycle, a.Mdst.Storage.producer)
+          (b.Mdst.Storage.from_cycle, b.Mdst.Storage.producer))
+      residencies
+  in
+  let free_at = Hashtbl.create 8 in
+  List.iter (fun u -> Hashtbl.replace free_at u 0) units;
+  let assignment : t = Hashtbl.create 16 in
+  let rec place = function
+    | [] -> Ok assignment
+    | r :: rest ->
+      (* First-fit: any unit free before the droplet arrives. *)
+      let candidate =
+        List.find_opt
+          (fun u -> Hashtbl.find free_at u <= r.Mdst.Storage.from_cycle)
+          units
+      in
+      (match candidate with
+      | None ->
+        Error
+          (Printf.sprintf
+             "droplet (%d,%d) needs storage during cycles %d..%d but all %d units are busy"
+             r.Mdst.Storage.producer r.Mdst.Storage.port
+             r.Mdst.Storage.from_cycle r.Mdst.Storage.to_cycle
+             (List.length units))
+      | Some u ->
+        Hashtbl.replace free_at u (r.Mdst.Storage.to_cycle + 1);
+        Hashtbl.replace assignment
+          (r.Mdst.Storage.producer, r.Mdst.Storage.port)
+          u;
+        place rest)
+  in
+  place sorted
+
+let unit_for t ~producer ~port = Hashtbl.find_opt t (producer, port)
+
+let bindings t = Hashtbl.fold (fun key unit_id acc -> (key, unit_id) :: acc) t []

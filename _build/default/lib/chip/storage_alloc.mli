@@ -1,0 +1,25 @@
+(** Binding stored droplets to physical storage units.
+
+    Algorithm 3 counts {e how many} storage units a schedule needs; to
+    execute the schedule on a chip each stored droplet must also be
+    assigned a concrete unit.  Residency intervals are assigned greedily
+    in order of their start cycle — optimal for interval graphs, so the
+    assignment succeeds whenever the layout provides at least
+    [Storage.units] many units. *)
+
+type t
+(** An assignment of droplets to storage-unit ids. *)
+
+val allocate :
+  plan:Mdst.Plan.t ->
+  schedule:Mdst.Schedule.t ->
+  units:string list ->
+  (t, string) result
+(** [allocate ~plan ~schedule ~units] returns an assignment, or [Error]
+    naming the first droplet that could not be placed. *)
+
+val unit_for : t -> producer:int -> port:int -> string option
+(** The storage unit holding that droplet, if it is ever stored. *)
+
+val bindings : t -> ((int * int) * string) list
+(** All [(producer, port), unit] pairs. *)

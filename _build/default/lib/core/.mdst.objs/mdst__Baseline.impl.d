@@ -1,0 +1,1 @@
+lib/core/baseline.ml: Array Dmf Forest Metrics Mixtree Oms

@@ -1,0 +1,1 @@
+lib/core/compare.ml: Baseline Engine List Metrics Mixtree Streaming

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Baseline Dmf Forest Metrics Mixtree Plan Schedule Streaming

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Dmf Metrics Mixtree Plan Schedule Streaming

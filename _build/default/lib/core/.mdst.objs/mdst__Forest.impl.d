@@ -1,0 +1,1 @@
+lib/core/forest.ml: Array Dmf Hashtbl List Mixtree Plan Queue

@@ -1,0 +1,1 @@
+lib/core/gantt.ml: Array Buffer Format List Plan Printf Schedule Storage String

@@ -1,0 +1,1 @@
+lib/core/gantt.mli: Format Plan Schedule

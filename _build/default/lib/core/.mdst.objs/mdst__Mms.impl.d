@@ -1,0 +1,1 @@
+lib/core/mms.ml: Array Dmf Int List Plan Queue Schedule

@@ -1,0 +1,1 @@
+lib/core/mms.mli: Plan Schedule

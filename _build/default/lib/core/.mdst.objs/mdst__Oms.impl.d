@@ -1,0 +1,1 @@
+lib/core/oms.ml: Array Int List Plan Schedule

@@ -1,0 +1,1 @@
+lib/core/oms.mli: Plan Schedule

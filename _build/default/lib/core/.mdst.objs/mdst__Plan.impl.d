@@ -1,0 +1,1 @@
+lib/core/plan.ml: Array Dmf Format Fun Hashtbl List Result String

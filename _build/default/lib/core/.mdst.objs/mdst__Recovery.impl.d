@@ -1,0 +1,1 @@
+lib/core/recovery.ml: Array Dmf Forest List Mixtree Plan Schedule

@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Array Format Hashtbl Int List Plan Result

@@ -1,0 +1,1 @@
+lib/core/split_error.ml: Array Dmf List Plan

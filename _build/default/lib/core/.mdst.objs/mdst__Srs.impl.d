@@ -1,0 +1,1 @@
+lib/core/srs.ml: Array Int List Plan Pqueue Schedule

@@ -1,0 +1,1 @@
+lib/core/srs.mli: Plan Schedule

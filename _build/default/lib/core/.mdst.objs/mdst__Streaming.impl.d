@@ -1,0 +1,1 @@
+lib/core/streaming.ml: Forest List Mms Plan Schedule Srs Storage

@@ -1,0 +1,1 @@
+lib/core/streaming.mli: Dmf Mixtree Plan Schedule

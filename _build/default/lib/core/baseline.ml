@@ -1,0 +1,20 @@
+let name algorithm = "R" ^ Mixtree.Algorithm.name algorithm
+
+let pass_metrics ~algorithm ~ratio ~mixers =
+  let plan = Forest.repeated ~algorithm ~ratio ~demand:2 in
+  let s = Oms.schedule ~plan ~mixers in
+  Metrics.of_schedule ~scheme:(name algorithm) ~plan s
+
+let metrics ~algorithm ~ratio ~demand ~mixers =
+  let pass = pass_metrics ~algorithm ~ratio ~mixers in
+  let passes = Dmf.Binary.ceil_div demand 2 in
+  {
+    pass with
+    Metrics.demand;
+    tc = passes * pass.Metrics.tc;
+    tms = passes * pass.Metrics.tms;
+    waste = passes * pass.Metrics.waste;
+    inputs = Array.map (fun c -> passes * c) pass.Metrics.inputs;
+    input_total = passes * pass.Metrics.input_total;
+    passes;
+  }

@@ -1,0 +1,26 @@
+(** The repeated baseline schemes RMM, RRMA and RMTCS (Section 4.2.1).
+
+    A baseline mixing tree produces two target droplets per pass, so a
+    demand [D] takes [ceil (D/2)] independent passes.  Each pass is
+    scheduled optimally (OMS) with the given mixers; passes run back to
+    back, so [Tr], [Wr], [Ir] and [Tms] scale [ceil (D/2)]-fold while the
+    storage requirement [qr] is that of a single pass. *)
+
+val pass_metrics :
+  algorithm:Mixtree.Algorithm.t ->
+  ratio:Dmf.Ratio.t ->
+  mixers:int ->
+  Metrics.t
+(** Metrics of one pass (demand 2) of the repeated scheme. *)
+
+val metrics :
+  algorithm:Mixtree.Algorithm.t ->
+  ratio:Dmf.Ratio.t ->
+  demand:int ->
+  mixers:int ->
+  Metrics.t
+(** [metrics ~algorithm ~ratio ~demand ~mixers] is the full repeated-run
+    cost: scheme name ["R" ^ algorithm], [passes = ceil (demand / 2)]. *)
+
+val name : Mixtree.Algorithm.t -> string
+(** ["RMM"], ["RRMA"], ["RMTCS"], ["RRSM"]. *)

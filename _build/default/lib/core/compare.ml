@@ -1,0 +1,94 @@
+type scheme =
+  | Repeated of Mixtree.Algorithm.t
+  | Streamed of Mixtree.Algorithm.t * Streaming.scheduler
+
+let scheme_name = function
+  | Repeated algorithm -> Baseline.name algorithm
+  | Streamed (algorithm, scheduler) -> Engine.scheme_name algorithm scheduler
+
+let table2_schemes =
+  let open Mixtree.Algorithm in
+  [
+    Repeated MM;
+    Streamed (MM, Streaming.MMS);
+    Streamed (MM, Streaming.SRS);
+    Repeated RMA;
+    Streamed (RMA, Streaming.MMS);
+    Streamed (RMA, Streaming.SRS);
+    Repeated MTCS;
+    Streamed (MTCS, Streaming.MMS);
+    Streamed (MTCS, Streaming.SRS);
+  ]
+
+let evaluate ?mixers ~ratio ~demand scheme =
+  let mixers =
+    match mixers with Some m -> m | None -> Engine.default_mixers ratio
+  in
+  match scheme with
+  | Repeated algorithm -> Baseline.metrics ~algorithm ~ratio ~demand ~mixers
+  | Streamed (algorithm, scheduler) ->
+    let result =
+      Engine.prepare
+        { Engine.ratio; demand; algorithm; scheduler; mixers = Some mixers }
+    in
+    result.Engine.metrics
+
+let evaluate_all ?mixers ~ratio ~demand schemes =
+  List.map (fun scheme -> (scheme, evaluate ?mixers ~ratio ~demand scheme)) schemes
+
+type improvement = {
+  algorithm : Mixtree.Algorithm.t;
+  mms_tc_over_repeated : float;
+  srs_tc_over_repeated : float;
+  mms_i_over_repeated : float;
+  srs_i_over_repeated : float;
+  srs_q_over_mms : float;
+  srs_tc_over_mms : float;
+}
+
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let average_improvements ?mixers ~ratios ~demand algorithm =
+  let rows =
+    List.map
+      (fun ratio ->
+        let repeated = evaluate ?mixers ~ratio ~demand (Repeated algorithm) in
+        let mms =
+          evaluate ?mixers ~ratio ~demand (Streamed (algorithm, Streaming.MMS))
+        in
+        let srs =
+          evaluate ?mixers ~ratio ~demand (Streamed (algorithm, Streaming.SRS))
+        in
+        (repeated, mms, srs))
+      ratios
+  in
+  let improvement f = Metrics.percent_improvement ~baseline:f in
+  {
+    algorithm;
+    mms_tc_over_repeated =
+      mean
+        (List.map (fun (r, m, _) -> improvement r.Metrics.tc m.Metrics.tc) rows);
+    srs_tc_over_repeated =
+      mean
+        (List.map (fun (r, _, s) -> improvement r.Metrics.tc s.Metrics.tc) rows);
+    mms_i_over_repeated =
+      mean
+        (List.map
+           (fun (r, m, _) ->
+             improvement r.Metrics.input_total m.Metrics.input_total)
+           rows);
+    srs_i_over_repeated =
+      mean
+        (List.map
+           (fun (r, _, s) ->
+             improvement r.Metrics.input_total s.Metrics.input_total)
+           rows);
+    srs_q_over_mms =
+      mean
+        (List.map (fun (_, m, s) -> improvement m.Metrics.q s.Metrics.q) rows);
+    srs_tc_over_mms =
+      mean
+        (List.map (fun (_, m, s) -> improvement m.Metrics.tc s.Metrics.tc) rows);
+  }

@@ -1,0 +1,50 @@
+(** Side-by-side evaluation of preparation schemes (Tables 2 and 3).
+
+    A scheme is either a repeated baseline ([RMM], [RRMA], [RMTCS]) or the
+    proposed streaming engine on a base algorithm with MMS or SRS.
+    Table 2 evaluates nine schemes per ratio; Table 3 averages the
+    percentage improvements over a large synthetic corpus. *)
+
+type scheme =
+  | Repeated of Mixtree.Algorithm.t
+  | Streamed of Mixtree.Algorithm.t * Streaming.scheduler
+
+val scheme_name : scheme -> string
+
+val table2_schemes : scheme list
+(** The paper's columns A..I: RMM, MM+MMS, MM+SRS, RRMA, RMA+MMS,
+    RMA+SRS, RMTCS, MTCS+MMS, MTCS+SRS. *)
+
+val evaluate :
+  ?mixers:int -> ratio:Dmf.Ratio.t -> demand:int -> scheme -> Metrics.t
+(** [evaluate ~ratio ~demand scheme] runs one scheme; [mixers] defaults to
+    [Engine.default_mixers ratio] (the paper's convention: [Mlb] of the
+    MM tree). *)
+
+val evaluate_all :
+  ?mixers:int ->
+  ratio:Dmf.Ratio.t ->
+  demand:int ->
+  scheme list ->
+  (scheme * Metrics.t) list
+
+type improvement = {
+  algorithm : Mixtree.Algorithm.t;
+  mms_tc_over_repeated : float;
+      (** Average % reduction in [Tc] of ALGO+MMS vs R-ALGO. *)
+  srs_tc_over_repeated : float;
+  mms_i_over_repeated : float;
+      (** Average % reduction in [I] of ALGO+MMS vs R-ALGO. *)
+  srs_i_over_repeated : float;
+  srs_q_over_mms : float;  (** Average % reduction in [q] of SRS vs MMS. *)
+  srs_tc_over_mms : float;
+      (** Average % change in [Tc] of SRS vs MMS (negative = slower). *)
+}
+
+val average_improvements :
+  ?mixers:int ->
+  ratios:Dmf.Ratio.t list ->
+  demand:int ->
+  Mixtree.Algorithm.t ->
+  improvement
+(** Table-3-style aggregate over a ratio corpus for one base algorithm. *)

@@ -1,0 +1,50 @@
+(** The mixture-preparation engine — top-level MDST API.
+
+    A {!spec} names everything the engine needs: the target ratio, the
+    droplet demand, the base mixing algorithm, the forest scheduler and
+    the number of on-chip mixers.  {!prepare} builds the mixing forest,
+    schedules it and returns the plan, the schedule and the cost metrics
+    in one result.
+
+    {[
+      let ratio = Dmf.Ratio.of_string "2:1:1:1:1:1:9" in
+      let result =
+        Mdst.Engine.prepare
+          { ratio; demand = 20; algorithm = Mixtree.Algorithm.MM;
+            scheduler = Mdst.Streaming.SRS; mixers = None }
+      in
+      print_string (Mdst.Gantt.render ~plan:result.plan result.schedule)
+    ]} *)
+
+type spec = {
+  ratio : Dmf.Ratio.t;
+  demand : int;
+  algorithm : Mixtree.Algorithm.t;
+  scheduler : Streaming.scheduler;
+  mixers : int option;
+      (** [None] uses the paper's default: [Mlb] of the MM tree. *)
+}
+
+type result = {
+  spec : spec;
+  mixers : int;  (** The resolved mixer count. *)
+  plan : Plan.t;
+  schedule : Schedule.t;
+  metrics : Metrics.t;
+}
+
+val default_mixers : Dmf.Ratio.t -> int
+(** [Mlb] of the MM base tree — the minimum mixer count for the fastest
+    completion of one MM pass, used throughout the paper's evaluation. *)
+
+val scheme_name :
+  Mixtree.Algorithm.t -> Streaming.scheduler -> string
+(** E.g. ["RMA+SRS"]. *)
+
+val prepare : spec -> result
+(** Build and schedule the mixing forest for [spec].
+    @raise Invalid_argument on inconsistent parameters. *)
+
+val baseline_metrics : spec -> Metrics.t
+(** Cost of meeting the same spec with the repeated baseline of the
+    spec's algorithm (RMM / RRMA / RMTCS), for side-by-side comparison. *)

@@ -1,0 +1,51 @@
+let label node =
+  let i = node.Plan.tree and j = node.Plan.bfs in
+  if i <= 9 && j <= 9 then Printf.sprintf "m%d%d" i j
+  else Printf.sprintf "m%d,%d" i j
+
+let render ~plan s =
+  let tc = Schedule.completion_time s in
+  let mixers = Schedule.mixers s in
+  (* cell.(m - 1).(t - 1) is the label of the node on mixer m at cycle t. *)
+  let cell = Array.make_matrix mixers tc "." in
+  List.iter
+    (fun node ->
+      let id = node.Plan.id in
+      let t = Schedule.cycle s id and m = Schedule.mixer s id in
+      cell.(m - 1).(t - 1) <- label node)
+    (Plan.nodes plan);
+  let width =
+    Array.fold_left
+      (fun acc row -> Array.fold_left (fun acc c -> max acc (String.length c)) acc row)
+      2 cell
+  in
+  let pad str = Printf.sprintf "%-*s" width str in
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer (pad "t");
+  for t = 1 to tc do
+    Buffer.add_string buffer (" " ^ pad (string_of_int t))
+  done;
+  Buffer.add_char buffer '\n';
+  for m = 1 to mixers do
+    Buffer.add_string buffer (pad (Printf.sprintf "M%d" m));
+    for t = 1 to tc do
+      Buffer.add_string buffer (" " ^ pad cell.(m - 1).(t - 1))
+    done;
+    Buffer.add_char buffer '\n'
+  done;
+  let occupancy = Storage.profile ~plan s in
+  Buffer.add_string buffer (pad "st");
+  Array.iter
+    (fun o -> Buffer.add_string buffer (" " ^ pad (string_of_int o)))
+    occupancy;
+  Buffer.add_char buffer '\n';
+  let emissions = Schedule.emission_order ~plan s in
+  Buffer.add_string buffer
+    (Printf.sprintf "Tc = %d time-cycles, q = %d, targets emitted at cycles: %s\n"
+       tc
+       (Storage.units ~plan s)
+       (String.concat ", "
+          (List.map (fun (t, _) -> string_of_int t) emissions)));
+  Buffer.contents buffer
+
+let pp ~plan ppf s = Format.pp_print_string ppf (render ~plan s)

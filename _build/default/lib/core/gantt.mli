@@ -1,0 +1,15 @@
+(** Text rendering of a schedule as a modified Gantt chart (Figure 4).
+
+    One row per mixer, one column per time-cycle, each cell showing the
+    mix-split label [m_ij] executed there; a final row shows the storage
+    occupancy per cycle and the target-droplet emission sequence. *)
+
+val label : Plan.node -> string
+(** [label node] is the paper's node label, e.g. ["m9,4"] (rendered
+    ["m94"] when both indices are single digits). *)
+
+val render : plan:Plan.t -> Schedule.t -> string
+(** [render ~plan s] is a multi-line chart; the last lines summarise
+    [Tc], [q] and the emission cycles of the target droplets. *)
+
+val pp : plan:Plan.t -> Format.formatter -> Schedule.t -> unit

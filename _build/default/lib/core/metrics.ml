@@ -1,0 +1,39 @@
+type t = {
+  scheme : string;
+  mixers : int;
+  demand : int;
+  tc : int;
+  q : int;
+  tms : int;
+  waste : int;
+  inputs : int array;
+  input_total : int;
+  trees : int;
+  passes : int;
+}
+
+let of_schedule ~scheme ~plan s =
+  let inputs = Plan.input_vector plan in
+  {
+    scheme;
+    mixers = Schedule.mixers s;
+    demand = Plan.demand plan;
+    tc = Schedule.completion_time s;
+    q = Storage.units ~plan s;
+    tms = Plan.tms plan;
+    waste = Plan.waste plan;
+    inputs;
+    input_total = Array.fold_left ( + ) 0 inputs;
+    trees = Plan.trees plan;
+    passes = 1;
+  }
+
+let percent_improvement ~baseline v =
+  if baseline = 0 then 0.
+  else float_of_int (baseline - v) /. float_of_int baseline *. 100.
+
+let pp ppf m =
+  Format.fprintf ppf
+    "%s: Mc=%d D=%d Tc=%d q=%d Tms=%d W=%d I=%d (%d trees, %d passes)"
+    m.scheme m.mixers m.demand m.tc m.q m.tms m.waste m.input_total m.trees
+    m.passes

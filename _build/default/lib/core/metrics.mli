@@ -1,0 +1,30 @@
+(** Cost metrics of a mixture-preparation scheme.
+
+    The paper's evaluation reports, per scheme: the time of completion
+    [Tc] (in time-cycles, summed over passes), the peak number of on-chip
+    storage units [q], the total number of mix-split steps [Tms], the
+    waste-droplet count [W] and the input-droplet usage [I] / [I\[\]]. *)
+
+type t = {
+  scheme : string;  (** Display name, e.g. ["RMA+MMS"] or ["RMM"]. *)
+  mixers : int;
+  demand : int;
+  tc : int;
+  q : int;
+  tms : int;
+  waste : int;
+  inputs : int array;
+  input_total : int;
+  trees : int;  (** Component trees, [|F|] (per pass for baselines). *)
+  passes : int;  (** Sequential passes (1 for single-pass engines). *)
+}
+
+val of_schedule :
+  scheme:string -> plan:Plan.t -> Schedule.t -> t
+(** Metrics of a single-pass engine run. *)
+
+val percent_improvement : baseline:int -> int -> float
+(** [percent_improvement ~baseline v] is [(baseline - v) / baseline * 100]
+    — positive when [v] improves on [baseline].  0 when [baseline] is 0. *)
+
+val pp : Format.formatter -> t -> unit

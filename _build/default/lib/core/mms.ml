@@ -1,0 +1,68 @@
+(* Nodes are enqueued in (level, tree, bfs) order — "from level l upwards"
+   — and dequeued first-in first-out, Mc per time-cycle. *)
+let enqueue_order a b =
+  let na = a.Plan.level and nb = b.Plan.level in
+  match Int.compare na nb with
+  | 0 -> (
+    match Int.compare a.Plan.tree b.Plan.tree with
+    | 0 -> Int.compare a.Plan.bfs b.Plan.bfs
+    | c -> c)
+  | c -> c
+
+let schedule ~plan ~mixers =
+  if mixers < 1 then invalid_arg "Mms.schedule: at least one mixer";
+  let n = Plan.n_nodes plan in
+  let cycles = Array.make n 0 in
+  let mixer_of = Array.make n 0 in
+  let pending = Array.make n 0 in
+  List.iter
+    (fun node ->
+      pending.(node.Plan.id) <- List.length (Plan.predecessors node))
+    (Plan.nodes plan);
+  let enqueued = Array.make n false in
+  let queue = Queue.create () in
+  let remaining = ref n in
+  let depth = Dmf.Ratio.accuracy (Plan.ratio plan) in
+  (* Admit every node that has become schedulable and is not yet queued. *)
+  let admit () =
+    Plan.nodes plan
+    |> List.filter (fun node ->
+           (not enqueued.(node.Plan.id)) && pending.(node.Plan.id) = 0)
+    |> List.sort enqueue_order
+    |> List.iter (fun node ->
+           enqueued.(node.Plan.id) <- true;
+           Queue.push node queue)
+  in
+  let run_cycle t =
+    let launched = ref 0 in
+    while !launched < mixers && not (Queue.is_empty queue) do
+      let node = Queue.pop queue in
+      incr launched;
+      cycles.(node.Plan.id) <- t;
+      mixer_of.(node.Plan.id) <- !launched;
+      decr remaining;
+      (match Plan.consumer plan ~node:node.Plan.id ~port:0 with
+      | Some c -> pending.(c) <- pending.(c) - 1
+      | None -> ());
+      match Plan.consumer plan ~node:node.Plan.id ~port:1 with
+      | Some c -> pending.(c) <- pending.(c) - 1
+      | None -> ()
+    done
+  in
+  let t = ref 0 in
+  (* Phase 1: walk the levels of the forest, one time-cycle per level. *)
+  for _level = 1 to depth do
+    incr t;
+    admit ();
+    run_cycle !t
+  done;
+  (* Phase 2: drain the backlog, admitting newly schedulable nodes. *)
+  let guard = ref (2 * (n + depth) + 2) in
+  while !remaining > 0 do
+    decr guard;
+    if !guard <= 0 then failwith "Mms.schedule: no progress (internal error)";
+    incr t;
+    admit ();
+    run_cycle !t
+  done;
+  Schedule.create ~plan ~mixers ~cycles ~mixer_of

@@ -1,0 +1,13 @@
+(** M_Mixers_Schedule (Algorithm 1).
+
+    Level-wise list scheduling of a mixing forest with [Mc] on-chip
+    mixers: schedulable nodes (both input droplets available) are enqueued
+    level-by-level from the bottom of the forest and dequeued [Mc] per
+    time-cycle; once every level has been examined the backlog is drained,
+    admitting nodes as their predecessors complete.  Deepest-first
+    ordering makes MMS coincide with Hu's optimal schedule on a single
+    mixing tree. *)
+
+val schedule : plan:Plan.t -> mixers:int -> Schedule.t
+(** [schedule ~plan ~mixers] runs MMS.  @raise Invalid_argument if
+    [mixers < 1]. *)

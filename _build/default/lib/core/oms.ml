@@ -1,0 +1,47 @@
+(* Deepest level first; ties by tree then breadth-first index. *)
+let priority a b =
+  match Int.compare a.Plan.level b.Plan.level with
+  | 0 -> (
+    match Int.compare a.Plan.tree b.Plan.tree with
+    | 0 -> Int.compare a.Plan.bfs b.Plan.bfs
+    | c -> c)
+  | c -> c
+
+let schedule ~plan ~mixers =
+  if mixers < 1 then invalid_arg "Oms.schedule: at least one mixer";
+  let n = Plan.n_nodes plan in
+  let cycles = Array.make n 0 in
+  let mixer_of = Array.make n 0 in
+  let pending = Array.make n 0 in
+  List.iter
+    (fun node -> pending.(node.Plan.id) <- List.length (Plan.predecessors node))
+    (Plan.nodes plan);
+  let scheduled = Array.make n false in
+  let remaining = ref n in
+  let t = ref 0 in
+  while !remaining > 0 do
+    incr t;
+    let ready =
+      Plan.nodes plan
+      |> List.filter (fun node ->
+             (not scheduled.(node.Plan.id)) && pending.(node.Plan.id) = 0)
+      |> List.sort priority
+    in
+    List.iteri
+      (fun i node ->
+        if i < mixers then begin
+          let id = node.Plan.id in
+          scheduled.(id) <- true;
+          cycles.(id) <- !t;
+          mixer_of.(id) <- i + 1;
+          decr remaining;
+          List.iter
+            (fun port ->
+              match Plan.consumer plan ~node:id ~port with
+              | Some c -> pending.(c) <- pending.(c) - 1
+              | None -> ())
+            [ 0; 1 ]
+        end)
+      ready
+  done;
+  Schedule.create ~plan ~mixers ~cycles ~mixer_of

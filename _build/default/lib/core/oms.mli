@@ -1,0 +1,12 @@
+(** Optimal mix scheduling (OMS [13]) on plans.
+
+    Critical-path list scheduling: at every cycle the ready mix-splits are
+    ordered deepest level first and up to [Mc] of them launched.  On a
+    single mixing tree this is Hu's algorithm and provably minimises the
+    makespan — the optimum the paper uses to schedule base trees and the
+    repeated baselines.  On general forest plans it is a strong heuristic
+    (the paper's MMS and SRS are the schedulers of record there). *)
+
+val schedule : plan:Plan.t -> mixers:int -> Schedule.t
+(** [schedule ~plan ~mixers] runs critical-path list scheduling.
+    @raise Invalid_argument if [mixers < 1]. *)

@@ -1,0 +1,125 @@
+(** Mixing-forest plans — the mix-split task graph of the MDST engine.
+
+    A plan is the flattened form of a mixing forest [F] (Section 4.1): an
+    array of (1:1) mix-split nodes, each belonging to a component tree
+    [Ti] and sitting at a base-tree level (the root of every component
+    tree is at level [d]).  Each node consumes two droplets and produces
+    two droplets of its mixture value:
+
+    - port 0 feeds the node's parent in its own component tree;
+    - port 1 is the spare: in a plain pass it is waste, in a forest it may
+      be consumed by a node of a later component tree (the brown nodes of
+      Figure 1) or, with intra-pass sharing, by a later node of the same
+      tree.
+
+    Both ports of a component-tree root are emitted target droplets. *)
+
+type source =
+  | Input of Dmf.Fluid.t  (** A fresh droplet dispensed from a reservoir. *)
+  | Output of { node : int; port : int }
+      (** A droplet produced by an earlier mix-split node. *)
+  | Reserve of int
+      (** A pre-existing droplet sitting in on-chip storage when the plan
+          starts — the salvaged droplets of an error-recovery run
+          ({!Recovery}).  The index refers to the plan's reserve table. *)
+
+type node = {
+  id : int;  (** Position in the plan; producers precede consumers. *)
+  tree : int;  (** Component-tree index [i] of [Ti], 1-based. *)
+  level : int;  (** Base-tree level; roots at [d], deepest mixes at 1. *)
+  bfs : int;  (** Breadth-first index [j] of [m_ij] within [Ti], 1-based. *)
+  value : Dmf.Mixture.t;  (** Value of both output droplets. *)
+  left : source;
+  right : source;
+}
+
+type t
+
+val create :
+  ratio:Dmf.Ratio.t ->
+  demand:int ->
+  nodes:node array ->
+  roots:int array ->
+  t
+(** [create ~ratio ~demand ~nodes ~roots] assembles and checks a plan.
+    Consumer links are derived from the node sources.
+    @raise Invalid_argument if the plan is structurally invalid (see
+    {!validate}). *)
+
+val create_multi :
+  ?reserves:Dmf.Mixture.t array ->
+  ratio:Dmf.Ratio.t ->
+  demand:int ->
+  nodes:node array ->
+  roots:int array ->
+  root_values:Dmf.Mixture.t array ->
+  unit ->
+  t
+(** As {!create}, but each component-tree root may carry its own target
+    value (SDMT — single/multiple droplets of {e multiple} targets).
+    [ratio] still names the fluid universe; [root_values] is parallel to
+    [roots]. *)
+
+val ratio : t -> Dmf.Ratio.t
+val demand : t -> int
+
+val n_nodes : t -> int
+val node : t -> int -> node
+val nodes : t -> node list
+(** All nodes in id order. *)
+
+val is_root : t -> int -> bool
+val roots : t -> int list
+(** Component-tree roots in tree order. *)
+
+val trees : t -> int
+(** [trees p] is the number of component trees, [|F|]. *)
+
+val targets : t -> int
+(** [targets p] is the number of emitted target droplets, [2 * trees p]
+    (at least [demand p]). *)
+
+val reserves : t -> Dmf.Mixture.t array
+(** Values of the pre-existing stored droplets (a copy); empty for
+    ordinary plans. *)
+
+val reserve_consumed : t -> int -> bool
+(** Whether reserve [i] is used by some node. *)
+
+val root_value : t -> int -> Dmf.Mixture.t
+(** [root_value p r] is the target value droplets of root [r] must carry
+    (for single-target plans, always the ratio's mixture value).
+    @raise Invalid_argument if [r] is not a root. *)
+
+val consumer : t -> node:int -> port:int -> int option
+(** [consumer p ~node ~port] is the id of the node consuming that output
+    droplet, if any.  Root ports are never consumed. *)
+
+val predecessors : node -> int list
+(** Producing node ids among the node's two sources. *)
+
+val child_kind : t -> node -> [ `Both_internal | `One_internal | `Both_leaves ]
+(** Classification of a node by its children for SRS (Type-A / Type-B /
+    Type-C in Section 4.2.2): a [Output] source counts as internal — the
+    droplet occupies a storage unit while it waits — and an [Input] source
+    counts as a leaf. *)
+
+val tms : t -> int
+(** Total number of mix-split steps, [Tms] — the node count. *)
+
+val input_vector : t -> int array
+(** Input droplets required per fluid, [I\[\]]. *)
+
+val input_total : t -> int
+(** Total input droplets, [I]. *)
+
+val waste : t -> int
+(** Number of produced droplets that are neither consumed nor targets,
+    [W].  Unused reserves are not waste — they simply stay in storage. *)
+
+val validate : t -> (unit, string) result
+(** Re-checks every structural invariant: id consistency, topological
+    order, single consumption per droplet, exact mixture values, root
+    values equal to the target, conservation [I = targets + W]. *)
+
+val pp_summary : Format.formatter -> t -> unit

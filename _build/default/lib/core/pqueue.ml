@@ -1,0 +1,41 @@
+type 'a heap =
+  | Empty
+  | Node of 'a * 'a heap list
+
+type 'a t = { compare : 'a -> 'a -> int; heap : 'a heap; size : int }
+
+let empty ~compare = { compare; heap = Empty; size = 0 }
+let is_empty q = q.size = 0
+let size q = q.size
+
+let merge compare a b =
+  match (a, b) with
+  | Empty, h | h, Empty -> h
+  | Node (x, xs), Node (y, ys) ->
+    if compare x y <= 0 then Node (x, b :: xs) else Node (y, a :: ys)
+
+let insert x q =
+  { q with heap = merge q.compare (Node (x, [])) q.heap; size = q.size + 1 }
+
+(* Two-pass pairing merge keeps pop amortised logarithmic. *)
+let rec merge_pairs compare = function
+  | [] -> Empty
+  | [ h ] -> h
+  | a :: b :: rest -> merge compare (merge compare a b) (merge_pairs compare rest)
+
+let pop q =
+  match q.heap with
+  | Empty -> None
+  | Node (x, children) ->
+    Some (x, { q with heap = merge_pairs q.compare children; size = q.size - 1 })
+
+let of_list ~compare xs =
+  List.fold_left (fun q x -> insert x q) (empty ~compare) xs
+
+let to_sorted_list q =
+  let rec drain acc q =
+    match pop q with
+    | None -> List.rev acc
+    | Some (x, q) -> drain (x :: acc) q
+  in
+  drain [] q

@@ -1,0 +1,23 @@
+(** A small purely functional priority queue (pairing heap).
+
+    Used by the SRS scheduler for its two priority queues of schedulable
+    nodes ([Qint] and [Qleaf], Algorithm 2). *)
+
+type 'a t
+
+val empty : compare:('a -> 'a -> int) -> 'a t
+(** [empty ~compare] is an empty queue; [compare] orders elements with the
+    minimum popped first. *)
+
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val insert : 'a -> 'a t -> 'a t
+
+val pop : 'a t -> ('a * 'a t) option
+(** [pop q] removes the minimum element, or [None] when empty. *)
+
+val of_list : compare:('a -> 'a -> int) -> 'a list -> 'a t
+
+val to_sorted_list : 'a t -> 'a list
+(** Drains the queue in priority order. *)

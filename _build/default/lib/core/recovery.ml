@@ -1,0 +1,98 @@
+type t = {
+  failed_node : int;
+  failure_cycle : int;
+  delivered : int;
+  salvaged : Dmf.Mixture.t array;
+  remaining_demand : int;
+  recovery_plan : Plan.t option;
+  fresh_restart : Plan.t option;
+}
+
+let recover ~algorithm ~plan ~schedule ~failed_node =
+  if failed_node < 0 || failed_node >= Plan.n_nodes plan then
+    invalid_arg "Recovery.recover: failed node out of range";
+  let distinct_targets =
+    List.fold_left
+      (fun acc r -> Dmf.Mixture.Set.add (Plan.root_value plan r) acc)
+      Dmf.Mixture.Set.empty (Plan.roots plan)
+    |> Dmf.Mixture.Set.cardinal
+  in
+  if distinct_targets > 1 then
+    invalid_arg "Recovery.recover: multi-target plans are not supported";
+  let failure_cycle = Schedule.cycle schedule failed_node in
+  let executed id = Schedule.cycle schedule id <= failure_cycle in
+  (* Targets already emitted: both droplets of every executed root,
+     except the failed node's own outputs. *)
+  let delivered =
+    List.fold_left
+      (fun acc r ->
+        if executed r && r <> failed_node then acc + 2 else acc)
+      0 (Plan.roots plan)
+  in
+  (* Surviving droplets: spares of executed nodes that were parked in
+     storage for a consumer scheduled after the failure.  Waste droplets
+     were already discarded, consumed droplets are gone, and the failed
+     node's outputs were lost. *)
+  let salvaged = ref [] in
+  List.iter
+    (fun node ->
+      let id = node.Plan.id in
+      if executed id && id <> failed_node && not (Plan.is_root plan id) then
+        List.iter
+          (fun port ->
+            match Plan.consumer plan ~node:id ~port with
+            | Some c when not (executed c) ->
+              salvaged := node.Plan.value :: !salvaged
+            | Some _ | None -> ())
+          [ 0; 1 ])
+    (Plan.nodes plan);
+  (* Unconsumed reserves of the original plan survive too. *)
+  Array.iteri
+    (fun i value ->
+      let still_there =
+        not (Plan.reserve_consumed plan i)
+        || List.exists
+             (fun node ->
+               (not (executed node.Plan.id))
+               && List.exists
+                    (function
+                      | Plan.Reserve j -> j = i
+                      | Plan.Input _ | Plan.Output _ -> false)
+                    [ node.Plan.left; node.Plan.right ])
+             (Plan.nodes plan)
+      in
+      if still_there then salvaged := value :: !salvaged)
+    (Plan.reserves plan);
+  let salvaged = Array.of_list (List.rev !salvaged) in
+  let remaining_demand = Plan.demand plan - delivered in
+  let ratio = Plan.ratio plan in
+  let recovery_plan, fresh_restart =
+    if remaining_demand <= 0 then (None, None)
+    else begin
+      let tree = Mixtree.Algorithm.build algorithm ratio in
+      (* Recovery wants maximal droplet reuse, so spares are shared
+         immediately regardless of the base algorithm's execution
+         model. *)
+      ( Some
+          (Forest.of_tree ~reserves:salvaged ~ratio ~demand:remaining_demand
+             ~sharing:true tree),
+        Some
+          (Forest.of_tree ~ratio ~demand:remaining_demand ~sharing:true tree)
+      )
+    end
+  in
+  {
+    failed_node;
+    failure_cycle;
+    delivered;
+    salvaged;
+    remaining_demand;
+    recovery_plan;
+    fresh_restart;
+  }
+
+let reagent_saving t =
+  match (t.recovery_plan, t.fresh_restart) with
+  | Some recovery, Some fresh ->
+    Plan.input_total fresh - Plan.input_total recovery
+  | None, _ | _, None -> 0

@@ -1,0 +1,50 @@
+(** Checkpoint-based error recovery.
+
+    On a cyberphysical biochip a (1:1) split occasionally fails — the
+    merged droplet does not separate cleanly and both daughters must be
+    discarded.  When a checkpoint detects such a failure mid-run, the
+    remaining demand has to be re-produced; restarting from scratch
+    wastes everything already on the chip.  This module salvages instead:
+    it computes which droplets survive the failure (spares parked in
+    storage for later consumers, and targets already emitted) and builds
+    a {e recovery forest} whose droplet pool is seeded with the
+    survivors ({!Forest.of_tree} with [reserves]), so only the genuinely
+    missing mixtures are recomputed.
+
+    The recovery plan is an ordinary {!Plan.t} (with {!Plan.Reserve}
+    sources) and can be scheduled with MMS or SRS like any other; its
+    cost is compared against the restart-from-scratch alternative. *)
+
+type t = {
+  failed_node : int;
+  failure_cycle : int;  (** Cycle at which the failed split executed. *)
+  delivered : int;  (** Target droplets already emitted before the failure. *)
+  salvaged : Dmf.Mixture.t array;
+      (** Values of the surviving stored droplets seeding the recovery. *)
+  remaining_demand : int;
+  recovery_plan : Plan.t option;
+      (** [None] when the failure happens after the demand was met. *)
+  fresh_restart : Plan.t option;
+      (** The same remaining demand prepared from scratch, for
+          comparison. *)
+}
+
+val recover :
+  algorithm:Mixtree.Algorithm.t ->
+  plan:Plan.t ->
+  schedule:Schedule.t ->
+  failed_node:int ->
+  t
+(** [recover ~algorithm ~plan ~schedule ~failed_node] assumes execution
+    followed [schedule] until the cycle of [failed_node], whose two
+    output droplets were then lost; execution halts there and the
+    recovery run starts fresh with the salvaged droplets in storage.
+    The recovery forest uses [algorithm]'s base tree of the plan's
+    ratio.
+    @raise Invalid_argument if [failed_node] is not a node of [plan], or
+    if the plan prepares multiple targets (recover one target at a
+    time). *)
+
+val reagent_saving : t -> int
+(** Input droplets saved by salvaging compared to a fresh restart
+    (0 when no recovery is needed). *)

@@ -1,0 +1,28 @@
+let table ~header ~rows =
+  let columns =
+    List.fold_left (fun acc row -> max acc (List.length row)) (List.length header) rows
+  in
+  let pad_row row = row @ List.init (columns - List.length row) (fun _ -> "") in
+  let all = List.map pad_row (header :: rows) in
+  let widths = Array.make columns 0 in
+  List.iter
+    (List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)))
+    all;
+  let render_row row =
+    String.concat "  "
+      (List.mapi (fun i cell -> Printf.sprintf "%-*s" widths.(i) cell) row)
+  in
+  let rule =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  match all with
+  | [] -> ""
+  | header :: rows ->
+    String.concat "\n" ((render_row header :: rule :: List.map render_row rows) @ [ "" ])
+
+let section title =
+  let bar = String.make (String.length title) '=' in
+  Printf.sprintf "\n%s\n%s\n" title bar
+
+let float_cell f = Printf.sprintf "%.1f" f

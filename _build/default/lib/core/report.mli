@@ -1,0 +1,11 @@
+(** Plain-text table rendering for benches, examples and the CLI. *)
+
+val table : header:string list -> rows:string list list -> string
+(** [table ~header ~rows] renders an aligned text table with a rule under
+    the header.  Ragged rows are padded with empty cells. *)
+
+val section : string -> string
+(** [section title] is a banner line for grouping several tables. *)
+
+val float_cell : float -> string
+(** One-decimal rendering, e.g. ["72.5"]. *)

@@ -1,0 +1,79 @@
+type t = {
+  mixers : int;
+  cycles : int array;
+  mixer_of : int array;
+  tc : int;
+}
+
+let mixers s = s.mixers
+
+let cycle s id =
+  if id < 0 || id >= Array.length s.cycles then
+    invalid_arg "Schedule.cycle: id out of range";
+  s.cycles.(id)
+
+let mixer s id =
+  if id < 0 || id >= Array.length s.mixer_of then
+    invalid_arg "Schedule.mixer: id out of range";
+  s.mixer_of.(id)
+
+let completion_time s = s.tc
+
+let at_cycle s t =
+  let ids = ref [] in
+  Array.iteri (fun id c -> if c = t then ids := id :: !ids) s.cycles;
+  List.sort (fun a b -> Int.compare s.mixer_of.(a) s.mixer_of.(b)) !ids
+
+let validate ~plan s =
+  let ( let* ) r f = Result.bind r f in
+  let check cond fmt =
+    Format.kasprintf (fun s -> if cond then Ok () else Error s) fmt
+  in
+  let rec each f = function
+    | [] -> Ok ()
+    | x :: rest ->
+      let* () = f x in
+      each f rest
+  in
+  let n = Plan.n_nodes plan in
+  let* () =
+    check
+      (Array.length s.cycles = n && Array.length s.mixer_of = n)
+      "schedule covers %d nodes, plan has %d" (Array.length s.cycles) n
+  in
+  let* () = check (s.mixers >= 1) "no mixers" in
+  let slots = Hashtbl.create 64 in
+  each
+    (fun node ->
+      let id = node.Plan.id in
+      let t = s.cycles.(id) and m = s.mixer_of.(id) in
+      let* () = check (t >= 1) "node %d unscheduled" id in
+      let* () =
+        check (m >= 1 && m <= s.mixers) "node %d on bad mixer %d" id m
+      in
+      let* () =
+        check
+          (not (Hashtbl.mem slots (t, m)))
+          "mixer %d double-booked at cycle %d" m t
+      in
+      Hashtbl.add slots (t, m) id;
+      each
+        (fun producer ->
+          check
+            (s.cycles.(producer) < t)
+            "node %d at cycle %d consumes droplet produced at cycle %d" id t
+            s.cycles.(producer))
+        (Plan.predecessors node))
+    (Plan.nodes plan)
+
+let create ~plan ~mixers ~cycles ~mixer_of =
+  let tc = Array.fold_left max 0 cycles in
+  let s = { mixers; cycles; mixer_of; tc } in
+  match validate ~plan s with
+  | Ok () -> s
+  | Error msg -> invalid_arg ("Schedule.create: " ^ msg)
+
+let emission_order ~plan s =
+  Plan.roots plan
+  |> List.map (fun r -> (s.cycles.(r), r))
+  |> List.sort compare

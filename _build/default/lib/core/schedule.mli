@@ -1,0 +1,38 @@
+(** Mixer schedules of a mixing-forest plan.
+
+    A schedule assigns every mix-split node [m_ij] of a plan to an on-chip
+    mixer [Mk] and a time-cycle [t] (the paper's [m_ij |-> Mk^t]
+    notation).  All mix-splits are unit-time; a droplet produced at cycle
+    [t] can be consumed from cycle [t + 1] on. *)
+
+type t
+
+val create : plan:Plan.t -> mixers:int -> cycles:int array -> mixer_of:int array -> t
+(** [create ~plan ~mixers ~cycles ~mixer_of] packages per-node cycle and
+    mixer assignments (indexed by node id; cycles and mixers numbered
+    from 1).  @raise Invalid_argument if invalid (see {!validate}). *)
+
+val mixers : t -> int
+(** Number of on-chip mixers [Mc] the schedule was built for. *)
+
+val cycle : t -> int -> int
+(** [cycle s id] is the time-cycle at which node [id] executes. *)
+
+val mixer : t -> int -> int
+(** [mixer s id] is the mixer index (1-based) executing node [id]. *)
+
+val completion_time : t -> int
+(** [Tc], the largest used cycle. *)
+
+val at_cycle : t -> int -> int list
+(** [at_cycle s t] is the ids of the nodes executing at cycle [t], in
+    mixer order. *)
+
+val validate : plan:Plan.t -> t -> (unit, string) result
+(** Checks: every node scheduled exactly once; at most [Mc] nodes per
+    cycle, on distinct mixers; every node strictly later than the
+    producers of both of its input droplets. *)
+
+val emission_order : plan:Plan.t -> t -> (int * int) list
+(** [(cycle, root_id)] pairs of target-droplet emissions sorted by cycle —
+    the droplet streaming sequence. *)

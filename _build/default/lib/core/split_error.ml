@@ -1,0 +1,131 @@
+(* Conservative interval propagation.  Every droplet carries a volume
+   interval (relative to the unit droplet) and one CF interval per fluid;
+   both daughters of a split get the pessimistic volume interval (either
+   one could be the heavy daughter), so the bounds are worst-case sound
+   but not tight. *)
+
+type report = {
+  epsilon : float;
+  max_cf_error : float;
+  mean_cf_error : float;
+  per_root : (int * float) list;
+  worst_volume_skew : float;
+}
+
+type interval = { lo : float; hi : float }
+
+type droplet_state = { volume : interval; cfs : interval array }
+
+let exact x = { lo = x; hi = x }
+
+let mix_states a b =
+  let volume = { lo = a.volume.lo +. b.volume.lo; hi = a.volume.hi +. b.volume.hi } in
+  (* Weight of operand A in the merged droplet. *)
+  let w_lo = a.volume.lo /. (a.volume.lo +. b.volume.hi) in
+  let w_hi = a.volume.hi /. (a.volume.hi +. b.volume.lo) in
+  let blend w ca cb = (w *. ca) +. ((1. -. w) *. cb) in
+  let cfs =
+    Array.map2
+      (fun ca cb ->
+        let candidates =
+          [
+            blend w_lo ca.lo cb.lo; blend w_hi ca.lo cb.lo;
+            blend w_lo ca.hi cb.hi; blend w_hi ca.hi cb.hi;
+          ]
+        in
+        {
+          lo = List.fold_left min (blend w_lo ca.lo cb.lo) candidates;
+          hi = List.fold_left max (blend w_lo ca.hi cb.hi) candidates;
+        })
+      a.cfs b.cfs
+  in
+  { volume; cfs }
+
+let split_state ~epsilon merged =
+  {
+    merged with
+    volume =
+      {
+        lo = merged.volume.lo *. (1. -. epsilon) /. 2.;
+        hi = merged.volume.hi *. (1. +. epsilon) /. 2.;
+      };
+  }
+
+let analyze ~plan ~epsilon =
+  if not (epsilon >= 0. && epsilon < 0.5) then
+    invalid_arg "Split_error.analyze: epsilon must be in [0, 0.5)";
+  let n = Dmf.Ratio.n_fluids (Plan.ratio plan) in
+  let states = Array.make (Plan.n_nodes plan) None in
+  let state_of_source = function
+    | Plan.Input f ->
+      let cfs =
+        Array.init n (fun i ->
+            if i = Dmf.Fluid.index f then exact 1. else exact 0.)
+      in
+      { volume = exact 1.; cfs }
+    | Plan.Output { node; port = _ } -> (
+      match states.(node) with
+      | Some s -> s
+      | None -> assert false (* plans are topologically ordered *))
+    | Plan.Reserve i ->
+      (* A salvaged droplet re-enters with its nominal CF vector and an
+         unknown history; assume the unit volume of a fresh droplet — the
+         analysis is about the recovery plan's own splits. *)
+      let v = (Plan.reserves plan).(i) in
+      let scale = float_of_int (Dmf.Binary.pow2 (Dmf.Mixture.scale v)) in
+      {
+        volume = exact 1.;
+        cfs =
+          Array.map
+            (fun a -> exact (float_of_int a /. scale))
+            (Dmf.Mixture.numerators v);
+      }
+  in
+  let worst_skew = ref 0. in
+  List.iter
+    (fun node ->
+      let merged =
+        mix_states (state_of_source node.Plan.left)
+          (state_of_source node.Plan.right)
+      in
+      let daughter = split_state ~epsilon merged in
+      worst_skew :=
+        max !worst_skew
+          (max (abs_float (daughter.volume.hi -. 1.))
+             (abs_float (daughter.volume.lo -. 1.)));
+      states.(node.Plan.id) <- Some daughter)
+    (Plan.nodes plan);
+  let target = Dmf.Mixture.of_ratio (Plan.ratio plan) in
+  let scale = float_of_int (Dmf.Binary.pow2 (Dmf.Mixture.scale target)) in
+  let exact_cfs =
+    Array.map (fun a -> float_of_int a /. scale) (Dmf.Mixture.numerators target)
+  in
+  let root_error r =
+    match states.(r) with
+    | None -> assert false
+    | Some s ->
+      let worst = ref 0. in
+      Array.iteri
+        (fun i cf ->
+          worst :=
+            max !worst
+              (max (abs_float (cf.hi -. exact_cfs.(i)))
+                 (abs_float (cf.lo -. exact_cfs.(i)))))
+        s.cfs;
+      !worst
+  in
+  let per_root = List.map (fun r -> (r, root_error r)) (Plan.roots plan) in
+  let errors = List.map snd per_root in
+  {
+    epsilon;
+    max_cf_error = List.fold_left max 0. errors;
+    mean_cf_error =
+      (match errors with
+      | [] -> 0.
+      | _ ->
+        List.fold_left ( +. ) 0. errors /. float_of_int (List.length errors));
+    per_root;
+    worst_volume_skew = !worst_skew;
+  }
+
+let max_cf_error ~plan ~epsilon = (analyze ~plan ~epsilon).max_cf_error

@@ -1,0 +1,36 @@
+(** Volumetric split-error analysis of a plan.
+
+    On real electrowetting chips a (1:1) split is imbalanced: the two
+    daughter droplets carry volumes [(1 + e) v] and [(1 - e) v] for some
+    per-split imbalance bound [e] (typically up to 5-7%).  An imbalanced
+    split does not change a droplet's CF vector, but it changes the
+    {e volume ratio} at the next merge: mixing operand volumes [va] and
+    [vb] yields CFs weighted [va / (va + vb)] instead of exactly 1/2, so
+    volume errors become concentration errors that compound along the
+    mixing path.
+
+    This module propagates {b worst-case} volume intervals through a plan
+    and bounds the CF deviation of every emitted target droplet —
+    extending the paper's exact-arithmetic model with the robustness
+    analysis common in the DMF sample-preparation literature.  It lets
+    one compare how base-tree choices (deep RMA chains versus balanced MM
+    trees) and droplet re-use affect error accumulation. *)
+
+type report = {
+  epsilon : float;  (** The assumed per-split volume imbalance bound. *)
+  max_cf_error : float;
+      (** Largest absolute CF deviation over all fluids and all emitted
+          target droplets. *)
+  mean_cf_error : float;  (** Mean over target droplets of their worst CF deviation. *)
+  per_root : (int * float) list;
+      (** Worst-case CF deviation of each component-tree root. *)
+  worst_volume_skew : float;
+      (** Largest relative volume deviation of any droplet in the plan. *)
+}
+
+val analyze : plan:Plan.t -> epsilon:float -> report
+(** [analyze ~plan ~epsilon] computes worst-case bounds.
+    @raise Invalid_argument if [epsilon] is not in [\[0, 0.5)]. *)
+
+val max_cf_error : plan:Plan.t -> epsilon:float -> float
+(** Shortcut for [(analyze ~plan ~epsilon).max_cf_error]. *)

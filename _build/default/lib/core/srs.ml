@@ -1,0 +1,83 @@
+(* Qint: nodes with an internal child — higher level first (stalling costs
+   storage; finishing high nodes ends the forest sooner). *)
+let int_priority a b =
+  match Int.compare b.Plan.level a.Plan.level with
+  | 0 -> (
+    match Int.compare a.Plan.tree b.Plan.tree with
+    | 0 -> Int.compare a.Plan.bfs b.Plan.bfs
+    | c -> c)
+  | c -> c
+
+(* Qleaf: both children are reservoir inputs — lower level first (a
+   high-level Type-C node is useless until its sibling is ready). *)
+let leaf_priority a b =
+  match Int.compare a.Plan.level b.Plan.level with
+  | 0 -> (
+    match Int.compare a.Plan.tree b.Plan.tree with
+    | 0 -> Int.compare a.Plan.bfs b.Plan.bfs
+    | c -> c)
+  | c -> c
+
+let schedule ~plan ~mixers =
+  if mixers < 1 then invalid_arg "Srs.schedule: at least one mixer";
+  let n = Plan.n_nodes plan in
+  let cycles = Array.make n 0 in
+  let mixer_of = Array.make n 0 in
+  let pending = Array.make n 0 in
+  List.iter
+    (fun node ->
+      pending.(node.Plan.id) <- List.length (Plan.predecessors node))
+    (Plan.nodes plan);
+  let queued = Array.make n false in
+  let qint = ref (Pqueue.empty ~compare:int_priority) in
+  let qleaf = ref (Pqueue.empty ~compare:leaf_priority) in
+  let remaining = ref n in
+  let admit () =
+    List.iter
+      (fun node ->
+        if (not queued.(node.Plan.id)) && pending.(node.Plan.id) = 0 then begin
+          queued.(node.Plan.id) <- true;
+          match Plan.child_kind plan node with
+          | `Both_leaves -> qleaf := Pqueue.insert node !qleaf
+          | `Both_internal | `One_internal -> qint := Pqueue.insert node !qint
+        end)
+      (Plan.nodes plan)
+  in
+  let t = ref 0 in
+  let launch t node slot =
+    cycles.(node.Plan.id) <- t;
+    mixer_of.(node.Plan.id) <- slot;
+    decr remaining;
+    List.iter
+      (fun port ->
+        match Plan.consumer plan ~node:node.Plan.id ~port with
+        | Some c -> pending.(c) <- pending.(c) - 1
+        | None -> ())
+      [ 0; 1 ]
+  in
+  let guard = ref (2 * (n + 2)) in
+  while !remaining > 0 do
+    decr guard;
+    if !guard <= 0 then failwith "Srs.schedule: no progress (internal error)";
+    incr t;
+    admit ();
+    (* Dequeue up to Mc from Qint first, then fill from Qleaf; per
+       Algorithm 2 the Qleaf quota is based on |Qint| before dequeuing. *)
+    let int_nodes = Pqueue.size !qint in
+    let slot = ref 0 in
+    let take_from q limit =
+      let taken = ref 0 in
+      while !taken < limit && not (Pqueue.is_empty !q) do
+        match Pqueue.pop !q with
+        | None -> ()
+        | Some (node, rest) ->
+          q := rest;
+          incr taken;
+          incr slot;
+          launch !t node !slot
+      done
+    in
+    take_from qint (min mixers int_nodes);
+    take_from qleaf (max 0 (mixers - int_nodes))
+  done;
+  Schedule.create ~plan ~mixers ~cycles ~mixer_of

@@ -1,0 +1,19 @@
+(** Storage_Reduced_Scheduling (Algorithm 2).
+
+    SRS keeps two priority queues of schedulable nodes.  [Qint] holds the
+    nodes with at least one internal child (Type-A and Type-B): stalling
+    one of these keeps droplets waiting in storage, and executing a
+    {e higher}-level one first finishes the forest earlier, so [Qint] is
+    ordered by decreasing level.  [Qleaf] holds the nodes whose both
+    children are reservoir inputs (Type-C): stalling them is free, and a
+    {e lower}-level one is preferred since a high-level Type-C node
+    cannot help its parent until its sibling is also done.  Each cycle
+    dequeues up to [Mc] nodes from [Qint] first, then fills the remaining
+    mixers from [Qleaf].
+
+    SRS may finish a few cycles later than MMS, but needs fewer on-chip
+    storage units (Table 3 reports 25.5% fewer on average). *)
+
+val schedule : plan:Plan.t -> mixers:int -> Schedule.t
+(** [schedule ~plan ~mixers] runs SRS.  @raise Invalid_argument if
+    [mixers < 1]. *)

@@ -1,0 +1,68 @@
+type residency = {
+  producer : int;
+  port : int;
+  consumer : int;
+  from_cycle : int;
+  to_cycle : int;
+}
+
+let residencies ~plan s =
+  let spans = ref [] in
+  List.iter
+    (fun node ->
+      let id = node.Plan.id in
+      let tn = Schedule.cycle s id in
+      List.iter
+        (fun port ->
+          match Plan.consumer plan ~node:id ~port with
+          | None -> ()
+          | Some c ->
+            let tp = Schedule.cycle s c in
+            if tp > tn + 1 then
+              spans :=
+                {
+                  producer = id;
+                  port;
+                  consumer = c;
+                  from_cycle = tn + 1;
+                  to_cycle = tp - 1;
+                }
+                :: !spans)
+        [ 0; 1 ])
+    (Plan.nodes plan);
+  List.rev !spans
+
+let profile ~plan s =
+  let tc = Schedule.completion_time s in
+  let occupancy = Array.make (max tc 0) 0 in
+  List.iter
+    (fun r ->
+      for t = r.from_cycle to r.to_cycle do
+        occupancy.(t - 1) <- occupancy.(t - 1) + 1
+      done)
+    (residencies ~plan s);
+  (* Reserve droplets sit in storage from the start until they are
+     consumed — or for the whole run if nobody takes them. *)
+  Array.iteri
+    (fun i _ ->
+      let until =
+        let consumer = ref None in
+        List.iter
+          (fun node ->
+            List.iter
+              (fun src ->
+                match src with
+                | Plan.Reserve j when j = i ->
+                  consumer := Some (Schedule.cycle s node.Plan.id)
+                | Plan.Reserve _ | Plan.Input _ | Plan.Output _ -> ())
+              [ node.Plan.left; node.Plan.right ])
+          (Plan.nodes plan);
+        match !consumer with Some t -> t - 1 | None -> tc
+      in
+      for t = 1 to until do
+        occupancy.(t - 1) <- occupancy.(t - 1) + 1
+      done)
+    (Plan.reserves plan);
+  occupancy
+
+let units ~plan s = Array.fold_left max 0 (profile ~plan s)

@@ -1,0 +1,29 @@
+(** Counting on-chip storage units (Algorithm 3).
+
+    A droplet produced by a mix-split at cycle [tn] and consumed by
+    another node at cycle [tp] occupies one storage unit during every
+    intermediate cycle [tn + 1 .. tp - 1].  Waste droplets are routed to a
+    waste reservoir and target droplets are emitted, so neither occupies
+    storage.  The number of storage units required by a schedule, [q], is
+    the maximum concurrent occupancy over time. *)
+
+val profile : plan:Plan.t -> Schedule.t -> int array
+(** [profile ~plan s] is the occupancy of each cycle: element [t - 1] is
+    the number of stored droplets during cycle [t], for
+    [t = 1 .. completion_time s].  Reserve droplets occupy storage from
+    the first cycle until consumed (or throughout, if unused). *)
+
+val units : plan:Plan.t -> Schedule.t -> int
+(** [units ~plan s] is [q], the peak of {!profile}. *)
+
+type residency = {
+  producer : int;  (** Producing node id. *)
+  port : int;  (** Which of the two output droplets (0 or 1). *)
+  consumer : int;  (** Consuming node id. *)
+  from_cycle : int;  (** First cycle spent in storage. *)
+  to_cycle : int;  (** Last cycle spent in storage (inclusive). *)
+}
+
+val residencies : plan:Plan.t -> Schedule.t -> residency list
+(** Every stored droplet with its storage interval; droplets consumed on
+    the cycle right after production do not appear. *)

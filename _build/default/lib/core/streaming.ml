@@ -1,0 +1,100 @@
+type scheduler = MMS | SRS
+
+let scheduler_name = function MMS -> "MMS" | SRS -> "SRS"
+
+let run_scheduler scheduler ~plan ~mixers =
+  match scheduler with
+  | MMS -> Mms.schedule ~plan ~mixers
+  | SRS -> Srs.schedule ~plan ~mixers
+
+type pass = {
+  demand : int;
+  plan : Plan.t;
+  schedule : Schedule.t;
+  tc : int;
+  q : int;
+  waste : int;
+}
+
+type t = {
+  passes : pass list;
+  per_pass_demand : int;
+  total_cycles : int;
+  total_waste : int;
+  total_inputs : int;
+  storage_limit : int;
+  within_limit : bool;
+}
+
+let make_pass ~algorithm ~ratio ~mixers ~scheduler demand =
+  let plan = Forest.build ~algorithm ~ratio ~demand in
+  let schedule = run_scheduler scheduler ~plan ~mixers in
+  {
+    demand;
+    plan;
+    schedule;
+    tc = Schedule.completion_time schedule;
+    q = Storage.units ~plan schedule;
+    waste = Plan.waste plan;
+  }
+
+let max_demand_per_pass ~algorithm ~ratio ~mixers ~storage_limit ~scheduler
+    ~max_demand =
+  let rec search best candidate =
+    if candidate > max_demand then best
+    else
+      let pass = make_pass ~algorithm ~ratio ~mixers ~scheduler candidate in
+      let best = if pass.q <= storage_limit then Some candidate else best in
+      search best (candidate + 2)
+  in
+  search None 2
+
+let run_general ~pass_size ~algorithm ~ratio ~demand ~mixers ~storage_limit
+    ~scheduler =
+  if demand < 1 then invalid_arg "Streaming.run: demand must be >= 1";
+  if mixers < 1 then invalid_arg "Streaming.run: at least one mixer";
+  let per_pass_demand, within_limit =
+    match pass_size with
+    | Some d' ->
+      if d' < 2 || d' land 1 = 1 then
+        invalid_arg "Streaming.run: pass size must be even and positive";
+      let probe = make_pass ~algorithm ~ratio ~mixers ~scheduler d' in
+      (d', probe.q <= storage_limit)
+    | None -> (
+      match
+        max_demand_per_pass ~algorithm ~ratio ~mixers ~storage_limit
+          ~scheduler
+          ~max_demand:(demand + (demand land 1))
+      with
+      | Some d' -> (d', true)
+      | None -> (2, false))
+  in
+  let rec plan_passes remaining acc =
+    if remaining <= 0 then List.rev acc
+    else
+      let this = min per_pass_demand remaining in
+      let pass = make_pass ~algorithm ~ratio ~mixers ~scheduler this in
+      plan_passes (remaining - this) (pass :: acc)
+  in
+  let passes = plan_passes demand [] in
+  {
+    passes;
+    per_pass_demand;
+    total_cycles = List.fold_left (fun acc p -> acc + p.tc) 0 passes;
+    total_waste = List.fold_left (fun acc p -> acc + p.waste) 0 passes;
+    total_inputs =
+      List.fold_left (fun acc p -> acc + Plan.input_total p.plan) 0 passes;
+    storage_limit;
+    within_limit;
+  }
+
+let run ~algorithm ~ratio ~demand ~mixers ~storage_limit ~scheduler =
+  run_general ~pass_size:None ~algorithm ~ratio ~demand ~mixers ~storage_limit
+    ~scheduler
+
+let run_fixed ~pass_size ~algorithm ~ratio ~demand ~mixers ~storage_limit
+    ~scheduler =
+  run_general ~pass_size:(Some pass_size) ~algorithm ~ratio ~demand ~mixers
+    ~storage_limit ~scheduler
+
+let n_passes t = List.length t.passes

@@ -1,0 +1,75 @@
+(** The droplet-streaming engine under a storage budget (Section 6,
+    Table 4).
+
+    On a real biochip the number of storage electrodes [q'] is fixed.  The
+    streaming engine finds the largest per-pass demand [D'] whose schedule
+    fits within [q'] storage units, and meets a total demand [D] in
+    [ceil (D / D')] passes; the last pass schedules an incomplete mixing
+    forest for the remaining droplets. *)
+
+type scheduler = MMS | SRS
+
+val scheduler_name : scheduler -> string
+
+val run_scheduler : scheduler -> plan:Plan.t -> mixers:int -> Schedule.t
+
+type pass = {
+  demand : int;  (** Droplets produced by this pass. *)
+  plan : Plan.t;
+  schedule : Schedule.t;
+  tc : int;
+  q : int;
+  waste : int;
+}
+
+type t = {
+  passes : pass list;
+  per_pass_demand : int;  (** The chosen [D']. *)
+  total_cycles : int;  (** Sum of per-pass [Tc]. *)
+  total_waste : int;
+  total_inputs : int;
+  storage_limit : int;
+  within_limit : bool;
+      (** [false] when even a two-droplet pass exceeds the budget, in
+          which case the engine runs with [D' = 2] regardless. *)
+}
+
+val max_demand_per_pass :
+  algorithm:Mixtree.Algorithm.t ->
+  ratio:Dmf.Ratio.t ->
+  mixers:int ->
+  storage_limit:int ->
+  scheduler:scheduler ->
+  max_demand:int ->
+  int option
+(** Largest even [D' <= max_demand] whose forest schedule needs at most
+    [storage_limit] units, or [None] if not even [D' = 2] fits. *)
+
+val run :
+  algorithm:Mixtree.Algorithm.t ->
+  ratio:Dmf.Ratio.t ->
+  demand:int ->
+  mixers:int ->
+  storage_limit:int ->
+  scheduler:scheduler ->
+  t
+(** [run] executes the multi-pass streaming engine; each pass produces
+    the largest storage-feasible demand.
+    @raise Invalid_argument if [demand < 1] or [mixers < 1]. *)
+
+val run_fixed :
+  pass_size:int ->
+  algorithm:Mixtree.Algorithm.t ->
+  ratio:Dmf.Ratio.t ->
+  demand:int ->
+  mixers:int ->
+  storage_limit:int ->
+  scheduler:scheduler ->
+  t
+(** As {!run}, but with a forced (even, positive) pass size — used by the
+    demand-driven assay planner to match the production rate to the
+    consumption rate.  [within_limit] reports whether the forced size
+    actually fits the storage budget.
+    @raise Invalid_argument if the pass size is not even and positive. *)
+
+val n_passes : t -> int

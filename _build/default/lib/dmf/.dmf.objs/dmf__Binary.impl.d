@@ -1,0 +1,1 @@
+lib/dmf/binary.ml: List

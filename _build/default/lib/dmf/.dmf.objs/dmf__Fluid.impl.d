@@ -1,0 +1,1 @@
+lib/dmf/fluid.ml: Format Int

@@ -1,0 +1,1 @@
+lib/dmf/fluid.mli: Format

@@ -1,0 +1,1 @@
+lib/dmf/mixture.ml: Array Binary Fluid Format Hashtbl Int Map Printf Ratio Set Stdlib String

@@ -1,0 +1,1 @@
+lib/dmf/mixture.mli: Fluid Format Map Ratio Set

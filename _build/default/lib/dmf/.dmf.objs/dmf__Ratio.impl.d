@@ -1,0 +1,1 @@
+lib/dmf/ratio.ml: Array Binary Fluid Format Fun List String

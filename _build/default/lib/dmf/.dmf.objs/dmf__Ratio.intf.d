@@ -1,0 +1,1 @@
+lib/dmf/ratio.mli: Fluid Format

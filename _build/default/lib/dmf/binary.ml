@@ -1,0 +1,32 @@
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let pow2 k =
+  if k < 0 || k >= 62 then invalid_arg "Binary.pow2: exponent out of range";
+  1 lsl k
+
+let floor_log2 n =
+  if n <= 0 then invalid_arg "Binary.floor_log2: non-positive argument";
+  let rec loop k m = if m <= 1 then k else loop (k + 1) (m lsr 1) in
+  loop 0 n
+
+let log2_exact n =
+  if not (is_power_of_two n) then
+    invalid_arg "Binary.log2_exact: not a power of two";
+  floor_log2 n
+
+let popcount n =
+  if n < 0 then invalid_arg "Binary.popcount: negative argument";
+  let rec loop acc m = if m = 0 then acc else loop (acc + (m land 1)) (m lsr 1) in
+  loop 0 n
+
+let set_bits n =
+  if n < 0 then invalid_arg "Binary.set_bits: negative argument";
+  let rec loop j m acc =
+    if m = 0 then List.rev acc
+    else loop (j + 1) (m lsr 1) (if m land 1 = 1 then j :: acc else acc)
+  in
+  loop 0 n []
+
+let ceil_div a b =
+  if a < 0 || b <= 0 then invalid_arg "Binary.ceil_div: bad arguments";
+  (a + b - 1) / b

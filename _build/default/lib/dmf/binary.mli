@@ -1,0 +1,32 @@
+(** Small helpers over powers of two and binary expansions.
+
+    Target ratios on a DMF biochip are always approximated on a scale
+    [2^d]; every algorithm in this repository manipulates powers of two,
+    set-bit positions and exact halvings.  Centralising them here keeps the
+    invariants (positivity, exactness) in one place. *)
+
+val is_power_of_two : int -> bool
+(** [is_power_of_two n] is [true] iff [n] is a positive power of two. *)
+
+val pow2 : int -> int
+(** [pow2 k] is [2^k].  @raise Invalid_argument if [k < 0] or [k >= 62]. *)
+
+val floor_log2 : int -> int
+(** [floor_log2 n] is the largest [k] with [2^k <= n].
+    @raise Invalid_argument if [n <= 0]. *)
+
+val log2_exact : int -> int
+(** [log2_exact n] is [k] such that [n = 2^k].
+    @raise Invalid_argument if [n] is not a positive power of two. *)
+
+val popcount : int -> int
+(** [popcount n] is the number of set bits of [n].
+    @raise Invalid_argument if [n < 0]. *)
+
+val set_bits : int -> int list
+(** [set_bits n] is the ascending list of set-bit positions of [n],
+    i.e. [n = List.fold_left (fun a j -> a + pow2 j) 0 (set_bits n)].
+    @raise Invalid_argument if [n < 0]. *)
+
+val ceil_div : int -> int -> int
+(** [ceil_div a b] is [ceil (a / b)] on non-negative [a], positive [b]. *)

@@ -1,0 +1,12 @@
+type t = int
+
+let make i =
+  if i < 0 then invalid_arg "Fluid.make: negative index";
+  i
+
+let index f = f
+let equal = Int.equal
+let compare = Int.compare
+let hash f = f
+let default_name f = "x" ^ string_of_int (f + 1)
+let pp ppf f = Format.pp_print_string ppf (default_name f)

@@ -1,0 +1,27 @@
+(** Input fluids (reactants).
+
+    A fluid is one of the [N] reactants of a target mixture, supplied at
+    CF = 100% from an on-chip reservoir.  Fluids are identified by their
+    index in the target ratio; display names (["x1"], ["dNTPs"], ...) are
+    carried separately by {!Ratio.t}. *)
+
+type t
+(** A fluid identifier. *)
+
+val make : int -> t
+(** [make i] is the fluid with 0-based index [i].
+    @raise Invalid_argument if [i < 0]. *)
+
+val index : t -> int
+(** [index f] is the 0-based index of [f] in the target ratio. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val default_name : t -> string
+(** [default_name f] is the paper's naming scheme: fluid [i] is
+    ["x<i+1>"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp] prints the default name. *)

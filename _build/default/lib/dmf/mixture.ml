@@ -1,0 +1,66 @@
+type t = { num : int array; k : int }
+
+(* Canonical form: either k = 0, or at least one numerator is odd.  The
+   numerators always sum to 2^k, so halving preserves the invariant. *)
+let rec canonicalize num k =
+  if k > 0 && Array.for_all (fun a -> a land 1 = 0) num then
+    canonicalize (Array.map (fun a -> a asr 1) num) (k - 1)
+  else { num; k }
+
+let pure ~n f =
+  let i = Fluid.index f in
+  if n < 1 || i >= n then invalid_arg "Mixture.pure: fluid out of range";
+  let num = Array.make n 0 in
+  num.(i) <- 1;
+  { num; k = 0 }
+
+let of_ratio r = canonicalize (Ratio.parts r) (Ratio.accuracy r)
+
+let mix a b =
+  if Array.length a.num <> Array.length b.num then
+    invalid_arg "Mixture.mix: different fluid universes";
+  let k = max a.k b.k in
+  let lift v = Array.map (fun x -> x lsl (k - v.k)) v.num in
+  let na = lift a and nb = lift b in
+  canonicalize (Array.map2 ( + ) na nb) (k + 1)
+
+let n_fluids v = Array.length v.num
+let scale v = v.k
+let numerators v = Array.copy v.num
+
+let cf v f =
+  let i = Fluid.index f in
+  if i >= Array.length v.num then invalid_arg "Mixture.cf: fluid out of range";
+  (v.num.(i), Binary.pow2 v.k)
+
+let is_pure v =
+  if v.k <> 0 then None
+  else
+    let found = ref None in
+    Array.iteri (fun i a -> if a = 1 then found := Some (Fluid.make i)) v.num;
+    !found
+
+let compare a b =
+  match Int.compare a.k b.k with
+  | 0 -> Stdlib.compare a.num b.num
+  | c -> c
+
+let equal a b = compare a b = 0
+let hash v = Hashtbl.hash (v.k, v.num)
+
+let to_string v =
+  let body =
+    String.concat "," (Array.to_list (Array.map string_of_int v.num))
+  in
+  Printf.sprintf "<%s>/%d" body (Binary.pow2 v.k)
+
+let pp ppf v = Format.pp_print_string ppf (to_string v)
+
+module Ordered = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Map = Map.Make (Ordered)
+module Set = Set.Make (Ordered)

@@ -1,0 +1,55 @@
+(** Exact mixture values (concentration-factor vectors).
+
+    Every droplet manipulated by a (1:1) mix-split sequence has a CF vector
+    whose entries are dyadic rationals: fluid [i] is present with
+    concentration [num.(i) / 2^k].  Values are kept canonical (the
+    numerators are not all even unless [k = 0]), so structural comparison
+    decides droplet interchangeability — the property the mixing forest
+    exploits when it re-uses waste droplets. *)
+
+type t
+(** A canonical mixture value over a fixed universe of [n] fluids. *)
+
+val pure : n:int -> Fluid.t -> t
+(** [pure ~n f] is a droplet of reactant [f] at CF 100%, in a universe of
+    [n] fluids.  @raise Invalid_argument if [f] is out of range. *)
+
+val of_ratio : Ratio.t -> t
+(** [of_ratio r] is the target mixture value [a1/2^d, ..., aN/2^d]. *)
+
+val mix : t -> t -> t
+(** [mix a b] is the value of both droplets produced by a (1:1) mix-split
+    of a droplet of value [a] with one of value [b]: the average
+    [(a + b) / 2], renormalised.
+    @raise Invalid_argument if the two values live in different fluid
+    universes. *)
+
+val n_fluids : t -> int
+(** Number of fluids in the universe (including zero-concentration ones). *)
+
+val scale : t -> int
+(** [scale v] is the canonical denominator exponent [k] (CFs are
+    [num / 2^k]). *)
+
+val numerators : t -> int array
+(** [numerators v] is a fresh copy of the canonical numerator vector; it
+    sums to [2^(scale v)]. *)
+
+val cf : t -> Fluid.t -> int * int
+(** [cf v f] is the concentration factor of [f] in [v] as a pair
+    [(numerator, 2^k)]. *)
+
+val is_pure : t -> Fluid.t option
+(** [is_pure v] is [Some f] iff [v] is 100% fluid [f]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** Prints e.g. [<2,1,1,1,1,1,9>/16]. *)
+
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

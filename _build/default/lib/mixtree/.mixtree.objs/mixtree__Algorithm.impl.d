@@ -1,0 +1,1 @@
+lib/mixtree/algorithm.ml: Format Minmix Mtcs Rma Rsm String

@@ -1,0 +1,1 @@
+lib/mixtree/algorithm.mli: Dmf Format Tree

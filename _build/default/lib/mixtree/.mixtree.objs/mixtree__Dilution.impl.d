@@ -1,0 +1,1 @@
+lib/mixtree/dilution.ml: Dmf Minmix Tree

@@ -1,0 +1,1 @@
+lib/mixtree/dilution.mli: Dmf Tree

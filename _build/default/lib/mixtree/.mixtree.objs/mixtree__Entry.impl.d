@@ -1,0 +1,1 @@
+lib/mixtree/entry.ml: Array Dmf Format Int List

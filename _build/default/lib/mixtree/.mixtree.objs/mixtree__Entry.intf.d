@@ -1,0 +1,1 @@
+lib/mixtree/entry.mli: Dmf Format

@@ -1,0 +1,1 @@
+lib/mixtree/hu.ml: Array Int List Queue Tree

@@ -1,0 +1,1 @@
+lib/mixtree/hu.mli: Tree

@@ -1,0 +1,1 @@
+lib/mixtree/minmix.ml: Dmf Entry Tree

@@ -1,0 +1,1 @@
+lib/mixtree/minmix.mli: Dmf Tree

@@ -1,0 +1,1 @@
+lib/mixtree/mtcs.ml: Array Dmf Entry List Minmix Sharing Tree

@@ -1,0 +1,1 @@
+lib/mixtree/mtcs.mli: Dmf Tree

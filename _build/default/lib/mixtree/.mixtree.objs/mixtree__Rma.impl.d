@@ -1,0 +1,1 @@
+lib/mixtree/rma.ml: Dmf Entry List Tree

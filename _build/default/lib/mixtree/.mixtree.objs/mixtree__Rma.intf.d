@@ -1,0 +1,1 @@
+lib/mixtree/rma.mli: Dmf Tree

@@ -1,0 +1,1 @@
+lib/mixtree/rsm.ml: Array Dmf Entry Int Tree

@@ -1,0 +1,1 @@
+lib/mixtree/rsm.mli: Dmf Tree

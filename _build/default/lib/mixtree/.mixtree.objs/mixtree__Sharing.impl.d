@@ -1,0 +1,1 @@
+lib/mixtree/sharing.ml: Array Dmf Hashtbl Int List Option Tree

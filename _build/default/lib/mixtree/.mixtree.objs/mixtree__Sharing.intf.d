@@ -1,0 +1,1 @@
+lib/mixtree/sharing.mli: Tree

@@ -1,0 +1,1 @@
+lib/mixtree/tree.ml: Array Dmf Format Printf

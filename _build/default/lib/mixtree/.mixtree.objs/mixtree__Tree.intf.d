@@ -1,0 +1,1 @@
+lib/mixtree/tree.mli: Dmf Format

@@ -1,0 +1,43 @@
+let sample = Dmf.Fluid.make 0
+let buffer = Dmf.Fluid.make 1
+
+let check_target ~c ~d =
+  let total = Dmf.Binary.pow2 d in
+  if c < 1 || c > total - 1 then
+    invalid_arg "Dilution: target CF must satisfy 1 <= c <= 2^d - 1"
+
+let ratio ~c ~d =
+  check_target ~c ~d;
+  Dmf.Ratio.make [| c; Dmf.Binary.pow2 d - c |]
+
+let twm ~c ~d = Minmix.build (ratio ~c ~d)
+
+(* Reduce an even target: c/2^d = (c/2)/2^(d-1). *)
+let rec canonical ~c ~d = if c land 1 = 0 then canonical ~c:(c / 2) ~d:(d - 1) else (c, d)
+
+let dmrw ~c ~d =
+  check_target ~c ~d;
+  let c, d = canonical ~c ~d in
+  (* Binary search on the CF interval, all numerators over 2^d.  The
+     boundary trees are shared OCaml values, so repeatedly-needed
+     boundaries are structurally identical subtrees — exactly what the
+     value-keyed droplet pool exploits. *)
+  let rec search ~lo ~lo_tree ~hi ~hi_tree ~steps =
+    assert (steps >= 1);
+    let mid = (lo + hi) / 2 in
+    let mid_tree = Tree.Mix (lo_tree, hi_tree) in
+    if mid = c then mid_tree
+    else if c < mid then
+      search ~lo ~lo_tree ~hi:mid ~hi_tree:mid_tree ~steps:(steps - 1)
+    else search ~lo:mid ~lo_tree:mid_tree ~hi ~hi_tree ~steps:(steps - 1)
+  in
+  if d = 0 then Tree.Leaf sample
+  else
+    search ~lo:0 ~lo_tree:(Tree.Leaf buffer) ~hi:(Dmf.Binary.pow2 d)
+      ~hi_tree:(Tree.Leaf sample) ~steps:d
+
+let dmrw_steps ~c ~d =
+  check_target ~c ~d;
+  let c, d = canonical ~c ~d in
+  ignore c;
+  d

@@ -1,0 +1,44 @@
+(** Dilution — the two-fluid special case of mixture preparation.
+
+    A dilution target is a single concentration factor [c / 2^d] of a
+    {e sample} in a {e buffer} (distilled water).  This module provides
+    the two classic single-target dilution algorithms the paper builds
+    on, both expressed as mixing trees over the ratio [c : 2^d - c]:
+
+    - {!twm}: the two-way-mix / bit-scan tree (one sample or buffer
+      droplet joins per level following the binary expansion of [c]) —
+      identical to Min-Mix on the dilution ratio;
+    - {!dmrw}: the binary-search recipe of the waste-minimising dilution
+      algorithm of Roy et al. [17, 19] — each step mixes the two current
+      CF boundaries and halves the interval containing the target.
+
+    Feeding either tree to [Mdst.Forest.of_tree ~sharing:true] with a
+    demand [D] reproduces the {e dilution engine} of Roy et al. [20]:
+    multiple droplets of a single dilution target with droplet re-use —
+    the [N = 2] row of the paper's Table 1. *)
+
+val sample : Dmf.Fluid.t
+(** Fluid 0, supplied at CF 100%. *)
+
+val buffer : Dmf.Fluid.t
+(** Fluid 1, the neutral buffer. *)
+
+val ratio : c:int -> d:int -> Dmf.Ratio.t
+(** [ratio ~c ~d] is [c : 2^d - c].
+    @raise Invalid_argument unless [1 <= c <= 2^d - 1]. *)
+
+val twm : c:int -> d:int -> Tree.t
+(** The bit-scan dilution tree; always valid for [ratio ~c ~d]. *)
+
+val dmrw : c:int -> d:int -> Tree.t
+(** The binary-search recipe tree.  Repeatedly-used boundary mixtures
+    appear as structurally shared subtrees; executed with intra-pass
+    sharing, one mix-split per binary-search step suffices.  Always valid
+    for [ratio ~c ~d]. *)
+
+val dmrw_steps : c:int -> d:int -> int
+(** Number of binary-search steps of DMRW: [d] minus the number of
+    trailing zero bits of [c] — the number of {e distinct} intermediate
+    mixtures.  The executed mix-split count equals this when every
+    boundary droplet is needed at most twice and exceeds it (by the
+    necessary re-mixes) otherwise, never beyond twice the step count. *)

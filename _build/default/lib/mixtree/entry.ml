@@ -1,0 +1,103 @@
+type t = { fluid : Dmf.Fluid.t; weight : int }
+
+let compare_entries a b =
+  match Int.compare b.weight a.weight with
+  | 0 -> Dmf.Fluid.compare a.fluid b.fluid
+  | c -> c
+
+let sort entries = List.sort compare_entries entries
+
+let of_ratio r =
+  let entries = ref [] in
+  Array.iteri
+    (fun i a ->
+      let fluid = Dmf.Fluid.make i in
+      List.iter
+        (fun j -> entries := { fluid; weight = Dmf.Binary.pow2 j } :: !entries)
+        (Dmf.Binary.set_bits a))
+    (Dmf.Ratio.parts r);
+  sort !entries
+
+let total entries = List.fold_left (fun acc e -> acc + e.weight) 0 entries
+
+(* First-fit decreasing.  Invariant: after all entries of weight >= w have
+   been placed, the remaining capacity of the first bin is a multiple of
+   w, so an entry either fits exactly or the bin is already full. *)
+let partition ?tie ~half entries =
+  if total entries <> 2 * half then
+    invalid_arg "Entry.partition: total is not twice the half";
+  let compare_weighted a b =
+    match Int.compare b.weight a.weight with
+    | 0 -> (
+      match tie with
+      | None -> Dmf.Fluid.compare a.fluid b.fluid
+      | Some tie -> tie a b)
+    | c -> c
+  in
+  let left = ref [] and right = ref [] in
+  let capacity = ref half in
+  List.iter
+    (fun e ->
+      if e.weight <= !capacity then begin
+        left := e :: !left;
+        capacity := !capacity - e.weight
+      end
+      else right := e :: !right)
+    (List.sort compare_weighted entries);
+  assert (!capacity = 0);
+  (List.rev !left, List.rev !right)
+
+(* Deal [pool] alternately into two sides with fixed quotas; once a side is
+   full the remainder goes to the other side. *)
+let deal_round_robin ~left_quota ~right_quota pool =
+  let rec go toggle nl nr pool lacc racc =
+    match pool with
+    | [] -> (List.rev lacc, List.rev racc)
+    | e :: rest ->
+      let to_left =
+        if nl >= left_quota then false
+        else if nr >= right_quota then true
+        else toggle
+      in
+      if to_left then go (not toggle) (nl + 1) nr rest (e :: lacc) racc
+      else go (not toggle) nl (nr + 1) rest lacc (e :: racc)
+  in
+  go true 0 0 pool [] []
+
+let balance_fluids (left, right) =
+  (* For each weight class, re-deal the entries of that weight across the
+     two sides round-robin in fluid order; per-side counts (and therefore
+     sums) are unchanged. *)
+  let weights =
+    List.sort_uniq Int.compare (List.map (fun e -> e.weight) (left @ right))
+  in
+  let redistribute (left, right) w =
+    let is_w e = e.weight = w in
+    let lw, lrest = List.partition is_w left in
+    let rw, rrest = List.partition is_w right in
+    let pool = sort (lw @ rw) in
+    let lw', rw' =
+      deal_round_robin ~left_quota:(List.length lw)
+        ~right_quota:(List.length rw) pool
+    in
+    (lrest @ lw', rrest @ rw')
+  in
+  let left, right =
+    List.fold_left redistribute (left, right) weights
+  in
+  (sort left, sort right)
+
+let split_largest entries =
+  match sort entries with
+  | { fluid; weight } :: rest when weight >= 2 ->
+    let halfw = weight / 2 in
+    Some (sort ({ fluid; weight = halfw } :: { fluid; weight = halfw } :: rest))
+  | _ :: _ | [] -> None
+
+let pp ppf entries =
+  let pp_entry ppf e =
+    Format.fprintf ppf "%a:%d" Dmf.Fluid.pp e.fluid e.weight
+  in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ") pp_entry)
+    entries

@@ -1,0 +1,43 @@
+(** Leaf entries of a mixing tree.
+
+    A target part [ai] is realised by leaf droplets of fluid [i] entering
+    the tree at depths given by the binary expansion of [ai]: a set bit
+    [j] becomes one leaf of weight [2^j] (contributing [2^j / 2^d] of the
+    final volume).  Tree-construction algorithms manipulate multisets of
+    such entries and repeatedly partition them into two halves of equal
+    weight — always possible for powers of two (see {!partition}). *)
+
+type t = { fluid : Dmf.Fluid.t; weight : int }
+(** One leaf entry; [weight] is a power of two. *)
+
+val of_ratio : Dmf.Ratio.t -> t list
+(** [of_ratio r] expands each part into its set-bit entries, sorted by
+    decreasing weight (ties by fluid index). *)
+
+val total : t list -> int
+(** Sum of the weights. *)
+
+val sort : t list -> t list
+(** Sort by decreasing weight, ties by increasing fluid index. *)
+
+val partition : ?tie:(t -> t -> int) -> half:int -> t list -> t list * t list
+(** [partition ~half entries] splits [entries] (whose total must be
+    [2 * half]) into two halves of weight exactly [half] by first-fit
+    decreasing — exact because all weights are powers of two.  Entries of
+    equal weight are ordered by [tie] (fluid index by default), which lets
+    algorithms bias {e which} entries land in the first half without
+    breaking exactness.
+    @raise Invalid_argument if the total is not [2 * half]. *)
+
+val balance_fluids : t list * t list -> t list * t list
+(** [balance_fluids (l, r)] swaps equal-weight entries between the two
+    halves so that duplicate entries of the same fluid are spread across
+    both sides (the totals of each side are preserved).  Used by the RMA
+    variant to avoid mixing a fluid with itself. *)
+
+val split_largest : t list -> t list option
+(** [split_largest entries] replaces one entry of the largest weight
+    [w >= 2] by two entries of weight [w / 2], or returns [None] when all
+    entries are unit weight. *)
+
+val pp : Format.formatter -> t list -> unit

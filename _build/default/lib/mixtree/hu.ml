@@ -1,0 +1,96 @@
+type slot = { cycle : int; mixer : int }
+
+type task = {
+  id : int;  (* BFS index, root = 0 *)
+  hu_level : int;  (* distance from root + 1; deeper = higher priority *)
+  mutable pending_children : int;  (* unscheduled internal children *)
+  parent : int option;
+}
+
+(* Flatten the internal nodes of the tree into tasks, breadth-first. *)
+let tasks_of_tree t =
+  let tasks = ref [] in
+  let counter = ref 0 in
+  let queue = Queue.create () in
+  (match t with
+  | Tree.Leaf _ -> ()
+  | Tree.Mix _ -> Queue.add (t, 1, None) queue);
+  while not (Queue.is_empty queue) do
+    match Queue.pop queue with
+    | Tree.Leaf _, _, _ -> assert false
+    | Tree.Mix (a, b), hu_level, parent ->
+      let id = !counter in
+      incr counter;
+      let internal_children =
+        List.length
+          (List.filter
+             (function Tree.Mix _ -> true | Tree.Leaf _ -> false)
+             [ a; b ])
+      in
+      tasks := { id; hu_level; pending_children = internal_children; parent } :: !tasks;
+      List.iter
+        (function
+          | Tree.Mix _ as child -> Queue.add (child, hu_level + 1, Some id) queue
+          | Tree.Leaf _ -> ())
+        [ a; b ]
+  done;
+  let arr = Array.of_list (List.rev !tasks) in
+  Array.iteri (fun i task -> assert (task.id = i)) arr;
+  arr
+
+let run_hu tasks ~mixers =
+  if mixers < 1 then invalid_arg "Hu: at least one mixer is required";
+  let n = Array.length tasks in
+  let slots = Array.make n { cycle = 0; mixer = 0 } in
+  let scheduled = Array.make n false in
+  let remaining = ref n in
+  let cycle = ref 0 in
+  while !remaining > 0 do
+    incr cycle;
+    let ready =
+      Array.to_list tasks
+      |> List.filter (fun task ->
+             (not scheduled.(task.id)) && task.pending_children = 0)
+      (* Hu's rule: highest level (deepest task) first. *)
+      |> List.sort (fun a b ->
+             match Int.compare b.hu_level a.hu_level with
+             | 0 -> Int.compare a.id b.id
+             | c -> c)
+    in
+    List.iteri
+      (fun i task ->
+        if i < mixers then begin
+          slots.(task.id) <- { cycle = !cycle; mixer = i + 1 };
+          scheduled.(task.id) <- true;
+          decr remaining;
+          match task.parent with
+          | Some p -> tasks.(p).pending_children <- tasks.(p).pending_children - 1
+          | None -> ()
+        end)
+      ready
+  done;
+  (slots, !cycle)
+
+let schedule t ~mixers =
+  let slots, _ = run_hu (tasks_of_tree t) ~mixers in
+  Array.to_list slots
+
+let completion_time t ~mixers =
+  if mixers < 1 then invalid_arg "Hu: at least one mixer is required";
+  match t with
+  | Tree.Leaf _ -> 0
+  | Tree.Mix _ ->
+    let _, tc = run_hu (tasks_of_tree t) ~mixers in
+    tc
+
+let min_mixers_for_fastest t =
+  match t with
+  | Tree.Leaf _ -> 1
+  | Tree.Mix _ ->
+    let critical_path = Tree.depth t in
+    let upper = max 1 (Tree.internal_count t) in
+    let rec search m =
+      if m >= upper || completion_time t ~mixers:m = critical_path then m
+      else search (m + 1)
+    in
+    search 1

@@ -1,0 +1,28 @@
+(** Optimal scheduling of a single mixing tree (OMS [13]).
+
+    All (1:1) mix-split operations are identical unit-time tasks and a
+    mixing tree is an in-tree precedence graph, so Hu's level algorithm
+    (highest level first) yields a provably minimum-makespan schedule on
+    [Mc] identical mixers — the same optimum as the optimal mix scheduling
+    (OMS) of Luo and Akella used by the paper to schedule base trees and
+    the repeated baselines. *)
+
+type slot = { cycle : int; mixer : int }
+(** Mixer assignment of one mix-split step; cycles and mixers are numbered
+    from 1. *)
+
+val completion_time : Tree.t -> mixers:int -> int
+(** [completion_time t ~mixers] is the optimal number of time-cycles [tc]
+    needed to execute every mix-split of [t] with [mixers] on-chip mixers.
+    A bare leaf takes 0 cycles.  @raise Invalid_argument if
+    [mixers < 1]. *)
+
+val schedule : Tree.t -> mixers:int -> slot list
+(** [schedule t ~mixers] is the per-node assignment in breadth-first
+    order of the internal nodes of [t] (root first). *)
+
+val min_mixers_for_fastest : Tree.t -> int
+(** [min_mixers_for_fastest t] is the paper's [Mlb]: the smallest number
+    of mixers for which the tree still completes in [depth t] cycles
+    (the critical-path optimum).  A bare leaf needs 1 mixer by
+    convention. *)

@@ -1,0 +1,12 @@
+let rec build_entries entries k =
+  match entries with
+  | [] -> invalid_arg "Minmix: empty entry multiset"
+  | [ { Entry.fluid; weight } ] ->
+    assert (weight = Dmf.Binary.pow2 k);
+    Tree.Leaf fluid
+  | _ :: _ :: _ ->
+    let half = Dmf.Binary.pow2 (k - 1) in
+    let left, right = Entry.partition ~half entries in
+    Tree.Mix (build_entries left (k - 1), build_entries right (k - 1))
+
+let build r = build_entries (Entry.of_ratio r) (Dmf.Ratio.accuracy r)

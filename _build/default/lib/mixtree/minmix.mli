@@ -1,0 +1,11 @@
+(** The Min-Mix (MM) base mixing tree of Thies et al. [24].
+
+    Each part [ai] of the target ratio is expanded in binary; fluid [i]
+    contributes one leaf droplet at depth [d - j] for every set bit [j],
+    which is the minimum possible number of input droplets for a mixing
+    tree.  The entry multiset is split top-down into exact halves
+    (first-fit decreasing), producing a balanced tree of depth [d]. *)
+
+val build : Dmf.Ratio.t -> Tree.t
+(** [build r] is the MM mixing tree for [r]; its root value equals
+    [Dmf.Mixture.of_ratio r] and its depth is at most [Ratio.accuracy r]. *)

@@ -1,0 +1,17 @@
+(** The MTCS base mixing tree, after Kumar et al. [16].
+
+    MTCS ("Efficient Mixture Preparation") reduces the number of mix-split
+    operations of one pass by computing identical intermediate mixtures
+    once: a single mix-split emits two droplets, which can feed two
+    consumers needing the same value.  We model this as (a) a tree
+    construction that picks, among candidate partitions, the one whose
+    fully-shared pass cost ({!Sharing.pass_stats}) is smallest, and (b) an
+    execution mode with intra-pass droplet sharing (see
+    {!Algorithm.intra_pass_sharing}).
+
+    Reimplemented from the published description; see DESIGN.md §3. *)
+
+val build : Dmf.Ratio.t -> Tree.t
+(** [build r] is the MTCS mixing tree for [r]: exact-target semantics,
+    depth at most [Ratio.accuracy r], shared pass cost no worse than the
+    MM tree's. *)

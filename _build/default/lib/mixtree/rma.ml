@@ -1,0 +1,34 @@
+(* Remove the first entry with the given weight; [None] if absent. *)
+let take_weight w entries =
+  let rec go acc = function
+    | [] -> None
+    | e :: rest ->
+      if e.Entry.weight = w then Some (e, List.rev_append acc rest)
+      else go (e :: acc) rest
+  in
+  go [] entries
+
+let rec build_entries entries k =
+  match entries with
+  | [] -> invalid_arg "Rma: empty entry multiset"
+  | [ { Entry.fluid; weight } ] ->
+    assert (weight = Dmf.Binary.pow2 k);
+    Tree.Leaf fluid
+  | _ :: _ :: _ -> (
+    let half = Dmf.Binary.pow2 (k - 1) in
+    match take_weight half entries with
+    | Some (leaf_entry, others) ->
+      (* Caterpillar step: a single reservoir loading covers one half. *)
+      Tree.Mix (Tree.Leaf leaf_entry.Entry.fluid, build_entries others (k - 1))
+    | None ->
+      (* No loading of the right magnitude: split the largest one, then
+         partition, spreading same-fluid duplicates across both sides. *)
+      let entries =
+        match Entry.split_largest entries with
+        | Some split -> split
+        | None -> entries
+      in
+      let left, right = Entry.balance_fluids (Entry.partition ~half entries) in
+      Tree.Mix (build_entries left (k - 1), build_entries right (k - 1)))
+
+let build r = build_entries (Entry.of_ratio r) (Dmf.Ratio.accuracy r)

@@ -1,0 +1,17 @@
+(** The RMA base mixing tree, after Roy et al. [18].
+
+    RMA is the layout-aware solution-preparation algorithm; its trees are
+    skewed (a fresh reservoir droplet joins the carried mixture whenever a
+    single loading of the right magnitude exists) and consume more input
+    droplets than MM: when no single entry covers half of a node, RMA
+    splits the largest loading into two smaller ones, spending an extra
+    input droplet and an extra mix-split.  This is the property Section 4
+    of the DAC'14 paper exploits — "RMA constructs a base mixing tree with
+    a larger number of waste droplets compared to other mixing
+    algorithms", making it the best seed for the streaming engine.
+
+    Reimplemented from the published description; see DESIGN.md §3. *)
+
+val build : Dmf.Ratio.t -> Tree.t
+(** [build r] is the RMA mixing tree for [r]; exact-target semantics are
+    guaranteed, with [leaf_count] at least that of the MM tree. *)

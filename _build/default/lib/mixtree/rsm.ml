@@ -1,0 +1,27 @@
+let rec build_entries ~tie entries k =
+  match entries with
+  | [] -> invalid_arg "Rsm: empty entry multiset"
+  | [ { Entry.fluid; weight } ] ->
+    assert (weight = Dmf.Binary.pow2 k);
+    Tree.Leaf fluid
+  | _ :: _ :: _ ->
+    let half = Dmf.Binary.pow2 (k - 1) in
+    let left, right = Entry.partition ~tie ~half entries in
+    Tree.Mix (build_entries ~tie left (k - 1), build_entries ~tie right (k - 1))
+
+let build_with_carrier ~carrier r =
+  (* Among equal weights, carrier entries are placed first, concentrating
+     the carrier on the first side of every split. *)
+  let tie a b =
+    let rank e = if Dmf.Fluid.equal e.Entry.fluid carrier then 0 else 1 in
+    match Int.compare (rank a) (rank b) with
+    | 0 -> Dmf.Fluid.compare a.Entry.fluid b.Entry.fluid
+    | c -> c
+  in
+  build_entries ~tie (Entry.of_ratio r) (Dmf.Ratio.accuracy r)
+
+let build r =
+  let parts = Dmf.Ratio.parts r in
+  let carrier = ref 0 in
+  Array.iteri (fun i a -> if a > parts.(!carrier) then carrier := i) parts;
+  build_with_carrier ~carrier:(Dmf.Fluid.make !carrier) r

@@ -1,0 +1,18 @@
+(** The RSM base mixing tree, after Hsieh et al. [25].
+
+    RSM ("Reagent-Saving Mixing") biases tree construction so that the
+    cheapest fluid — the carrier with the largest part, typically the
+    buffer — is loaded in as few, as concentrated, portions as possible,
+    keeping the expensive reagents in shallow sub-mixtures that are easy
+    to share when preparing multiple targets.  The bias is realised by a
+    tie-breaking rule in the exact-halving partition, so exact-target
+    semantics are preserved.
+
+    Reimplemented from the published description; see DESIGN.md §3. *)
+
+val build : Dmf.Ratio.t -> Tree.t
+(** [build r] is the RSM mixing tree for [r]. *)
+
+val build_with_carrier : carrier:Dmf.Fluid.t -> Dmf.Ratio.t -> Tree.t
+(** [build_with_carrier ~carrier r] forces the carrier fluid instead of
+    picking the fluid with the largest part. *)

@@ -1,0 +1,31 @@
+(** Demand-driven cost analysis of a mixing tree with droplet sharing.
+
+    Every (1:1) mix-split emits {e two} droplets of the same value; when a
+    value is needed in several places (within one pass, or across the
+    component trees of a mixing forest), one mix instance can feed two
+    consumers.  This module propagates a droplet demand through the value
+    graph of a tree and reports the minimum mix-split, input and waste
+    counts achievable with full sharing — the analytical optimum that the
+    MDST mixing forest realises, and the per-pass cost model of the MTCS
+    baseline [16].
+
+    The numbers returned here serve as reference values for the
+    forest-construction tests: a greedy pool-based forest must match the
+    demand-driven mix count whenever no value admits two distinct
+    recipes. *)
+
+type stats = {
+  mixes : int;  (** Total (1:1) mix-split steps, [Tms]. *)
+  inputs : int array;  (** Input droplets per fluid, [I\[\]]. *)
+  waste : int;  (** Droplets produced but never consumed or emitted. *)
+}
+
+val demand_stats : n:int -> demand:int -> Tree.t -> stats
+(** [demand_stats ~n ~demand tree] is the fully-shared cost of producing
+    [demand] droplets of the root value of [tree] over a universe of [n]
+    fluids.  @raise Invalid_argument if [demand < 1]. *)
+
+val pass_stats : n:int -> Tree.t -> stats
+(** [pass_stats ~n tree] is [demand_stats ~n ~demand:2 tree] — the cost of
+    one pass when identical intermediate droplets are shared (the MTCS
+    execution model). *)

@@ -1,0 +1,1 @@
+lib/sim/contamination.ml: Chip Dmf Hashtbl Int List Mdst Option Trace

@@ -1,0 +1,1 @@
+lib/sim/contamination.mli: Chip Dmf Mdst Trace

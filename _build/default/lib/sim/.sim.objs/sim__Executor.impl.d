@@ -1,0 +1,1 @@
+lib/sim/executor.ml: Array Chip Dmf Hashtbl Int List Mdst Option Printf Result Trace

@@ -1,0 +1,1 @@
+lib/sim/executor.mli: Chip Dmf Mdst Trace

@@ -1,0 +1,1 @@
+lib/sim/parallel_transport.ml: Chip Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/sim/pipeline.ml: Chip Contamination Dmf Executor Mdst Result Trace Wear

@@ -1,0 +1,1 @@
+lib/sim/pipeline.mli: Chip Contamination Executor Mdst Stdlib Trace Wear

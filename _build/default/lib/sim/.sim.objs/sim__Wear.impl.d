@@ -1,0 +1,1 @@
+lib/sim/wear.ml: Array Buffer Char Executor Printf

@@ -1,0 +1,1 @@
+lib/sim/wear.mli: Chip Executor Mdst

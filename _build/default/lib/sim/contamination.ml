@@ -1,0 +1,133 @@
+type visit = { step : int; droplet : int; value : Dmf.Mixture.t; cycle : int }
+
+type pair = {
+  cell : Chip.Geometry.point;
+  first : visit;
+  second : visit;
+}
+
+type wash_plan = { washes : int; wash_steps : int }
+
+type t = {
+  pairs : pair list;
+  contaminated_cells : int;
+  total_crossings : int;
+  benign_crossings : int;
+  wash : wash_plan;
+}
+
+let key (p : Chip.Geometry.point) = (p.Chip.Geometry.x, p.Chip.Geometry.y)
+
+(* Greedy nearest-neighbour sweep from the waste reservoir through the
+   dirty cells and back — a simple estimate of one wash droplet's
+   route length. *)
+let sweep_length ~home cells =
+  let rec go current remaining acc =
+    match remaining with
+    | [] -> acc + Chip.Geometry.manhattan current home
+    | _ :: _ ->
+      let next =
+        List.fold_left
+          (fun best cell ->
+            match best with
+            | Some b
+              when Chip.Geometry.manhattan current b
+                   <= Chip.Geometry.manhattan current cell -> best
+            | Some _ | None -> Some cell)
+          None remaining
+      in
+      (match next with
+      | None -> acc
+      | Some next ->
+        go next
+          (List.filter (fun c -> c <> next) remaining)
+          (acc + Chip.Geometry.manhattan current next))
+  in
+  go home cells 0
+
+let analyze ~layout ~plan ~trace =
+  let n = Dmf.Ratio.n_fluids (Mdst.Plan.ratio plan) in
+  let values : (int, Dmf.Mixture.t) Hashtbl.t = Hashtbl.create 64 in
+  let visits : (int * int, visit list) Hashtbl.t = Hashtbl.create 256 in
+  let step = ref 0 in
+  List.iter
+    (fun event ->
+      match event with
+      | Trace.Dispense { droplet; fluid; _ } ->
+        Hashtbl.replace values droplet (Dmf.Mixture.pure ~n fluid)
+      | Trace.Mix { value; products = p0, p1; _ } ->
+        Hashtbl.replace values p0 value;
+        Hashtbl.replace values p1 value
+      | Trace.Move { droplet; path; cycle; _ } ->
+        let value =
+          match Hashtbl.find_opt values droplet with
+          | Some v -> v
+          | None -> Dmf.Mixture.pure ~n (Dmf.Fluid.make 0)
+        in
+        List.iter
+          (fun cell ->
+            incr step;
+            let visit = { step = !step; droplet; value; cycle } in
+            let existing =
+              Option.value ~default:[] (Hashtbl.find_opt visits (key cell))
+            in
+            Hashtbl.replace visits (key cell) (visit :: existing))
+          path
+      | Trace.Emit _ | Trace.Discard _ -> ())
+    trace;
+  let pairs = ref [] in
+  let total = ref 0 and benign = ref 0 in
+  let dirty_cells = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun (x, y) cell_visits ->
+      let chronological =
+        List.sort (fun a b -> Int.compare a.step b.step) cell_visits
+      in
+      let rec successions = function
+        | a :: (b :: _ as rest) ->
+          if a.droplet <> b.droplet then begin
+            incr total;
+            if Dmf.Mixture.equal a.value b.value then incr benign
+            else begin
+              let cell = { Chip.Geometry.x; y } in
+              pairs := { cell; first = a; second = b } :: !pairs;
+              Hashtbl.replace dirty_cells (x, y) ()
+            end
+          end;
+          successions rest
+        | [ _ ] | [] -> ()
+      in
+      successions chronological)
+    visits;
+  (* One wash sweep per cycle that produced fresh contamination. *)
+  let by_cycle = Hashtbl.create 16 in
+  List.iter
+    (fun p ->
+      let existing =
+        Option.value ~default:[] (Hashtbl.find_opt by_cycle p.second.cycle)
+      in
+      Hashtbl.replace by_cycle p.second.cycle (p.cell :: existing))
+    !pairs;
+  let home =
+    match Chip.Layout.wastes layout with
+    | w :: _ -> Chip.Chip_module.anchor w
+    | [] -> { Chip.Geometry.x = 0; y = 0 }
+  in
+  let washes = ref 0 and wash_steps = ref 0 in
+  Hashtbl.iter
+    (fun _cycle cells ->
+      incr washes;
+      wash_steps :=
+        !wash_steps + sweep_length ~home (List.sort_uniq compare cells))
+    by_cycle;
+  {
+    pairs = List.rev !pairs;
+    contaminated_cells = Hashtbl.length dirty_cells;
+    total_crossings = !total;
+    benign_crossings = !benign;
+    wash = { washes = !washes; wash_steps = !wash_steps };
+  }
+
+let wash_overhead_ratio t ~transport_electrodes =
+  if transport_electrodes = 0 then 0.
+  else float_of_int t.wash.wash_steps /. float_of_int transport_electrodes

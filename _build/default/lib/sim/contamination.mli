@@ -1,0 +1,50 @@
+(** Cross-contamination analysis and wash estimation.
+
+    Real reagents leave residues: when droplets of {e different}
+    compositions traverse the same electrode, the later one picks up
+    traces of the earlier one unless a wash droplet cleans the cell in
+    between (Zhao and Chakrabarty's wash-droplet line of work).  This
+    module replays a simulation trace, reconstructs which droplet crossed
+    which electrode when, and reports:
+
+    - the {b contamination pairs}: (cell, earlier droplet, later droplet)
+      with different values and no intervening wash;
+    - a greedy {b wash plan}: after each schedule cycle, one wash droplet
+      per contaminated region sweeps the dirty cells of that cycle by
+      nearest-neighbour order, dispensed from and disposed to the waste
+      reservoirs — an upper bound on the wash overhead.
+
+    Shared-composition traversals (two droplets of the same exact value)
+    do not contaminate — one more reason droplet re-use is cheap. *)
+
+type visit = { step : int; droplet : int; value : Dmf.Mixture.t; cycle : int }
+
+type pair = {
+  cell : Chip.Geometry.point;
+  first : visit;
+  second : visit;  (** The contaminated (later) traversal. *)
+}
+
+type wash_plan = {
+  washes : int;  (** Wash droplets dispensed. *)
+  wash_steps : int;  (** Electrodes actuated by the wash sweeps. *)
+}
+
+type t = {
+  pairs : pair list;
+  contaminated_cells : int;  (** Distinct cells with at least one pair. *)
+  total_crossings : int;  (** All same-cell different-droplet successions. *)
+  benign_crossings : int;  (** Successions with identical values. *)
+  wash : wash_plan;
+}
+
+val analyze :
+  layout:Chip.Layout.t ->
+  plan:Mdst.Plan.t ->
+  trace:Trace.t ->
+  t
+(** [analyze ~layout ~plan ~trace] replays the trace.  The plan supplies
+    the fluid universe for droplet values. *)
+
+val wash_overhead_ratio : t -> transport_electrodes:int -> float
+(** Wash actuations relative to the run's own transport actuations. *)

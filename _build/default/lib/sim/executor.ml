@@ -1,0 +1,384 @@
+type stats = {
+  cycles : int;
+  moves : int;
+  electrodes : int;
+  dispensed : int;
+  emitted : Dmf.Mixture.t list;
+  discarded : int;
+  violations : int;
+  heatmap : int array array;
+  addressing : Chip.Pin_assign.requirement list;
+      (* actuation requirements, in step order *)
+}
+
+type droplet = {
+  value : Dmf.Mixture.t;
+  mutable cell : Chip.Geometry.point;
+  mutable module_id : string;
+}
+
+type state = {
+  layout : Chip.Layout.t;
+  plan : Mdst.Plan.t;
+  schedule : Mdst.Schedule.t;
+  allocation : Chip.Storage_alloc.t;
+  droplets : (int, droplet) Hashtbl.t;
+  outputs : (int * int, int) Hashtbl.t;  (* (node, port) -> droplet id *)
+  mutable next_id : int;
+  mutable events : Trace.event list;  (* reversed *)
+  heatmap : int array array;
+  mutable requirements : Chip.Pin_assign.requirement list;  (* reversed *)
+  mutable step : int;
+}
+
+let emit_event state e = state.events <- e :: state.events
+
+(* Two parking cells inside a mixer for the operand / product pair. *)
+let mixer_slots m =
+  let r = m.Chip.Chip_module.rect in
+  let y = r.Chip.Geometry.y + (r.Chip.Geometry.h / 2) in
+  let x0 = r.Chip.Geometry.x + (max 0 ((r.Chip.Geometry.w / 2) - 1)) in
+  let x1 = min (r.Chip.Geometry.x + r.Chip.Geometry.w - 1) (x0 + 1) in
+  ( { Chip.Geometry.x = x0; y },
+    { Chip.Geometry.x = x1; y } )
+
+let fresh_droplet state ~value ~cell ~module_id =
+  let id = state.next_id in
+  state.next_id <- id + 1;
+  Hashtbl.replace state.droplets id { value; cell; module_id };
+  id
+
+(* Fluidic segregation: no cell of the route may come within Chebyshev
+   distance 1 of a droplet parked outside the source and destination
+   modules. *)
+let segregation_blocked state ~mover ~src_module ~dst_module p =
+  Hashtbl.fold
+    (fun id d acc ->
+      acc
+      || id <> mover
+         && d.module_id <> src_module
+         && d.module_id <> dst_module
+         && Chip.Geometry.chebyshev p d.cell <= 1)
+    state.droplets false
+
+let move_droplet state ~cycle ~id ~dst_module ~dst_cell =
+  let d = Hashtbl.find state.droplets id in
+  let allow = [ d.module_id; dst_module ] in
+  let blocked =
+    segregation_blocked state ~mover:id ~src_module:d.module_id
+      ~dst_module
+  in
+  let strict =
+    Chip.Router.route_cells ~blocked state.layout ~allow ~src:d.cell
+      ~dst:dst_cell
+  in
+  let path, segregation_ok =
+    match strict with
+    | Some path -> (Some path, true)
+    | None ->
+      ( Chip.Router.route_cells state.layout ~allow ~src:d.cell ~dst:dst_cell,
+        false )
+  in
+  match path with
+  | None ->
+    Error
+      (Printf.sprintf "droplet d%d cannot reach %s from %s" id dst_module
+         d.module_id)
+  | Some path ->
+    let cost = Chip.Router.path_cost path in
+    (* Per-step actuation bookkeeping: the heatmap, and the three-valued
+       addressing requirements (must-actuate the cell the droplet is
+       pulled onto; must-ground the cells around the droplet and around
+       every parked droplet, lest a shared pin tear or drag one). *)
+    let chebyshev_ring (c : Chip.Geometry.point) =
+      List.concat_map
+        (fun dy ->
+          List.filter_map
+            (fun dx ->
+              if dx = 0 && dy = 0 then None
+              else
+                Some
+                  { Chip.Geometry.x = c.Chip.Geometry.x + dx;
+                    y = c.Chip.Geometry.y + dy })
+            [ -1; 0; 1 ])
+        [ -1; 0; 1 ]
+    in
+    let parked_rings =
+      Hashtbl.fold
+        (fun other parked acc ->
+          if other = id then acc else chebyshev_ring parked.cell @ acc)
+        state.droplets []
+    in
+    let rec walk (current : Chip.Geometry.point) = function
+      | [] -> ()
+      | (next : Chip.Geometry.point) :: rest ->
+        state.heatmap.(next.Chip.Geometry.y).(next.Chip.Geometry.x) <-
+          state.heatmap.(next.Chip.Geometry.y).(next.Chip.Geometry.x) + 1;
+        state.step <- state.step + 1;
+        let must_ground =
+          List.filter
+            (fun p -> p <> next)
+            (chebyshev_ring current @ parked_rings)
+        in
+        state.requirements <-
+          { Chip.Pin_assign.step = state.step; must_actuate = [ next ];
+            must_ground }
+          :: state.requirements;
+        walk next rest
+    in
+    (match path with
+    | [] -> ()
+    | first :: steps -> walk first steps);
+    emit_event state
+      (Trace.Move
+         { cycle; droplet = id; src = d.module_id; dst = dst_module; path;
+           cost; segregation_ok });
+    d.cell <- dst_cell;
+    d.module_id <- dst_module;
+    Ok ()
+
+let remove_droplet state id = Hashtbl.remove state.droplets id
+
+let mixer_module state k = List.nth (Chip.Layout.mixers state.layout) (k - 1)
+
+let nearest_waste state mixer =
+  let wastes = Chip.Layout.wastes state.layout in
+  let dist w =
+    Option.value ~default:max_int
+      (Chip.Router.distance state.layout ~src:mixer.Chip.Chip_module.id
+         ~dst:w.Chip.Chip_module.id)
+  in
+  match
+    List.sort (fun a b -> Int.compare (dist a) (dist b)) wastes
+  with
+  | w :: _ -> Some w
+  | [] -> None
+
+let ( let* ) = Result.bind
+
+(* Evacuation: droplets produced at cycle [t - 1] that are not consumed at
+   cycle [t] leave their mixer for storage, waste or the output port. *)
+let evacuate state ~t node =
+  let id = node.Mdst.Plan.id in
+  let rec each_port = function
+    | [] -> Ok ()
+    | port :: rest ->
+      let droplet = Hashtbl.find state.outputs (id, port) in
+      let* () =
+        match Mdst.Plan.consumer state.plan ~node:id ~port with
+        | Some c when Mdst.Schedule.cycle state.schedule c = t ->
+          Ok () (* fetched directly during staging *)
+        | Some _ -> (
+          match
+            Chip.Storage_alloc.unit_for state.allocation ~producer:id ~port
+          with
+          | None ->
+            Error
+              (Printf.sprintf "no storage unit assigned to droplet (%d,%d)" id
+                 port)
+          | Some unit_id ->
+            let unit_module = Chip.Layout.find_exn state.layout unit_id in
+            move_droplet state ~cycle:t ~id:droplet ~dst_module:unit_id
+              ~dst_cell:(Chip.Chip_module.anchor unit_module))
+        | None ->
+          if Mdst.Plan.is_root state.plan id then begin
+            let out = Chip.Layout.output state.layout in
+            let* () =
+              move_droplet state ~cycle:t ~id:droplet
+                ~dst_module:out.Chip.Chip_module.id
+                ~dst_cell:(Chip.Chip_module.anchor out)
+            in
+            let d = Hashtbl.find state.droplets droplet in
+            emit_event state
+              (Trace.Emit { cycle = t; droplet; value = d.value });
+            remove_droplet state droplet;
+            Ok ()
+          end
+          else begin
+            let mixer =
+              mixer_module state (Mdst.Schedule.mixer state.schedule id)
+            in
+            match nearest_waste state mixer with
+            | None -> Error "layout has no waste reservoir"
+            | Some w ->
+              let* () =
+                move_droplet state ~cycle:t ~id:droplet
+                  ~dst_module:w.Chip.Chip_module.id
+                  ~dst_cell:(Chip.Chip_module.anchor w)
+              in
+              emit_event state
+                (Trace.Discard
+                   { cycle = t; droplet; waste = w.Chip.Chip_module.id });
+              remove_droplet state droplet;
+              Ok ()
+          end
+      in
+      each_port rest
+  in
+  each_port [ 0; 1 ]
+
+(* Staging: bring the two operand droplets of a node to its mixer. *)
+let stage state ~t node =
+  let mixer = mixer_module state (Mdst.Schedule.mixer state.schedule node.Mdst.Plan.id) in
+  let slot0, slot1 = mixer_slots mixer in
+  let fetch source slot =
+    match source with
+    | Mdst.Plan.Reserve _ ->
+      Error
+        "plans with reserve droplets are not supported by the simulator"
+    | Mdst.Plan.Input f ->
+      let reservoir =
+        try Ok (Chip.Layout.reservoir_for state.layout f)
+        with Not_found ->
+          Error
+            (Printf.sprintf "layout has no reservoir for %s"
+               (Dmf.Fluid.default_name f))
+      in
+      let* reservoir in
+      let value = Dmf.Mixture.pure ~n:(Dmf.Ratio.n_fluids (Mdst.Plan.ratio state.plan)) f in
+      let droplet =
+        fresh_droplet state ~value
+          ~cell:(Chip.Chip_module.anchor reservoir)
+          ~module_id:reservoir.Chip.Chip_module.id
+      in
+      emit_event state
+        (Trace.Dispense
+           { cycle = t; droplet; fluid = f;
+             reservoir = reservoir.Chip.Chip_module.id });
+      let* () =
+        move_droplet state ~cycle:t ~id:droplet
+          ~dst_module:mixer.Chip.Chip_module.id ~dst_cell:slot
+      in
+      Ok droplet
+    | Mdst.Plan.Output { node = producer; port } ->
+      let droplet = Hashtbl.find state.outputs (producer, port) in
+      let* () =
+        move_droplet state ~cycle:t ~id:droplet
+          ~dst_module:mixer.Chip.Chip_module.id ~dst_cell:slot
+      in
+      Ok droplet
+  in
+  let* left = fetch node.Mdst.Plan.left slot0 in
+  let* right = fetch node.Mdst.Plan.right slot1 in
+  Ok (left, right)
+
+(* Mixing: merge the two operands, mix, split into the two products. *)
+let mix state ~t node (left, right) =
+  let id = node.Mdst.Plan.id in
+  let mixer = mixer_module state (Mdst.Schedule.mixer state.schedule id) in
+  let slot0, slot1 = mixer_slots mixer in
+  let dl = Hashtbl.find state.droplets left in
+  let dr = Hashtbl.find state.droplets right in
+  let mixed = Dmf.Mixture.mix dl.value dr.value in
+  if not (Dmf.Mixture.equal mixed node.Mdst.Plan.value) then
+    Error
+      (Printf.sprintf "node %d mixed %s, plan expects %s" id
+         (Dmf.Mixture.to_string mixed)
+         (Dmf.Mixture.to_string node.Mdst.Plan.value))
+  else begin
+    remove_droplet state left;
+    remove_droplet state right;
+    let p0 =
+      fresh_droplet state ~value:mixed ~cell:slot0
+        ~module_id:mixer.Chip.Chip_module.id
+    in
+    let p1 =
+      fresh_droplet state ~value:mixed ~cell:slot1
+        ~module_id:mixer.Chip.Chip_module.id
+    in
+    Hashtbl.replace state.outputs (id, 0) p0;
+    Hashtbl.replace state.outputs (id, 1) p1;
+    emit_event state
+      (Trace.Mix
+         { cycle = t; node = id; mixer = mixer.Chip.Chip_module.id;
+           value = mixed; operands = (left, right); products = (p0, p1) });
+    Ok ()
+  end
+
+let run ~layout ~plan ~schedule =
+  let mixers = Chip.Layout.mixers layout in
+  let* () =
+    if List.length mixers >= Mdst.Schedule.mixers schedule then Ok ()
+    else
+      Error
+        (Printf.sprintf "layout has %d mixers, schedule needs %d"
+           (List.length mixers)
+           (Mdst.Schedule.mixers schedule))
+  in
+  let storage_ids =
+    List.map (fun m -> m.Chip.Chip_module.id) (Chip.Layout.storage_units layout)
+  in
+  let* allocation =
+    Chip.Storage_alloc.allocate ~plan ~schedule ~units:storage_ids
+  in
+  let state =
+    {
+      layout;
+      plan;
+      schedule;
+      allocation;
+      droplets = Hashtbl.create 64;
+      outputs = Hashtbl.create 64;
+      next_id = 0;
+      events = [];
+      heatmap =
+        Array.make_matrix (Chip.Layout.height layout) (Chip.Layout.width layout)
+          0;
+      requirements = [];
+      step = 0;
+    }
+  in
+  let tc = Mdst.Schedule.completion_time schedule in
+  let nodes_at t = Mdst.Schedule.at_cycle schedule t in
+  let rec each f = function
+    | [] -> Ok ()
+    | x :: rest ->
+      let* () = f x in
+      each f rest
+  in
+  let rec cycle t =
+    if t > tc + 1 then Ok ()
+    else
+      let* () = each (fun id -> evacuate state ~t (Mdst.Plan.node plan id)) (nodes_at (t - 1)) in
+      let* () =
+        if t > tc then Ok ()
+        else
+          each
+            (fun id ->
+              let node = Mdst.Plan.node plan id in
+              let* operands = stage state ~t node in
+              mix state ~t node operands)
+            (nodes_at t)
+      in
+      cycle (t + 1)
+  in
+  let* () = cycle 1 in
+  let trace = List.rev state.events in
+  let stats =
+    {
+      cycles = tc;
+      moves = Trace.moves trace;
+      electrodes = Trace.electrodes trace;
+      dispensed =
+        List.length
+          (List.filter (function Trace.Dispense _ -> true | _ -> false) trace);
+      emitted = Trace.emitted trace;
+      discarded =
+        List.length
+          (List.filter (function Trace.Discard _ -> true | _ -> false) trace);
+      violations = Trace.violations trace;
+      heatmap = state.heatmap;
+      addressing = List.rev state.requirements;
+    }
+  in
+  Ok (trace, stats)
+
+let check ~plan stats =
+  let want = Mdst.Plan.targets plan in
+  let got = List.length stats.emitted in
+  if got <> want then
+    Error (Printf.sprintf "emitted %d target droplets, expected %d" got want)
+  else
+    let target = Dmf.Mixture.of_ratio (Mdst.Plan.ratio plan) in
+    if List.for_all (Dmf.Mixture.equal target) stats.emitted then Ok ()
+    else Error "an emitted droplet does not match the target mixture"

@@ -1,0 +1,51 @@
+(** Cycle-level droplet simulator.
+
+    Executes a scheduled mixing forest on a concrete chip layout, droplet
+    by droplet: reservoir dispenses, routed moves with fluidic segregation
+    (no unrelated droplet within the 8-neighbourhood of a route), (1:1)
+    mix-splits in the assigned mixers, storage parking, waste disposal and
+    target emission at the output port.
+
+    Each schedule cycle expands into three phases:
+    + {b evacuation} — droplets mixed in the previous cycle leave their
+      mixer for a storage unit, the waste reservoir or the output port
+      (unless a consumer fetches them directly this cycle);
+    + {b staging} — the operand droplets of this cycle's mix-splits are
+      dispensed or fetched to their mixers;
+    + {b mixing} — co-located operands merge, mix and split.
+
+    Within a phase droplets move one at a time, so route interference
+    reduces to avoiding parked droplets; when no segregation-respecting
+    route exists the droplet takes the shortest module-avoiding route and
+    the move is flagged ({!Trace.violations}). *)
+
+type stats = {
+  cycles : int;  (** Schedule cycles executed. *)
+  moves : int;
+  electrodes : int;  (** Total electrode actuations of all moves. *)
+  dispensed : int;
+  emitted : Dmf.Mixture.t list;  (** Values of emitted targets, in order. *)
+  discarded : int;  (** Droplets sent to waste. *)
+  violations : int;  (** Moves that had to break segregation. *)
+  heatmap : int array array;
+      (** Per-electrode actuation counts, indexed [y].[x] — one count per
+          route step, the basis of the {!Wear} analysis. *)
+  addressing : Chip.Pin_assign.requirement list;
+      (** Three-valued actuation requirements of every route step, in
+          step order — the input of broadcast pin assignment
+          ({!Chip.Pin_assign.assign}). *)
+}
+
+val run :
+  layout:Chip.Layout.t ->
+  plan:Mdst.Plan.t ->
+  schedule:Mdst.Schedule.t ->
+  (Trace.t * stats, string) result
+(** [run ~layout ~plan ~schedule] simulates the full schedule.  Fails when
+    the layout cannot host the schedule (missing reservoir, too few
+    mixers or storage units, unreachable modules). *)
+
+val check : plan:Mdst.Plan.t -> stats -> (unit, string) result
+(** Post-execution verification: the number of emitted droplets equals
+    the plan's target count and every emitted value equals the target
+    mixture. *)

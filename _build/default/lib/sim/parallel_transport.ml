@@ -1,0 +1,100 @@
+type cycle_report = {
+  cycle : int;
+  moves : int;
+  serial_steps : int;
+  parallel_steps : int;
+  fallback : bool;
+}
+
+type t = {
+  cycles : cycle_report list;
+  total_serial : int;
+  total_parallel : int;
+  speedup : float;
+  fallbacks : int;
+}
+
+(* Hand out distinct cells of a module to the droplets of one batch that
+   start or end there (two operands of one mixer, several dispenses from
+   one reservoir, ...). *)
+let make_cell_allocator layout =
+  let used : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  fun module_id ->
+    let m = Chip.Layout.find_exn layout module_id in
+    let cells = Chip.Geometry.rect_cells m.Chip.Chip_module.rect in
+    let index = Option.value ~default:0 (Hashtbl.find_opt used module_id) in
+    Hashtbl.replace used module_id (index + 1);
+    List.nth cells (index mod List.length cells)
+
+let analyze ~layout ~plan ~schedule =
+  match Chip.Actuation.account ~layout ~plan ~schedule with
+  | Error e -> Error e
+  | Ok accounting ->
+    let by_cycle : (int, Chip.Actuation.movement list) Hashtbl.t =
+      Hashtbl.create 32
+    in
+    List.iter
+      (fun m ->
+        let existing =
+          Option.value ~default:[] (Hashtbl.find_opt by_cycle m.Chip.Actuation.cycle)
+        in
+        Hashtbl.replace by_cycle m.Chip.Actuation.cycle (m :: existing))
+      accounting.Chip.Actuation.movements;
+    let cycles =
+      Hashtbl.fold (fun cycle movements acc -> (cycle, List.rev movements) :: acc) by_cycle []
+      |> List.sort compare
+    in
+    let reports =
+      List.map
+        (fun (cycle, movements) ->
+          let allocate = make_cell_allocator layout in
+          let requests =
+            List.mapi
+              (fun i m ->
+                {
+                  Chip.Parallel_router.id = i;
+                  src = allocate m.Chip.Actuation.src;
+                  dst = allocate m.Chip.Actuation.dst;
+                  allow = [ m.Chip.Actuation.src; m.Chip.Actuation.dst ];
+                })
+              movements
+          in
+          let serial_steps =
+            List.fold_left (fun acc m -> acc + m.Chip.Actuation.cost) 0 movements
+          in
+          match Chip.Parallel_router.route_batch layout requests with
+          | Ok routed ->
+            {
+              cycle;
+              moves = List.length movements;
+              serial_steps;
+              parallel_steps = Chip.Parallel_router.makespan routed;
+              fallback = false;
+            }
+          | Error _ ->
+            {
+              cycle;
+              moves = List.length movements;
+              serial_steps;
+              parallel_steps = serial_steps;
+              fallback = true;
+            })
+        cycles
+    in
+    let total_serial =
+      List.fold_left (fun acc r -> acc + r.serial_steps) 0 reports
+    in
+    let total_parallel =
+      List.fold_left (fun acc r -> acc + r.parallel_steps) 0 reports
+    in
+    Ok
+      {
+        cycles = reports;
+        total_serial;
+        total_parallel;
+        speedup =
+          (if total_parallel = 0 then 1.
+           else float_of_int total_serial /. float_of_int total_parallel);
+        fallbacks =
+          List.length (List.filter (fun r -> r.fallback) reports);
+      }

@@ -1,0 +1,36 @@
+(** Parallel-transport analysis of a scheduled forest.
+
+    The executor serialises droplet moves (one at a time), which is safe
+    but pessimistic about latency; a routing compiler moves all of a
+    cycle's droplets concurrently.  This analysis groups the droplet
+    movements of every schedule cycle into a batch, plans each batch
+    with the space-time {!Chip.Parallel_router}, and reports how many
+    transport sub-steps concurrent routing needs compared to the
+    serialised total — the latency headroom a path-scheduling backend
+    (Grissom and Brisk [8]) would recover. *)
+
+type cycle_report = {
+  cycle : int;
+  moves : int;  (** Droplet movements in this cycle's batch. *)
+  serial_steps : int;  (** Sum of the individual route lengths. *)
+  parallel_steps : int;  (** Makespan of the concurrent plan. *)
+  fallback : bool;
+      (** [true] when prioritised planning failed and the serial value
+          was used for this cycle. *)
+}
+
+type t = {
+  cycles : cycle_report list;
+  total_serial : int;
+  total_parallel : int;
+  speedup : float;  (** [total_serial / total_parallel] (1.0 when empty). *)
+  fallbacks : int;
+}
+
+val analyze :
+  layout:Chip.Layout.t ->
+  plan:Mdst.Plan.t ->
+  schedule:Mdst.Schedule.t ->
+  (t, string) result
+(** [analyze ~layout ~plan ~schedule] derives the per-cycle batches from
+    the actuation accounting and plans them concurrently. *)

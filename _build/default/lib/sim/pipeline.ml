@@ -1,0 +1,37 @@
+type result = {
+  engine : Mdst.Engine.result;
+  layout : Chip.Layout.t;
+  trace : Trace.t;
+  stats : Executor.stats;
+  actuation : Chip.Actuation.t;
+  wear : Wear.t;
+  contamination : Contamination.t;
+}
+
+let ( let* ) = Result.bind
+
+let run ?layout spec =
+  let engine = Mdst.Engine.prepare spec in
+  let plan = engine.Mdst.Engine.plan and schedule = engine.Mdst.Engine.schedule in
+  let layout =
+    match layout with
+    | Some layout -> layout
+    | None ->
+      Chip.Layout.default ~mixers:engine.Mdst.Engine.mixers
+        ~storage_units:(max 1 (Mdst.Storage.units ~plan schedule))
+        ~n_fluids:(Dmf.Ratio.n_fluids spec.Mdst.Engine.ratio)
+        ()
+  in
+  let* actuation = Chip.Actuation.account ~layout ~plan ~schedule in
+  let* trace, stats = Executor.run ~layout ~plan ~schedule in
+  let* () = Executor.check ~plan stats in
+  Ok
+    {
+      engine;
+      layout;
+      trace;
+      stats;
+      actuation;
+      wear = Wear.of_stats stats;
+      contamination = Contamination.analyze ~layout ~plan ~trace;
+    }

@@ -1,0 +1,25 @@
+(** The full stack in one call: plan → schedule → place → execute →
+    analyse.
+
+    [run] prepares the mixing forest for an {!Mdst.Engine.spec}, sizes a
+    default chip (or uses the one you pass), executes the schedule in the
+    droplet simulator, verifies every emitted droplet, and returns the
+    physical analyses alongside the engine result. *)
+
+type result = {
+  engine : Mdst.Engine.result;
+  layout : Chip.Layout.t;
+  trace : Trace.t;
+  stats : Executor.stats;
+  actuation : Chip.Actuation.t;  (** Movement-level accounting. *)
+  wear : Wear.t;  (** Per-electrode actuation heatmap. *)
+  contamination : Contamination.t;  (** Residue crossings and wash estimate. *)
+}
+
+val run :
+  ?layout:Chip.Layout.t -> Mdst.Engine.spec -> (result, string) Stdlib.result
+(** [run spec] executes the whole pipeline.  Without [layout] a default
+    chip is generated with exactly the mixers and storage units the
+    schedule needs.  Fails if the layout cannot host the schedule, the
+    simulation breaks a constraint it cannot fall back from, or the
+    emitted droplets do not verify against the target. *)

@@ -1,0 +1,73 @@
+type event =
+  | Dispense of {
+      cycle : int;
+      droplet : int;
+      fluid : Dmf.Fluid.t;
+      reservoir : string;
+    }
+  | Move of {
+      cycle : int;
+      droplet : int;
+      src : string;
+      dst : string;
+      path : Chip.Geometry.point list;
+      cost : int;
+      segregation_ok : bool;
+    }
+  | Mix of {
+      cycle : int;
+      node : int;
+      mixer : string;
+      value : Dmf.Mixture.t;
+      operands : int * int;
+      products : int * int;
+    }
+  | Emit of { cycle : int; droplet : int; value : Dmf.Mixture.t }
+  | Discard of { cycle : int; droplet : int; waste : string }
+
+type t = event list
+
+let cycle_of = function
+  | Dispense { cycle; _ }
+  | Move { cycle; _ }
+  | Mix { cycle; _ }
+  | Emit { cycle; _ }
+  | Discard { cycle; _ } -> cycle
+
+let pp_event ppf = function
+  | Dispense { cycle; droplet; fluid; reservoir } ->
+    Format.fprintf ppf "[%3d] dispense d%d (%a) from %s" cycle droplet
+      Dmf.Fluid.pp fluid reservoir
+  | Move { cycle; droplet; src; dst; path = _; cost; segregation_ok } ->
+    Format.fprintf ppf "[%3d] move d%d %s -> %s (%d electrodes)%s" cycle
+      droplet src dst cost
+      (if segregation_ok then "" else " [segregation violated]")
+  | Mix { cycle; node; mixer; value; operands = a, b; products = c, d } ->
+    Format.fprintf ppf "[%3d] mix-split node %d in %s: d%d + d%d -> d%d, d%d = %a"
+      cycle node mixer a b c d Dmf.Mixture.pp value
+  | Emit { cycle; droplet; value } ->
+    Format.fprintf ppf "[%3d] emit d%d = %a" cycle droplet Dmf.Mixture.pp value
+  | Discard { cycle; droplet; waste } ->
+    Format.fprintf ppf "[%3d] discard d%d to %s" cycle droplet waste
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_event)
+    t
+
+let moves t =
+  List.length (List.filter (function Move _ -> true | _ -> false) t)
+
+let electrodes t =
+  List.fold_left
+    (fun acc -> function Move { cost; _ } -> acc + cost | _ -> acc)
+    0 t
+
+let emitted t =
+  List.filter_map (function Emit { value; _ } -> Some value | _ -> None) t
+
+let violations t =
+  List.length
+    (List.filter
+       (function Move { segregation_ok = false; _ } -> true | _ -> false)
+       t)

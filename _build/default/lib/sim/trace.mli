@@ -1,0 +1,46 @@
+(** Execution traces of the droplet-level simulator. *)
+
+type event =
+  | Dispense of {
+      cycle : int;
+      droplet : int;
+      fluid : Dmf.Fluid.t;
+      reservoir : string;
+    }
+  | Move of {
+      cycle : int;
+      droplet : int;
+      src : string;
+      dst : string;
+      path : Chip.Geometry.point list;
+          (** The full route, source cell first. *)
+      cost : int;  (** Electrodes actuated along the route. *)
+      segregation_ok : bool;
+          (** Whether the route respected the fluidic segregation ring
+              around every unrelated parked droplet. *)
+    }
+  | Mix of {
+      cycle : int;
+      node : int;  (** Plan node id. *)
+      mixer : string;
+      value : Dmf.Mixture.t;
+      operands : int * int;  (** Droplet ids consumed. *)
+      products : int * int;  (** Droplet ids produced. *)
+    }
+  | Emit of { cycle : int; droplet : int; value : Dmf.Mixture.t }
+  | Discard of { cycle : int; droplet : int; waste : string }
+
+type t = event list
+(** Chronological event list. *)
+
+val cycle_of : event -> int
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit
+
+val moves : t -> int
+val electrodes : t -> int
+(** Total actuation cost over all moves. *)
+
+val emitted : t -> Dmf.Mixture.t list
+val violations : t -> int
+(** Moves that could not respect droplet segregation. *)

@@ -1,0 +1,52 @@
+type t = {
+  total : int;
+  hottest : int;
+  active_electrodes : int;
+  mean_per_active : float;
+  heatmap : int array array;
+}
+
+let of_stats (stats : Executor.stats) =
+  let total = ref 0 and hottest = ref 0 and active = ref 0 in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun count ->
+          total := !total + count;
+          hottest := max !hottest count;
+          if count > 0 then incr active)
+        row)
+    stats.Executor.heatmap;
+  {
+    total = !total;
+    hottest = !hottest;
+    active_electrodes = !active;
+    mean_per_active =
+      (if !active = 0 then 0. else float_of_int !total /. float_of_int !active);
+    heatmap = stats.Executor.heatmap;
+  }
+
+let of_run ~layout ~plan ~schedule =
+  match Executor.run ~layout ~plan ~schedule with
+  | Error e -> Error e
+  | Ok (_, stats) -> Ok (of_stats stats)
+
+let render t =
+  let buffer = Buffer.create 256 in
+  Array.iter
+    (fun row ->
+      Array.iter
+        (fun count ->
+          Buffer.add_char buffer
+            (if count = 0 then '.'
+             else if count < 10 then Char.chr (Char.code '0' + count)
+             else '*'))
+        row;
+      Buffer.add_char buffer '\n')
+    t.heatmap;
+  Buffer.add_string buffer
+    (Printf.sprintf
+       "total=%d actuations, hottest electrode=%d, active electrodes=%d, \
+        mean per active=%.1f\n"
+       t.total t.hottest t.active_electrodes t.mean_per_active);
+  Buffer.contents buffer

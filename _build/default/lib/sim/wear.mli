@@ -1,0 +1,32 @@
+(** Electrode-wear analysis of a simulation trace.
+
+    "Excessive electrode actuation leads to reliability problems and
+    reduced lifetime for biochips" (Section 5, after [10]).  This module
+    turns an execution into a per-electrode actuation heatmap and
+    summary wear statistics, so the streamed forest can be compared with
+    repeated baseline passes not just in total actuations but in how
+    hard the hottest electrode is driven. *)
+
+type t = {
+  total : int;  (** Total electrode actuations. *)
+  hottest : int;  (** Actuations of the most-used electrode. *)
+  active_electrodes : int;  (** Electrodes actuated at least once. *)
+  mean_per_active : float;
+  heatmap : int array array;  (** Indexed [y].[x]; same size as the grid. *)
+}
+
+val of_stats : Executor.stats -> t
+(** Summarise the heatmap of an existing run. *)
+
+val of_run :
+  layout:Chip.Layout.t ->
+  plan:Mdst.Plan.t ->
+  schedule:Mdst.Schedule.t ->
+  (t, string) result
+(** Re-executes the schedule with the simulator and accumulates the
+    per-cell actuation counts of every routed move (module-internal
+    mixing actuation is not counted, matching the paper's
+    transport-cost accounting). *)
+
+val render : t -> string
+(** ASCII heatmap: [.] never used, digits 1-9, [*] for 10+. *)

@@ -1,0 +1,1 @@
+lib/viz/chip_svg.ml: Array Chip Fun List Printf Svg

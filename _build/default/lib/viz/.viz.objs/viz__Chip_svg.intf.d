@@ -1,0 +1,1 @@
+lib/viz/chip_svg.mli: Chip

@@ -1,0 +1,1 @@
+lib/viz/gantt_svg.ml: Array Dmf Fun List Mdst Printf Svg

@@ -1,0 +1,83 @@
+let cell = 22.
+let margin = 30.
+
+let kind_color = function
+  | Chip.Chip_module.Reservoir _ -> "#4e79a7"
+  | Chip.Chip_module.Mixer -> "#e15759"
+  | Chip.Chip_module.Storage -> "#edc948"
+  | Chip.Chip_module.Waste -> "#9c755f"
+  | Chip.Chip_module.Output_port -> "#59a14f"
+
+let render ?heatmap layout =
+  let w = Chip.Layout.width layout and h = Chip.Layout.height layout in
+  let width = margin +. (float_of_int w *. cell) +. margin in
+  let height = margin +. (float_of_int h *. cell) +. margin in
+  let elements = ref [] in
+  let push e = elements := e :: !elements in
+  let cx x = margin +. (float_of_int x *. cell) in
+  let cy y = margin +. (float_of_int y *. cell) in
+  (* Electrode grid, shaded by wear when a heatmap is given. *)
+  let max_heat =
+    match heatmap with
+    | None -> 0
+    | Some grid ->
+      Array.fold_left
+        (fun acc row -> Array.fold_left max acc row)
+        1 grid
+  in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let heat =
+        match heatmap with None -> 0 | Some grid -> grid.(y).(x)
+      in
+      let fill, opacity =
+        if heat = 0 then ("#f4f4f4", None)
+        else
+          ( "#d62728",
+            Some (0.15 +. (0.85 *. float_of_int heat /. float_of_int max_heat)) )
+      in
+      let children =
+        [ Svg.rect ~x:(cx x) ~y:(cy y) ~w:(cell -. 1.) ~h:(cell -. 1.) ~fill
+            ?opacity ~stroke:"#ddd" () ]
+        @
+        if heat > 0 then
+          [ Svg.title (Printf.sprintf "(%d,%d): %d actuations" x y heat) ]
+        else []
+      in
+      push (Svg.group children)
+    done
+  done;
+  (* Modules. *)
+  List.iter
+    (fun m ->
+      let r = m.Chip.Chip_module.rect in
+      push
+        (Svg.group
+           [
+             Svg.rect
+               ~x:(cx r.Chip.Geometry.x)
+               ~y:(cy r.Chip.Geometry.y)
+               ~w:((float_of_int r.Chip.Geometry.w *. cell) -. 1.)
+               ~h:((float_of_int r.Chip.Geometry.h *. cell) -. 1.)
+               ~rx:3.
+               ~fill:(kind_color m.Chip.Chip_module.kind)
+               ~stroke:"#333"
+               ~opacity:(if heatmap = None then 1.0 else 0.45)
+               ();
+             Svg.text
+               ~x:(cx r.Chip.Geometry.x +. (float_of_int r.Chip.Geometry.w *. cell /. 2.))
+               ~y:(cy r.Chip.Geometry.y +. (float_of_int r.Chip.Geometry.h *. cell /. 2.) +. 3.)
+               ~anchor:"middle" ~fill:"#111"
+               m.Chip.Chip_module.id;
+             Svg.title
+               (Printf.sprintf "%s (%s)" m.Chip.Chip_module.id
+                  (Chip.Chip_module.kind_name m.Chip.Chip_module.kind));
+           ]))
+    (Chip.Layout.modules layout);
+  Svg.document ~width ~height (List.rev !elements)
+
+let write ~path ?heatmap layout =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ?heatmap layout))

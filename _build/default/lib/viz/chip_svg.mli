@@ -1,0 +1,12 @@
+(** SVG rendering of a chip layout — the graphical Figure 5.
+
+    Electrode grid with the placed modules coloured by kind and labelled;
+    an optional wear heatmap shades each electrode by its actuation
+    count. *)
+
+val render : ?heatmap:int array array -> Chip.Layout.t -> string
+(** A standalone SVG document.  [heatmap] must match the grid dimensions
+    when given (as produced by {!Sim.Executor.run}). *)
+
+val write : path:string -> ?heatmap:int array array -> Chip.Layout.t -> unit
+(** Write the document to a file.  @raise Sys_error on IO failure. *)

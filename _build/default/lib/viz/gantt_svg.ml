@@ -1,0 +1,98 @@
+let cell_w = 46.
+let cell_h = 26.
+let margin = 54.
+
+let render ~plan schedule =
+  let tc = Mdst.Schedule.completion_time schedule in
+  let mixers = Mdst.Schedule.mixers schedule in
+  let occupancy = Mdst.Storage.profile ~plan schedule in
+  let max_occupancy = Array.fold_left max 1 occupancy in
+  let storage_h = 40. in
+  let width = margin +. (float_of_int tc *. cell_w) +. 20. in
+  let height =
+    margin +. (float_of_int mixers *. cell_h) +. storage_h +. 60.
+  in
+  let elements = ref [] in
+  let push e = elements := e :: !elements in
+  (* Axis labels. *)
+  for t = 1 to tc do
+    push
+      (Svg.text
+         ~x:(margin +. ((float_of_int t -. 0.5) *. cell_w))
+         ~y:(margin -. 8.) ~anchor:"middle"
+         (string_of_int t))
+  done;
+  for m = 1 to mixers do
+    push
+      (Svg.text ~x:8.
+         ~y:(margin +. ((float_of_int m -. 0.35) *. cell_h))
+         (Printf.sprintf "M%d" m))
+  done;
+  (* Mixer cells. *)
+  List.iter
+    (fun node ->
+      let id = node.Mdst.Plan.id in
+      let t = Mdst.Schedule.cycle schedule id in
+      let m = Mdst.Schedule.mixer schedule id in
+      let x = margin +. (float_of_int (t - 1) *. cell_w) in
+      let y = margin +. (float_of_int (m - 1) *. cell_h) in
+      push
+        (Svg.group
+           [
+             Svg.rect ~x:(x +. 1.) ~y:(y +. 1.) ~w:(cell_w -. 2.)
+               ~h:(cell_h -. 2.) ~rx:3.
+               ~fill:(Svg.palette node.Mdst.Plan.tree)
+               ~stroke:"#333" ();
+             Svg.text
+               ~x:(x +. (cell_w /. 2.))
+               ~y:(y +. (cell_h /. 2.) +. 3.5)
+               ~anchor:"middle" ~fill:"#fff"
+               (Mdst.Gantt.label node);
+             Svg.title
+               (Printf.sprintf "%s @ cycle %d: %s" (Mdst.Gantt.label node) t
+                  (Dmf.Mixture.to_string node.Mdst.Plan.value));
+           ]))
+    (Mdst.Plan.nodes plan);
+  (* Storage occupancy bars. *)
+  let base = margin +. (float_of_int mixers *. cell_h) +. 18. in
+  push (Svg.text ~x:8. ~y:(base +. 14.) "q");
+  Array.iteri
+    (fun i occ ->
+      let h =
+        storage_h *. float_of_int occ /. float_of_int max_occupancy
+      in
+      push
+        (Svg.group
+           [
+             Svg.rect
+               ~x:(margin +. (float_of_int i *. cell_w) +. 6.)
+               ~y:(base +. storage_h -. h)
+               ~w:(cell_w -. 12.) ~h ~fill:"#888" ();
+             Svg.title
+               (Printf.sprintf "cycle %d: %d droplet(s) stored" (i + 1) occ);
+           ]))
+    occupancy;
+  (* Emission markers. *)
+  let emissions = Mdst.Schedule.emission_order ~plan schedule in
+  let ey = base +. storage_h +. 22. in
+  push (Svg.text ~x:8. ~y:ey "out");
+  List.iter
+    (fun (t, _) ->
+      push
+        (Svg.rect
+           ~x:(margin +. ((float_of_int t -. 0.5) *. cell_w) -. 4.)
+           ~y:(ey -. 10.) ~w:8. ~h:8. ~rx:4. ~fill:"#2a9d2a" ()))
+    emissions;
+  push
+    (Svg.text ~x:margin
+       ~y:(height -. 8.)
+       (Printf.sprintf "Tc = %d cycles, q = %d storage units, %d targets" tc
+          (Mdst.Storage.units ~plan schedule)
+          (Mdst.Plan.targets plan)));
+  Svg.document ~width ~height (List.rev !elements)
+
+let write ~path ~plan schedule =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ~plan schedule))

@@ -1,0 +1,12 @@
+(** SVG rendering of a forest schedule — the graphical Figure 4.
+
+    One row per mixer, one column per time-cycle; each mix-split cell is
+    coloured by its component tree and labelled [m_ij], with a tooltip
+    giving the droplet value.  A storage-occupancy bar chart and the
+    target-emission markers sit below the mixer rows. *)
+
+val render : plan:Mdst.Plan.t -> Mdst.Schedule.t -> string
+(** A standalone SVG document. *)
+
+val write : path:string -> plan:Mdst.Plan.t -> Mdst.Schedule.t -> unit
+(** Write the document to a file.  @raise Sys_error on IO failure. *)

@@ -1,0 +1,99 @@
+type t =
+  | Element of { tag : string; attrs : (string * string) list; children : t list }
+  | Text_node of string
+
+let escape s =
+  let buffer = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buffer "&lt;"
+      | '>' -> Buffer.add_string buffer "&gt;"
+      | '&' -> Buffer.add_string buffer "&amp;"
+      | '"' -> Buffer.add_string buffer "&quot;"
+      | '\'' -> Buffer.add_string buffer "&apos;"
+      | c -> Buffer.add_char buffer c)
+    s;
+  Buffer.contents buffer
+
+let f2s x =
+  (* Compact float rendering: "12" rather than "12.". *)
+  if Float.is_integer x && Float.abs x < 1e9 then
+    string_of_int (int_of_float x)
+  else Printf.sprintf "%.2f" x
+
+let rect ~x ~y ~w ~h ?rx ?fill ?stroke ?opacity () =
+  let attrs =
+    [ ("x", f2s x); ("y", f2s y); ("width", f2s w); ("height", f2s h) ]
+    @ (match rx with Some r -> [ ("rx", f2s r) ] | None -> [])
+    @ (match fill with Some c -> [ ("fill", c) ] | None -> [])
+    @ (match stroke with Some c -> [ ("stroke", c) ] | None -> [])
+    @ (match opacity with Some o -> [ ("fill-opacity", f2s o) ] | None -> [])
+  in
+  Element { tag = "rect"; attrs; children = [] }
+
+let line ~x1 ~y1 ~x2 ~y2 ?(stroke = "#333") ?(width = 1.) () =
+  Element
+    {
+      tag = "line";
+      attrs =
+        [ ("x1", f2s x1); ("y1", f2s y1); ("x2", f2s x2); ("y2", f2s y2);
+          ("stroke", stroke); ("stroke-width", f2s width) ];
+      children = [];
+    }
+
+let text ~x ~y ?(size = 10.) ?(fill = "#111") ?(anchor = "start") content =
+  Element
+    {
+      tag = "text";
+      attrs =
+        [ ("x", f2s x); ("y", f2s y); ("font-size", f2s size); ("fill", fill);
+          ("text-anchor", anchor); ("font-family", "monospace") ];
+      children = [ Text_node (escape content) ];
+    }
+
+let title content =
+  Element { tag = "title"; attrs = []; children = [ Text_node (escape content) ] }
+
+let group ?transform children =
+  let attrs =
+    match transform with Some t -> [ ("transform", t) ] | None -> []
+  in
+  Element { tag = "g"; attrs; children }
+
+let rec render buffer = function
+  | Text_node s -> Buffer.add_string buffer s
+  | Element { tag; attrs; children } ->
+    Buffer.add_char buffer '<';
+    Buffer.add_string buffer tag;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_string buffer
+          (Printf.sprintf " %s=\"%s\"" k (escape v)))
+      attrs;
+    if children = [] then Buffer.add_string buffer "/>"
+    else begin
+      Buffer.add_char buffer '>';
+      List.iter (render buffer) children;
+      Buffer.add_string buffer (Printf.sprintf "</%s>" tag)
+    end
+
+let document ~width ~height children =
+  let buffer = Buffer.create 4096 in
+  Buffer.add_string buffer
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%s\" height=\"%s\" \
+        viewBox=\"0 0 %s %s\">"
+       (f2s width) (f2s height) (f2s width) (f2s height));
+  List.iter (render buffer) children;
+  Buffer.add_string buffer "</svg>";
+  Buffer.contents buffer
+
+let palette_colors =
+  [|
+    "#4e79a7"; "#f28e2b"; "#e15759"; "#76b7b2"; "#59a14f"; "#edc948";
+    "#b07aa1"; "#ff9da7"; "#9c755f"; "#bab0ac"; "#1f77b4"; "#d62728";
+  |]
+
+let palette i =
+  palette_colors.(abs i mod Array.length palette_colors)

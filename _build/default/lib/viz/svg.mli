@@ -1,0 +1,33 @@
+(** A minimal SVG document builder.
+
+    Just enough scalable-vector output for the Gantt charts, chip maps
+    and wear heatmaps — no external dependency, correct escaping, nested
+    groups. *)
+
+type t
+(** An SVG element tree. *)
+
+val rect :
+  x:float -> y:float -> w:float -> h:float ->
+  ?rx:float -> ?fill:string -> ?stroke:string -> ?opacity:float -> unit -> t
+
+val line :
+  x1:float -> y1:float -> x2:float -> y2:float ->
+  ?stroke:string -> ?width:float -> unit -> t
+
+val text :
+  x:float -> y:float -> ?size:float -> ?fill:string -> ?anchor:string ->
+  string -> t
+(** The string content is XML-escaped. *)
+
+val title : string -> t
+(** A tooltip child element. *)
+
+val group : ?transform:string -> t list -> t
+
+val document : width:float -> height:float -> t list -> string
+(** Render a standalone SVG document. *)
+
+val palette : int -> string
+(** A stable categorical colour for an index (used to colour component
+    trees, module kinds, ...). *)

@@ -1,0 +1,1 @@
+test/generators.ml: Array Bioproto Dmf Gen Int List Mixtree QCheck2 QCheck_alcotest

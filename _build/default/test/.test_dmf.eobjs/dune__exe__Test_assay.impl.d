@@ -1,0 +1,1 @@
+test/test_assay.ml: Alcotest Array Assay Chip Generators List Mdst Mixtree Printf QCheck2 Sim

@@ -1,0 +1,1 @@
+test/test_bioproto.ml: Alcotest Array Bioproto Dmf Generators Int List Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_chip.ml: Alcotest Astring Chip Dmf Generators List Mdst Mixtree Printf Result

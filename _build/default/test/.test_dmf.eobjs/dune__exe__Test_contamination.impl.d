@@ -1,0 +1,1 @@
+test/test_contamination.ml: Alcotest Chip Dmf Generators List Mdst Mixtree Sim

@@ -1,0 +1,1 @@
+test/test_dilution.ml: Alcotest Dmf Generators List Mdst Mixtree Printf QCheck2 Result

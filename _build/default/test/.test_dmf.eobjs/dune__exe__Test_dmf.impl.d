@@ -1,0 +1,1 @@
+test/test_dmf.ml: Alcotest Array Bioproto Dmf Generators List

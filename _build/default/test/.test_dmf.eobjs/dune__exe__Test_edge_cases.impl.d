@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Chip Dmf Generators List Mdst Mixtree Printf Result Sim String

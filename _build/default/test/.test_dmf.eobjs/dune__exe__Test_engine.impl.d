@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Astring Bioproto Dmf Generators Lazy List Mdst Mixtree Printf QCheck2 String

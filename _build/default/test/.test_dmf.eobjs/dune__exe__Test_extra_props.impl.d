@@ -1,0 +1,1 @@
+test/test_extra_props.ml: Alcotest Array Chip Dmf Fun Gen Generators List Mdst Mixtree Printf QCheck2 Sim String Viz

@@ -1,0 +1,1 @@
+test/test_mixtree.ml: Alcotest Array Dmf Generators Hashtbl Int List Mixtree Printf QCheck2 Result

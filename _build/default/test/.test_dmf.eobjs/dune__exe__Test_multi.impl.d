@@ -1,0 +1,1 @@
+test/test_multi.ml: Alcotest Dmf Generators Int List Mdst Mixtree Printf QCheck2 Result String

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Chip Dmf Generators List Mdst Mixtree Printf QCheck2 Result Sim

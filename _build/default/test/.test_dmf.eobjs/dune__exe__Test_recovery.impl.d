@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Chip Dmf Generators List Mdst Mixtree Printf QCheck2 Result Sim

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Astring Chip Dmf Generators List Mdst Mixtree Printf QCheck2 Sim String

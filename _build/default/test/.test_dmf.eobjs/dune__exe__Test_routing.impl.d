@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Chip Generators List Mdst Mixtree Printf QCheck2 Result Sim String

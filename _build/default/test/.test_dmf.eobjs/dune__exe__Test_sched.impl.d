@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Astring Dmf Generators Lazy List Mdst Mixtree Printf QCheck2 Result

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Chip Dmf Generators List Mdst Mixtree Printf QCheck2 Result Sim

@@ -1,0 +1,1 @@
+test/test_streaming.ml: Alcotest Bioproto Dmf Generators List Mdst Mixtree Printf QCheck2

@@ -1,0 +1,1 @@
+test/test_viz.ml: Alcotest Astring Chip Filename Generators List Mdst Mixtree Sim String Sys Viz

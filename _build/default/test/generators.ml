@@ -1,0 +1,45 @@
+(* Shared QCheck generators and helpers for the test suite. *)
+
+open QCheck2
+
+(* A random composition of 2^d into n parts, each >= 1. *)
+let composition_gen ~n ~d =
+  let total = Dmf.Binary.pow2 d in
+  let open Gen in
+  (* Draw n-1 distinct cut points in 1..total-1. *)
+  let rec cuts k acc =
+    if k = 0 then return acc
+    else
+      int_range 1 (total - 1) >>= fun c ->
+      if List.mem c acc then cuts k acc else cuts (k - 1) (c :: acc)
+  in
+  cuts (n - 1) [] >|= fun cuts ->
+  let sorted = List.sort Int.compare (0 :: total :: cuts) in
+  let rec diffs = function
+    | a :: (b :: _ as rest) -> (b - a) :: diffs rest
+    | [ _ ] | [] -> []
+  in
+  Array.of_list (diffs sorted)
+
+let ratio_gen =
+  let open Gen in
+  int_range 2 6 >>= fun d ->
+  int_range 2 (min 6 (Dmf.Binary.pow2 d)) >>= fun n ->
+  composition_gen ~n ~d >|= Dmf.Ratio.make
+
+let ratio_print r = Dmf.Ratio.to_string r
+
+let algorithm_gen =
+  QCheck2.Gen.oneofl Mixtree.Algorithm.all
+
+let demand_gen = QCheck2.Gen.int_range 1 40
+
+let pcr16 = Dmf.Ratio.of_string "2:1:1:1:1:1:9"
+
+(* A deterministic slice of the L=32 synthetic corpus for aggregate
+   checks: every 97th ratio keeps runtimes low but spans all N. *)
+let corpus_slice = lazy (Bioproto.Synth.sample ~every:97 (Bioproto.Synth.corpus ~sum:32 ()))
+
+let qtest ?(count = 200) name gen print prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count ~name ~print gen prop)

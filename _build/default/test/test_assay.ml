@@ -1,0 +1,261 @@
+(* Tests for demand profiles, the demand-driven assay planner and
+   broadcast pin assignment. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let pcr = Generators.pcr16
+
+(* ------------------------------------------------------------------ *)
+(* Demand profiles                                                     *)
+
+let test_request_validation () =
+  check bool "zero count" true
+    (try ignore (Assay.Demand.request ~deadline:5 ~count:0); false
+     with Invalid_argument _ -> true);
+  check bool "negative deadline" true
+    (try ignore (Assay.Demand.request ~deadline:(-1) ~count:1); false
+     with Invalid_argument _ -> true)
+
+let test_periodic () =
+  let requests = Assay.Demand.periodic ~start:10 ~interval:5 ~count:2 ~batches:3 in
+  check int "three batches" 3 (List.length requests);
+  check int "total" 6 (Assay.Demand.total requests);
+  check (Alcotest.list int) "deadlines expand"
+    [ 10; 10; 15; 15; 20; 20 ]
+    (Assay.Demand.droplet_deadlines requests)
+
+let test_normalize_merges () =
+  let requests =
+    [ Assay.Demand.request ~deadline:9 ~count:1;
+      Assay.Demand.request ~deadline:3 ~count:2;
+      Assay.Demand.request ~deadline:9 ~count:3 ]
+  in
+  match Assay.Demand.normalize requests with
+  | [ a; b ] ->
+    check int "first deadline" 3 a.Assay.Demand.deadline;
+    check int "merged count" 4 b.Assay.Demand.count
+  | _ -> Alcotest.fail "expected two merged requests"
+
+let test_normalize_empty () =
+  check bool "empty rejected" true
+    (try ignore (Assay.Demand.normalize []); false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Planner                                                             *)
+
+let plan ?(mixers = 3) ?(storage_limit = 5) requests =
+  Assay.Planner.plan ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr ~mixers
+    ~storage_limit ~scheduler:Mdst.Streaming.SRS ~requests
+
+let test_loose_deadlines_feasible_and_jit () =
+  let requests = Assay.Demand.periodic ~start:20 ~interval:15 ~count:4 ~batches:8 in
+  let p = plan requests in
+  check bool "feasible" true (Assay.Planner.feasible p);
+  check int "no buffering needed" 0 p.Assay.Planner.total_earliness;
+  check int "all droplets delivered" 32 (List.length p.Assay.Planner.deliveries);
+  (* Just-in-time: emissions equal deadlines exactly. *)
+  List.iter
+    (fun d ->
+      check int "emission = deadline" d.Assay.Planner.deadline
+        d.Assay.Planner.emission)
+    p.Assay.Planner.deliveries
+
+let test_tight_deadlines_report_lateness () =
+  let requests = Assay.Demand.periodic ~start:1 ~interval:1 ~count:4 ~batches:8 in
+  let p = plan requests in
+  check bool "infeasible profile detected" false (Assay.Planner.feasible p);
+  check bool "lateness positive" true (p.Assay.Planner.max_lateness > 0)
+
+let test_deliveries_sorted_and_consistent () =
+  let requests =
+    [ Assay.Demand.request ~deadline:30 ~count:3;
+      Assay.Demand.request ~deadline:10 ~count:2;
+      Assay.Demand.request ~deadline:60 ~count:5 ]
+  in
+  let p = plan requests in
+  check int "ten deliveries" 10 (List.length p.Assay.Planner.deliveries);
+  let deadlines = List.map (fun d -> d.Assay.Planner.deadline) p.Assay.Planner.deliveries in
+  check bool "by deadline" true (List.sort compare deadlines = deadlines);
+  List.iter
+    (fun d ->
+      check int "lateness consistent"
+        (max 0 (d.Assay.Planner.emission - d.Assay.Planner.deadline))
+        d.Assay.Planner.lateness;
+      check int "earliness consistent"
+        (max 0 (d.Assay.Planner.deadline - d.Assay.Planner.emission))
+        d.Assay.Planner.earliness)
+    p.Assay.Planner.deliveries
+
+let test_passes_do_not_overlap () =
+  let requests = Assay.Demand.periodic ~start:15 ~interval:10 ~count:2 ~batches:10 in
+  let p = plan ~storage_limit:3 requests in
+  let rec check_order = function
+    | (s1, tc1) :: ((s2, _) :: _ as rest) ->
+      check bool "sequential passes" true (s1 + tc1 <= s2);
+      check_order rest
+    | [ _ ] | [] -> ()
+  in
+  check_order
+    (List.map2
+       (fun start (pass : Mdst.Streaming.pass) -> (start, pass.Mdst.Streaming.tc))
+       p.Assay.Planner.pass_starts p.Assay.Planner.streaming.Mdst.Streaming.passes)
+
+let test_surplus_on_odd_demand () =
+  let requests = [ Assay.Demand.request ~deadline:50 ~count:5 ] in
+  let p = plan requests in
+  check int "five deliveries" 5 (List.length p.Assay.Planner.deliveries);
+  check int "one surplus droplet" 1 p.Assay.Planner.surplus
+
+let test_fixed_pass_size () =
+  let r =
+    Mdst.Streaming.run_fixed ~pass_size:4 ~algorithm:Mixtree.Algorithm.MM
+      ~ratio:pcr ~demand:16 ~mixers:3 ~storage_limit:5
+      ~scheduler:Mdst.Streaming.SRS
+  in
+  check int "four passes" 4 (Mdst.Streaming.n_passes r);
+  check bool "odd size rejected" true
+    (try
+       ignore
+         (Mdst.Streaming.run_fixed ~pass_size:3 ~algorithm:Mixtree.Algorithm.MM
+            ~ratio:pcr ~demand:6 ~mixers:3 ~storage_limit:5
+            ~scheduler:Mdst.Streaming.SRS);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_planner_sound =
+  Generators.qtest ~count:40 "planner delivers the full demand"
+    QCheck2.Gen.(
+      triple (int_range 0 30) (int_range 1 20) (int_range 1 6) >>= fun (s, i, b) ->
+      int_range 1 4 >|= fun c -> (s, i, c, b))
+    (fun (s, i, c, b) -> Printf.sprintf "start=%d interval=%d count=%d batches=%d" s i c b)
+    (fun (start, interval, count, batches) ->
+      let requests = Assay.Demand.periodic ~start ~interval ~count ~batches in
+      let p = plan requests in
+      List.length p.Assay.Planner.deliveries = Assay.Demand.total requests
+      && p.Assay.Planner.max_lateness >= 0
+      && p.Assay.Planner.surplus >= 0)
+
+(* ------------------------------------------------------------------ *)
+(* Pin assignment                                                      *)
+
+let requirements_of ?(demand = 20) () =
+  let plan = Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr ~demand in
+  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let layout = Chip.Layout.pcr_fig5 () in
+  match Sim.Executor.run ~layout ~plan ~schedule with
+  | Error e -> Alcotest.fail e
+  | Ok (_, stats) -> (layout, stats)
+
+let test_pin_assignment_sound () =
+  let layout, stats = requirements_of () in
+  let requirements = stats.Sim.Executor.addressing in
+  let assignment =
+    Chip.Pin_assign.assign ~width:(Chip.Layout.width layout)
+      ~height:(Chip.Layout.height layout) requirements
+  in
+  check bool "pins assigned" true (Chip.Pin_assign.pins assignment > 0);
+  check bool "broadcast saves pins" true
+    (Chip.Pin_assign.pins assignment
+    < Chip.Pin_assign.addressed_electrodes assignment);
+  (* Soundness: two electrodes on the same pin never have a must-actuate
+     step of one that is a must-ground step of the other. *)
+  List.iter
+    (fun r ->
+      List.iter
+        (fun high ->
+          let high_pin = Chip.Pin_assign.pin_of assignment high in
+          List.iter
+            (fun low ->
+              if Chip.Layout.in_bounds layout low then begin
+                let low_pin = Chip.Pin_assign.pin_of assignment low in
+                if low_pin <> 0 then
+                  check bool "no shared pin between high and low" false
+                    (high_pin = low_pin)
+              end)
+            r.Chip.Pin_assign.must_ground)
+        r.Chip.Pin_assign.must_actuate)
+    requirements
+
+let test_pin_every_actuated_cell_addressed () =
+  let layout, stats = requirements_of ~demand:8 () in
+  let assignment =
+    Chip.Pin_assign.assign ~width:(Chip.Layout.width layout)
+      ~height:(Chip.Layout.height layout) stats.Sim.Executor.addressing
+  in
+  Array.iteri
+    (fun y row ->
+      Array.iteri
+        (fun x count ->
+          if count > 0 then
+            check bool
+              (Printf.sprintf "cell (%d,%d) addressed" x y)
+              true
+              (Chip.Pin_assign.pin_of assignment { Chip.Geometry.x; y } > 0))
+        row)
+    stats.Sim.Executor.heatmap
+
+let test_pin_empty_requirements () =
+  let assignment = Chip.Pin_assign.assign ~width:10 ~height:10 [] in
+  check int "no pins" 0 (Chip.Pin_assign.pins assignment);
+  check (Alcotest.float 1e-9) "no saving" 0. (Chip.Pin_assign.saving assignment)
+
+let test_pin_conflicting_cells_separate () =
+  let p x y = { Chip.Geometry.x; y } in
+  let requirements =
+    [
+      { Chip.Pin_assign.step = 1; must_actuate = [ p 0 0 ]; must_ground = [ p 5 5 ] };
+      { Chip.Pin_assign.step = 1; must_actuate = [ p 5 5 ]; must_ground = [] };
+    ]
+  in
+  let a = Chip.Pin_assign.assign ~width:10 ~height:10 requirements in
+  check bool "conflicting electrodes get distinct pins" true
+    (Chip.Pin_assign.pin_of a (p 0 0) <> Chip.Pin_assign.pin_of a (p 5 5))
+
+let test_pin_compatible_cells_share () =
+  let p x y = { Chip.Geometry.x; y } in
+  let requirements =
+    [
+      { Chip.Pin_assign.step = 1; must_actuate = [ p 0 0 ]; must_ground = [] };
+      { Chip.Pin_assign.step = 2; must_actuate = [ p 9 9 ]; must_ground = [] };
+    ]
+  in
+  let a = Chip.Pin_assign.assign ~width:10 ~height:10 requirements in
+  check int "one shared pin" 1 (Chip.Pin_assign.pins a)
+
+let () =
+  Alcotest.run "assay"
+    [
+      ( "demand",
+        [
+          Alcotest.test_case "request validation" `Quick test_request_validation;
+          Alcotest.test_case "periodic" `Quick test_periodic;
+          Alcotest.test_case "normalize merges" `Quick test_normalize_merges;
+          Alcotest.test_case "normalize empty" `Quick test_normalize_empty;
+        ] );
+      ( "planner",
+        [
+          Alcotest.test_case "loose deadlines: just-in-time" `Quick
+            test_loose_deadlines_feasible_and_jit;
+          Alcotest.test_case "tight deadlines: lateness" `Quick
+            test_tight_deadlines_report_lateness;
+          Alcotest.test_case "delivery consistency" `Quick
+            test_deliveries_sorted_and_consistent;
+          Alcotest.test_case "passes do not overlap" `Quick
+            test_passes_do_not_overlap;
+          Alcotest.test_case "surplus on odd demand" `Quick test_surplus_on_odd_demand;
+          Alcotest.test_case "fixed pass size" `Quick test_fixed_pass_size;
+          prop_planner_sound;
+        ] );
+      ( "pins",
+        [
+          Alcotest.test_case "assignment is sound" `Quick test_pin_assignment_sound;
+          Alcotest.test_case "every actuated cell addressed" `Quick
+            test_pin_every_actuated_cell_addressed;
+          Alcotest.test_case "empty requirements" `Quick test_pin_empty_requirements;
+          Alcotest.test_case "conflicts separate" `Quick
+            test_pin_conflicting_cells_separate;
+          Alcotest.test_case "compatible share" `Quick test_pin_compatible_cells_share;
+        ] );
+    ]

@@ -1,0 +1,116 @@
+(* Tests for the protocol library and the synthetic corpus. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let test_table2_protocols () =
+  let cases =
+    [ ("ex1", 7, 256); ("ex2", 3, 256); ("ex3", 10, 256); ("ex4", 5, 256);
+      ("ex5", 7, 256) ]
+  in
+  List.iter
+    (fun (id, n, sum) ->
+      match Bioproto.Protocols.find id with
+      | None -> Alcotest.failf "missing protocol %s" id
+      | Some p ->
+        check int (id ^ " fluids") n (Dmf.Ratio.n_fluids p.Bioproto.Protocols.ratio);
+        check int (id ^ " sum") sum (Dmf.Ratio.sum p.Bioproto.Protocols.ratio))
+    cases
+
+let test_find_case_insensitive () =
+  check bool "upper-case id" true (Bioproto.Protocols.find "EX1" <> None);
+  check bool "unknown id" true (Bioproto.Protocols.find "nope" = None)
+
+let test_pcr_levels () =
+  let d4 = Bioproto.Protocols.pcr ~d:4 in
+  check Alcotest.string "paper's hand rounding at d=4" "2:1:1:1:1:1:9"
+    (Dmf.Ratio.to_string d4);
+  List.iter
+    (fun d ->
+      let r = Bioproto.Protocols.pcr ~d in
+      check int (Printf.sprintf "sum at d=%d" d) (Dmf.Binary.pow2 d)
+        (Dmf.Ratio.sum r);
+      check int (Printf.sprintf "N at d=%d" d) 7 (Dmf.Ratio.n_fluids r))
+    [ 4; 5; 6; 7; 8 ]
+
+let test_pcr_error_shrinks () =
+  (* Higher accuracy levels approximate the percentages no worse. *)
+  let err d =
+    Dmf.Ratio.approximation_error (Bioproto.Protocols.pcr ~d)
+      Bioproto.Protocols.pcr_percentages
+  in
+  check bool "d=6 at least as good as d=5" true (err 6 <= err 5 +. 1e-9);
+  check bool "d=8 at least as good as d=6" true (err 8 <= err 6 +. 1e-9)
+
+let test_partitions_small () =
+  (* Partitions of 5 into 2 parts: 4+1, 3+2. *)
+  check int "p(5,2)" 2 (Bioproto.Synth.count_partitions ~sum:5 ~parts:2);
+  check int "p(6,3)" 3 (Bioproto.Synth.count_partitions ~sum:6 ~parts:3);
+  check int "p(4,4)" 1 (Bioproto.Synth.count_partitions ~sum:4 ~parts:4);
+  check int "p(3,4) impossible" 0 (Bioproto.Synth.count_partitions ~sum:3 ~parts:4)
+
+let test_partitions_structure () =
+  List.iter
+    (fun partition ->
+      check int "sums to 32" 32 (List.fold_left ( + ) 0 partition);
+      check int "five parts" 5 (List.length partition);
+      let sorted_desc = List.sort (fun a b -> Int.compare b a) partition in
+      check bool "non-increasing" true (sorted_desc = partition))
+    (Bioproto.Synth.partitions ~sum:32 ~parts:5)
+
+let test_corpus () =
+  let size = Bioproto.Synth.corpus_size ~sum:32 () in
+  (* All partitions of 32 into 2..12 parts; the paper reports a corpus of
+     6058 synthetic ratios of the same family. *)
+  check int "corpus size" 6289 size;
+  let slice = Bioproto.Synth.sample ~every:500 (Bioproto.Synth.corpus ~sum:32 ()) in
+  List.iter
+    (fun r ->
+      check int "ratio-sum 32" 32 (Dmf.Ratio.sum r);
+      check bool "2..12 fluids" true
+        (Dmf.Ratio.n_fluids r >= 2 && Dmf.Ratio.n_fluids r <= 12))
+    slice
+
+let test_corpus_rejects_bad_sum () =
+  check bool "non-power sum rejected" true
+    (try ignore (Bioproto.Synth.corpus ~sum:33 ()); false
+     with Invalid_argument _ -> true)
+
+let test_sample () =
+  check int "every 2nd of 5" 3 (List.length (Bioproto.Synth.sample ~every:2 [ 1; 2; 3; 4; 5 ]));
+  check bool "bad step rejected" true
+    (try ignore (Bioproto.Synth.sample ~every:0 [ 1 ]); false
+     with Invalid_argument _ -> true)
+
+let prop_partitions_all_valid_ratios =
+  Generators.qtest ~count:30 "every partition forms a valid ratio"
+    QCheck2.Gen.(int_range 2 8)
+    string_of_int
+    (fun parts ->
+      List.for_all
+        (fun partition ->
+          let r = Dmf.Ratio.make (Array.of_list partition) in
+          Dmf.Ratio.sum r = 32)
+        (Bioproto.Synth.partitions ~sum:32 ~parts))
+
+let () =
+  Alcotest.run "bioproto"
+    [
+      ( "protocols",
+        [
+          Alcotest.test_case "Table 2 ratios" `Quick test_table2_protocols;
+          Alcotest.test_case "find" `Quick test_find_case_insensitive;
+          Alcotest.test_case "PCR at all levels" `Quick test_pcr_levels;
+          Alcotest.test_case "PCR error shrinks with d" `Quick test_pcr_error_shrinks;
+        ] );
+      ( "synth",
+        [
+          Alcotest.test_case "small partition counts" `Quick test_partitions_small;
+          Alcotest.test_case "partition structure" `Quick test_partitions_structure;
+          Alcotest.test_case "corpus" `Quick test_corpus;
+          Alcotest.test_case "corpus rejects bad sum" `Quick test_corpus_rejects_bad_sum;
+          Alcotest.test_case "sample" `Quick test_sample;
+          prop_partitions_all_valid_ratios;
+        ] );
+    ]

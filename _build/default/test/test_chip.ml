@@ -1,0 +1,336 @@
+(* Tests for the chip substrate: geometry, layouts, routing, cost
+   matrices, storage allocation, actuation accounting and the placer. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let pcr = Generators.pcr16
+
+(* ------------------------------------------------------------------ *)
+(* Geometry                                                            *)
+
+let point x y = { Chip.Geometry.x; y }
+
+let test_distances () =
+  check int "manhattan" 7 (Chip.Geometry.manhattan (point 0 0) (point 3 4));
+  check int "chebyshev" 4 (Chip.Geometry.chebyshev (point 0 0) (point 3 4));
+  check int "4-neighbourhood" 4 (List.length (Chip.Geometry.neighbours4 (point 5 5)))
+
+let test_rects () =
+  let r = { Chip.Geometry.x = 1; y = 2; w = 3; h = 2 } in
+  check int "cells" 6 (List.length (Chip.Geometry.rect_cells r));
+  check bool "contains corner" true (Chip.Geometry.rect_contains r (point 3 3));
+  check bool "excludes outside" false (Chip.Geometry.rect_contains r (point 4 2));
+  check bool "overlap" true
+    (Chip.Geometry.rect_overlap r { Chip.Geometry.x = 3; y = 3; w = 2; h = 2 });
+  check bool "no overlap" false
+    (Chip.Geometry.rect_overlap r { Chip.Geometry.x = 4; y = 2; w = 1; h = 1 });
+  let grown = Chip.Geometry.rect_expand r ~by:1 in
+  check int "expanded width" 5 grown.Chip.Geometry.w
+
+(* ------------------------------------------------------------------ *)
+(* Layout                                                              *)
+
+let test_default_layout_inventory () =
+  let l = Chip.Layout.pcr_fig5 () in
+  check int "7 reservoirs" 7 (List.length (Chip.Layout.reservoirs l));
+  check int "3 mixers" 3 (List.length (Chip.Layout.mixers l));
+  check int "5 storage units" 5 (List.length (Chip.Layout.storage_units l));
+  check int "2 wastes" 2 (List.length (Chip.Layout.wastes l));
+  check Alcotest.string "output port" "OUT" (Chip.Layout.output l).Chip.Chip_module.id
+
+let test_layout_rejects_overlap () =
+  let m id x =
+    Chip.Chip_module.make ~id ~kind:Chip.Chip_module.Mixer
+      ~rect:{ Chip.Geometry.x; y = 0; w = 2; h = 2 }
+  in
+  check bool "overlap rejected" true
+    (try
+       ignore (Chip.Layout.make ~width:10 ~height:10 ~modules:[ m "a" 0; m "b" 1 ]);
+       false
+     with Invalid_argument _ -> true);
+  check bool "duplicate id rejected" true
+    (try
+       ignore (Chip.Layout.make ~width:10 ~height:10 ~modules:[ m "a" 0; m "a" 5 ]);
+       false
+     with Invalid_argument _ -> true);
+  check bool "out of bounds rejected" true
+    (try
+       ignore (Chip.Layout.make ~width:3 ~height:3 ~modules:[ m "a" 2 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_layout_scales_with_resources () =
+  (* Twelve fluids and thirty storage units must still place cleanly. *)
+  let l = Chip.Layout.default ~mixers:5 ~storage_units:30 ~n_fluids:12 () in
+  check int "12 reservoirs" 12 (List.length (Chip.Layout.reservoirs l));
+  check int "30 storage units" 30 (List.length (Chip.Layout.storage_units l));
+  check int "5 mixers" 5 (List.length (Chip.Layout.mixers l))
+
+let test_reservoir_lookup () =
+  let l = Chip.Layout.pcr_fig5 () in
+  let r = Chip.Layout.reservoir_for l (Dmf.Fluid.make 6) in
+  check Alcotest.string "R7 holds x7" "R7" r.Chip.Chip_module.id;
+  check bool "missing fluid raises Not_found" true
+    (try ignore (Chip.Layout.reservoir_for l (Dmf.Fluid.make 11)); false
+     with Not_found -> true)
+
+let test_mixer_ordering () =
+  let l = Chip.Layout.default ~mixers:12 ~n_fluids:3 () in
+  let ids = List.map (fun m -> m.Chip.Chip_module.id) (Chip.Layout.mixers l) in
+  check (Alcotest.list Alcotest.string) "numeric order"
+    [ "M1"; "M2"; "M3"; "M4"; "M5"; "M6"; "M7"; "M8"; "M9"; "M10"; "M11"; "M12" ]
+    ids
+
+let test_render () =
+  let l = Chip.Layout.pcr_fig5 () in
+  let map = Chip.Layout.render l in
+  check bool "mentions mixers" true (Astring.String.is_infix ~affix:"M" map);
+  check bool "legend present" true (Astring.String.is_infix ~affix:"R1=reservoir" map)
+
+(* ------------------------------------------------------------------ *)
+(* Router                                                              *)
+
+let test_route_exists_and_valid () =
+  let l = Chip.Layout.pcr_fig5 () in
+  match Chip.Router.route_ids l ~src:"R1" ~dst:"M1" with
+  | None -> Alcotest.fail "no route R1 -> M1"
+  | Some path ->
+    check bool "non-trivial" true (List.length path > 1);
+    (* Consecutive cells are 4-neighbours. *)
+    let rec steps = function
+      | a :: (b :: _ as rest) ->
+        check int "unit step" 1 (Chip.Geometry.manhattan a b);
+        steps rest
+      | [ _ ] | [] -> ()
+    in
+    steps path
+
+let test_route_avoids_other_modules () =
+  let l = Chip.Layout.pcr_fig5 () in
+  match Chip.Router.route_ids l ~src:"R1" ~dst:"M3" with
+  | None -> Alcotest.fail "no route"
+  | Some path ->
+    List.iter
+      (fun p ->
+        match Chip.Layout.module_at l p with
+        | None -> ()
+        | Some m ->
+          check bool "only src/dst modules on path" true
+            (m.Chip.Chip_module.id = "R1" || m.Chip.Chip_module.id = "M3"))
+      path
+
+let test_route_blocked () =
+  let l = Chip.Layout.pcr_fig5 () in
+  (* Block everything: no route. *)
+  check bool "fully blocked" true
+    (Chip.Router.route_ids ~blocked:(fun _ -> true) l ~src:"R1" ~dst:"M1" = None)
+
+let test_path_cost () =
+  check int "empty" 0 (Chip.Router.path_cost []);
+  check int "singleton" 0 (Chip.Router.path_cost [ point 0 0 ]);
+  check int "two cells" 1 (Chip.Router.path_cost [ point 0 0; point 0 1 ])
+
+(* ------------------------------------------------------------------ *)
+(* Cost matrix                                                         *)
+
+let test_cost_matrix_symmetric () =
+  let l = Chip.Layout.pcr_fig5 () in
+  let m = Chip.Cost_matrix.build l in
+  List.iter
+    (fun (a, b) ->
+      check int
+        (Printf.sprintf "%s-%s symmetric" a b)
+        (Chip.Cost_matrix.cost m ~src:a ~dst:b)
+        (Chip.Cost_matrix.cost m ~src:b ~dst:a))
+    [ ("R1", "M1"); ("M1", "M3"); ("q1", "M2"); ("W1", "M1") ];
+  check int "diagonal zero" 0 (Chip.Cost_matrix.cost m ~src:"M1" ~dst:"M1")
+
+let test_cost_matrix_triangle () =
+  (* Shortest paths obey the triangle inequality. *)
+  let l = Chip.Layout.pcr_fig5 () in
+  let m = Chip.Cost_matrix.build l in
+  let c a b = Chip.Cost_matrix.cost m ~src:a ~dst:b in
+  check bool "triangle R1-M2" true (c "R1" "M2" <= c "R1" "M1" + c "M1" "M2" + 4)
+
+let test_cost_matrix_render () =
+  let l = Chip.Layout.pcr_fig5 () in
+  let m = Chip.Cost_matrix.build l in
+  let s = Chip.Cost_matrix.render ~rows:[ "R1"; "q1" ] ~columns:[ "M1"; "M2" ] m in
+  check bool "has rows" true (Astring.String.is_infix ~affix:"R1" s)
+
+(* ------------------------------------------------------------------ *)
+(* Storage allocation                                                  *)
+
+let forest demand = Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr ~demand
+
+let test_allocation_succeeds_with_enough_units () =
+  let plan = forest 20 in
+  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let q = Mdst.Storage.units ~plan schedule in
+  let units = List.init q (fun i -> Printf.sprintf "q%d" (i + 1)) in
+  match Chip.Storage_alloc.allocate ~plan ~schedule ~units with
+  | Error e -> Alcotest.fail e
+  | Ok a ->
+    (* Every residency got a unit, and units never hold two droplets at
+       once. *)
+    let residencies = Mdst.Storage.residencies ~plan schedule in
+    check int "every stored droplet assigned" (List.length residencies)
+      (List.length (Chip.Storage_alloc.bindings a));
+    List.iter
+      (fun r1 ->
+        List.iter
+          (fun r2 ->
+            if r1 <> r2 then begin
+              let u1 =
+                Chip.Storage_alloc.unit_for a ~producer:r1.Mdst.Storage.producer
+                  ~port:r1.Mdst.Storage.port
+              and u2 =
+                Chip.Storage_alloc.unit_for a ~producer:r2.Mdst.Storage.producer
+                  ~port:r2.Mdst.Storage.port
+              in
+              if u1 = u2 then
+                check bool "no overlap in same unit" true
+                  (r1.Mdst.Storage.to_cycle < r2.Mdst.Storage.from_cycle
+                  || r2.Mdst.Storage.to_cycle < r1.Mdst.Storage.from_cycle)
+            end)
+          residencies)
+      residencies
+
+let test_allocation_fails_with_too_few () =
+  let plan = forest 20 in
+  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let q = Mdst.Storage.units ~plan schedule in
+  check int "needs 5 units" 5 q;
+  let units = List.init (q - 1) (fun i -> Printf.sprintf "q%d" (i + 1)) in
+  check bool "too few units fails" true
+    (Result.is_error (Chip.Storage_alloc.allocate ~plan ~schedule ~units))
+
+(* ------------------------------------------------------------------ *)
+(* Actuation accounting                                                *)
+
+let test_actuation_consistency () =
+  let plan = forest 20 in
+  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let layout = Chip.Layout.pcr_fig5 () in
+  match Chip.Actuation.account ~layout ~plan ~schedule with
+  | Error e -> Alcotest.fail e
+  | Ok acc ->
+    check int "dispenses = I" (Mdst.Plan.input_total plan) acc.Chip.Actuation.dispenses;
+    check int "emitted = targets" (Mdst.Plan.targets plan) acc.Chip.Actuation.emitted;
+    check int "waste disposals = W" (Mdst.Plan.waste plan) acc.Chip.Actuation.to_waste;
+    check int "total = sum of movement costs"
+      (List.fold_left (fun a m -> a + m.Chip.Actuation.cost) 0 acc.Chip.Actuation.movements)
+      acc.Chip.Actuation.total_electrodes;
+    check bool "some transfers go through storage" true (acc.Chip.Actuation.via_storage > 0)
+
+let test_streamed_cheaper_than_repeated () =
+  (* The Section 5 comparison: the streamed forest actuates far fewer
+     electrodes than repeated passes (386 vs 980 on the paper's chip). *)
+  let layout = Chip.Layout.pcr_fig5 () in
+  let plan = forest 20 in
+  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let pass = Mdst.Forest.repeated ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr ~demand:2 in
+  let pass_schedule = Mdst.Oms.schedule ~plan:pass ~mixers:3 in
+  match
+    ( Chip.Actuation.account ~layout ~plan ~schedule,
+      Chip.Actuation.account ~layout ~plan:pass ~schedule:pass_schedule )
+  with
+  | Ok streamed, Ok one_pass ->
+    let repeated = 10 * Chip.Actuation.total one_pass in
+    check bool
+      (Printf.sprintf "streamed (%d) < repeated (%d)"
+         (Chip.Actuation.total streamed) repeated)
+      true
+      (Chip.Actuation.total streamed < repeated)
+  | Error e, _ | _, Error e -> Alcotest.fail e
+
+let test_actuation_rejects_small_layout () =
+  let plan = forest 20 in
+  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  (* Only one mixer on chip but the schedule uses three. *)
+  let layout = Chip.Layout.default ~mixers:1 ~n_fluids:7 () in
+  check bool "too few mixers" true
+    (Result.is_error (Chip.Actuation.account ~layout ~plan ~schedule))
+
+(* ------------------------------------------------------------------ *)
+(* Placer                                                              *)
+
+let test_placer_never_worse () =
+  let layout = Chip.Layout.pcr_fig5 () in
+  let plan = forest 20 in
+  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  match Chip.Placer.optimize_for ~iterations:400 ~plan ~schedule layout with
+  | Error e -> Alcotest.fail e
+  | Ok (improved, before, after) ->
+    check bool "optimised layout is valid" true
+      (List.length (Chip.Layout.modules improved) = List.length (Chip.Layout.modules layout));
+    check bool (Printf.sprintf "no regression (%d -> %d)" before after) true
+      (after <= before)
+
+let test_flows_aggregation () =
+  let layout = Chip.Layout.pcr_fig5 () in
+  let plan = forest 8 in
+  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  match Chip.Actuation.account ~layout ~plan ~schedule with
+  | Error e -> Alcotest.fail e
+  | Ok acc ->
+    let flows = Chip.Placer.flows_of_accounting acc in
+    let total = List.fold_left (fun a (_, c) -> a + c) 0 flows in
+    check int "flow counts sum to movement count" (List.length acc.Chip.Actuation.movements) total
+
+let () =
+  Alcotest.run "chip"
+    [
+      ( "geometry",
+        [
+          Alcotest.test_case "distances" `Quick test_distances;
+          Alcotest.test_case "rectangles" `Quick test_rects;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "pcr_fig5 inventory" `Quick test_default_layout_inventory;
+          Alcotest.test_case "rejects bad layouts" `Quick test_layout_rejects_overlap;
+          Alcotest.test_case "scales with resources" `Quick
+            test_layout_scales_with_resources;
+          Alcotest.test_case "reservoir lookup" `Quick test_reservoir_lookup;
+          Alcotest.test_case "mixer ordering" `Quick test_mixer_ordering;
+          Alcotest.test_case "render" `Quick test_render;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "route exists and is valid" `Quick
+            test_route_exists_and_valid;
+          Alcotest.test_case "route avoids other modules" `Quick
+            test_route_avoids_other_modules;
+          Alcotest.test_case "blocked routing" `Quick test_route_blocked;
+          Alcotest.test_case "path cost" `Quick test_path_cost;
+        ] );
+      ( "cost-matrix",
+        [
+          Alcotest.test_case "symmetric with zero diagonal" `Quick
+            test_cost_matrix_symmetric;
+          Alcotest.test_case "triangle inequality" `Quick test_cost_matrix_triangle;
+          Alcotest.test_case "render" `Quick test_cost_matrix_render;
+        ] );
+      ( "storage-alloc",
+        [
+          Alcotest.test_case "succeeds with q units" `Quick
+            test_allocation_succeeds_with_enough_units;
+          Alcotest.test_case "fails below q units" `Quick
+            test_allocation_fails_with_too_few;
+        ] );
+      ( "actuation",
+        [
+          Alcotest.test_case "accounting consistency" `Quick test_actuation_consistency;
+          Alcotest.test_case "streamed cheaper than repeated" `Quick
+            test_streamed_cheaper_than_repeated;
+          Alcotest.test_case "rejects undersized layout" `Quick
+            test_actuation_rejects_small_layout;
+        ] );
+      ( "placer",
+        [
+          Alcotest.test_case "never worse" `Quick test_placer_never_worse;
+          Alcotest.test_case "flow aggregation" `Quick test_flows_aggregation;
+        ] );
+    ]

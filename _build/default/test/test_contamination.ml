@@ -1,0 +1,77 @@
+(* Tests for the cross-contamination analysis. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let pcr = Generators.pcr16
+
+let run demand =
+  let plan = Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr ~demand in
+  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let layout = Chip.Layout.pcr_fig5 () in
+  match Sim.Executor.run ~layout ~plan ~schedule with
+  | Error e -> Alcotest.fail e
+  | Ok (trace, stats) ->
+    (plan, layout, trace, stats, Sim.Contamination.analyze ~layout ~plan ~trace)
+
+let test_consistency () =
+  let _, _, _, stats, report = run 20 in
+  check bool "crossings happen on a busy chip" true
+    (report.Sim.Contamination.total_crossings > 0);
+  check bool "benign <= total" true
+    (report.Sim.Contamination.benign_crossings
+    <= report.Sim.Contamination.total_crossings);
+  check int "pairs + benign = total"
+    report.Sim.Contamination.total_crossings
+    (List.length report.Sim.Contamination.pairs
+    + report.Sim.Contamination.benign_crossings);
+  check bool "dirty cells bounded by pairs" true
+    (report.Sim.Contamination.contaminated_cells
+    <= List.length report.Sim.Contamination.pairs);
+  check bool "wash overhead ratio finite" true
+    (Sim.Contamination.wash_overhead_ratio report
+       ~transport_electrodes:stats.Sim.Executor.electrodes
+    >= 0.)
+
+let test_pairs_are_cross_value () =
+  let _, _, _, _, report = run 20 in
+  List.iter
+    (fun p ->
+      check bool "pair values differ" false
+        (Dmf.Mixture.equal p.Sim.Contamination.first.Sim.Contamination.value
+           p.Sim.Contamination.second.Sim.Contamination.value);
+      check bool "chronological" true
+        (p.Sim.Contamination.first.Sim.Contamination.step
+        < p.Sim.Contamination.second.Sim.Contamination.step))
+    report.Sim.Contamination.pairs
+
+let test_wash_plan_nonempty_when_contaminated () =
+  let _, _, _, _, report = run 20 in
+  if report.Sim.Contamination.contaminated_cells > 0 then begin
+    check bool "some washes" true (report.Sim.Contamination.wash.washes > 0);
+    check bool "wash route does work" true
+      (report.Sim.Contamination.wash.wash_steps > 0)
+  end
+
+let test_single_pass_less_contaminated_than_stream () =
+  (* A D=2 pass moves far fewer distinct mixtures than a D=20 stream. *)
+  let _, _, _, _, small = run 2 in
+  let _, _, _, _, large = run 20 in
+  check bool "contamination grows with traffic" true
+    (List.length small.Sim.Contamination.pairs
+    <= List.length large.Sim.Contamination.pairs)
+
+let () =
+  Alcotest.run "contamination"
+    [
+      ( "analysis",
+        [
+          Alcotest.test_case "consistency" `Quick test_consistency;
+          Alcotest.test_case "pairs are cross-value" `Quick
+            test_pairs_are_cross_value;
+          Alcotest.test_case "wash plan" `Quick
+            test_wash_plan_nonempty_when_contaminated;
+          Alcotest.test_case "traffic scaling" `Quick
+            test_single_pass_less_contaminated_than_stream;
+        ] );
+    ]

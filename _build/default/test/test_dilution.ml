@@ -1,0 +1,162 @@
+(* Tests for the dilution algorithms (TWM, DMRW) and the dilution engine
+   of Roy et al. [20] — the N = 2 ancestor of the MDST engine. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let test_ratio () =
+  let r = Mixtree.Dilution.ratio ~c:3 ~d:4 in
+  check Alcotest.string "3:13" "3:13" (Dmf.Ratio.to_string r);
+  check bool "c = 0 rejected" true
+    (try ignore (Mixtree.Dilution.ratio ~c:0 ~d:4); false
+     with Invalid_argument _ -> true);
+  check bool "c = 2^d rejected" true
+    (try ignore (Mixtree.Dilution.ratio ~c:16 ~d:4); false
+     with Invalid_argument _ -> true)
+
+let all_targets d =
+  List.init (Dmf.Binary.pow2 d - 1) (fun i -> i + 1)
+
+let test_twm_valid () =
+  List.iter
+    (fun d ->
+      List.iter
+        (fun c ->
+          let ratio = Mixtree.Dilution.ratio ~c ~d in
+          let tree = Mixtree.Dilution.twm ~c ~d in
+          match Mixtree.Tree.validate ~ratio tree with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "twm %d/%d: %s" c (Dmf.Binary.pow2 d) e)
+        (all_targets d))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let test_dmrw_valid () =
+  List.iter
+    (fun d ->
+      List.iter
+        (fun c ->
+          let ratio = Mixtree.Dilution.ratio ~c ~d in
+          let tree = Mixtree.Dilution.dmrw ~c ~d in
+          match Mixtree.Tree.validate ~ratio tree with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "dmrw %d/%d: %s" c (Dmf.Binary.pow2 d) e)
+        (all_targets d))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let test_dmrw_shared_mix_count () =
+  (* Under full droplet sharing DMRW executes one mix-split per distinct
+     intermediate mixture, plus a re-mix whenever a boundary droplet is
+     needed more than twice (e.g. 7/16 re-mixes the 8/16 boundary);
+     never more than twice the search-step count. *)
+  List.iter
+    (fun (c, d) ->
+      let ratio = Mixtree.Dilution.ratio ~c ~d in
+      let tree = Mixtree.Dilution.dmrw ~c ~d in
+      let plan = Mdst.Forest.of_tree ~ratio ~demand:2 ~sharing:true tree in
+      let steps = Mixtree.Dilution.dmrw_steps ~c ~d in
+      let tms = Mdst.Plan.tms plan in
+      check bool
+        (Printf.sprintf "steps for %d/%d (steps=%d tms=%d)" c
+           (Dmf.Binary.pow2 d) steps tms)
+        true
+        (steps <= tms && tms <= 2 * steps))
+    [ (1, 4); (5, 4); (7, 4); (11, 5); (21, 6); (8, 4); (1, 1) ];
+  (* Targets whose search path alternates need no re-mix at all. *)
+  List.iter
+    (fun (c, d) ->
+      let ratio = Mixtree.Dilution.ratio ~c ~d in
+      let plan =
+        Mdst.Forest.of_tree ~ratio ~demand:2 ~sharing:true
+          (Mixtree.Dilution.dmrw ~c ~d)
+      in
+      check int
+        (Printf.sprintf "exact steps for %d/%d" c (Dmf.Binary.pow2 d))
+        (Mixtree.Dilution.dmrw_steps ~c ~d)
+        (Mdst.Plan.tms plan))
+    [ (1, 4); (8, 4); (5, 4); (11, 4); (1, 1) ]
+
+let test_dmrw_even_targets_reduce () =
+  (* 8/16 is 1/2: a single mix. *)
+  check int "8/16 needs one step" 1 (Mixtree.Dilution.dmrw_steps ~c:8 ~d:4);
+  check int "12/16 needs two steps" 2 (Mixtree.Dilution.dmrw_steps ~c:12 ~d:4);
+  check int "odd targets need d steps" 6 (Mixtree.Dilution.dmrw_steps ~c:33 ~d:6)
+
+let test_dilution_engine_streams () =
+  (* The [20] engine: multiple droplets of one dilution with reuse. *)
+  let c = 7 and d = 4 in
+  let ratio = Mixtree.Dilution.ratio ~c ~d in
+  let tree = Mixtree.Dilution.dmrw ~c ~d in
+  let demand = 16 in
+  let engine = Mdst.Forest.of_tree ~ratio ~demand ~sharing:true tree in
+  check bool "valid" true (Result.is_ok (Mdst.Plan.validate engine));
+  check int "conservation" (Mdst.Plan.targets engine + Mdst.Plan.waste engine)
+    (Mdst.Plan.input_total engine);
+  (* Streaming wastes less reactant than repeating DMRW passes. *)
+  let one_pass = Mdst.Forest.of_tree ~ratio ~demand:2 ~sharing:true tree in
+  let repeated_inputs = 8 * Mdst.Plan.input_total one_pass in
+  check bool "engine cheaper than repeated DMRW" true
+    (Mdst.Plan.input_total engine < repeated_inputs)
+
+let test_dmrw_no_worse_waste_than_twm_on_average () =
+  (* DMRW's motivation: fewer waste droplets per pass than bit-scan. *)
+  let d = 5 in
+  let waste tree_of c =
+    let ratio = Mixtree.Dilution.ratio ~c ~d in
+    let plan = Mdst.Forest.of_tree ~ratio ~demand:2 ~sharing:true (tree_of c) in
+    Mdst.Plan.waste plan
+  in
+  let total f =
+    List.fold_left (fun acc c -> acc + f c) 0 (all_targets d)
+  in
+  let dmrw_total = total (waste (fun c -> Mixtree.Dilution.dmrw ~c ~d)) in
+  let twm_total = total (waste (fun c -> Mixtree.Dilution.twm ~c ~d)) in
+  check bool
+    (Printf.sprintf "dmrw waste (%d) <= twm waste (%d)" dmrw_total twm_total)
+    true (dmrw_total <= twm_total)
+
+let prop_dmrw_valid_random =
+  Generators.qtest ~count:200 "dmrw is exact for random targets"
+    QCheck2.Gen.(int_range 3 9 >>= fun d ->
+                 int_range 1 (Dmf.Binary.pow2 d - 1) >|= fun c -> (c, d))
+    (fun (c, d) -> Printf.sprintf "%d/%d" c (Dmf.Binary.pow2 d))
+    (fun (c, d) ->
+      let ratio = Mixtree.Dilution.ratio ~c ~d in
+      Result.is_ok (Mixtree.Tree.validate ~ratio (Mixtree.Dilution.dmrw ~c ~d)))
+
+let prop_dilution_full_demand_no_waste =
+  Generators.qtest ~count:100 "dilution engine at D = 2^d has no waste"
+    QCheck2.Gen.(int_range 2 6 >>= fun d ->
+                 int_range 1 (Dmf.Binary.pow2 d - 1) >|= fun c -> (c, d))
+    (fun (c, d) -> Printf.sprintf "%d/%d" c (Dmf.Binary.pow2 d))
+    (fun (c, d) ->
+      let ratio = Mixtree.Dilution.ratio ~c ~d in
+      let plan =
+        Mdst.Forest.of_tree ~ratio ~demand:(Dmf.Ratio.sum ratio) ~sharing:true
+          (Mixtree.Dilution.twm ~c ~d)
+      in
+      Mdst.Plan.waste plan = 0)
+
+let () =
+  Alcotest.run "dilution"
+    [
+      ( "targets",
+        [
+          Alcotest.test_case "ratio construction" `Quick test_ratio;
+          Alcotest.test_case "TWM exact for every target" `Quick test_twm_valid;
+          Alcotest.test_case "DMRW exact for every target" `Quick test_dmrw_valid;
+          Alcotest.test_case "even targets reduce" `Quick
+            test_dmrw_even_targets_reduce;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "shared mix count = search steps" `Quick
+            test_dmrw_shared_mix_count;
+          Alcotest.test_case "dilution engine streams" `Quick
+            test_dilution_engine_streams;
+          Alcotest.test_case "DMRW wastes no more than TWM" `Quick
+            test_dmrw_no_worse_waste_than_twm_on_average;
+        ] );
+      ( "properties",
+        [ prop_dmrw_valid_random; prop_dilution_full_demand_no_waste ] );
+    ]

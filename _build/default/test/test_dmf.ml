@@ -1,0 +1,247 @@
+(* Unit and property tests for the dmf substrate: binary helpers, fluids,
+   target ratios and exact mixture arithmetic. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Binary                                                              *)
+
+let test_pow2 () =
+  check int "2^0" 1 (Dmf.Binary.pow2 0);
+  check int "2^5" 32 (Dmf.Binary.pow2 5);
+  Alcotest.check_raises "negative exponent rejected"
+    (Invalid_argument "Binary.pow2: exponent out of range") (fun () ->
+      ignore (Dmf.Binary.pow2 (-1)))
+
+let test_is_power_of_two () =
+  List.iter
+    (fun (n, expected) ->
+      check bool (string_of_int n) expected (Dmf.Binary.is_power_of_two n))
+    [ (0, false); (1, true); (2, true); (3, false); (4, true); (-4, false);
+      (1024, true); (1023, false) ]
+
+let test_log2 () =
+  check int "log2 16" 4 (Dmf.Binary.log2_exact 16);
+  check int "floor_log2 17" 4 (Dmf.Binary.floor_log2 17);
+  check int "floor_log2 1" 0 (Dmf.Binary.floor_log2 1);
+  Alcotest.check_raises "log2_exact rejects non-powers"
+    (Invalid_argument "Binary.log2_exact: not a power of two") (fun () ->
+      ignore (Dmf.Binary.log2_exact 12))
+
+let test_popcount_set_bits () =
+  check int "popcount 0" 0 (Dmf.Binary.popcount 0);
+  check int "popcount 9" 2 (Dmf.Binary.popcount 9);
+  check (Alcotest.list int) "set_bits 9" [ 0; 3 ] (Dmf.Binary.set_bits 9);
+  check (Alcotest.list int) "set_bits 0" [] (Dmf.Binary.set_bits 0)
+
+let test_ceil_div () =
+  check int "7/2" 4 (Dmf.Binary.ceil_div 7 2);
+  check int "8/2" 4 (Dmf.Binary.ceil_div 8 2);
+  check int "0/3" 0 (Dmf.Binary.ceil_div 0 3)
+
+(* ------------------------------------------------------------------ *)
+(* Fluid                                                               *)
+
+let test_fluid () =
+  let f = Dmf.Fluid.make 3 in
+  check int "index" 3 (Dmf.Fluid.index f);
+  check Alcotest.string "default name" "x4" (Dmf.Fluid.default_name f);
+  check bool "equal" true (Dmf.Fluid.equal f (Dmf.Fluid.make 3));
+  Alcotest.check_raises "negative index rejected"
+    (Invalid_argument "Fluid.make: negative index") (fun () ->
+      ignore (Dmf.Fluid.make (-1)))
+
+(* ------------------------------------------------------------------ *)
+(* Ratio                                                               *)
+
+let test_ratio_make () =
+  let r = Dmf.Ratio.make [| 2; 1; 1; 1; 1; 1; 9 |] in
+  check int "N" 7 (Dmf.Ratio.n_fluids r);
+  check int "d" 4 (Dmf.Ratio.accuracy r);
+  check int "L" 16 (Dmf.Ratio.sum r);
+  check int "part 0" 2 (Dmf.Ratio.part r 0);
+  check Alcotest.string "to_string" "2:1:1:1:1:1:9" (Dmf.Ratio.to_string r)
+
+let test_ratio_rejects () =
+  let invalid parts = try ignore (Dmf.Ratio.make parts); false with Invalid_argument _ -> true in
+  check bool "single fluid" true (invalid [| 16 |]);
+  check bool "zero part" true (invalid [| 0; 16 |]);
+  check bool "non-power sum" true (invalid [| 3; 4 |]);
+  check bool "valid" false (invalid [| 3; 13 |])
+
+let test_ratio_of_string () =
+  let r = Dmf.Ratio.of_string " 3 : 5 " in
+  check int "parsed sum" 8 (Dmf.Ratio.sum r);
+  check bool "reject garbage" true
+    (try ignore (Dmf.Ratio.of_string "1:2:x"); false with Invalid_argument _ -> true)
+
+let test_ratio_equal () =
+  let a = Dmf.Ratio.of_string "3:5" and b = Dmf.Ratio.of_string "3:5" in
+  let c = Dmf.Ratio.of_string "5:3" in
+  check bool "equal" true (Dmf.Ratio.equal a b);
+  check bool "order matters" false (Dmf.Ratio.equal a c)
+
+let test_approximate_pcr () =
+  (* The generic largest-remainder approximation of the PCR percentages. *)
+  let r = Dmf.Ratio.approximate ~d:6 Bioproto.Protocols.pcr_percentages in
+  check int "sums to 64" 64 (Dmf.Ratio.sum r);
+  Array.iter (fun a -> check bool "every part >= 1" true (a >= 1)) (Dmf.Ratio.parts r);
+  (* Water stays the dominant carrier. *)
+  let parts = Dmf.Ratio.parts r in
+  check bool "carrier dominates" true (parts.(6) > 32)
+
+let test_approximate_error_bound () =
+  (* With no minimum-part pressure, largest remainder stays within 1/2^d. *)
+  let percents = [| 25.; 25.; 50. |] in
+  let r = Dmf.Ratio.approximate ~d:4 percents in
+  check bool "error below 1/16" true
+    (Dmf.Ratio.approximation_error r percents <= 1. /. 16. +. 1e-9)
+
+let test_approximate_rejects () =
+  check bool "non-positive percentage" true
+    (try ignore (Dmf.Ratio.approximate ~d:4 [| 0.; 100. |]); false
+     with Invalid_argument _ -> true);
+  check bool "too many fluids for the scale" true
+    (try ignore (Dmf.Ratio.approximate ~d:1 [| 1.; 1.; 1. |]); false
+     with Invalid_argument _ -> true)
+
+let test_rescale () =
+  let r = Dmf.Ratio.of_string "2:1:1:1:1:1:9" in
+  let r5 = Dmf.Ratio.rescale r ~d:5 in
+  check int "rescaled sum" 32 (Dmf.Ratio.sum r5);
+  check int "same N" 7 (Dmf.Ratio.n_fluids r5)
+
+(* ------------------------------------------------------------------ *)
+(* Mixture                                                             *)
+
+let mixture = Alcotest.testable Dmf.Mixture.pp Dmf.Mixture.equal
+
+let test_pure () =
+  let v = Dmf.Mixture.pure ~n:3 (Dmf.Fluid.make 1) in
+  check int "scale 0" 0 (Dmf.Mixture.scale v);
+  check (Alcotest.option (Alcotest.testable Dmf.Fluid.pp Dmf.Fluid.equal))
+    "is_pure" (Some (Dmf.Fluid.make 1)) (Dmf.Mixture.is_pure v)
+
+let test_mix_simple () =
+  let x = Dmf.Mixture.pure ~n:2 (Dmf.Fluid.make 0) in
+  let y = Dmf.Mixture.pure ~n:2 (Dmf.Fluid.make 1) in
+  let m = Dmf.Mixture.mix x y in
+  check int "scale 1" 1 (Dmf.Mixture.scale m);
+  check (Alcotest.array int) "numerators" [| 1; 1 |] (Dmf.Mixture.numerators m)
+
+let test_mix_canonicalises () =
+  (* (1,1)/2 mixed with (1,1)/2 is still (1,1)/2, not (2,2)/4. *)
+  let x = Dmf.Mixture.pure ~n:2 (Dmf.Fluid.make 0) in
+  let y = Dmf.Mixture.pure ~n:2 (Dmf.Fluid.make 1) in
+  let half = Dmf.Mixture.mix x y in
+  check mixture "self-mix is identity on value" half (Dmf.Mixture.mix half half)
+
+let test_mix_unbalanced () =
+  (* Pure x mixed with (y+z)/2 gives (2x+y+z)/4. *)
+  let x = Dmf.Mixture.pure ~n:3 (Dmf.Fluid.make 0) in
+  let yz =
+    Dmf.Mixture.mix
+      (Dmf.Mixture.pure ~n:3 (Dmf.Fluid.make 1))
+      (Dmf.Mixture.pure ~n:3 (Dmf.Fluid.make 2))
+  in
+  let m = Dmf.Mixture.mix x yz in
+  check (Alcotest.array int) "2x+y+z over 4" [| 2; 1; 1 |]
+    (Dmf.Mixture.numerators m);
+  check int "scale 2" 2 (Dmf.Mixture.scale m)
+
+let test_mix_rejects_universes () =
+  let a = Dmf.Mixture.pure ~n:2 (Dmf.Fluid.make 0) in
+  let b = Dmf.Mixture.pure ~n:3 (Dmf.Fluid.make 0) in
+  check bool "different universes rejected" true
+    (try ignore (Dmf.Mixture.mix a b); false with Invalid_argument _ -> true)
+
+let test_of_ratio () =
+  let r = Dmf.Ratio.of_string "2:1:1:1:1:1:9" in
+  let v = Dmf.Mixture.of_ratio r in
+  check (Alcotest.array int) "numerators" [| 2; 1; 1; 1; 1; 1; 9 |]
+    (Dmf.Mixture.numerators v);
+  let two_sixteenths, denominator = Dmf.Mixture.cf v (Dmf.Fluid.make 0) in
+  check int "cf numerator" 2 two_sixteenths;
+  check int "cf denominator" 16 denominator
+
+let test_of_ratio_canonical () =
+  (* 2:2 over scale 2 canonicalises to 1:1 over scale 1. *)
+  let v = Dmf.Mixture.of_ratio (Dmf.Ratio.of_string "2:2") in
+  check int "canonical scale" 1 (Dmf.Mixture.scale v)
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let prop_mix_commutative =
+  Generators.qtest "mix is commutative" Generators.ratio_gen
+    Generators.ratio_print (fun r ->
+      let n = Dmf.Ratio.n_fluids r in
+      let a = Dmf.Mixture.pure ~n (Dmf.Fluid.make 0) in
+      let b = Dmf.Mixture.of_ratio r in
+      Dmf.Mixture.equal (Dmf.Mixture.mix a b) (Dmf.Mixture.mix b a))
+
+let prop_numerators_sum =
+  Generators.qtest "canonical numerators sum to 2^scale" Generators.ratio_gen
+    Generators.ratio_print (fun r ->
+      let v = Dmf.Mixture.of_ratio r in
+      Array.fold_left ( + ) 0 (Dmf.Mixture.numerators v)
+      = Dmf.Binary.pow2 (Dmf.Mixture.scale v))
+
+let prop_ratio_roundtrip =
+  Generators.qtest "ratio to_string/of_string round-trips"
+    Generators.ratio_gen Generators.ratio_print (fun r ->
+      Dmf.Ratio.equal r (Dmf.Ratio.of_string (Dmf.Ratio.to_string r)))
+
+let prop_approximate_valid =
+  Generators.qtest ~count:100 "approximate always yields a valid ratio"
+    Generators.ratio_gen Generators.ratio_print (fun r ->
+      let percents = Array.map float_of_int (Dmf.Ratio.parts r) in
+      let a = Dmf.Ratio.approximate ~d:(Dmf.Ratio.accuracy r) percents in
+      (* Re-approximating an exact ratio must reproduce it. *)
+      Dmf.Ratio.equal a r)
+
+let () =
+  Alcotest.run "dmf"
+    [
+      ( "binary",
+        [
+          Alcotest.test_case "pow2" `Quick test_pow2;
+          Alcotest.test_case "is_power_of_two" `Quick test_is_power_of_two;
+          Alcotest.test_case "log2" `Quick test_log2;
+          Alcotest.test_case "popcount and set_bits" `Quick test_popcount_set_bits;
+          Alcotest.test_case "ceil_div" `Quick test_ceil_div;
+        ] );
+      ("fluid", [ Alcotest.test_case "basics" `Quick test_fluid ]);
+      ( "ratio",
+        [
+          Alcotest.test_case "make" `Quick test_ratio_make;
+          Alcotest.test_case "rejects invalid" `Quick test_ratio_rejects;
+          Alcotest.test_case "of_string" `Quick test_ratio_of_string;
+          Alcotest.test_case "equal" `Quick test_ratio_equal;
+          Alcotest.test_case "approximate PCR" `Quick test_approximate_pcr;
+          Alcotest.test_case "approximation error bound" `Quick
+            test_approximate_error_bound;
+          Alcotest.test_case "approximate rejects" `Quick test_approximate_rejects;
+          Alcotest.test_case "rescale" `Quick test_rescale;
+        ] );
+      ( "mixture",
+        [
+          Alcotest.test_case "pure" `Quick test_pure;
+          Alcotest.test_case "mix two pure droplets" `Quick test_mix_simple;
+          Alcotest.test_case "mix canonicalises" `Quick test_mix_canonicalises;
+          Alcotest.test_case "mix unbalanced scales" `Quick test_mix_unbalanced;
+          Alcotest.test_case "mix rejects universes" `Quick
+            test_mix_rejects_universes;
+          Alcotest.test_case "of_ratio" `Quick test_of_ratio;
+          Alcotest.test_case "of_ratio canonical" `Quick test_of_ratio_canonical;
+        ] );
+      ( "properties",
+        [
+          prop_mix_commutative;
+          prop_numerators_sum;
+          prop_ratio_roundtrip;
+          prop_approximate_valid;
+        ] );
+    ]

@@ -1,0 +1,217 @@
+(* Cross-cutting edge cases: minimal ratios, extreme resource counts,
+   large accuracy levels, degenerate demands and layout corners. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let r = Dmf.Ratio.of_string
+
+(* ------------------------------------------------------------------ *)
+(* Minimal and extreme mixtures                                        *)
+
+let test_smallest_mixture () =
+  (* 1:1 — one mix, depth 1. *)
+  let ratio = r "1:1" in
+  let plan = Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand:2 in
+  check int "one node" 1 (Mdst.Plan.tms plan);
+  check int "no waste" 0 (Mdst.Plan.waste plan);
+  let s = Mdst.Mms.schedule ~plan ~mixers:1 in
+  check int "one cycle" 1 (Mdst.Schedule.completion_time s);
+  check int "no storage" 0 (Mdst.Storage.units ~plan s)
+
+let test_deep_skew () =
+  (* 1 : 2^d - 1 produces maximal depth; everything must still hold. *)
+  List.iter
+    (fun d ->
+      let parts = [| 1; Dmf.Binary.pow2 d - 1 |] in
+      let ratio = Dmf.Ratio.make parts in
+      let plan = Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand:4 in
+      check bool (Printf.sprintf "valid at d=%d" d) true
+        (Result.is_ok (Mdst.Plan.validate plan));
+      let s = Mdst.Srs.schedule ~plan ~mixers:2 in
+      check bool "schedule valid" true
+        (Result.is_ok (Mdst.Schedule.validate ~plan s)))
+    [ 2; 6; 10 ]
+
+let test_wide_mixture () =
+  (* 16 fluids of one part each on the scale 16: a perfect balanced tree. *)
+  let ratio = Dmf.Ratio.make (Array.make 16 1) in
+  let tree = Mixtree.Minmix.build ratio in
+  check int "depth 4" 4 (Mixtree.Tree.depth tree);
+  check int "15 mixes" 15 (Mixtree.Tree.internal_count tree);
+  let plan = Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand:16 in
+  check int "no waste at D = 2^d" 0 (Mdst.Plan.waste plan);
+  check (Alcotest.array int) "inputs = ratio" (Dmf.Ratio.parts ratio)
+    (Mdst.Plan.input_vector plan)
+
+let test_large_accuracy () =
+  (* d = 10: a 1024-scale ratio still round-trips exactly. *)
+  let ratio = r "513:511" in
+  let tree = Mixtree.Minmix.build ratio in
+  check bool "valid" true (Result.is_ok (Mixtree.Tree.validate ~ratio tree));
+  check int "depth 10" 10 (Mixtree.Tree.depth tree)
+
+(* ------------------------------------------------------------------ *)
+(* Resource extremes                                                   *)
+
+let test_many_mixers_saturate () =
+  let ratio = Generators.pcr16 in
+  let plan = Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand:20 in
+  let tc_100 =
+    Mdst.Schedule.completion_time (Mdst.Mms.schedule ~plan ~mixers:100)
+  in
+  let tc_27 =
+    Mdst.Schedule.completion_time (Mdst.Mms.schedule ~plan ~mixers:27)
+  in
+  check int "beyond Tms mixers change nothing" tc_27 tc_100
+
+let test_streaming_huge_budget_single_pass () =
+  let ratio = Generators.pcr16 in
+  let run =
+    Mdst.Streaming.run ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand:32
+      ~mixers:3 ~storage_limit:1000 ~scheduler:Mdst.Streaming.SRS
+  in
+  check int "single pass" 1 (Mdst.Streaming.n_passes run)
+
+let test_demand_one () =
+  (* Odd minimal demand still emits a pair. *)
+  let ratio = r "3:5" in
+  let plan = Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand:1 in
+  check int "one tree" 1 (Mdst.Plan.trees plan);
+  check int "two targets" 2 (Mdst.Plan.targets plan)
+
+let test_huge_demand () =
+  (* D = 8 * 2^d: still zero waste and exact multiples of the ratio. *)
+  let ratio = r "3:5" in
+  let plan =
+    Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand:64
+  in
+  check int "no waste" 0 (Mdst.Plan.waste plan);
+  check (Alcotest.array int) "inputs = 8x ratio" [| 24; 40 |]
+    (Mdst.Plan.input_vector plan)
+
+(* ------------------------------------------------------------------ *)
+(* Layout corners                                                      *)
+
+let test_single_fluid_layout_rejected () =
+  check bool "zero fluids rejected" true
+    (try ignore (Chip.Layout.default ~n_fluids:0 ()); false
+     with Invalid_argument _ -> true)
+
+let test_minimal_layout () =
+  let l = Chip.Layout.default ~mixers:1 ~storage_units:1 ~wastes:1 ~n_fluids:2 () in
+  check int "one mixer" 1 (List.length (Chip.Layout.mixers l));
+  check int "one waste" 1 (List.length (Chip.Layout.wastes l));
+  (* Everything reachable from everything. *)
+  let matrix = Chip.Cost_matrix.build l in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          check bool
+            (Printf.sprintf "%s -> %s reachable" a b)
+            true
+            (Chip.Cost_matrix.reachable matrix ~src:a ~dst:b))
+        (Chip.Cost_matrix.labels matrix))
+    (Chip.Cost_matrix.labels matrix)
+
+let test_full_pipeline_on_minimal_chip () =
+  let ratio = r "1:3" in
+  let plan = Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand:4 in
+  let schedule = Mdst.Mms.schedule ~plan ~mixers:1 in
+  let q = Mdst.Storage.units ~plan schedule in
+  let layout =
+    Chip.Layout.default ~mixers:1 ~storage_units:(max 1 q) ~n_fluids:2 ()
+  in
+  match Sim.Executor.run ~layout ~plan ~schedule with
+  | Error e -> Alcotest.fail e
+  | Ok (_, stats) ->
+    check bool "verified" true (Result.is_ok (Sim.Executor.check ~plan stats))
+
+(* ------------------------------------------------------------------ *)
+(* Engine-level crossovers                                             *)
+
+let test_streaming_wins_exactly_when_demand_exceeds_two () =
+  let ratio = Generators.pcr16 in
+  List.iter
+    (fun demand ->
+      let streamed =
+        Mdst.Compare.evaluate ~ratio ~demand
+          (Mdst.Compare.Streamed (Mixtree.Algorithm.MM, Mdst.Streaming.MMS))
+      in
+      let repeated =
+        Mdst.Compare.evaluate ~ratio ~demand
+          (Mdst.Compare.Repeated Mixtree.Algorithm.MM)
+      in
+      if demand <= 2 then
+        check int
+          (Printf.sprintf "equal inputs at D=%d" demand)
+          repeated.Mdst.Metrics.input_total streamed.Mdst.Metrics.input_total
+      else
+        check bool
+          (Printf.sprintf "streaming cheaper at D=%d" demand)
+          true
+          (streamed.Mdst.Metrics.input_total < repeated.Mdst.Metrics.input_total))
+    [ 1; 2; 3; 4; 8; 16 ]
+
+let test_gantt_renders_every_scheduler () =
+  let ratio = r "25:5:5:5:5:13:13:25:1:159" in
+  let plan = Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand:6 in
+  List.iter
+    (fun schedule ->
+      let chart = Mdst.Gantt.render ~plan schedule in
+      check bool "chart non-empty" true (String.length chart > 100))
+    [ Mdst.Mms.schedule ~plan ~mixers:2; Mdst.Srs.schedule ~plan ~mixers:2;
+      Mdst.Oms.schedule ~plan ~mixers:2 ]
+
+let prop_metrics_monotone_in_demand =
+  Generators.qtest ~count:60 "inputs weakly increase with demand"
+    Generators.ratio_gen Generators.ratio_print (fun ratio ->
+      let inputs demand =
+        Mdst.Plan.input_total
+          (Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand)
+      in
+      let rec check_monotone previous = function
+        | [] -> true
+        | demand :: rest ->
+          let i = inputs demand in
+          i >= previous && check_monotone i rest
+      in
+      check_monotone 0 [ 2; 4; 8; 12; 16 ])
+
+let () =
+  Alcotest.run "edge-cases"
+    [
+      ( "mixtures",
+        [
+          Alcotest.test_case "smallest mixture" `Quick test_smallest_mixture;
+          Alcotest.test_case "deep skew" `Quick test_deep_skew;
+          Alcotest.test_case "wide mixture" `Quick test_wide_mixture;
+          Alcotest.test_case "large accuracy" `Quick test_large_accuracy;
+        ] );
+      ( "resources",
+        [
+          Alcotest.test_case "mixers saturate" `Quick test_many_mixers_saturate;
+          Alcotest.test_case "huge storage budget" `Quick
+            test_streaming_huge_budget_single_pass;
+          Alcotest.test_case "demand one" `Quick test_demand_one;
+          Alcotest.test_case "huge demand" `Quick test_huge_demand;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "zero fluids rejected" `Quick
+            test_single_fluid_layout_rejected;
+          Alcotest.test_case "minimal layout" `Quick test_minimal_layout;
+          Alcotest.test_case "full pipeline on minimal chip" `Quick
+            test_full_pipeline_on_minimal_chip;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "streaming crossover at D=2" `Quick
+            test_streaming_wins_exactly_when_demand_exceeds_two;
+          Alcotest.test_case "gantt for every scheduler" `Quick
+            test_gantt_renders_every_scheduler;
+          prop_metrics_monotone_in_demand;
+        ] );
+    ]

@@ -1,0 +1,191 @@
+(* Tests for the engine facade, the baselines and the comparison module
+   (Tables 2-3). *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let pcr = Generators.pcr16
+
+let spec ?(demand = 20) ?(algorithm = Mixtree.Algorithm.MM)
+    ?(scheduler = Mdst.Streaming.SRS) ?mixers ratio =
+  { Mdst.Engine.ratio; demand; algorithm; scheduler; mixers }
+
+let test_default_mixers () =
+  check int "PCR Mlb = 3" 3 (Mdst.Engine.default_mixers pcr);
+  check int "dilution Mlb" 1
+    (Mdst.Engine.default_mixers (Dmf.Ratio.of_string "1:15"))
+
+let test_prepare_coherent () =
+  let result = Mdst.Engine.prepare (spec ~mixers:3 pcr) in
+  check int "resolved mixers" 3 result.Mdst.Engine.mixers;
+  check int "metrics demand" 20 result.Mdst.Engine.metrics.Mdst.Metrics.demand;
+  check int "metrics tc matches schedule"
+    (Mdst.Schedule.completion_time result.Mdst.Engine.schedule)
+    result.Mdst.Engine.metrics.Mdst.Metrics.tc;
+  check Alcotest.string "scheme name" "MM+SRS"
+    result.Mdst.Engine.metrics.Mdst.Metrics.scheme
+
+let test_prepare_rejects_bad_mixers () =
+  check bool "zero mixers" true
+    (try ignore (Mdst.Engine.prepare (spec ~mixers:0 pcr)); false
+     with Invalid_argument _ -> true)
+
+let test_baseline_metrics () =
+  let m = Mdst.Engine.baseline_metrics (spec ~mixers:3 pcr) in
+  check int "ten passes" 10 m.Mdst.Metrics.passes;
+  check int "Tr = passes * 4" 40 m.Mdst.Metrics.tc;
+  check int "Ir = passes * 8" 80 m.Mdst.Metrics.input_total;
+  check int "Wr = passes * 6" 60 m.Mdst.Metrics.waste
+
+let test_baseline_names () =
+  check Alcotest.string "RMM" "RMM" (Mdst.Baseline.name Mixtree.Algorithm.MM);
+  check Alcotest.string "RRMA" "RRMA" (Mdst.Baseline.name Mixtree.Algorithm.RMA);
+  check Alcotest.string "RMTCS" "RMTCS" (Mdst.Baseline.name Mixtree.Algorithm.MTCS)
+
+(* Table 2, Ex.2 row: the paper's exact values for the schemes our MM
+   reimplementation matches. *)
+let test_table2_ex2 () =
+  let ratio = Dmf.Ratio.of_string "128:123:5" in
+  let results =
+    Mdst.Compare.evaluate_all ~ratio ~demand:32 Mdst.Compare.table2_schemes
+  in
+  let find name =
+    List.find
+      (fun (s, _) -> Mdst.Compare.scheme_name s = name)
+      results
+    |> snd
+  in
+  let rmm = find "RMM" in
+  check int "RMM Tc (paper: 128)" 128 rmm.Mdst.Metrics.tc;
+  check int "RMM I (paper: 144)" 144 rmm.Mdst.Metrics.input_total;
+  let mms = find "MM+MMS" in
+  check int "MM+MMS Tc (paper: 34)" 34 mms.Mdst.Metrics.tc;
+  check int "MM+MMS q (paper: 15)" 15 mms.Mdst.Metrics.q;
+  check int "MM+MMS I (paper: 35)" 35 mms.Mdst.Metrics.input_total;
+  let srs = find "MM+SRS" in
+  check int "MM+SRS Tc (paper: 34)" 34 srs.Mdst.Metrics.tc;
+  check int "MM+SRS q (paper: 4)" 4 srs.Mdst.Metrics.q;
+  check int "MM+SRS I (paper: 35)" 35 srs.Mdst.Metrics.input_total
+
+let test_table2_all_protocols_ordering () =
+  (* On every protocol, every streamed scheme beats its repeated baseline
+     on both completion time and reactant usage. *)
+  List.iter
+    (fun p ->
+      let ratio = p.Bioproto.Protocols.ratio in
+      let results =
+        Mdst.Compare.evaluate_all ~ratio ~demand:32 Mdst.Compare.table2_schemes
+      in
+      let metric name =
+        snd (List.find (fun (s, _) -> Mdst.Compare.scheme_name s = name) results)
+      in
+      List.iter
+        (fun (repeated, streamed) ->
+          let r = metric repeated and s = metric streamed in
+          check bool
+            (Printf.sprintf "%s: %s faster than %s" p.Bioproto.Protocols.id
+               streamed repeated)
+            true
+            (s.Mdst.Metrics.tc < r.Mdst.Metrics.tc);
+          check bool
+            (Printf.sprintf "%s: %s cheaper than %s" p.Bioproto.Protocols.id
+               streamed repeated)
+            true
+            (s.Mdst.Metrics.input_total < r.Mdst.Metrics.input_total))
+        [ ("RMM", "MM+MMS"); ("RMM", "MM+SRS"); ("RRMA", "RMA+MMS");
+          ("RRMA", "RMA+SRS"); ("RMTCS", "MTCS+MMS"); ("RMTCS", "MTCS+SRS") ])
+    Bioproto.Protocols.table2
+
+let test_improvements_on_corpus_slice () =
+  (* Table 3's headline: MMS reduces Tc and I by a large margin over the
+     repeated baselines on the L=32 corpus with D=32; SRS cuts storage
+     relative to MMS at a small Tc cost. *)
+  let ratios = Lazy.force Generators.corpus_slice in
+  List.iter
+    (fun algorithm ->
+      let imp = Mdst.Compare.average_improvements ~ratios ~demand:32 algorithm in
+      let name = Mixtree.Algorithm.name algorithm in
+      check bool (name ^ ": MMS saves > 50% time") true
+        (imp.Mdst.Compare.mms_tc_over_repeated > 50.);
+      check bool (name ^ ": MMS saves > 50% reactant") true
+        (imp.Mdst.Compare.mms_i_over_repeated > 50.);
+      check bool (name ^ ": SRS saves storage vs MMS") true
+        (imp.Mdst.Compare.srs_q_over_mms > 0.);
+      check bool (name ^ ": SRS no faster than MMS on average") true
+        (imp.Mdst.Compare.srs_tc_over_mms <= 0.))
+    [ Mixtree.Algorithm.MM; Mixtree.Algorithm.RMA; Mixtree.Algorithm.MTCS ]
+
+let test_scheme_names () =
+  check Alcotest.string "streamed name" "RMA+MMS"
+    (Mdst.Compare.scheme_name
+       (Mdst.Compare.Streamed (Mixtree.Algorithm.RMA, Mdst.Streaming.MMS)));
+  check Alcotest.string "repeated name" "RMTCS"
+    (Mdst.Compare.scheme_name (Mdst.Compare.Repeated Mixtree.Algorithm.MTCS));
+  check int "nine table-2 schemes" 9 (List.length Mdst.Compare.table2_schemes)
+
+let test_percent_improvement () =
+  check (Alcotest.float 1e-9) "halving is 50%" 50.
+    (Mdst.Metrics.percent_improvement ~baseline:128 64);
+  check (Alcotest.float 1e-9) "zero baseline" 0.
+    (Mdst.Metrics.percent_improvement ~baseline:0 10);
+  check bool "regression is negative" true
+    (Mdst.Metrics.percent_improvement ~baseline:10 12 < 0.)
+
+let test_report_table () =
+  let s =
+    Mdst.Report.table ~header:[ "a"; "b" ] ~rows:[ [ "1"; "22" ]; [ "333" ] ]
+  in
+  check bool "pads ragged rows" true (String.length s > 0);
+  check bool "has rule" true (Astring.String.is_infix ~affix:"---" s)
+
+let prop_engine_metrics_consistent =
+  Generators.qtest ~count:100 "engine metrics are internally consistent"
+    QCheck2.Gen.(
+      triple Generators.ratio_gen (int_range 2 24) Generators.algorithm_gen)
+    (fun (r, d, a) ->
+      Printf.sprintf "%s D=%d %s" (Dmf.Ratio.to_string r) d
+        (Mixtree.Algorithm.name a))
+    (fun (ratio, demand, algorithm) ->
+      let result =
+        Mdst.Engine.prepare
+          { Mdst.Engine.ratio; demand; algorithm;
+            scheduler = Mdst.Streaming.SRS; mixers = None }
+      in
+      let m = result.Mdst.Engine.metrics in
+      m.Mdst.Metrics.tms = Mdst.Plan.tms result.Mdst.Engine.plan
+      && m.Mdst.Metrics.input_total
+         = Array.fold_left ( + ) 0 m.Mdst.Metrics.inputs
+      && m.Mdst.Metrics.tc
+         = Mdst.Schedule.completion_time result.Mdst.Engine.schedule
+      && m.Mdst.Metrics.trees = (demand + 1) / 2)
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "default mixers" `Quick test_default_mixers;
+          Alcotest.test_case "prepare coherent" `Quick test_prepare_coherent;
+          Alcotest.test_case "rejects bad mixers" `Quick test_prepare_rejects_bad_mixers;
+          Alcotest.test_case "baseline metrics" `Quick test_baseline_metrics;
+          Alcotest.test_case "baseline names" `Quick test_baseline_names;
+        ] );
+      ( "table2",
+        [
+          Alcotest.test_case "Ex.2 exact row" `Quick test_table2_ex2;
+          Alcotest.test_case "streamed beats repeated on Ex.1-5" `Quick
+            test_table2_all_protocols_ordering;
+        ] );
+      ( "table3",
+        [
+          Alcotest.test_case "corpus-slice improvements" `Slow
+            test_improvements_on_corpus_slice;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "scheme names" `Quick test_scheme_names;
+          Alcotest.test_case "percent improvement" `Quick test_percent_improvement;
+          Alcotest.test_case "table rendering" `Quick test_report_table;
+        ] );
+      ("properties", [ prop_engine_metrics_consistent ]);
+    ]

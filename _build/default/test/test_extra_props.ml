@@ -1,0 +1,152 @@
+(* Additional cross-module properties on randomly generated inputs. *)
+
+open QCheck2
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+
+(* Random but valid default layouts. *)
+let layout_gen =
+  Gen.(
+    triple (int_range 2 8) (int_range 1 4) (int_range 1 12)
+    >|= fun (n_fluids, mixers, storage_units) ->
+    Chip.Layout.default ~mixers ~storage_units ~n_fluids ())
+
+let layout_print l =
+  Printf.sprintf "%dx%d grid, %d modules" (Chip.Layout.width l)
+    (Chip.Layout.height l)
+    (List.length (Chip.Layout.modules l))
+
+let prop_cost_matrix_symmetric =
+  Generators.qtest ~count:40 "cost matrices are symmetric on random layouts"
+    layout_gen layout_print (fun layout ->
+      let matrix = Chip.Cost_matrix.build layout in
+      let labels = Chip.Cost_matrix.labels matrix in
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              (not
+                 (Chip.Cost_matrix.reachable matrix ~src:a ~dst:b
+                 || Chip.Cost_matrix.reachable matrix ~src:b ~dst:a))
+              || Chip.Cost_matrix.cost matrix ~src:a ~dst:b
+                 = Chip.Cost_matrix.cost matrix ~src:b ~dst:a)
+            labels)
+        labels)
+
+let prop_cost_matrix_triangle =
+  Generators.qtest ~count:25 "routing costs obey a relaxed triangle bound"
+    layout_gen layout_print (fun layout ->
+      let matrix = Chip.Cost_matrix.build layout in
+      let labels = Chip.Cost_matrix.labels matrix in
+      (* Via-points can force a detour around the intermediate module's
+         own footprint, so allow its half-perimeter as slack. *)
+      List.for_all
+        (fun a ->
+          List.for_all
+            (fun b ->
+              List.for_all
+                (fun c ->
+                  if
+                    Chip.Cost_matrix.reachable matrix ~src:a ~dst:b
+                    && Chip.Cost_matrix.reachable matrix ~src:a ~dst:c
+                    && Chip.Cost_matrix.reachable matrix ~src:c ~dst:b
+                  then
+                    let slack =
+                      let m = Chip.Layout.find_exn layout c in
+                      2
+                      * (m.Chip.Chip_module.rect.Chip.Geometry.w
+                        + m.Chip.Chip_module.rect.Chip.Geometry.h)
+                    in
+                    Chip.Cost_matrix.cost matrix ~src:a ~dst:b
+                    <= Chip.Cost_matrix.cost matrix ~src:a ~dst:c
+                       + Chip.Cost_matrix.cost matrix ~src:c ~dst:b
+                       + slack
+                  else true)
+                labels)
+            labels)
+        labels)
+
+let printable_string_gen =
+  Gen.(string_size ~gen:(char_range ' ' '~') (int_range 0 40))
+
+let prop_svg_escaping =
+  Generators.qtest ~count:200 "SVG text never leaks raw markup"
+    printable_string_gen Fun.id (fun s ->
+      let doc =
+        Viz.Svg.document ~width:10. ~height:10. [ Viz.Svg.text ~x:0. ~y:0. s ]
+      in
+      (* After the opening <svg ...>, any '<' must start a known tag or
+         entity; raw user '<' and '&' must have been escaped. *)
+      let body_start = String.index doc '>' + 1 in
+      let body = String.sub doc body_start (String.length doc - body_start) in
+      let rec scan i =
+        if i >= String.length body then true
+        else
+          match body.[i] with
+          | '&' ->
+            (* must be one of our entities *)
+            List.exists
+              (fun entity ->
+                i + String.length entity <= String.length body
+                && String.sub body i (String.length entity) = entity)
+              [ "&lt;"; "&gt;"; "&amp;"; "&quot;"; "&apos;" ]
+            && scan (i + 1)
+          | '<' ->
+            List.exists
+              (fun tag ->
+                i + String.length tag <= String.length body
+                && String.sub body i (String.length tag) = tag)
+              [ "<text"; "</text>"; "</svg>" ]
+            && scan (i + 1)
+          | _ -> scan (i + 1)
+      in
+      scan 0)
+
+let prop_dmrw_canonical =
+  Generators.qtest ~count:100 "DMRW is invariant under target reduction"
+    Gen.(
+      int_range 2 7 >>= fun d ->
+      int_range 1 (Dmf.Binary.pow2 d - 1) >|= fun c -> (c, d))
+    (fun (c, d) -> Printf.sprintf "%d/%d" c (Dmf.Binary.pow2 d))
+    (fun (c, d) ->
+      (* c/2^d and 2c/2^(d+1) are the same concentration; the recipes must
+         coincide structurally. *)
+      Mixtree.Tree.equal
+        (Mixtree.Dilution.dmrw ~c ~d)
+        (Mixtree.Dilution.dmrw ~c:(2 * c) ~d:(d + 1)))
+
+let test_default_layouts_host_their_ratios () =
+  (* Every default layout can host a small run for its own fluid count. *)
+  List.iter
+    (fun n_fluids ->
+      let parts = Array.make n_fluids 1 in
+      parts.(0) <- (2 * Dmf.Binary.pow2 (Dmf.Binary.floor_log2 n_fluids)) - n_fluids + 1;
+      let total = Array.fold_left ( + ) 0 parts in
+      if Dmf.Binary.is_power_of_two total && n_fluids >= 2 then begin
+        let ratio = Dmf.Ratio.make parts in
+        match
+          Sim.Pipeline.run
+            { Mdst.Engine.ratio; demand = 4;
+              algorithm = Mixtree.Algorithm.MM;
+              scheduler = Mdst.Streaming.SRS; mixers = Some 2 }
+        with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "N=%d: %s" n_fluids e
+      end)
+    [ 2; 3; 4; 5; 6; 7; 8; 10; 12 ];
+  check bool "done" true true
+
+let () =
+  Alcotest.run "extra-props"
+    [
+      ( "chip",
+        [
+          prop_cost_matrix_symmetric;
+          prop_cost_matrix_triangle;
+          Alcotest.test_case "default layouts host their ratios" `Quick
+            test_default_layouts_host_their_ratios;
+        ] );
+      ("viz", [ prop_svg_escaping ]);
+      ("dilution", [ prop_dmrw_canonical ]);
+    ]

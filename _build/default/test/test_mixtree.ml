@@ -1,0 +1,265 @@
+(* Tests for mixing trees: entries, the four construction algorithms,
+   sharing analysis and Hu/OMS scheduling. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let pcr = Generators.pcr16
+
+(* ------------------------------------------------------------------ *)
+(* Entry                                                               *)
+
+let test_entries_of_ratio () =
+  let entries = Mixtree.Entry.of_ratio pcr in
+  (* 2 -> one entry of weight 2; five parts of 1; 9 -> weights 8 and 1. *)
+  check int "entry count" 8 (List.length entries);
+  check int "total" 16 (Mixtree.Entry.total entries);
+  (match entries with
+  | first :: _ -> check int "largest first" 8 first.Mixtree.Entry.weight
+  | [] -> Alcotest.fail "no entries")
+
+let test_partition_exact () =
+  let entries = Mixtree.Entry.of_ratio pcr in
+  let left, right = Mixtree.Entry.partition ~half:8 entries in
+  check int "left half" 8 (Mixtree.Entry.total left);
+  check int "right half" 8 (Mixtree.Entry.total right)
+
+let test_partition_rejects () =
+  check bool "bad half rejected" true
+    (try
+       ignore (Mixtree.Entry.partition ~half:4 (Mixtree.Entry.of_ratio pcr));
+       false
+     with Invalid_argument _ -> true)
+
+let test_split_largest () =
+  let entries = Mixtree.Entry.of_ratio pcr in
+  match Mixtree.Entry.split_largest entries with
+  | None -> Alcotest.fail "should split"
+  | Some split ->
+    check int "one more entry" 9 (List.length split);
+    check int "total preserved" 16 (Mixtree.Entry.total split)
+
+let test_split_units () =
+  let units =
+    [ { Mixtree.Entry.fluid = Dmf.Fluid.make 0; weight = 1 };
+      { Mixtree.Entry.fluid = Dmf.Fluid.make 1; weight = 1 } ]
+  in
+  check bool "unit entries cannot split" true
+    (Mixtree.Entry.split_largest units = None)
+
+let test_balance_fluids () =
+  let e fluid weight = { Mixtree.Entry.fluid = Dmf.Fluid.make fluid; weight } in
+  let left = [ e 0 1; e 0 1 ] and right = [ e 1 1; e 2 1 ] in
+  let left', right' = Mixtree.Entry.balance_fluids (left, right) in
+  check int "left count preserved" 2 (List.length left');
+  check int "right count preserved" 2 (List.length right');
+  let fluids entries =
+    List.sort_uniq Int.compare
+      (List.map (fun x -> Dmf.Fluid.index x.Mixtree.Entry.fluid) entries)
+  in
+  (* The duplicate fluid 0 must no longer be concentrated on one side. *)
+  check bool "duplicates spread" true
+    (List.mem 0 (fluids left') && List.mem 0 (fluids right'))
+
+(* ------------------------------------------------------------------ *)
+(* Tree statistics and construction                                    *)
+
+let test_mm_pcr_shape () =
+  let t = Mixtree.Minmix.build pcr in
+  check int "depth" 4 (Mixtree.Tree.depth t);
+  check int "internal nodes (paper: 7)" 7 (Mixtree.Tree.internal_count t);
+  check int "leaves" 8 (Mixtree.Tree.leaf_count t);
+  check int "waste" 6 (Mixtree.Tree.waste_count t);
+  check (Alcotest.array int) "inputs" [| 1; 1; 1; 1; 1; 1; 2 |]
+    (Mixtree.Tree.input_vector ~n:7 t)
+
+let test_rma_wastes_more () =
+  let mm = Mixtree.Minmix.build pcr and rma = Mixtree.Rma.build pcr in
+  check bool "RMA uses at least as many leaves" true
+    (Mixtree.Tree.leaf_count rma >= Mixtree.Tree.leaf_count mm);
+  check bool "RMA wastes strictly more on PCR" true
+    (Mixtree.Tree.waste_count rma > Mixtree.Tree.waste_count mm)
+
+let test_all_algorithms_valid_on_pcr () =
+  List.iter
+    (fun algo ->
+      let t = Mixtree.Algorithm.build algo pcr in
+      match Mixtree.Tree.validate ~ratio:pcr t with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "%s invalid: %s" (Mixtree.Algorithm.name algo) e)
+    Mixtree.Algorithm.all
+
+let test_leaf_tree_stats () =
+  let t = Mixtree.Tree.Leaf (Dmf.Fluid.make 0) in
+  check int "depth" 0 (Mixtree.Tree.depth t);
+  check int "internal" 0 (Mixtree.Tree.internal_count t);
+  check int "waste" 0 (Mixtree.Tree.waste_count t)
+
+let test_validate_detects_wrong_ratio () =
+  let t = Mixtree.Minmix.build (Dmf.Ratio.of_string "1:3") in
+  check bool "wrong target detected" true
+    (Result.is_error (Mixtree.Tree.validate ~ratio:(Dmf.Ratio.of_string "3:1") t))
+
+let test_subtrees_by_level () =
+  let t = Mixtree.Minmix.build pcr in
+  let subtrees = Mixtree.Tree.subtrees_by_level ~d:4 t in
+  let roots = List.filter (fun (level, _) -> level = 4) subtrees in
+  check int "single root at level d" 1 (List.length roots)
+
+let test_algorithm_of_string () =
+  check bool "mm" true (Mixtree.Algorithm.of_string "mm" = Some Mixtree.Algorithm.MM);
+  check bool "RMA" true (Mixtree.Algorithm.of_string " RMA " = Some Mixtree.Algorithm.RMA);
+  check bool "unknown" true (Mixtree.Algorithm.of_string "nope" = None)
+
+(* ------------------------------------------------------------------ *)
+(* Sharing analysis                                                    *)
+
+let test_sharing_paper_numbers () =
+  let t = Mixtree.Minmix.build pcr in
+  let s16 = Mixtree.Sharing.demand_stats ~n:7 ~demand:16 t in
+  check int "D=16 mixes (paper: 19)" 19 s16.Mixtree.Sharing.mixes;
+  check int "D=16 waste (paper: 0)" 0 s16.Mixtree.Sharing.waste;
+  check (Alcotest.array int) "D=16 inputs equal the ratio"
+    [| 2; 1; 1; 1; 1; 1; 9 |] s16.Mixtree.Sharing.inputs;
+  let s20 = Mixtree.Sharing.demand_stats ~n:7 ~demand:20 t in
+  check int "D=20 mixes (paper: 27)" 27 s20.Mixtree.Sharing.mixes;
+  check int "D=20 waste (paper: 5)" 5 s20.Mixtree.Sharing.waste;
+  check (Alcotest.array int) "D=20 inputs (paper: [3,2,2,2,2,2,12])"
+    [| 3; 2; 2; 2; 2; 2; 12 |] s20.Mixtree.Sharing.inputs
+
+let test_sharing_conservation =
+  Generators.qtest ~count:150 "sharing stats conserve droplets"
+    QCheck2.Gen.(pair Generators.ratio_gen Generators.demand_gen)
+    (fun (r, demand) -> Printf.sprintf "%s D=%d" (Dmf.Ratio.to_string r) demand)
+    (fun (r, demand) ->
+      let t = Mixtree.Minmix.build r in
+      let s = Mixtree.Sharing.demand_stats ~n:(Dmf.Ratio.n_fluids r) ~demand t in
+      Array.fold_left ( + ) 0 s.Mixtree.Sharing.inputs
+      = demand + s.Mixtree.Sharing.waste)
+
+let test_sharing_full_demand_no_waste =
+  Generators.qtest ~count:150 "demand 2^d consumes exactly the ratio"
+    Generators.ratio_gen Generators.ratio_print (fun r ->
+      let t = Mixtree.Minmix.build r in
+      let s =
+        Mixtree.Sharing.demand_stats ~n:(Dmf.Ratio.n_fluids r)
+          ~demand:(Dmf.Ratio.sum r) t
+      in
+      s.Mixtree.Sharing.waste = 0
+      && s.Mixtree.Sharing.inputs = Dmf.Ratio.parts r)
+
+(* ------------------------------------------------------------------ *)
+(* Hu / OMS                                                            *)
+
+let test_hu_pcr () =
+  let t = Mixtree.Minmix.build pcr in
+  check int "Mlb (paper: 3)" 3 (Mixtree.Hu.min_mixers_for_fastest t);
+  check int "tc with Mlb mixers = depth" 4 (Mixtree.Hu.completion_time t ~mixers:3);
+  check int "tc with one mixer = node count" 7
+    (Mixtree.Hu.completion_time t ~mixers:1)
+
+let test_hu_monotone () =
+  let t = Mixtree.Minmix.build (Dmf.Ratio.of_string "26:21:2:2:3:3:199") in
+  let previous = ref max_int in
+  for m = 1 to 8 do
+    let tc = Mixtree.Hu.completion_time t ~mixers:m in
+    check bool (Printf.sprintf "tc nonincreasing at m=%d" m) true (tc <= !previous);
+    previous := tc
+  done
+
+let test_hu_leaf () =
+  let t = Mixtree.Tree.Leaf (Dmf.Fluid.make 0) in
+  check int "leaf takes no cycles" 0 (Mixtree.Hu.completion_time t ~mixers:1);
+  check int "leaf needs one mixer by convention" 1
+    (Mixtree.Hu.min_mixers_for_fastest t)
+
+let test_hu_schedule_valid () =
+  let t = Mixtree.Minmix.build pcr in
+  let slots = Mixtree.Hu.schedule t ~mixers:2 in
+  check int "every internal node scheduled" 7 (List.length slots);
+  (* No mixer double-booked. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let key = (s.Mixtree.Hu.cycle, s.Mixtree.Hu.mixer) in
+      check bool "slot unique" false (Hashtbl.mem seen key);
+      Hashtbl.add seen key ())
+    slots
+
+let prop_hu_critical_path =
+  Generators.qtest ~count:100 "many mixers reach the critical path"
+    Generators.ratio_gen Generators.ratio_print (fun r ->
+      let t = Mixtree.Minmix.build r in
+      let many = max 1 (Mixtree.Tree.internal_count t) in
+      Mixtree.Hu.completion_time t ~mixers:many = Mixtree.Tree.depth t)
+
+let prop_trees_valid =
+  Generators.qtest ~count:200 "all four algorithms build exact trees"
+    QCheck2.Gen.(pair Generators.ratio_gen Generators.algorithm_gen)
+    (fun (r, a) ->
+      Printf.sprintf "%s %s" (Mixtree.Algorithm.name a) (Dmf.Ratio.to_string r))
+    (fun (r, a) ->
+      let t = Mixtree.Algorithm.build a r in
+      Result.is_ok (Mixtree.Tree.validate ~ratio:r t))
+
+let prop_mm_leaf_optimal =
+  Generators.qtest ~count:200 "MM uses exactly popcount leaves"
+    Generators.ratio_gen Generators.ratio_print (fun r ->
+      let t = Mixtree.Minmix.build r in
+      let popcount_total =
+        Array.fold_left (fun acc a -> acc + Dmf.Binary.popcount a) 0
+          (Dmf.Ratio.parts r)
+      in
+      Mixtree.Tree.leaf_count t = popcount_total)
+
+let prop_mtcs_no_worse =
+  Generators.qtest ~count:150 "MTCS shared pass never beats MM on inputs badly"
+    Generators.ratio_gen Generators.ratio_print (fun r ->
+      let n = Dmf.Ratio.n_fluids r in
+      let mm = Mixtree.Sharing.pass_stats ~n (Mixtree.Minmix.build r) in
+      let mtcs = Mixtree.Sharing.pass_stats ~n (Mixtree.Mtcs.build r) in
+      mtcs.Mixtree.Sharing.mixes <= mm.Mixtree.Sharing.mixes)
+
+let () =
+  Alcotest.run "mixtree"
+    [
+      ( "entry",
+        [
+          Alcotest.test_case "of_ratio" `Quick test_entries_of_ratio;
+          Alcotest.test_case "partition exact" `Quick test_partition_exact;
+          Alcotest.test_case "partition rejects" `Quick test_partition_rejects;
+          Alcotest.test_case "split largest" `Quick test_split_largest;
+          Alcotest.test_case "split units" `Quick test_split_units;
+          Alcotest.test_case "balance fluids" `Quick test_balance_fluids;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "MM PCR shape" `Quick test_mm_pcr_shape;
+          Alcotest.test_case "RMA wastes more" `Quick test_rma_wastes_more;
+          Alcotest.test_case "all algorithms valid on PCR" `Quick
+            test_all_algorithms_valid_on_pcr;
+          Alcotest.test_case "leaf stats" `Quick test_leaf_tree_stats;
+          Alcotest.test_case "validate detects wrong ratio" `Quick
+            test_validate_detects_wrong_ratio;
+          Alcotest.test_case "subtrees by level" `Quick test_subtrees_by_level;
+          Alcotest.test_case "algorithm of_string" `Quick test_algorithm_of_string;
+        ] );
+      ( "sharing",
+        [
+          Alcotest.test_case "paper numbers (Figs 1-2)" `Quick
+            test_sharing_paper_numbers;
+          test_sharing_conservation;
+          test_sharing_full_demand_no_waste;
+        ] );
+      ( "hu",
+        [
+          Alcotest.test_case "PCR Mlb and tc" `Quick test_hu_pcr;
+          Alcotest.test_case "tc monotone in mixers" `Quick test_hu_monotone;
+          Alcotest.test_case "leaf" `Quick test_hu_leaf;
+          Alcotest.test_case "schedule valid" `Quick test_hu_schedule_valid;
+          prop_hu_critical_path;
+        ] );
+      ( "properties",
+        [ prop_trees_valid; prop_mm_leaf_optimal; prop_mtcs_no_worse ] );
+    ]

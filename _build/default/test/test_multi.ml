@@ -1,0 +1,194 @@
+(* Tests for multi-target preparation (SDMT/MDMT) and the Pqueue used by
+   the SRS scheduler. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Multi-target forests                                                *)
+
+let r = Dmf.Ratio.of_string
+
+let test_two_targets () =
+  let plan =
+    Mdst.Forest.build_multi ~algorithm:Mixtree.Algorithm.MM
+      [ (r "2:1:1:1:1:1:9", 4); (r "1:1:1:1:1:1:10", 4) ]
+  in
+  check bool "valid" true (Result.is_ok (Mdst.Plan.validate plan));
+  check int "four trees" 4 (Mdst.Plan.trees plan);
+  check int "eight targets" 8 (Mdst.Plan.targets plan);
+  (* Root values follow request order. *)
+  let values =
+    List.map (fun root -> Mdst.Plan.root_value plan root) (Mdst.Plan.roots plan)
+  in
+  let a = Dmf.Mixture.of_ratio (r "2:1:1:1:1:1:9") in
+  let b = Dmf.Mixture.of_ratio (r "1:1:1:1:1:1:10") in
+  check bool "first two roots emit target A" true
+    (List.for_all (Dmf.Mixture.equal a) (List.filteri (fun i _ -> i < 2) values));
+  check bool "last two roots emit target B" true
+    (List.for_all (Dmf.Mixture.equal b) (List.filteri (fun i _ -> i >= 2) values))
+
+let test_cross_target_sharing_saves_reagent () =
+  (* Two related targets share intermediate mixtures; the combined forest
+     must use no more input than preparing them independently. *)
+  let requests = [ (r "3:3:2", 8); (r "3:3:10", 8) ] in
+  let combined =
+    Mdst.Forest.build_multi ~algorithm:Mixtree.Algorithm.MM requests
+  in
+  let separate =
+    List.fold_left
+      (fun acc (ratio, demand) ->
+        acc
+        + Mdst.Plan.input_total
+            (Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand))
+      0 requests
+  in
+  check bool
+    (Printf.sprintf "combined I (%d) <= separate I (%d)"
+       (Mdst.Plan.input_total combined)
+       separate)
+    true
+    (Mdst.Plan.input_total combined <= separate);
+  (* And a pair where the second target strictly consumes the first
+     target's spare droplets: 3:3:2 leaves a spare of (1,1,0)/2 and a
+     spare of (1,1,2)/4, both of which 1:1:2 needs. *)
+  let combined =
+    Mdst.Forest.build_multi ~algorithm:Mixtree.Algorithm.MM
+      [ (r "3:3:2", 2); (r "1:1:2", 2) ]
+  in
+  let separate =
+    Mdst.Plan.input_total
+      (Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:(r "3:3:2")
+         ~demand:2)
+    + Mdst.Plan.input_total
+        (Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:(r "1:1:2")
+           ~demand:2)
+  in
+  check bool
+    (Printf.sprintf "strict sharing: %d < %d"
+       (Mdst.Plan.input_total combined)
+       separate)
+    true
+    (Mdst.Plan.input_total combined < separate)
+
+let test_multi_schedulable () =
+  let plan =
+    Mdst.Forest.build_multi ~algorithm:Mixtree.Algorithm.MM
+      [ (r "3:5", 6); (r "1:7", 6); (r "5:3", 2) ]
+  in
+  List.iter
+    (fun scheduler ->
+      let s = Mdst.Streaming.run_scheduler scheduler ~plan ~mixers:2 in
+      check bool
+        (Mdst.Streaming.scheduler_name scheduler ^ " valid")
+        true
+        (Result.is_ok (Mdst.Schedule.validate ~plan s)))
+    [ Mdst.Streaming.MMS; Mdst.Streaming.SRS ]
+
+let test_multi_rejects_bad_requests () =
+  check bool "empty" true
+    (try ignore (Mdst.Forest.build_multi ~algorithm:Mixtree.Algorithm.MM []); false
+     with Invalid_argument _ -> true);
+  check bool "universe mismatch" true
+    (try
+       ignore
+         (Mdst.Forest.build_multi ~algorithm:Mixtree.Algorithm.MM
+            [ (r "3:5", 2); (r "1:1:2", 2) ]);
+       false
+     with Invalid_argument _ -> true);
+  check bool "zero demand" true
+    (try
+       ignore
+         (Mdst.Forest.build_multi ~algorithm:Mixtree.Algorithm.MM
+            [ (r "3:5", 0) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_multi_single_matches_forest () =
+  (* One request degenerates to the ordinary forest. *)
+  let ratio = r "2:1:1:1:1:1:9" in
+  let multi = Mdst.Forest.build_multi ~algorithm:Mixtree.Algorithm.MM [ (ratio, 20) ] in
+  let single = Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand:20 in
+  check int "same Tms" (Mdst.Plan.tms single) (Mdst.Plan.tms multi);
+  check int "same inputs" (Mdst.Plan.input_total single) (Mdst.Plan.input_total multi);
+  check int "same waste" (Mdst.Plan.waste single) (Mdst.Plan.waste multi)
+
+let prop_multi_conservation =
+  Generators.qtest ~count:60 "multi-target droplet conservation"
+    QCheck2.Gen.(
+      Generators.ratio_gen >>= fun a ->
+      Generators.composition_gen ~n:(Dmf.Ratio.n_fluids a)
+        ~d:(Dmf.Ratio.accuracy a)
+      >>= fun parts ->
+      pair (int_range 1 10) (int_range 1 10) >|= fun (da, db) ->
+      (a, Dmf.Ratio.make parts, da, db))
+    (fun (a, b, da, db) ->
+      Printf.sprintf "%s x%d + %s x%d" (Dmf.Ratio.to_string a) da
+        (Dmf.Ratio.to_string b) db)
+    (fun (a, b, da, db) ->
+      let plan =
+        Mdst.Forest.build_multi ~algorithm:Mixtree.Algorithm.MM
+          [ (a, da); (b, db) ]
+      in
+      Mdst.Plan.input_total plan = Mdst.Plan.targets plan + Mdst.Plan.waste plan
+      && Mdst.Plan.trees plan = ((da + 1) / 2) + ((db + 1) / 2))
+
+(* ------------------------------------------------------------------ *)
+(* Pqueue                                                              *)
+
+let test_pqueue_orders () =
+  let q = Mdst.Pqueue.of_list ~compare:Int.compare [ 5; 1; 4; 1; 3 ] in
+  check (Alcotest.list int) "sorted drain" [ 1; 1; 3; 4; 5 ]
+    (Mdst.Pqueue.to_sorted_list q)
+
+let test_pqueue_size () =
+  let q = Mdst.Pqueue.empty ~compare:Int.compare in
+  check bool "empty" true (Mdst.Pqueue.is_empty q);
+  let q = Mdst.Pqueue.insert 2 (Mdst.Pqueue.insert 7 q) in
+  check int "size 2" 2 (Mdst.Pqueue.size q);
+  match Mdst.Pqueue.pop q with
+  | Some (x, rest) ->
+    check int "min first" 2 x;
+    check int "size shrinks" 1 (Mdst.Pqueue.size rest);
+    check bool "pop empty" true
+      (match Mdst.Pqueue.pop rest with
+      | Some (7, final) -> Mdst.Pqueue.pop final = None
+      | Some _ | None -> false)
+  | None -> Alcotest.fail "pop failed"
+
+let test_pqueue_custom_order () =
+  let q = Mdst.Pqueue.of_list ~compare:(fun a b -> Int.compare b a) [ 1; 9; 5 ] in
+  check (Alcotest.list int) "max first" [ 9; 5; 1 ] (Mdst.Pqueue.to_sorted_list q)
+
+let prop_pqueue_sorts =
+  Generators.qtest ~count:200 "pqueue drains in sorted order"
+    QCheck2.Gen.(list_size (int_range 0 60) (int_range (-100) 100))
+    (fun xs -> String.concat "," (List.map string_of_int xs))
+    (fun xs ->
+      Mdst.Pqueue.to_sorted_list (Mdst.Pqueue.of_list ~compare:Int.compare xs)
+      = List.sort Int.compare xs)
+
+let () =
+  Alcotest.run "multi"
+    [
+      ( "multi-target",
+        [
+          Alcotest.test_case "two targets" `Quick test_two_targets;
+          Alcotest.test_case "cross-target sharing saves reagent" `Quick
+            test_cross_target_sharing_saves_reagent;
+          Alcotest.test_case "schedulable" `Quick test_multi_schedulable;
+          Alcotest.test_case "rejects bad requests" `Quick
+            test_multi_rejects_bad_requests;
+          Alcotest.test_case "single request = ordinary forest" `Quick
+            test_multi_single_matches_forest;
+          prop_multi_conservation;
+        ] );
+      ( "pqueue",
+        [
+          Alcotest.test_case "orders" `Quick test_pqueue_orders;
+          Alcotest.test_case "size and pop" `Quick test_pqueue_size;
+          Alcotest.test_case "custom order" `Quick test_pqueue_custom_order;
+          prop_pqueue_sorts;
+        ] );
+    ]

@@ -1,0 +1,62 @@
+(* Tests for the one-call physical pipeline. *)
+
+let check = Alcotest.check
+let bool = Alcotest.bool
+let int = Alcotest.int
+
+let spec ?(demand = 12) ratio =
+  { Mdst.Engine.ratio; demand; algorithm = Mixtree.Algorithm.MM;
+    scheduler = Mdst.Streaming.SRS; mixers = None }
+
+let test_full_run () =
+  match Sim.Pipeline.run (spec Generators.pcr16) with
+  | Error e -> Alcotest.fail e
+  | Ok result ->
+    check int "emitted = targets"
+      (Mdst.Plan.targets result.Sim.Pipeline.engine.Mdst.Engine.plan)
+      (List.length result.Sim.Pipeline.stats.Sim.Executor.emitted);
+    check bool "actuation consistent with the trace" true
+      (result.Sim.Pipeline.actuation.Chip.Actuation.total_electrodes > 0);
+    check int "wear total matches the trace"
+      (Sim.Trace.electrodes result.Sim.Pipeline.trace)
+      result.Sim.Pipeline.wear.Sim.Wear.total;
+    check bool "contamination analysed" true
+      (result.Sim.Pipeline.contamination.Sim.Contamination.total_crossings >= 0)
+
+let test_custom_layout () =
+  let layout = Chip.Layout.pcr_fig5 () in
+  match Sim.Pipeline.run ~layout (spec ~demand:20 Generators.pcr16) with
+  | Error e -> Alcotest.fail e
+  | Ok result ->
+    check int "uses the given chip" (Chip.Layout.width layout)
+      (Chip.Layout.width result.Sim.Pipeline.layout)
+
+let test_undersized_custom_layout_fails () =
+  let layout = Chip.Layout.default ~mixers:1 ~n_fluids:7 () in
+  check bool "too small a chip is rejected" true
+    (Result.is_error (Sim.Pipeline.run ~layout (spec ~demand:20 Generators.pcr16)))
+
+let prop_pipeline_verifies =
+  Generators.qtest ~count:25 "pipeline verifies random runs"
+    QCheck2.Gen.(pair Generators.ratio_gen (int_range 2 10))
+    (fun (r, d) -> Printf.sprintf "%s D=%d" (Dmf.Ratio.to_string r) d)
+    (fun (ratio, demand) ->
+      match Sim.Pipeline.run (spec ~demand ratio) with
+      | Error _ -> false
+      | Ok result ->
+        result.Sim.Pipeline.stats.Sim.Executor.violations = 0
+        && List.length result.Sim.Pipeline.stats.Sim.Executor.emitted
+           = Mdst.Plan.targets result.Sim.Pipeline.engine.Mdst.Engine.plan)
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "full run" `Quick test_full_run;
+          Alcotest.test_case "custom layout" `Quick test_custom_layout;
+          Alcotest.test_case "undersized layout fails" `Quick
+            test_undersized_custom_layout_fails;
+          prop_pipeline_verifies;
+        ] );
+    ]

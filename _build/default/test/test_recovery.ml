@@ -1,0 +1,201 @@
+(* Tests for checkpoint-based error recovery (reserve-seeded forests). *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let pcr = Generators.pcr16
+
+let prepared demand =
+  let plan = Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr ~demand in
+  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  (plan, schedule)
+
+(* ------------------------------------------------------------------ *)
+(* Reserve-seeded forests                                              *)
+
+let test_reserves_consumed_first () =
+  (* A reserve droplet carrying the target value of a subtree replaces
+     its recomputation. *)
+  let ratio = pcr in
+  let tree = Mixtree.Minmix.build ratio in
+  let plain = Mdst.Forest.of_tree ~ratio ~demand:2 ~sharing:true tree in
+  let half_water =
+    (* The value of the level-1 node mixing x4 and x5. *)
+    Dmf.Mixture.mix
+      (Dmf.Mixture.pure ~n:7 (Dmf.Fluid.make 3))
+      (Dmf.Mixture.pure ~n:7 (Dmf.Fluid.make 4))
+  in
+  let seeded =
+    Mdst.Forest.of_tree ~reserves:[| half_water |] ~ratio ~demand:2
+      ~sharing:true tree
+  in
+  check bool "seeding reduces the mix count" true
+    (Mdst.Plan.tms seeded < Mdst.Plan.tms plain);
+  check bool "seeded plan valid" true (Result.is_ok (Mdst.Plan.validate seeded));
+  check bool "reserve consumed" true (Mdst.Plan.reserve_consumed seeded 0);
+  check int "two fewer inputs"
+    (Mdst.Plan.input_total plain - 2)
+    (Mdst.Plan.input_total seeded)
+
+let test_unused_reserve_is_not_waste () =
+  let ratio = Dmf.Ratio.of_string "3:5" in
+  let tree = Mixtree.Minmix.build ratio in
+  (* A reserve with a value the plan never needs. *)
+  let alien = Dmf.Mixture.pure ~n:2 (Dmf.Fluid.make 0) in
+  let seeded =
+    Mdst.Forest.of_tree ~reserves:[| alien |] ~ratio ~demand:2 ~sharing:false
+      tree
+  in
+  check bool "pure reserve gets used as an input substitute or ignored" true
+    (Result.is_ok (Mdst.Plan.validate seeded))
+
+let test_reserve_storage_occupancy () =
+  (* A never-consumed reserve occupies one storage unit throughout. *)
+  let ratio = Dmf.Ratio.of_string "3:5" in
+  let tree = Mixtree.Minmix.build ratio in
+  let odd_value =
+    Dmf.Mixture.mix
+      (Dmf.Mixture.mix
+         (Dmf.Mixture.pure ~n:2 (Dmf.Fluid.make 0))
+         (Dmf.Mixture.pure ~n:2 (Dmf.Fluid.make 1)))
+      (Dmf.Mixture.pure ~n:2 (Dmf.Fluid.make 1))
+  in
+  let plain = Mdst.Forest.of_tree ~ratio ~demand:2 ~sharing:false tree in
+  let seeded =
+    Mdst.Forest.of_tree ~reserves:[| odd_value |] ~ratio ~demand:2
+      ~sharing:false tree
+  in
+  (* The 1:3/8 value does not appear in the 3:5 tree, so the reserve
+     stays unused. *)
+  check bool "reserve indeed unused" false (Mdst.Plan.reserve_consumed seeded 0);
+  let q plan = Mdst.Storage.units ~plan (Mdst.Mms.schedule ~plan ~mixers:2) in
+  check int "one extra storage unit" (q plain + 1) (q seeded)
+
+let test_executor_rejects_reserves () =
+  let ratio = pcr in
+  let tree = Mixtree.Minmix.build ratio in
+  let half_water =
+    Dmf.Mixture.mix
+      (Dmf.Mixture.pure ~n:7 (Dmf.Fluid.make 3))
+      (Dmf.Mixture.pure ~n:7 (Dmf.Fluid.make 4))
+  in
+  let seeded =
+    Mdst.Forest.of_tree ~reserves:[| half_water |] ~ratio ~demand:2
+      ~sharing:true tree
+  in
+  let schedule = Mdst.Srs.schedule ~plan:seeded ~mixers:3 in
+  let layout = Chip.Layout.pcr_fig5 () in
+  check bool "simulator declines reserve plans" true
+    (Result.is_error (Sim.Executor.run ~layout ~plan:seeded ~schedule));
+  check bool "actuation declines reserve plans" true
+    (Result.is_error (Chip.Actuation.account ~layout ~plan:seeded ~schedule))
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+
+let test_recovery_every_node () =
+  let plan, schedule = prepared 20 in
+  List.iter
+    (fun node ->
+      let r =
+        Mdst.Recovery.recover ~algorithm:Mixtree.Algorithm.MM ~plan ~schedule
+          ~failed_node:node.Mdst.Plan.id
+      in
+      check bool "delivered within demand" true
+        (r.Mdst.Recovery.delivered >= 0
+        && r.Mdst.Recovery.delivered <= Mdst.Plan.demand plan);
+      match r.Mdst.Recovery.recovery_plan with
+      | None ->
+        check bool "no recovery only when demand met" true
+          (r.Mdst.Recovery.remaining_demand <= 0)
+      | Some recovery ->
+        check bool "recovery plan valid" true
+          (Result.is_ok (Mdst.Plan.validate recovery));
+        check bool "recovery covers the remaining demand" true
+          (Mdst.Plan.targets recovery >= r.Mdst.Recovery.remaining_demand);
+        check bool "salvage never hurts" true
+          (Mdst.Recovery.reagent_saving r >= 0);
+        (* Recovery plans schedule like any other. *)
+        let s = Mdst.Srs.schedule ~plan:recovery ~mixers:3 in
+        check bool "recovery schedulable" true
+          (Result.is_ok (Mdst.Schedule.validate ~plan:recovery s)))
+    (Mdst.Plan.nodes plan)
+
+let test_early_failure_costs_most () =
+  let plan, schedule = prepared 20 in
+  let remaining failed_node =
+    (Mdst.Recovery.recover ~algorithm:Mixtree.Algorithm.MM ~plan ~schedule
+       ~failed_node)
+      .Mdst.Recovery.remaining_demand
+  in
+  (* Node 0 executes in cycle 1; the last root executes at Tc. *)
+  let last_root = List.hd (List.rev (Mdst.Plan.roots plan)) in
+  check bool "early failure leaves more to redo" true
+    (remaining 0 >= remaining last_root)
+
+let test_recovery_rejects_bad_input () =
+  let plan, schedule = prepared 8 in
+  check bool "node out of range" true
+    (try
+       ignore
+         (Mdst.Recovery.recover ~algorithm:Mixtree.Algorithm.MM ~plan
+            ~schedule ~failed_node:999);
+       false
+     with Invalid_argument _ -> true);
+  let multi =
+    Mdst.Forest.build_multi ~algorithm:Mixtree.Algorithm.MM
+      [ (Dmf.Ratio.of_string "3:5", 2); (Dmf.Ratio.of_string "1:7", 2) ]
+  in
+  let s = Mdst.Mms.schedule ~plan:multi ~mixers:2 in
+  check bool "multi-target rejected" true
+    (try
+       ignore
+         (Mdst.Recovery.recover ~algorithm:Mixtree.Algorithm.MM ~plan:multi
+            ~schedule:s ~failed_node:0);
+       false
+     with Invalid_argument _ -> true)
+
+let prop_recovery_sound =
+  Generators.qtest ~count:60 "recovery is sound for random instances"
+    QCheck2.Gen.(pair Generators.ratio_gen (int_range 2 16))
+    (fun (r, d) -> Printf.sprintf "%s D=%d" (Dmf.Ratio.to_string r) d)
+    (fun (ratio, demand) ->
+      let plan = Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand in
+      let schedule = Mdst.Mms.schedule ~plan ~mixers:2 in
+      let failed_node = Mdst.Plan.n_nodes plan / 2 in
+      let r =
+        Mdst.Recovery.recover ~algorithm:Mixtree.Algorithm.MM ~plan ~schedule
+          ~failed_node
+      in
+      (match r.Mdst.Recovery.recovery_plan with
+      | None -> r.Mdst.Recovery.remaining_demand <= 0
+      | Some recovery ->
+        Result.is_ok (Mdst.Plan.validate recovery)
+        && Mdst.Plan.targets recovery >= r.Mdst.Recovery.remaining_demand)
+      && Mdst.Recovery.reagent_saving r >= 0)
+
+let () =
+  Alcotest.run "recovery"
+    [
+      ( "reserves",
+        [
+          Alcotest.test_case "reserves consumed first" `Quick
+            test_reserves_consumed_first;
+          Alcotest.test_case "unused reserve is not waste" `Quick
+            test_unused_reserve_is_not_waste;
+          Alcotest.test_case "reserve storage occupancy" `Quick
+            test_reserve_storage_occupancy;
+          Alcotest.test_case "physical backends decline reserves" `Quick
+            test_executor_rejects_reserves;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "recover from every node" `Quick
+            test_recovery_every_node;
+          Alcotest.test_case "early failures cost most" `Quick
+            test_early_failure_costs_most;
+          Alcotest.test_case "rejects bad input" `Quick
+            test_recovery_rejects_bad_input;
+          prop_recovery_sound;
+        ] );
+    ]

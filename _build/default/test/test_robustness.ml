@@ -1,0 +1,154 @@
+(* Tests for the split-error analysis and the electrode-wear model. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let pcr = Generators.pcr16
+
+let forest demand =
+  Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr ~demand
+
+(* ------------------------------------------------------------------ *)
+(* Split-error analysis                                                *)
+
+let test_zero_epsilon_is_exact () =
+  let plan = forest 20 in
+  let report = Mdst.Split_error.analyze ~plan ~epsilon:0. in
+  check (Alcotest.float 1e-12) "no CF error" 0. report.Mdst.Split_error.max_cf_error;
+  check (Alcotest.float 1e-12) "no volume skew" 0.
+    report.Mdst.Split_error.worst_volume_skew
+
+let test_error_grows_with_epsilon () =
+  let plan = forest 20 in
+  let e1 = Mdst.Split_error.max_cf_error ~plan ~epsilon:0.01 in
+  let e3 = Mdst.Split_error.max_cf_error ~plan ~epsilon:0.03 in
+  let e7 = Mdst.Split_error.max_cf_error ~plan ~epsilon:0.07 in
+  check bool "monotone in epsilon" true (0. < e1 && e1 < e3 && e3 < e7)
+
+let test_error_bounded () =
+  (* CFs live in [0, 1], so the deviation can never exceed 1. *)
+  let plan = forest 32 in
+  let report = Mdst.Split_error.analyze ~plan ~epsilon:0.07 in
+  check bool "bounded by 1" true (report.Mdst.Split_error.max_cf_error <= 1.);
+  check bool "mean <= max" true
+    (report.Mdst.Split_error.mean_cf_error
+    <= report.Mdst.Split_error.max_cf_error +. 1e-12);
+  check int "one entry per root" (Mdst.Plan.trees plan)
+    (List.length report.Mdst.Split_error.per_root)
+
+let test_deeper_trees_are_more_fragile () =
+  (* A deeper (RMA) plan accumulates at least as much worst-case error as
+     a balanced (MM) plan of the same target on a single pass. *)
+  let ratio = Dmf.Ratio.of_string "1:15" in
+  let epsilon = 0.05 in
+  let error algorithm =
+    let plan = Mdst.Forest.build ~algorithm ~ratio ~demand:2 in
+    Mdst.Split_error.max_cf_error ~plan ~epsilon
+  in
+  check bool "shallow no worse than deep chain" true
+    (error Mixtree.Algorithm.MM <= error Mixtree.Algorithm.RMA +. 1e-9)
+
+let test_rejects_bad_epsilon () =
+  let plan = forest 4 in
+  List.iter
+    (fun epsilon ->
+      check bool
+        (Printf.sprintf "epsilon %f rejected" epsilon)
+        true
+        (try ignore (Mdst.Split_error.analyze ~plan ~epsilon); false
+         with Invalid_argument _ -> true))
+    [ -0.1; 0.5; 1.0 ]
+
+let prop_error_sound =
+  Generators.qtest ~count:80 "error bound is finite, monotone and sound"
+    QCheck2.Gen.(pair Generators.ratio_gen (int_range 2 16))
+    (fun (r, d) -> Printf.sprintf "%s D=%d" (Dmf.Ratio.to_string r) d)
+    (fun (ratio, demand) ->
+      let plan = Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand in
+      let e0 = Mdst.Split_error.max_cf_error ~plan ~epsilon:0. in
+      let small = Mdst.Split_error.max_cf_error ~plan ~epsilon:0.02 in
+      let large = Mdst.Split_error.max_cf_error ~plan ~epsilon:0.06 in
+      e0 = 0. && small <= large && large <= 1. && small >= 0.)
+
+(* ------------------------------------------------------------------ *)
+(* Electrode wear                                                      *)
+
+let wear_of demand =
+  let plan = forest demand in
+  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let layout = Chip.Layout.pcr_fig5 () in
+  match Sim.Wear.of_run ~layout ~plan ~schedule with
+  | Ok wear -> wear
+  | Error e -> Alcotest.fail e
+
+let test_wear_consistency () =
+  let wear = wear_of 20 in
+  check bool "some electrodes used" true (wear.Sim.Wear.active_electrodes > 0);
+  check bool "hottest <= total" true (wear.Sim.Wear.hottest <= wear.Sim.Wear.total);
+  let heat_total =
+    Array.fold_left
+      (fun acc row -> Array.fold_left ( + ) acc row)
+      0 wear.Sim.Wear.heatmap
+  in
+  check int "heatmap sums to total" wear.Sim.Wear.total heat_total;
+  check bool "mean positive" true (wear.Sim.Wear.mean_per_active > 0.)
+
+let test_wear_matches_trace_electrodes () =
+  let plan = forest 20 in
+  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let layout = Chip.Layout.pcr_fig5 () in
+  match Sim.Executor.run ~layout ~plan ~schedule with
+  | Error e -> Alcotest.fail e
+  | Ok (trace, stats) ->
+    let wear = Sim.Wear.of_stats stats in
+    check int "wear total = routed electrodes" (Sim.Trace.electrodes trace)
+      wear.Sim.Wear.total
+
+let test_streaming_wears_less_than_repeated () =
+  (* The reliability argument of Section 5: fewer actuations, less wear. *)
+  let layout = Chip.Layout.pcr_fig5 () in
+  let streamed =
+    let plan = forest 20 in
+    let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+    match Sim.Wear.of_run ~layout ~plan ~schedule with
+    | Ok w -> w
+    | Error e -> Alcotest.fail e
+  in
+  let one_pass =
+    let plan = Mdst.Forest.repeated ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr ~demand:2 in
+    let schedule = Mdst.Oms.schedule ~plan ~mixers:3 in
+    match Sim.Wear.of_run ~layout ~plan ~schedule with
+    | Ok w -> w
+    | Error e -> Alcotest.fail e
+  in
+  check bool "streamed total wear below 10 repeated passes" true
+    (streamed.Sim.Wear.total < 10 * one_pass.Sim.Wear.total)
+
+let test_wear_render () =
+  let wear = wear_of 8 in
+  let s = Sim.Wear.render wear in
+  check bool "mentions totals" true (Astring.String.is_infix ~affix:"total=" s);
+  check bool "grid lines present" true (String.contains s '\n')
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ( "split-error",
+        [
+          Alcotest.test_case "zero epsilon exact" `Quick test_zero_epsilon_is_exact;
+          Alcotest.test_case "grows with epsilon" `Quick test_error_grows_with_epsilon;
+          Alcotest.test_case "bounded and complete" `Quick test_error_bounded;
+          Alcotest.test_case "deep chains are fragile" `Quick
+            test_deeper_trees_are_more_fragile;
+          Alcotest.test_case "rejects bad epsilon" `Quick test_rejects_bad_epsilon;
+          prop_error_sound;
+        ] );
+      ( "wear",
+        [
+          Alcotest.test_case "consistency" `Quick test_wear_consistency;
+          Alcotest.test_case "matches trace" `Quick test_wear_matches_trace_electrodes;
+          Alcotest.test_case "streaming wears less" `Quick
+            test_streaming_wears_less_than_repeated;
+          Alcotest.test_case "render" `Quick test_wear_render;
+        ] );
+    ]

@@ -1,0 +1,212 @@
+(* Tests for the space-time parallel router and the parallel-transport
+   analysis. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let pcr = Generators.pcr16
+
+let point x y = { Chip.Geometry.x; y }
+
+(* An empty 12x12 chip with two far-apart reference modules so routes
+   have somewhere to go. *)
+let open_layout () =
+  Chip.Layout.make ~width:12 ~height:12
+    ~modules:
+      [
+        Chip.Chip_module.make ~id:"A" ~kind:Chip.Chip_module.Storage
+          ~rect:{ Chip.Geometry.x = 0; y = 0; w = 1; h = 1 };
+        Chip.Chip_module.make ~id:"B" ~kind:Chip.Chip_module.Storage
+          ~rect:{ Chip.Geometry.x = 11; y = 11; w = 1; h = 1 };
+      ]
+
+let request ?(allow = [ "A"; "B" ]) id src dst =
+  { Chip.Parallel_router.id; src; dst; allow }
+
+let route_exn layout requests =
+  match Chip.Parallel_router.route_batch layout requests with
+  | Ok routed -> routed
+  | Error e -> Alcotest.fail e
+
+let test_single_droplet_shortest () =
+  let layout = open_layout () in
+  let routed = route_exn layout [ request 0 (point 2 2) (point 7 2) ] in
+  check int "manhattan-length trajectory" 5 (Chip.Parallel_router.makespan routed);
+  check bool "valid" true
+    (Result.is_ok (Chip.Parallel_router.validate layout routed))
+
+let test_crossing_droplets () =
+  (* Two droplets crossing paths must time-separate. *)
+  let layout = open_layout () in
+  let routed =
+    route_exn layout
+      [ request 0 (point 2 5) (point 9 5); request 1 (point 5 2) (point 5 9) ]
+  in
+  check bool "valid crossing" true
+    (Result.is_ok (Chip.Parallel_router.validate layout routed));
+  check bool "no absurd detour" true
+    (Chip.Parallel_router.makespan routed <= 14)
+
+let test_head_on_swap () =
+  (* The classic head-on case: droplets exchanging endpoints on one row
+     must leave the row to pass each other. *)
+  let layout = open_layout () in
+  let routed =
+    route_exn layout
+      [ request 0 (point 2 6) (point 9 6); request 1 (point 9 6) (point 2 6) ]
+  in
+  check bool "valid swap" true
+    (Result.is_ok (Chip.Parallel_router.validate layout routed))
+
+let test_parallel_beats_serial () =
+  let layout = open_layout () in
+  let requests =
+    [ request 0 (point 1 1) (point 10 1); request 1 (point 1 4) (point 10 4);
+      request 2 (point 1 7) (point 10 7); request 3 (point 1 10) (point 10 10) ]
+  in
+  let routed = route_exn layout requests in
+  let serial =
+    List.fold_left
+      (fun acc r ->
+        acc + Chip.Geometry.manhattan r.Chip.Parallel_router.src r.Chip.Parallel_router.dst)
+      0 requests
+  in
+  check bool "concurrent makespan below the serial sum" true
+    (Chip.Parallel_router.makespan routed < serial);
+  check int "four non-interfering lanes run at distance speed" 9
+    (Chip.Parallel_router.makespan routed)
+
+let test_same_module_exemption () =
+  (* Two operands may sit side by side inside one mixer. *)
+  let layout =
+    Chip.Layout.make ~width:12 ~height:6
+      ~modules:
+        [
+          Chip.Chip_module.make ~id:"M1" ~kind:Chip.Chip_module.Mixer
+            ~rect:{ Chip.Geometry.x = 5; y = 2; w = 4; h = 2 };
+        ]
+  in
+  let routed =
+    match
+      Chip.Parallel_router.route_batch layout
+        [
+          { Chip.Parallel_router.id = 0; src = point 0 0; dst = point 6 3;
+            allow = [ "M1" ] };
+          { Chip.Parallel_router.id = 1; src = point 0 5; dst = point 7 3;
+            allow = [ "M1" ] };
+        ]
+    with
+    | Ok routed -> routed
+    | Error e -> Alcotest.fail e
+  in
+  check bool "adjacent parking inside the mixer allowed" true
+    (Result.is_ok (Chip.Parallel_router.validate layout routed))
+
+let test_unreachable_fails () =
+  let layout = open_layout () in
+  (* Destination inside a module the droplet may not enter. *)
+  check bool "forbidden module" true
+    (Result.is_error
+       (Chip.Parallel_router.route_batch layout
+          [ { Chip.Parallel_router.id = 0; src = point 3 3; dst = point 0 0;
+              allow = [] } ]));
+  (* Horizon too small. *)
+  check bool "horizon exceeded" true
+    (Result.is_error
+       (Chip.Parallel_router.route_batch ~horizon:3 layout
+          [ request 0 (point 0 5) (point 11 5) ]))
+
+let test_empty_batch () =
+  let layout = open_layout () in
+  match Chip.Parallel_router.route_batch layout [] with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "expected empty result"
+  | Error e -> Alcotest.fail e
+
+let prop_batches_valid =
+  Generators.qtest ~count:60 "random batches are conflict-free"
+    QCheck2.Gen.(
+      let cell = pair (int_range 0 11) (int_range 0 11) in
+      list_size (int_range 1 5) (pair cell cell))
+    (fun pairs ->
+      String.concat ";"
+        (List.map
+           (fun ((a, b), (c, d)) -> Printf.sprintf "(%d,%d)->(%d,%d)" a b c d)
+           pairs))
+    (fun pairs ->
+      let layout = open_layout () in
+      (* Distinct sources and destinations, away from the two corner
+         modules. *)
+      let shift i ((sx, sy), (dx, dy)) =
+        let clamp v = max 1 (min 10 v) in
+        request i
+          (point (clamp sx) (clamp ((sy + (2 * i)) mod 10 |> max 1)))
+          (point (clamp dx) (clamp ((dy + (2 * i) + 1) mod 10 |> max 1)))
+      in
+      let requests = List.mapi shift pairs in
+      let distinct f =
+        let cells = List.map f requests in
+        List.length (List.sort_uniq compare cells) = List.length cells
+      in
+      if
+        (not (distinct (fun r -> r.Chip.Parallel_router.src)))
+        || (not (distinct (fun r -> r.Chip.Parallel_router.dst)))
+        || List.exists
+             (fun r ->
+               List.exists
+                 (fun r' ->
+                   Chip.Geometry.chebyshev r.Chip.Parallel_router.src
+                     r'.Chip.Parallel_router.src <= 1
+                   && r.Chip.Parallel_router.id <> r'.Chip.Parallel_router.id)
+                 requests)
+             requests
+      then true (* skip degenerate instances *)
+      else
+        match Chip.Parallel_router.route_batch layout requests with
+        | Error _ -> true (* prioritised planning may give up; soundness only *)
+        | Ok routed ->
+          Result.is_ok (Chip.Parallel_router.validate layout routed))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel-transport analysis                                         *)
+
+let test_transport_analysis () =
+  let plan = Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr ~demand:20 in
+  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let layout = Chip.Layout.pcr_fig5 () in
+  match Sim.Parallel_transport.analyze ~layout ~plan ~schedule with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+    check bool "parallel never exceeds serial" true
+      (t.Sim.Parallel_transport.total_parallel
+      <= t.Sim.Parallel_transport.total_serial);
+    check bool "meaningful speedup" true (t.Sim.Parallel_transport.speedup > 1.);
+    check bool "per-cycle consistency" true
+      (List.for_all
+         (fun r ->
+           r.Sim.Parallel_transport.parallel_steps
+           <= r.Sim.Parallel_transport.serial_steps)
+         t.Sim.Parallel_transport.cycles);
+    check int "serial total matches the actuation accounting"
+      (match Chip.Actuation.account ~layout ~plan ~schedule with
+      | Ok acc -> acc.Chip.Actuation.total_electrodes
+      | Error e -> Alcotest.fail e)
+      t.Sim.Parallel_transport.total_serial
+
+let () =
+  Alcotest.run "routing"
+    [
+      ( "parallel-router",
+        [
+          Alcotest.test_case "single droplet" `Quick test_single_droplet_shortest;
+          Alcotest.test_case "crossing droplets" `Quick test_crossing_droplets;
+          Alcotest.test_case "head-on swap" `Quick test_head_on_swap;
+          Alcotest.test_case "parallel beats serial" `Quick test_parallel_beats_serial;
+          Alcotest.test_case "same-module exemption" `Quick test_same_module_exemption;
+          Alcotest.test_case "unreachable fails" `Quick test_unreachable_fails;
+          Alcotest.test_case "empty batch" `Quick test_empty_batch;
+          prop_batches_valid;
+        ] );
+      ( "transport",
+        [ Alcotest.test_case "PCR analysis" `Quick test_transport_analysis ] );
+    ]

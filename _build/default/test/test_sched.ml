@@ -1,0 +1,277 @@
+(* Tests for the schedulers (MMS, SRS, OMS), storage counting and the
+   Gantt renderer. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let pcr = Generators.pcr16
+
+let forest demand =
+  Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr ~demand
+
+(* ------------------------------------------------------------------ *)
+(* Paper's worked example (Figures 3-4)                                *)
+
+let test_srs_fig3 () =
+  let plan = forest 20 in
+  let s = Mdst.Srs.schedule ~plan ~mixers:3 in
+  check int "Tc (paper: 11)" 11 (Mdst.Schedule.completion_time s);
+  check int "q (paper: 5)" 5 (Mdst.Storage.units ~plan s)
+
+let test_mms_demand20 () =
+  let plan = forest 20 in
+  let mms = Mdst.Mms.schedule ~plan ~mixers:3 in
+  let srs = Mdst.Srs.schedule ~plan ~mixers:3 in
+  check bool "MMS at least as fast as SRS" true
+    (Mdst.Schedule.completion_time mms <= Mdst.Schedule.completion_time srs);
+  check bool "SRS needs at most MMS's storage" true
+    (Mdst.Storage.units ~plan srs <= Mdst.Storage.units ~plan mms)
+
+let test_mms_demand16 () =
+  let plan = forest 16 in
+  let s = Mdst.Mms.schedule ~plan ~mixers:3 in
+  check int "Tc for the zero-waste forest" 7 (Mdst.Schedule.completion_time s)
+
+(* ------------------------------------------------------------------ *)
+(* Schedule mechanics                                                  *)
+
+let test_validate_catches_violations () =
+  let plan = forest 4 in
+  let n = Mdst.Plan.n_nodes plan in
+  (* All nodes crammed into cycle 1 violates both precedence and mixer
+     capacity. *)
+  check bool "invalid schedule rejected" true
+    (try
+       ignore
+         (Mdst.Schedule.create ~plan ~mixers:2 ~cycles:(Array.make n 1)
+            ~mixer_of:(Array.make n 1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_at_cycle () =
+  let plan = forest 20 in
+  let s = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let total =
+    List.fold_left
+      (fun acc t -> acc + List.length (Mdst.Schedule.at_cycle s t))
+      0
+      (List.init (Mdst.Schedule.completion_time s) (fun i -> i + 1))
+  in
+  check int "every node appears exactly once" (Mdst.Plan.n_nodes plan) total
+
+let test_emission_order () =
+  let plan = forest 20 in
+  let s = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let emissions = Mdst.Schedule.emission_order ~plan s in
+  check int "ten emissions" 10 (List.length emissions);
+  let cycles = List.map fst emissions in
+  check bool "sorted by cycle" true (List.sort compare cycles = cycles)
+
+let test_single_mixer () =
+  let plan = forest 8 in
+  let s = Mdst.Mms.schedule ~plan ~mixers:1 in
+  (* One mixer serialises everything. *)
+  check int "Tc = Tms" (Mdst.Plan.tms plan) (Mdst.Schedule.completion_time s)
+
+let test_mixer_count_rejected () =
+  let plan = forest 4 in
+  check bool "zero mixers rejected" true
+    (try ignore (Mdst.Mms.schedule ~plan ~mixers:0); false
+     with Invalid_argument _ -> true);
+  check bool "SRS zero mixers rejected" true
+    (try ignore (Mdst.Srs.schedule ~plan ~mixers:0); false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* OMS                                                                 *)
+
+let test_oms_matches_hu_on_trees () =
+  List.iter
+    (fun ratio ->
+      let ratio = Dmf.Ratio.of_string ratio in
+      let tree = Mixtree.Minmix.build ratio in
+      let plan = Mdst.Forest.repeated ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand:2 in
+      List.iter
+        (fun mixers ->
+          let s = Mdst.Oms.schedule ~plan ~mixers in
+          check int
+            (Printf.sprintf "tc %s m=%d" (Dmf.Ratio.to_string ratio) mixers)
+            (Mixtree.Hu.completion_time tree ~mixers)
+            (Mdst.Schedule.completion_time s))
+        [ 1; 2; 3; 4 ])
+    [ "2:1:1:1:1:1:9"; "128:123:5"; "3:5"; "9:17:26:9:195" ]
+
+(* ------------------------------------------------------------------ *)
+(* Storage counting                                                    *)
+
+(* Brute-force recomputation of the storage profile from first
+   principles: at cycle t, a droplet is stored iff it was produced before
+   cycle t and will be consumed after cycle t. *)
+let brute_force_storage plan s =
+  let tc = Mdst.Schedule.completion_time s in
+  let best = ref 0 in
+  for t = 1 to tc do
+    let stored = ref 0 in
+    List.iter
+      (fun node ->
+        let id = node.Mdst.Plan.id in
+        let tn = Mdst.Schedule.cycle s id in
+        List.iter
+          (fun port ->
+            match Mdst.Plan.consumer plan ~node:id ~port with
+            | None -> ()
+            | Some c ->
+              let tp = Mdst.Schedule.cycle s c in
+              if tn < t && t < tp then incr stored)
+          [ 0; 1 ])
+      (Mdst.Plan.nodes plan);
+    best := max !best !stored
+  done;
+  !best
+
+let test_storage_matches_brute_force () =
+  List.iter
+    (fun demand ->
+      let plan = forest demand in
+      List.iter
+        (fun mixers ->
+          let s = Mdst.Srs.schedule ~plan ~mixers in
+          check int
+            (Printf.sprintf "q at D=%d m=%d" demand mixers)
+            (brute_force_storage plan s)
+            (Mdst.Storage.units ~plan s))
+        [ 1; 3; 5 ])
+    [ 2; 8; 20 ]
+
+let test_storage_profile_length () =
+  let plan = forest 20 in
+  let s = Mdst.Srs.schedule ~plan ~mixers:3 in
+  check int "profile spans Tc cycles" (Mdst.Schedule.completion_time s)
+    (Array.length (Mdst.Storage.profile ~plan s))
+
+let test_residencies_have_positive_spans () =
+  let plan = forest 20 in
+  let s = Mdst.Mms.schedule ~plan ~mixers:3 in
+  List.iter
+    (fun r ->
+      check bool "span well-formed" true
+        (r.Mdst.Storage.from_cycle <= r.Mdst.Storage.to_cycle))
+    (Mdst.Storage.residencies ~plan s)
+
+(* ------------------------------------------------------------------ *)
+(* Gantt                                                               *)
+
+let test_gantt_renders () =
+  let plan = forest 20 in
+  let s = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let chart = Mdst.Gantt.render ~plan s in
+  check bool "mentions Tc" true
+    (Astring.String.is_infix ~affix:"Tc = 11" chart);
+  check bool "mentions q" true (Astring.String.is_infix ~affix:"q = 5" chart);
+  check bool "labels m11" true (Astring.String.is_infix ~affix:"m11" chart)
+
+let test_gantt_label () =
+  let node =
+    { Mdst.Plan.id = 0; tree = 9; level = 1; bfs = 4;
+      value = Dmf.Mixture.pure ~n:2 (Dmf.Fluid.make 0);
+      left = Mdst.Plan.Input (Dmf.Fluid.make 0);
+      right = Mdst.Plan.Input (Dmf.Fluid.make 1) }
+  in
+  check Alcotest.string "single digits" "m94" (Mdst.Gantt.label node);
+  check Alcotest.string "double digits" "m10,4"
+    (Mdst.Gantt.label { node with Mdst.Plan.tree = 10 })
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let sched_case_gen =
+  QCheck2.Gen.(
+    triple Generators.ratio_gen Generators.demand_gen (int_range 1 6))
+
+let sched_case_print (r, d, m) =
+  Printf.sprintf "%s D=%d m=%d" (Dmf.Ratio.to_string r) d m
+
+let prop_scheduler_valid scheduler name =
+  Generators.qtest ~count:200 (name ^ " schedules are valid") sched_case_gen
+    sched_case_print (fun (ratio, demand, mixers) ->
+      let plan = Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand in
+      let s = scheduler ~plan ~mixers in
+      Result.is_ok (Mdst.Schedule.validate ~plan s))
+
+let prop_srs_storage_not_worse_aggregate () =
+  (* Table 3's claim is an average, not a per-instance bound; check the
+     aggregate over a deterministic corpus slice. *)
+  let ratios = Lazy.force Generators.corpus_slice in
+  let total_mms = ref 0 and total_srs = ref 0 in
+  List.iter
+    (fun ratio ->
+      let plan = Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand:32 in
+      let mixers = Mdst.Engine.default_mixers ratio in
+      let mms = Mdst.Mms.schedule ~plan ~mixers in
+      let srs = Mdst.Srs.schedule ~plan ~mixers in
+      total_mms := !total_mms + Mdst.Storage.units ~plan mms;
+      total_srs := !total_srs + Mdst.Storage.units ~plan srs)
+    ratios;
+  check bool
+    (Printf.sprintf "aggregate SRS storage (%d) <= aggregate MMS storage (%d)"
+       !total_srs !total_mms)
+    true
+    (!total_srs <= !total_mms)
+
+let prop_tc_lower_bound =
+  Generators.qtest ~count:150 "Tc >= ceil(Tms / Mc) and >= depth"
+    sched_case_gen sched_case_print (fun (ratio, demand, mixers) ->
+      let plan = Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand in
+      let s = Mdst.Mms.schedule ~plan ~mixers in
+      let tc = Mdst.Schedule.completion_time s in
+      (* The critical path is the depth of the base tree, which can be
+         shorter than the accuracy level when the ratio reduces. *)
+      tc >= Dmf.Binary.ceil_div (Mdst.Plan.tms plan) mixers
+      && tc >= Mixtree.Tree.depth (Mixtree.Minmix.build ratio))
+
+let () =
+  Alcotest.run "sched"
+    [
+      ( "paper",
+        [
+          Alcotest.test_case "SRS Figure 3 (Tc=11, q=5)" `Quick test_srs_fig3;
+          Alcotest.test_case "MMS vs SRS trade-off at D=20" `Quick
+            test_mms_demand20;
+          Alcotest.test_case "MMS at D=16" `Quick test_mms_demand16;
+        ] );
+      ( "mechanics",
+        [
+          Alcotest.test_case "validation catches violations" `Quick
+            test_validate_catches_violations;
+          Alcotest.test_case "at_cycle partitions nodes" `Quick test_at_cycle;
+          Alcotest.test_case "emission order" `Quick test_emission_order;
+          Alcotest.test_case "single mixer serialises" `Quick test_single_mixer;
+          Alcotest.test_case "zero mixers rejected" `Quick
+            test_mixer_count_rejected;
+        ] );
+      ( "oms",
+        [ Alcotest.test_case "matches Hu on single trees" `Quick
+            test_oms_matches_hu_on_trees ] );
+      ( "storage",
+        [
+          Alcotest.test_case "matches brute force" `Quick
+            test_storage_matches_brute_force;
+          Alcotest.test_case "profile length" `Quick test_storage_profile_length;
+          Alcotest.test_case "residency spans" `Quick
+            test_residencies_have_positive_spans;
+        ] );
+      ( "gantt",
+        [
+          Alcotest.test_case "renders the paper chart" `Quick test_gantt_renders;
+          Alcotest.test_case "node labels" `Quick test_gantt_label;
+        ] );
+      ( "properties",
+        [
+          prop_scheduler_valid Mdst.Mms.schedule "MMS";
+          prop_scheduler_valid Mdst.Srs.schedule "SRS";
+          prop_scheduler_valid Mdst.Oms.schedule "OMS";
+          Alcotest.test_case "aggregate SRS storage <= MMS" `Slow
+            prop_srs_storage_not_worse_aggregate;
+          prop_tc_lower_bound;
+        ] );
+    ]

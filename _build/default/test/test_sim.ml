@@ -1,0 +1,155 @@
+(* Tests for the droplet-level simulator. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let pcr = Generators.pcr16
+
+let simulate ?(ratio = pcr) ?(demand = 20) ?(mixers = 3)
+    ?(algorithm = Mixtree.Algorithm.MM) ?(scheduler = `SRS) () =
+  let plan = Mdst.Forest.build ~algorithm ~ratio ~demand in
+  let schedule =
+    match scheduler with
+    | `SRS -> Mdst.Srs.schedule ~plan ~mixers
+    | `MMS -> Mdst.Mms.schedule ~plan ~mixers
+  in
+  let q = Mdst.Storage.units ~plan schedule in
+  let layout =
+    Chip.Layout.default ~mixers ~storage_units:(max 1 q)
+      ~n_fluids:(Dmf.Ratio.n_fluids ratio) ()
+  in
+  (plan, schedule, Sim.Executor.run ~layout ~plan ~schedule)
+
+let test_pcr_run () =
+  let plan, schedule, result = simulate () in
+  match result with
+  | Error e -> Alcotest.fail e
+  | Ok (trace, stats) ->
+    check int "cycles" (Mdst.Schedule.completion_time schedule) stats.Sim.Executor.cycles;
+    check int "dispensed = I" (Mdst.Plan.input_total plan) stats.Sim.Executor.dispensed;
+    check int "emitted = targets" (Mdst.Plan.targets plan)
+      (List.length stats.Sim.Executor.emitted);
+    check int "discarded = W" (Mdst.Plan.waste plan) stats.Sim.Executor.discarded;
+    check int "no segregation violations" 0 stats.Sim.Executor.violations;
+    check int "stats electrodes match the trace" (Sim.Trace.electrodes trace)
+      stats.Sim.Executor.electrodes;
+    check bool "verification passes" true
+      (Result.is_ok (Sim.Executor.check ~plan stats))
+
+let test_emitted_values_exact () =
+  let plan, _, result = simulate ~demand:16 () in
+  match result with
+  | Error e -> Alcotest.fail e
+  | Ok (_, stats) ->
+    let target = Dmf.Mixture.of_ratio pcr in
+    check int "sixteen targets" 16 (List.length stats.Sim.Executor.emitted);
+    List.iter
+      (fun v -> check bool "value exact" true (Dmf.Mixture.equal target v))
+      stats.Sim.Executor.emitted;
+    ignore plan
+
+let test_mms_schedule_simulates () =
+  let plan, _, result = simulate ~scheduler:`MMS () in
+  match result with
+  | Error e -> Alcotest.fail e
+  | Ok (_, stats) ->
+    check bool "verification passes" true
+      (Result.is_ok (Sim.Executor.check ~plan stats))
+
+let test_other_ratios () =
+  List.iter
+    (fun (ratio, demand) ->
+      let ratio = Dmf.Ratio.of_string ratio in
+      let plan, _, result = simulate ~ratio ~demand ~mixers:2 () in
+      match result with
+      | Error e -> Alcotest.fail e
+      | Ok (_, stats) ->
+        check bool
+          (Printf.sprintf "%s verified" (Dmf.Ratio.to_string ratio))
+          true
+          (Result.is_ok (Sim.Executor.check ~plan stats));
+        check int "no violations" 0 stats.Sim.Executor.violations)
+    [ ("3:5", 8); ("1:1:2", 6); ("3:4:9", 12); ("1:1:1:1:1:1:1:1", 16) ]
+
+let test_trace_mix_events () =
+  let plan, _, result = simulate ~demand:8 () in
+  match result with
+  | Error e -> Alcotest.fail e
+  | Ok (trace, _) ->
+    let mixes =
+      List.filter (function Sim.Trace.Mix _ -> true | _ -> false) trace
+    in
+    check int "one Mix event per plan node" (Mdst.Plan.tms plan) (List.length mixes)
+
+let test_trace_chronological () =
+  let _, _, result = simulate ~demand:8 () in
+  match result with
+  | Error e -> Alcotest.fail e
+  | Ok (trace, _) ->
+    let cycles = List.map Sim.Trace.cycle_of trace in
+    check bool "nondecreasing cycles" true
+      (List.sort compare cycles = cycles)
+
+let test_rejects_undersized_layout () =
+  let plan = Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr ~demand:20 in
+  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let too_few_mixers = Chip.Layout.default ~mixers:1 ~n_fluids:7 () in
+  check bool "too few mixers" true
+    (Result.is_error (Sim.Executor.run ~layout:too_few_mixers ~plan ~schedule));
+  let too_little_storage =
+    Chip.Layout.default ~mixers:3 ~storage_units:1 ~n_fluids:7 ()
+  in
+  check bool "too little storage" true
+    (Result.is_error (Sim.Executor.run ~layout:too_little_storage ~plan ~schedule))
+
+let test_check_catches_shortfall () =
+  let plan = Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr ~demand:4 in
+  let bogus =
+    { Sim.Executor.cycles = 1; moves = 0; electrodes = 0; dispensed = 0;
+      emitted = []; discarded = 0; violations = 0;
+      heatmap = Array.make_matrix 1 1 0; addressing = [] }
+  in
+  check bool "empty emission rejected" true
+    (Result.is_error (Sim.Executor.check ~plan bogus))
+
+let prop_simulation_matches_plan =
+  Generators.qtest ~count:40 "simulation agrees with plan accounting"
+    QCheck2.Gen.(pair Generators.ratio_gen (int_range 2 12))
+    (fun (r, d) -> Printf.sprintf "%s D=%d" (Dmf.Ratio.to_string r) d)
+    (fun (ratio, demand) ->
+      let plan = Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand in
+      let schedule = Mdst.Srs.schedule ~plan ~mixers:2 in
+      let q = Mdst.Storage.units ~plan schedule in
+      let layout =
+        Chip.Layout.default ~mixers:2 ~storage_units:(max 1 q)
+          ~n_fluids:(Dmf.Ratio.n_fluids ratio) ()
+      in
+      match Sim.Executor.run ~layout ~plan ~schedule with
+      | Error _ -> false
+      | Ok (_, stats) ->
+        stats.Sim.Executor.dispensed = Mdst.Plan.input_total plan
+        && List.length stats.Sim.Executor.emitted = Mdst.Plan.targets plan
+        && stats.Sim.Executor.discarded = Mdst.Plan.waste plan
+        && Result.is_ok (Sim.Executor.check ~plan stats))
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "executor",
+        [
+          Alcotest.test_case "PCR D=20 full run" `Quick test_pcr_run;
+          Alcotest.test_case "emitted values exact" `Quick test_emitted_values_exact;
+          Alcotest.test_case "MMS schedule simulates" `Quick test_mms_schedule_simulates;
+          Alcotest.test_case "other ratios" `Quick test_other_ratios;
+          Alcotest.test_case "undersized layouts rejected" `Quick
+            test_rejects_undersized_layout;
+          Alcotest.test_case "check catches shortfall" `Quick
+            test_check_catches_shortfall;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "one Mix event per node" `Quick test_trace_mix_events;
+          Alcotest.test_case "chronological order" `Quick test_trace_chronological;
+        ] );
+      ("properties", [ prop_simulation_matches_plan ]);
+    ]

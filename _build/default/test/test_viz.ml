@@ -1,0 +1,119 @@
+(* Tests for the SVG visualisation library. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let pcr = Generators.pcr16
+
+let count_substring ~needle haystack =
+  let n = String.length needle in
+  let rec go from acc =
+    match Astring.String.find_sub ~start:from ~sub:needle haystack with
+    | Some i -> go (i + n) (acc + 1)
+    | None -> acc
+  in
+  go 0 0
+
+let contains ~affix s = Astring.String.is_infix ~affix s
+
+(* ------------------------------------------------------------------ *)
+(* Svg builder                                                         *)
+
+let test_document_structure () =
+  let doc =
+    Viz.Svg.document ~width:100. ~height:50.
+      [
+        Viz.Svg.rect ~x:0. ~y:0. ~w:10. ~h:10. ~fill:"#fff" ();
+        Viz.Svg.text ~x:5. ~y:5. "hello";
+      ]
+  in
+  check bool "opens svg" true (contains ~affix:"<svg" doc);
+  check bool "closes svg" true (contains ~affix:"</svg>" doc);
+  check bool "has rect" true (contains ~affix:"<rect" doc);
+  check bool "has text content" true (contains ~affix:"hello" doc)
+
+let test_escaping () =
+  let doc =
+    Viz.Svg.document ~width:10. ~height:10.
+      [ Viz.Svg.text ~x:0. ~y:0. "<2,1>/4 & \"friends\"" ]
+  in
+  check bool "lt escaped" true (contains ~affix:"&lt;2,1&gt;/4" doc);
+  check bool "amp escaped" true (contains ~affix:"&amp;" doc);
+  check bool "quot escaped" true (contains ~affix:"&quot;friends&quot;" doc);
+  check bool "no raw angle payload" false (contains ~affix:">/4 & " doc)
+
+let test_palette_stable () =
+  check Alcotest.string "deterministic" (Viz.Svg.palette 3) (Viz.Svg.palette 3);
+  check bool "distinct neighbours" true (Viz.Svg.palette 1 <> Viz.Svg.palette 2)
+
+(* ------------------------------------------------------------------ *)
+(* Gantt SVG                                                           *)
+
+let test_gantt_svg () =
+  let plan = Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr ~demand:20 in
+  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let doc = Viz.Gantt_svg.render ~plan schedule in
+  check bool "is svg" true (contains ~affix:"<svg" doc);
+  (* One cell (rect + label + tooltip group) per mix-split node. *)
+  check bool "has node labels" true (contains ~affix:"m11" doc);
+  check int "one tooltip per node plus one per storage bar"
+    (Mdst.Plan.tms plan + Mdst.Schedule.completion_time schedule)
+    (count_substring ~needle:"<title>" doc);
+  check bool "summarises Tc" true (contains ~affix:"Tc = 11 cycles" doc)
+
+let test_gantt_svg_write () =
+  let plan = Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr ~demand:4 in
+  let schedule = Mdst.Mms.schedule ~plan ~mixers:2 in
+  let path = Filename.temp_file "gantt" ".svg" in
+  Viz.Gantt_svg.write ~path ~plan schedule;
+  let ic = open_in path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  check bool "file holds the document" true (contains ~affix:"</svg>" contents)
+
+(* ------------------------------------------------------------------ *)
+(* Chip SVG                                                            *)
+
+let test_chip_svg () =
+  let layout = Chip.Layout.pcr_fig5 () in
+  let doc = Viz.Chip_svg.render layout in
+  check bool "is svg" true (contains ~affix:"<svg" doc);
+  List.iter
+    (fun m ->
+      check bool
+        (m.Chip.Chip_module.id ^ " labelled")
+        true
+        (contains ~affix:(">" ^ m.Chip.Chip_module.id ^ "<") doc))
+    (Chip.Layout.modules layout)
+
+let test_chip_svg_heatmap () =
+  let layout = Chip.Layout.pcr_fig5 () in
+  let plan = Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr ~demand:8 in
+  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  match Sim.Executor.run ~layout ~plan ~schedule with
+  | Error e -> Alcotest.fail e
+  | Ok (_, stats) ->
+    let doc = Viz.Chip_svg.render ~heatmap:stats.Sim.Executor.heatmap layout in
+    check bool "mentions actuations" true (contains ~affix:"actuations" doc)
+
+let () =
+  Alcotest.run "viz"
+    [
+      ( "svg",
+        [
+          Alcotest.test_case "document structure" `Quick test_document_structure;
+          Alcotest.test_case "escaping" `Quick test_escaping;
+          Alcotest.test_case "palette" `Quick test_palette_stable;
+        ] );
+      ( "gantt",
+        [
+          Alcotest.test_case "render" `Quick test_gantt_svg;
+          Alcotest.test_case "write" `Quick test_gantt_svg_write;
+        ] );
+      ( "chip",
+        [
+          Alcotest.test_case "render" `Quick test_chip_svg;
+          Alcotest.test_case "heatmap overlay" `Quick test_chip_svg_heatmap;
+        ] );
+    ]
