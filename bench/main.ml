@@ -7,10 +7,16 @@
      BENCH_FULL=1 dune exec bench/main.exe    -- full 6289-ratio corpus
                                                  (default: deterministic
                                                  subsample)
+     MDST_DOMAINS=4 dune exec bench/main.exe  -- corpus sweeps on 4 domains
+                                                 (default: physical cores)
 
    Experiments: fig1 fig3 fig5 table2 table3 fig6 fig7 table4 ablation
    dilution robust assay pins routing recovery wash pareto scaling
-   speed. *)
+   speed.
+
+   Every run additionally writes BENCH_PR1.json — per-experiment wall
+   times, Bechamel ns/run, domain count and corpus sizes — so successive
+   PRs accumulate a machine-readable performance trajectory. *)
 
 let pcr16 = Bioproto.Protocols.pcr ~d:4
 
@@ -23,6 +29,67 @@ let corpus ~every =
   if full_corpus then all else Bioproto.Synth.sample ~every all
 
 let i2s = string_of_int
+
+(* ------------------------------------------------------------------ *)
+(* BENCH_PR1.json accumulators                                         *)
+
+let wall_times : (string * float) list ref = ref []
+let micro_ns : (string * float) list ref = ref []
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let bench_json_path = "BENCH_PR1.json"
+
+let write_bench_json () =
+  (* Resolve every value before [open_out]: a bad MDST_DOMAINS raises in
+     [default_domains], and truncating the previous trajectory file
+     before that would lose it. *)
+  let domains = Mdst.Par.default_domains () in
+  let experiments =
+    List.rev_map
+      (fun (name, v) ->
+        Printf.sprintf "{\"name\": \"%s\", \"wall_s\": %.6f}"
+          (json_escape name) v)
+      !wall_times
+  in
+  let micro =
+    List.map
+      (fun (name, v) ->
+        Printf.sprintf "{\"name\": \"%s\", \"ns_per_run\": %.1f}"
+          (json_escape name) v)
+      (List.sort compare !micro_ns)
+  in
+  let oc = open_out bench_json_path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"pr\": 1,\n\
+    \  \"bench\": \"dmfstream\",\n\
+    \  \"domains\": %d,\n\
+    \  \"full_corpus\": %b,\n\
+    \  \"corpus_size\": {\"table3\": %d, \"fig6\": %d, \"full\": %d},\n\
+    \  \"experiments\": [\n    %s\n  ],\n\
+    \  \"micro_ns_per_run\": [\n    %s\n  ]\n\
+     }\n"
+    domains full_corpus
+    (List.length (corpus ~every:8))
+    (List.length (corpus ~every:40))
+    (List.length (Bioproto.Synth.corpus ~sum:32 ()))
+    (String.concat ",\n    " experiments)
+    (String.concat ",\n    " micro);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" bench_json_path
 
 (* ------------------------------------------------------------------ *)
 (* Figure 1 / 2: mixing-forest construction for the PCR master-mix     *)
@@ -148,17 +215,23 @@ let table2_paper =
 
 let table2 () =
   section "Table 2: Tc / q / I for Ex.1-5 under nine schemes (D=32)";
+  (* Evaluate the five protocols concurrently, print in protocol order. *)
+  let evaluated =
+    Mdst.Par.map
+      (fun p ->
+        ( p,
+          Mdst.Compare.evaluate_all ~ratio:p.Bioproto.Protocols.ratio
+            ~demand:32 Mdst.Compare.table2_schemes ))
+      Bioproto.Protocols.table2
+  in
   List.iter
-    (fun p ->
+    (fun (p, results) ->
       let id = p.Bioproto.Protocols.id in
       let ratio = p.Bioproto.Protocols.ratio in
       Printf.printf "\n%s = %s (%s)\n" id
         (Dmf.Ratio.to_string ratio)
         p.Bioproto.Protocols.name;
       let paper_row = List.assoc id table2_paper in
-      let results =
-        Mdst.Compare.evaluate_all ~ratio ~demand:32 Mdst.Compare.table2_schemes
-      in
       let cell v = if v < 0 then "-" else i2s v in
       let rows =
         List.map2
@@ -179,7 +252,7 @@ let table2 () =
            ~header:
              [ "scheme"; "Tc"; "Tc(paper)"; "q"; "q(paper)"; "I"; "I(paper)" ]
            ~rows))
-    Bioproto.Protocols.table2
+    evaluated
 
 (* ------------------------------------------------------------------ *)
 (* Table 3: average improvements over the synthetic corpus             *)
@@ -251,11 +324,12 @@ let fig6 () =
     ]
   in
   let average demand pick scheme =
+    (* Parallel over the corpus — one evaluation per ratio. *)
     let total =
-      List.fold_left
-        (fun acc ratio ->
-          acc + pick (Mdst.Compare.evaluate ~ratio ~demand scheme))
-        0 ratios
+      Mdst.Par.map
+        (fun ratio -> pick (Mdst.Compare.evaluate ~ratio ~demand scheme))
+        ratios
+      |> List.fold_left ( + ) 0
     in
     float_of_int total /. float_of_int (List.length ratios)
   in
@@ -302,7 +376,7 @@ let fig7 () =
     Mdst.Forest.build ~algorithm:Mixtree.Algorithm.RMA ~ratio:pcr16 ~demand:32
   in
   let rows =
-    List.map
+    Mdst.Par.map
       (fun mixers ->
         let mms = Mdst.Mms.schedule ~plan ~mixers in
         let srs = Mdst.Srs.schedule ~plan ~mixers in
@@ -865,11 +939,47 @@ let speed () =
     Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16 ~demand:20
   in
   let schedule20 = Mdst.Srs.schedule ~plan:plan20 ~mixers:3 in
+  (* Deep, wide plans (d = 6 and d = 8, hundreds of nodes) exercise the
+     event-driven schedulers where the old per-cycle rescan was O(n·Tc);
+     the retained naive reference runs next to them so the speedup is
+     measured, not assumed. *)
+  let plan_d6 =
+    Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM
+      ~ratio:(Bioproto.Protocols.pcr ~d:6) ~demand:256
+  in
+  let plan_d8 =
+    Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM
+      ~ratio:(Dmf.Ratio.of_string "128:123:5") ~demand:512
+  in
   let layout = Chip.Layout.pcr_fig5 () in
   let tests =
     Test.make_grouped ~name:"dmfstream"
       [
         Test.make ~name:"fig1: forest D=20" (Staged.stage (forest 20));
+        Test.make ~name:"sched d=6 n=280: MMS event-driven"
+          (Staged.stage (fun () ->
+               ignore (Mdst.Mms.schedule ~plan:plan_d6 ~mixers:4)));
+        Test.make ~name:"sched d=6 n=280: MMS naive rescan"
+          (Staged.stage (fun () ->
+               ignore (Mdst.Naive.mms ~plan:plan_d6 ~mixers:4)));
+        Test.make ~name:"sched d=6 n=280: SRS event-driven"
+          (Staged.stage (fun () ->
+               ignore (Mdst.Srs.schedule ~plan:plan_d6 ~mixers:4)));
+        Test.make ~name:"sched d=6 n=280: SRS naive rescan"
+          (Staged.stage (fun () ->
+               ignore (Mdst.Naive.srs ~plan:plan_d6 ~mixers:4)));
+        Test.make ~name:"sched d=8 n=510: MMS event-driven"
+          (Staged.stage (fun () ->
+               ignore (Mdst.Mms.schedule ~plan:plan_d8 ~mixers:4)));
+        Test.make ~name:"sched d=8 n=510: MMS naive rescan"
+          (Staged.stage (fun () ->
+               ignore (Mdst.Naive.mms ~plan:plan_d8 ~mixers:4)));
+        Test.make ~name:"sched d=8 n=510: SRS event-driven"
+          (Staged.stage (fun () ->
+               ignore (Mdst.Srs.schedule ~plan:plan_d8 ~mixers:4)));
+        Test.make ~name:"sched d=8 n=510: SRS naive rescan"
+          (Staged.stage (fun () ->
+               ignore (Mdst.Naive.srs ~plan:plan_d8 ~mixers:4)));
         Test.make ~name:"fig3: SRS schedule D=20"
           (Staged.stage (fun () ->
                ignore (Mdst.Srs.schedule ~plan:plan20 ~mixers:3)));
@@ -928,7 +1038,9 @@ let speed () =
     (fun name ols_result ->
       let ns =
         match Analyze.OLS.estimates ols_result with
-        | Some (ns :: _) -> Printf.sprintf "%.0f" ns
+        | Some (ns :: _) ->
+          micro_ns := (name, ns) :: !micro_ns;
+          Printf.sprintf "%.0f" ns
         | Some [] | None -> "n/a"
       in
       rows := [ name; ns ] :: !rows)
@@ -958,9 +1070,13 @@ let () =
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some run -> run ()
+      | Some run ->
+        let t0 = Unix.gettimeofday () in
+        run ();
+        wall_times := (name, Unix.gettimeofday () -. t0) :: !wall_times
       | None ->
         Printf.eprintf "unknown experiment %s (available: %s)\n" name
           (String.concat ", " (List.map fst experiments));
         exit 1)
-    requested
+    requested;
+  write_bench_json ()

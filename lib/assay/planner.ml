@@ -138,7 +138,10 @@ let plan ~algorithm ~ratio ~mixers ~storage_limit ~scheduler ~requests =
     in
     plan_with ~streaming ~deadlines
   in
-  match List.map build candidates with
+  (* Candidate pass sizes are evaluated independently (each runs its own
+     streaming plan); sweep them across domains and pick the best of the
+     in-order results. *)
+  match Mdst.Par.map build candidates with
   | [] -> assert false
   | first :: rest ->
     List.fold_left (fun best t -> if score t < score best then t else best)

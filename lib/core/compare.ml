@@ -34,7 +34,9 @@ let evaluate ?mixers ~ratio ~demand scheme =
     result.Engine.metrics
 
 let evaluate_all ?mixers ~ratio ~demand schemes =
-  List.map (fun scheme -> (scheme, evaluate ?mixers ~ratio ~demand scheme)) schemes
+  Par.map
+    (fun scheme -> (scheme, evaluate ?mixers ~ratio ~demand scheme))
+    schemes
 
 type improvement = {
   algorithm : Mixtree.Algorithm.t;
@@ -51,8 +53,10 @@ let mean = function
   | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
 
 let average_improvements ?mixers ~ratios ~demand algorithm =
+  (* Each ratio is an independent nine-evaluation workload: fan the corpus
+     out over domains; the fold below only sees the in-order results. *)
   let rows =
-    List.map
+    Par.map
       (fun ratio ->
         let repeated = evaluate ?mixers ~ratio ~demand (Repeated algorithm) in
         let mms =

@@ -143,10 +143,42 @@ let grow ?(reserves = [||]) ~ratio ~demand ~sharing ~reuse tree =
 let of_tree ?reserves ~ratio ~demand ~sharing tree =
   grow ?reserves ~ratio ~demand ~sharing ~reuse:true tree
 
+(* Plans are immutable once created, and [build]/[repeated] depend only on
+   (algorithm, ratio, demand) — but the streaming engine rebuilds the same
+   pass plan once per pass and the compare/baseline paths once per scheme,
+   so identical requests share one memoised plan.  Mutex-guarded for Par's
+   domains: a concurrent miss may construct twice, but the constructions
+   are deterministic and either result is valid.  [of_tree] with reserves
+   (error recovery) stays uncached — reserve tables vary per failure. *)
+let plan_cache : (string * string * int, Plan.t) Hashtbl.t =
+  Hashtbl.create 256
+
+let plan_cache_lock = Mutex.create ()
+let plan_cache_cap = 4096
+
+let memo_plan ~tag ~algorithm ~ratio ~demand construct =
+  let key = (tag ^ Mixtree.Algorithm.name algorithm, Dmf.Ratio.key ratio,
+             demand)
+  in
+  Mutex.lock plan_cache_lock;
+  let cached = Hashtbl.find_opt plan_cache key in
+  Mutex.unlock plan_cache_lock;
+  match cached with
+  | Some plan -> plan
+  | None ->
+    let plan = construct () in
+    Mutex.lock plan_cache_lock;
+    if Hashtbl.length plan_cache >= plan_cache_cap then
+      Hashtbl.reset plan_cache;
+    Hashtbl.replace plan_cache key plan;
+    Mutex.unlock plan_cache_lock;
+    plan
+
 let build ~algorithm ~ratio ~demand =
-  let tree = Mixtree.Algorithm.build algorithm ratio in
-  let sharing = Mixtree.Algorithm.intra_pass_sharing algorithm in
-  of_tree ~ratio ~demand ~sharing tree
+  memo_plan ~tag:"F|" ~algorithm ~ratio ~demand (fun () ->
+      let tree = Mixtree.Algorithm.build algorithm ratio in
+      let sharing = Mixtree.Algorithm.intra_pass_sharing algorithm in
+      of_tree ~ratio ~demand ~sharing tree)
 
 let build_multi ~algorithm requests =
   (match requests with
@@ -188,6 +220,7 @@ let build_multi ~algorithm requests =
     ~demand:!total_demand ~roots:!roots ~root_values:!root_values
 
 let repeated ~algorithm ~ratio ~demand =
+  memo_plan ~tag:"R|" ~algorithm ~ratio ~demand @@ fun () ->
   let tree = Mixtree.Algorithm.build algorithm ratio in
   if Mixtree.Algorithm.intra_pass_sharing algorithm then
     (* MTCS shares droplets within one pass; concatenate independent

@@ -1,5 +1,14 @@
 (* Nodes are enqueued in (level, tree, bfs) order — "from level l upwards"
-   — and dequeued first-in first-out, Mc per time-cycle. *)
+   — and dequeued first-in first-out, Mc per time-cycle.
+
+   Event-driven: a node enters the ready buffer exactly once, at the
+   moment its pending-predecessor count hits zero (or immediately, for
+   leaf-fed nodes), and the buffer is flushed into the FIFO queue at each
+   admission point, sorted by (level, tree, bfs).  Because that order is
+   total — (tree, bfs) identifies a node — each flushed batch is exactly
+   the batch the original per-cycle full-plan rescan admitted, so the
+   schedules are bit-identical to the {!Naive.mms} reference while the
+   whole run costs O(n log n) instead of O(n·Tc). *)
 let enqueue_order a b =
   let na = a.Plan.level and nb = b.Plan.level in
   match Int.compare na nb with
@@ -14,25 +23,24 @@ let schedule ~plan ~mixers =
   let n = Plan.n_nodes plan in
   let cycles = Array.make n 0 in
   let mixer_of = Array.make n 0 in
-  let pending = Array.make n 0 in
-  List.iter
-    (fun node ->
-      pending.(node.Plan.id) <- List.length (Plan.predecessors node))
-    (Plan.nodes plan);
-  let enqueued = Array.make n false in
+  let pending = Array.init n (fun i -> Plan.pred_count plan i) in
+  (* Nodes whose pending count reached zero since the last admission. *)
+  let fresh = ref [] in
+  for i = n - 1 downto 0 do
+    if pending.(i) = 0 then fresh := Plan.node plan i :: !fresh
+  done;
   let queue = Queue.create () in
+  let admit () =
+    match !fresh with
+    | [] -> ()
+    | batch ->
+      fresh := [];
+      List.iter
+        (fun node -> Queue.push node queue)
+        (List.sort enqueue_order batch)
+  in
   let remaining = ref n in
   let depth = Dmf.Ratio.accuracy (Plan.ratio plan) in
-  (* Admit every node that has become schedulable and is not yet queued. *)
-  let admit () =
-    Plan.nodes plan
-    |> List.filter (fun node ->
-           (not enqueued.(node.Plan.id)) && pending.(node.Plan.id) = 0)
-    |> List.sort enqueue_order
-    |> List.iter (fun node ->
-           enqueued.(node.Plan.id) <- true;
-           Queue.push node queue)
-  in
   let run_cycle t =
     let launched = ref 0 in
     while !launched < mixers && not (Queue.is_empty queue) do
@@ -41,12 +49,9 @@ let schedule ~plan ~mixers =
       cycles.(node.Plan.id) <- t;
       mixer_of.(node.Plan.id) <- !launched;
       decr remaining;
-      (match Plan.consumer plan ~node:node.Plan.id ~port:0 with
-      | Some c -> pending.(c) <- pending.(c) - 1
-      | None -> ());
-      match Plan.consumer plan ~node:node.Plan.id ~port:1 with
-      | Some c -> pending.(c) <- pending.(c) - 1
-      | None -> ()
+      Plan.iter_successors plan node.Plan.id (fun c ->
+          pending.(c) <- pending.(c) - 1;
+          if pending.(c) = 0 then fresh := Plan.node plan c :: !fresh)
     done
   in
   let t = ref 0 in
@@ -57,7 +62,7 @@ let schedule ~plan ~mixers =
     run_cycle !t
   done;
   (* Phase 2: drain the backlog, admitting newly schedulable nodes. *)
-  let guard = ref (2 * (n + depth) + 2) in
+  let guard = ref (Schedule.no_progress_bound ~nodes:n ~depth) in
   while !remaining > 0 do
     decr guard;
     if !guard <= 0 then failwith "Mms.schedule: no progress (internal error)";

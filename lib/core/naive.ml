@@ -1,0 +1,149 @@
+(* The original O(n·T) schedulers, retained verbatim as the differential
+   reference for the event-driven rewrites in {!Mms} and {!Srs}: both
+   rescan the whole plan once per time-cycle to find newly schedulable
+   nodes.  Kept out of the hot paths; used by the property tests and the
+   speed benchmark only. *)
+
+let enqueue_order a b =
+  let na = a.Plan.level and nb = b.Plan.level in
+  match Int.compare na nb with
+  | 0 -> (
+    match Int.compare a.Plan.tree b.Plan.tree with
+    | 0 -> Int.compare a.Plan.bfs b.Plan.bfs
+    | c -> c)
+  | c -> c
+
+let mms ~plan ~mixers =
+  if mixers < 1 then invalid_arg "Naive.mms: at least one mixer";
+  let n = Plan.n_nodes plan in
+  let cycles = Array.make n 0 in
+  let mixer_of = Array.make n 0 in
+  let pending = Array.make n 0 in
+  List.iter
+    (fun node ->
+      pending.(node.Plan.id) <- List.length (Plan.predecessors node))
+    (Plan.nodes plan);
+  let enqueued = Array.make n false in
+  let queue = Queue.create () in
+  let remaining = ref n in
+  let depth = Dmf.Ratio.accuracy (Plan.ratio plan) in
+  (* Admit every node that has become schedulable and is not yet queued. *)
+  let admit () =
+    Plan.nodes plan
+    |> List.filter (fun node ->
+           (not enqueued.(node.Plan.id)) && pending.(node.Plan.id) = 0)
+    |> List.sort enqueue_order
+    |> List.iter (fun node ->
+           enqueued.(node.Plan.id) <- true;
+           Queue.push node queue)
+  in
+  let run_cycle t =
+    let launched = ref 0 in
+    while !launched < mixers && not (Queue.is_empty queue) do
+      let node = Queue.pop queue in
+      incr launched;
+      cycles.(node.Plan.id) <- t;
+      mixer_of.(node.Plan.id) <- !launched;
+      decr remaining;
+      (match Plan.consumer plan ~node:node.Plan.id ~port:0 with
+      | Some c -> pending.(c) <- pending.(c) - 1
+      | None -> ());
+      match Plan.consumer plan ~node:node.Plan.id ~port:1 with
+      | Some c -> pending.(c) <- pending.(c) - 1
+      | None -> ()
+    done
+  in
+  let t = ref 0 in
+  for _level = 1 to depth do
+    incr t;
+    admit ();
+    run_cycle !t
+  done;
+  let guard = ref (Schedule.no_progress_bound ~nodes:n ~depth) in
+  while !remaining > 0 do
+    decr guard;
+    if !guard <= 0 then failwith "Naive.mms: no progress (internal error)";
+    incr t;
+    admit ();
+    run_cycle !t
+  done;
+  Schedule.create ~plan ~mixers ~cycles ~mixer_of
+
+let int_priority a b =
+  match Int.compare b.Plan.level a.Plan.level with
+  | 0 -> (
+    match Int.compare a.Plan.tree b.Plan.tree with
+    | 0 -> Int.compare a.Plan.bfs b.Plan.bfs
+    | c -> c)
+  | c -> c
+
+let leaf_priority a b =
+  match Int.compare a.Plan.level b.Plan.level with
+  | 0 -> (
+    match Int.compare a.Plan.tree b.Plan.tree with
+    | 0 -> Int.compare a.Plan.bfs b.Plan.bfs
+    | c -> c)
+  | c -> c
+
+let srs ~plan ~mixers =
+  if mixers < 1 then invalid_arg "Naive.srs: at least one mixer";
+  let n = Plan.n_nodes plan in
+  let cycles = Array.make n 0 in
+  let mixer_of = Array.make n 0 in
+  let pending = Array.make n 0 in
+  List.iter
+    (fun node ->
+      pending.(node.Plan.id) <- List.length (Plan.predecessors node))
+    (Plan.nodes plan);
+  let queued = Array.make n false in
+  let qint = ref (Pqueue.empty ~compare:int_priority) in
+  let qleaf = ref (Pqueue.empty ~compare:leaf_priority) in
+  let remaining = ref n in
+  let admit () =
+    List.iter
+      (fun node ->
+        if (not queued.(node.Plan.id)) && pending.(node.Plan.id) = 0 then begin
+          queued.(node.Plan.id) <- true;
+          match Plan.child_kind plan node with
+          | `Both_leaves -> qleaf := Pqueue.insert node !qleaf
+          | `Both_internal | `One_internal -> qint := Pqueue.insert node !qint
+        end)
+      (Plan.nodes plan)
+  in
+  let t = ref 0 in
+  let launch t node slot =
+    cycles.(node.Plan.id) <- t;
+    mixer_of.(node.Plan.id) <- slot;
+    decr remaining;
+    List.iter
+      (fun port ->
+        match Plan.consumer plan ~node:node.Plan.id ~port with
+        | Some c -> pending.(c) <- pending.(c) - 1
+        | None -> ())
+      [ 0; 1 ]
+  in
+  let depth = Dmf.Ratio.accuracy (Plan.ratio plan) in
+  let guard = ref (Schedule.no_progress_bound ~nodes:n ~depth) in
+  while !remaining > 0 do
+    decr guard;
+    if !guard <= 0 then failwith "Naive.srs: no progress (internal error)";
+    incr t;
+    admit ();
+    let int_nodes = Pqueue.size !qint in
+    let slot = ref 0 in
+    let take_from q limit =
+      let taken = ref 0 in
+      while !taken < limit && not (Pqueue.is_empty !q) do
+        match Pqueue.pop !q with
+        | None -> ()
+        | Some (node, rest) ->
+          q := rest;
+          incr taken;
+          incr slot;
+          launch !t node !slot
+      done
+    in
+    take_from qint (min mixers int_nodes);
+    take_from qleaf (max 0 (mixers - int_nodes))
+  done;
+  Schedule.create ~plan ~mixers ~cycles ~mixer_of

@@ -1,0 +1,63 @@
+(* Chunked parallel map on stdlib Domain (OCaml 5): the input is split
+   into [domains] contiguous blocks whose sizes differ by at most one,
+   [domains - 1] blocks run on spawned domains, the first on the calling
+   domain, and the results are reassembled in input order — so the output
+   is identical whatever the domain count.
+
+   Corpus sweeps are embarrassingly parallel (one ratio per evaluation),
+   so coarse contiguous chunking beats a work-stealing pool here: no
+   shared queue, no per-item synchronisation, one join per domain. *)
+
+let default_domains () =
+  match Sys.getenv_opt "MDST_DOMAINS" with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some d when d >= 1 -> d
+    | Some _ | None ->
+      invalid_arg "MDST_DOMAINS must be a positive integer")
+  | None -> Domain.recommended_domain_count ()
+
+(* Spawning from inside a worker would multiply domains beyond the
+   requested count (e.g. a parallel bench sweep calling the parallel
+   corpus average), so nested calls degrade to serial. *)
+let inside_parallel_region = Domain.DLS.new_key (fun () -> false)
+
+let map_array ?domains f input =
+  let n = Array.length input in
+  let domains =
+    if Domain.DLS.get inside_parallel_region then 1
+    else match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  if domains = 1 || n <= 1 then Array.map f input
+  else begin
+    let k = min domains n in
+    let base = n / k and extra = n mod k in
+    let bounds i =
+      let start = (i * base) + min i extra in
+      let len = base + if i < extra then 1 else 0 in
+      (start, len)
+    in
+    let work i () =
+      Domain.DLS.set inside_parallel_region true;
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set inside_parallel_region false)
+        (fun () ->
+          let start, len = bounds i in
+          Array.init len (fun j -> f input.(start + j)))
+    in
+    let spawned = Array.init (k - 1) (fun i -> Domain.spawn (work (i + 1))) in
+    let wrap g = try Ok (g ()) with e -> Error e in
+    let first = wrap (work 0) in
+    let rest = Array.map (fun d -> wrap (fun () -> Domain.join d)) spawned in
+    let chunks =
+      Array.map
+        (function Ok chunk -> chunk | Error e -> raise e)
+        (Array.append [| first |] rest)
+    in
+    Array.concat (Array.to_list chunks)
+  end
+
+let map ?domains f xs =
+  Array.to_list (map_array ?domains f (Array.of_list xs))
+
+let iter ?domains f xs = ignore (map ?domains f xs)

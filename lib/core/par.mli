@@ -1,0 +1,31 @@
+(** Chunked parallel map over stdlib domains.
+
+    Corpus sweeps (Tables 2–3, Figures 6–7) evaluate thousands of
+    independent ratios; [map] fans them out over OCaml 5 domains in
+    contiguous chunks and reassembles the results in input order, so the
+    output is identical at any domain count — including [1], which (like
+    any nested call from inside a parallel region) degrades to a plain
+    serial map.
+
+    The domain count defaults to the [MDST_DOMAINS] environment variable
+    when set, and to [Domain.recommended_domain_count ()] (the physical
+    core count) otherwise. *)
+
+val default_domains : unit -> int
+(** [MDST_DOMAINS] if set, else [Domain.recommended_domain_count ()].
+    @raise Invalid_argument if [MDST_DOMAINS] is set but not a positive
+    integer. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] is [List.map f xs] computed on [domains] domains
+    (default {!default_domains}).  Result order always matches input
+    order.  [f] must be safe to run concurrently with itself; if any
+    application raises, all domains are joined and the first exception in
+    input order is re-raised. *)
+
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** As {!map}, on arrays. *)
+
+val iter : ?domains:int -> ('a -> unit) -> 'a list -> unit
+(** [iter f xs] runs [f] on every element, in parallel, ignoring
+    results. *)

@@ -23,6 +23,8 @@ type t = {
   consumers : (int option * int option) array;
   reserve_values : Dmf.Mixture.t array;
   reserve_users : int option array;  (* consuming node per reserve *)
+  succs : int array array;  (* consumer ids per node, port 0 before port 1 *)
+  pred_counts : int array;  (* producing predecessors per node *)
 }
 
 let ratio p = p.ratio
@@ -62,6 +64,16 @@ let predecessors n =
       | Input _ | Reserve _ -> None
       | Output { node; port = _ } -> Some node)
     [ n.left; n.right ]
+
+let pred_count p i =
+  if i < 0 || i >= Array.length p.pred_counts then
+    invalid_arg "Plan.pred_count: id out of range";
+  p.pred_counts.(i)
+
+let iter_successors p i f =
+  if i < 0 || i >= Array.length p.succs then
+    invalid_arg "Plan.iter_successors: id out of range";
+  Array.iter f p.succs.(i)
 
 (* A reserve droplet sits in a storage unit, so for SRS priorities it
    behaves like an internal child: stalling its consumer keeps the
@@ -261,9 +273,25 @@ let create_multi ?(reserves = [||]) ~ratio ~demand ~nodes ~roots ~root_values
     nodes;
   let root_set = Array.make (Array.length nodes) false in
   Array.iter (fun r -> root_set.(r) <- true) roots;
+  (* Successor/predecessor index for the event-driven schedulers: the
+     port-0 consumer precedes the port-1 consumer, matching the order in
+     which a launch releases its two output droplets. *)
+  let succs =
+    Array.map
+      (fun (first, second) ->
+        match (first, second) with
+        | Some a, Some b -> [| a; b |]
+        | Some a, None | None, Some a -> [| a |]
+        | None, None -> [||])
+      consumers
+  in
+  let pred_counts =
+    Array.map (fun n -> List.length (predecessors n)) nodes
+  in
   let p =
     { ratio; demand; nodes; roots; root_values; root_set; consumers;
-      reserve_values = Array.copy reserves; reserve_users }
+      reserve_values = Array.copy reserves; reserve_users; succs;
+      pred_counts }
   in
   match validate p with
   | Ok () -> p

@@ -98,6 +98,16 @@ val consumer : t -> node:int -> port:int -> int option
 val predecessors : node -> int list
 (** Producing node ids among the node's two sources. *)
 
+val pred_count : t -> int -> int
+(** [pred_count p id] is [List.length (predecessors (node p id))], read
+    from an index built once at plan creation — O(1). *)
+
+val iter_successors : t -> int -> (int -> unit) -> unit
+(** [iter_successors p id f] applies [f] to the id of every node consuming
+    an output droplet of [id], port 0 before port 1.  Backed by the same
+    precomputed index; the event-driven schedulers use it to decrement
+    dependent pending counts without rescanning the plan. *)
+
 val child_kind : t -> node -> [ `Both_internal | `One_internal | `Both_leaves ]
 (** Classification of a node by its children for SRS (Type-A / Type-B /
     Type-C in Section 4.2.2): a [Output] source counts as internal — the

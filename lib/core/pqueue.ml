@@ -32,6 +32,9 @@ let pop q =
 let of_list ~compare xs =
   List.fold_left (fun q x -> insert x q) (empty ~compare) xs
 
+let union a b =
+  { a with heap = merge a.compare a.heap b.heap; size = a.size + b.size }
+
 let to_sorted_list q =
   let rec drain acc q =
     match pop q with

@@ -19,5 +19,10 @@ val pop : 'a t -> ('a * 'a t) option
 
 val of_list : compare:('a -> 'a -> int) -> 'a list -> 'a t
 
+val union : 'a t -> 'a t -> 'a t
+(** [union a b] melds two queues in O(1); the result orders elements with
+    [a]'s comparison function, so both queues must use compatible
+    orders. *)
+
 val to_sorted_list : 'a t -> 'a list
 (** Drains the queue in priority order. *)

@@ -24,47 +24,39 @@ let at_cycle s t =
   Array.iteri (fun id c -> if c = t then ids := id :: !ids) s.cycles;
   List.sort (fun a b -> Int.compare s.mixer_of.(a) s.mixer_of.(b)) !ids
 
+exception Invalid of string
+
+(* Every schedule goes through [create] → [validate], so this is on the
+   scheduling hot path: plain loops over a flat slot array, and error
+   messages are only formatted on the (exceptional) failure branch. *)
 let validate ~plan s =
-  let ( let* ) r f = Result.bind r f in
-  let check cond fmt =
-    Format.kasprintf (fun s -> if cond then Ok () else Error s) fmt
-  in
-  let rec each f = function
-    | [] -> Ok ()
-    | x :: rest ->
-      let* () = f x in
-      each f rest
-  in
-  let n = Plan.n_nodes plan in
-  let* () =
-    check
-      (Array.length s.cycles = n && Array.length s.mixer_of = n)
-      "schedule covers %d nodes, plan has %d" (Array.length s.cycles) n
-  in
-  let* () = check (s.mixers >= 1) "no mixers" in
-  let slots = Hashtbl.create 64 in
-  each
-    (fun node ->
-      let id = node.Plan.id in
-      let t = s.cycles.(id) and m = s.mixer_of.(id) in
-      let* () = check (t >= 1) "node %d unscheduled" id in
-      let* () =
-        check (m >= 1 && m <= s.mixers) "node %d on bad mixer %d" id m
-      in
-      let* () =
-        check
-          (not (Hashtbl.mem slots (t, m)))
-          "mixer %d double-booked at cycle %d" m t
-      in
-      Hashtbl.add slots (t, m) id;
-      each
-        (fun producer ->
-          check
-            (s.cycles.(producer) < t)
-            "node %d at cycle %d consumes droplet produced at cycle %d" id t
-            s.cycles.(producer))
-        (Plan.predecessors node))
-    (Plan.nodes plan)
+  let fail fmt = Format.kasprintf (fun m -> raise (Invalid m)) fmt in
+  try
+    let n = Plan.n_nodes plan in
+    if Array.length s.cycles <> n || Array.length s.mixer_of <> n then
+      fail "schedule covers %d nodes, plan has %d" (Array.length s.cycles) n;
+    if s.mixers < 1 then fail "no mixers";
+    let tc = Array.fold_left max 0 s.cycles in
+    let slots = Array.make (tc * s.mixers) (-1) in
+    List.iter
+      (fun node ->
+        let id = node.Plan.id in
+        let t = s.cycles.(id) and m = s.mixer_of.(id) in
+        if t < 1 then fail "node %d unscheduled" id;
+        if m < 1 || m > s.mixers then fail "node %d on bad mixer %d" id m;
+        let slot = ((t - 1) * s.mixers) + (m - 1) in
+        if slots.(slot) >= 0 then
+          fail "mixer %d double-booked at cycle %d" m t;
+        slots.(slot) <- id;
+        List.iter
+          (fun producer ->
+            if s.cycles.(producer) >= t then
+              fail "node %d at cycle %d consumes droplet produced at cycle %d"
+                id t s.cycles.(producer))
+          (Plan.predecessors node))
+      (Plan.nodes plan);
+    Ok ()
+  with Invalid msg -> Error msg
 
 let create ~plan ~mixers ~cycles ~mixer_of =
   let tc = Array.fold_left max 0 cycles in
@@ -72,6 +64,16 @@ let create ~plan ~mixers ~cycles ~mixer_of =
   match validate ~plan s with
   | Ok () -> s
   | Error msg -> invalid_arg ("Schedule.create: " ^ msg)
+
+(* A correct scheduler launches at least one node per cycle once its
+   ready set is non-empty, so a run needs at most [nodes] productive
+   cycles plus [depth] warm-up cycles (MMS walks one forest level per
+   cycle before draining, and a level can be empty of ready work when
+   earlier levels were collapsed by droplet reuse).  Doubling that and
+   adding two gives a slack bound that no well-formed plan can reach:
+   hitting it means the pending counts are corrupt, not that the plan is
+   merely deep. *)
+let no_progress_bound ~nodes ~depth = (2 * (nodes + depth)) + 2
 
 let emission_order ~plan s =
   Plan.roots plan

@@ -33,6 +33,13 @@ val validate : plan:Plan.t -> t -> (unit, string) result
     cycle, on distinct mixers; every node strictly later than the
     producers of both of its input droplets. *)
 
+val no_progress_bound : nodes:int -> depth:int -> int
+(** Shared guard for the scheduler main loops: an upper bound on the
+    number of cycles any correct schedule of a [nodes]-node plan with
+    base-tree depth [depth] can take, with slack.  Exceeding it is an
+    internal error (corrupt pending counts), never a property of a
+    merely deep or degenerate plan. *)
+
 val emission_order : plan:Plan.t -> t -> (int * int) list
 (** [(cycle, root_id)] pairs of target-droplet emissions sorted by cycle —
     the droplet streaming sequence. *)

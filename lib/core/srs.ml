@@ -18,44 +18,50 @@ let leaf_priority a b =
     | c -> c)
   | c -> c
 
+(* Event-driven: a node is inserted into Qint/Qleaf exactly once, when its
+   pending-predecessor count hits zero.  Droplets produced at cycle t are
+   consumable from t+1, so readiness discovered while launching cycle t is
+   buffered and flushed at the next cycle's admission point — exactly the
+   set the original per-cycle full-plan rescan admitted.  Both priority
+   orders are total ((tree, bfs) identifies a node), so the pairing heap
+   pops the same unique minimum whatever the insertion order, and the
+   schedules are bit-identical to the {!Naive.srs} reference at O(n log n)
+   instead of O(n·Tc). *)
 let schedule ~plan ~mixers =
   if mixers < 1 then invalid_arg "Srs.schedule: at least one mixer";
   let n = Plan.n_nodes plan in
   let cycles = Array.make n 0 in
   let mixer_of = Array.make n 0 in
-  let pending = Array.make n 0 in
-  List.iter
-    (fun node ->
-      pending.(node.Plan.id) <- List.length (Plan.predecessors node))
-    (Plan.nodes plan);
-  let queued = Array.make n false in
+  let pending = Array.init n (fun i -> Plan.pred_count plan i) in
   let qint = ref (Pqueue.empty ~compare:int_priority) in
   let qleaf = ref (Pqueue.empty ~compare:leaf_priority) in
-  let remaining = ref n in
+  (* Nodes whose pending count reached zero since the last admission. *)
+  let fresh = ref [] in
+  for i = n - 1 downto 0 do
+    if pending.(i) = 0 then fresh := i :: !fresh
+  done;
   let admit () =
     List.iter
-      (fun node ->
-        if (not queued.(node.Plan.id)) && pending.(node.Plan.id) = 0 then begin
-          queued.(node.Plan.id) <- true;
-          match Plan.child_kind plan node with
-          | `Both_leaves -> qleaf := Pqueue.insert node !qleaf
-          | `Both_internal | `One_internal -> qint := Pqueue.insert node !qint
-        end)
-      (Plan.nodes plan)
+      (fun id ->
+        let node = Plan.node plan id in
+        match Plan.child_kind plan node with
+        | `Both_leaves -> qleaf := Pqueue.insert node !qleaf
+        | `Both_internal | `One_internal -> qint := Pqueue.insert node !qint)
+      !fresh;
+    fresh := []
   in
+  let remaining = ref n in
   let t = ref 0 in
   let launch t node slot =
     cycles.(node.Plan.id) <- t;
     mixer_of.(node.Plan.id) <- slot;
     decr remaining;
-    List.iter
-      (fun port ->
-        match Plan.consumer plan ~node:node.Plan.id ~port with
-        | Some c -> pending.(c) <- pending.(c) - 1
-        | None -> ())
-      [ 0; 1 ]
+    Plan.iter_successors plan node.Plan.id (fun c ->
+        pending.(c) <- pending.(c) - 1;
+        if pending.(c) = 0 then fresh := c :: !fresh)
   in
-  let guard = ref (2 * (n + 2)) in
+  let depth = Dmf.Ratio.accuracy (Plan.ratio plan) in
+  let guard = ref (Schedule.no_progress_bound ~nodes:n ~depth) in
   while !remaining > 0 do
     decr guard;
     if !guard <= 0 then failwith "Srs.schedule: no progress (internal error)";

@@ -47,6 +47,25 @@ let equal a b =
   Array.length a.parts = Array.length b.parts
   && Array.for_all2 ( = ) a.parts b.parts
 
+let compare a b =
+  let la = Array.length a.parts and lb = Array.length b.parts in
+  match Int.compare la lb with
+  | 0 ->
+    let rec go i =
+      if i >= la then 0
+      else
+        match Int.compare a.parts.(i) b.parts.(i) with
+        | 0 -> go (i + 1)
+        | c -> c
+    in
+    go 0
+  | c -> c
+
+let hash r = Hashtbl.hash r.parts
+
+let key r =
+  String.concat ":" (Array.to_list (Array.map string_of_int r.parts))
+
 (* Largest-remainder rounding of [ideal.(i)] values to non-negative
    integers that sum to [total], with a floor of one part per fluid. *)
 let round_to_sum ~total ideal =
@@ -59,7 +78,7 @@ let round_to_sum ~total ideal =
     let by_remainder =
       List.sort
         (fun i j ->
-          compare
+          Float.compare
             (ideal.(j) -. float_of_int base.(j))
             (ideal.(i) -. float_of_int base.(i)))
         (List.init n Fun.id)

@@ -45,6 +45,18 @@ val fluids : t -> Fluid.t list
 val equal : t -> t -> bool
 (** Structural equality on the parts (names are ignored). *)
 
+val compare : t -> t -> int
+(** Total order on the parts (length first, then lexicographic); names
+    are ignored, consistently with {!equal}. *)
+
+val hash : t -> int
+(** Structural hash of the parts, consistent with {!equal} — ratios can
+    key [Hashtbl] tables (memo caches of trees and plans). *)
+
+val key : t -> string
+(** Canonical cache key, ["a1:a2:...:aN"] — equal ratios have equal keys
+    regardless of fluid names. *)
+
 val rescale : t -> d:int -> t
 (** [rescale r ~d] re-approximates [r] on the scale [2^d] (see
     {!approximate}).  Useful to study the same protocol at several accuracy

@@ -1,0 +1,58 @@
+(* Property tests for the pairing heap: it backs both SRS priority
+   queues, so its ordering guarantees are load-bearing for the
+   schedulers' bit-identity story. *)
+
+open QCheck2
+
+let int_list_gen = Gen.(list_size (int_range 0 200) (int_range (-1000) 1000))
+let print_ints = Print.list string_of_int
+let sorted = List.sort Int.compare
+
+let prop_to_sorted_list =
+  Generators.qtest ~count:500 "to_sorted_list agrees with List.sort"
+    int_list_gen print_ints (fun xs ->
+      Mdst.Pqueue.to_sorted_list (Mdst.Pqueue.of_list ~compare:Int.compare xs)
+      = sorted xs)
+
+let prop_pop_after_union =
+  Generators.qtest ~count:500 "pop after union yields the global minimum"
+    (Gen.pair int_list_gen int_list_gen)
+    (Print.pair print_ints print_ints)
+    (fun (xs, ys) ->
+      let q =
+        Mdst.Pqueue.union
+          (Mdst.Pqueue.of_list ~compare:Int.compare xs)
+          (Mdst.Pqueue.of_list ~compare:Int.compare ys)
+      in
+      match (Mdst.Pqueue.pop q, sorted (xs @ ys)) with
+      | None, [] -> Mdst.Pqueue.size q = 0
+      | Some (x, rest), least :: others ->
+        x = least
+        && Mdst.Pqueue.size q = List.length xs + List.length ys
+        && Mdst.Pqueue.to_sorted_list rest = others
+      | None, _ :: _ | Some _, [] -> false)
+
+let prop_interleaved_pops =
+  Generators.qtest ~count:500 "popping k elements leaves the sorted tail"
+    (Gen.pair int_list_gen (Gen.int_range 0 50))
+    (Print.pair print_ints string_of_int)
+    (fun (xs, k) ->
+      let q = Mdst.Pqueue.of_list ~compare:Int.compare xs in
+      let rec drop k q =
+        if k = 0 then q
+        else
+          match Mdst.Pqueue.pop q with
+          | None -> q
+          | Some (_, rest) -> drop (k - 1) rest
+      in
+      let tail =
+        List.filteri (fun i _ -> i >= k) (sorted xs)
+      in
+      Mdst.Pqueue.to_sorted_list (drop k q) = tail)
+
+let () =
+  Alcotest.run "pqueue"
+    [
+      ( "pairing-heap",
+        [ prop_to_sorted_list; prop_pop_after_union; prop_interleaved_pops ] );
+    ]

@@ -1,0 +1,88 @@
+(* Differential tests for the event-driven scheduler rewrites: on any
+   plan the event-driven MMS/SRS must produce schedules bit-identical to
+   the retained naive per-cycle-rescan reference ({!Mdst.Naive}), and the
+   parallel corpus sweep must not depend on the domain count. *)
+
+open QCheck2
+
+let instance_gen =
+  Gen.(
+    Generators.ratio_gen >>= fun ratio ->
+    Generators.algorithm_gen >>= fun algorithm ->
+    Generators.demand_gen >>= fun demand ->
+    int_range 1 8 >|= fun mixers -> (ratio, algorithm, demand, mixers))
+
+let instance_print (ratio, algorithm, demand, mixers) =
+  Printf.sprintf "%s %s D=%d M=%d"
+    (Mixtree.Algorithm.name algorithm)
+    (Dmf.Ratio.to_string ratio)
+    demand mixers
+
+let same_schedule plan a b =
+  let n = Mdst.Plan.n_nodes plan in
+  let rec nodes_agree i =
+    i >= n
+    || (Mdst.Schedule.cycle a i = Mdst.Schedule.cycle b i
+       && Mdst.Schedule.mixer a i = Mdst.Schedule.mixer b i
+       && nodes_agree (i + 1))
+  in
+  Mdst.Schedule.completion_time a = Mdst.Schedule.completion_time b
+  && Mdst.Schedule.mixers a = Mdst.Schedule.mixers b
+  && nodes_agree 0
+
+let differential schedule reference (ratio, algorithm, demand, mixers) =
+  let plan = Mdst.Forest.build ~algorithm ~ratio ~demand in
+  same_schedule plan (schedule ~plan ~mixers) (reference ~plan ~mixers)
+
+let prop_mms =
+  Generators.qtest ~count:300 "event-driven MMS = naive rescan MMS"
+    instance_gen instance_print
+    (differential Mdst.Mms.schedule Mdst.Naive.mms)
+
+let prop_srs =
+  Generators.qtest ~count:300 "event-driven SRS = naive rescan SRS"
+    instance_gen instance_print
+    (differential Mdst.Srs.schedule Mdst.Naive.srs)
+
+let prop_par_map =
+  Generators.qtest ~count:100 "Par.map is independent of the domain count"
+    Gen.(list_size (int_range 0 40) (int_range 0 10_000))
+    (Print.list string_of_int)
+    (fun xs ->
+      let f x = (x * x) + 1 in
+      Mdst.Par.map ~domains:1 f xs = Mdst.Par.map ~domains:4 f xs)
+
+(* The real sweep, as run by bench table2/table3: evaluate a corpus slice
+   under every scheme and keep the headline metrics. *)
+let corpus_sweep () =
+  let ratios =
+    List.filteri (fun i _ -> i < 6) (Lazy.force Generators.corpus_slice)
+  in
+  Mdst.Par.map
+    (fun ratio ->
+      Mdst.Compare.evaluate_all ~ratio ~demand:8 Mdst.Compare.table2_schemes
+      |> List.map (fun (_, m) ->
+             (m.Mdst.Metrics.tc, m.Mdst.Metrics.q, m.Mdst.Metrics.input_total)))
+    ratios
+
+let with_domains d f =
+  Unix.putenv "MDST_DOMAINS" (string_of_int d);
+  Fun.protect ~finally:(fun () -> Unix.putenv "MDST_DOMAINS" "1") f
+
+let test_sweep_determinism () =
+  let serial = with_domains 1 corpus_sweep in
+  let parallel = with_domains 4 corpus_sweep in
+  Alcotest.(check bool)
+    "MDST_DOMAINS=1 and MDST_DOMAINS=4 sweeps agree" true (serial = parallel)
+
+let () =
+  Alcotest.run "sched-equiv"
+    [
+      ("differential", [ prop_mms; prop_srs ]);
+      ( "parallel",
+        [
+          prop_par_map;
+          Alcotest.test_case "corpus sweep determinism" `Quick
+            test_sweep_determinism;
+        ] );
+    ]
