@@ -12,11 +12,13 @@
 
    Experiments: fig1 fig3 fig5 table2 table3 fig6 fig7 table4 ablation
    dilution robust assay pins routing recovery wash pareto scaling
-   speed.
+   service speed.
 
-   Every run additionally writes BENCH_PR1.json — per-experiment wall
-   times, Bechamel ns/run, domain count and corpus sizes — so successive
-   PRs accumulate a machine-readable performance trajectory. *)
+   Every run additionally writes BENCH_PR2.json — per-experiment wall
+   times, Bechamel ns/run, service req/s, domain count and corpus sizes
+   — so successive PRs accumulate a machine-readable performance
+   trajectory.  Everything printed is also teed into bench_output.txt
+   (untracked) for local inspection. *)
 
 let pcr16 = Bioproto.Protocols.pcr ~d:4
 
@@ -31,10 +33,13 @@ let corpus ~every =
 let i2s = string_of_int
 
 (* ------------------------------------------------------------------ *)
-(* BENCH_PR1.json accumulators                                         *)
+(* BENCH_PR2.json accumulators                                         *)
 
 let wall_times : (string * float) list ref = ref []
 let micro_ns : (string * float) list ref = ref []
+
+(* (workers, phase, requests, wall_s) per service-throughput phase. *)
+let service_results : (int * string * int * float) list ref = ref []
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -50,7 +55,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let bench_json_path = "BENCH_PR1.json"
+let bench_json_path = "BENCH_PR2.json"
 
 let write_bench_json () =
   (* Resolve every value before [open_out]: a bad MDST_DOMAINS raises in
@@ -71,15 +76,26 @@ let write_bench_json () =
           (json_escape name) v)
       (List.sort compare !micro_ns)
   in
+  let service =
+    List.rev_map
+      (fun (workers, phase, requests, wall_s) ->
+        Printf.sprintf
+          "{\"workers\": %d, \"phase\": \"%s\", \"requests\": %d, \
+           \"wall_s\": %.6f, \"req_per_s\": %.1f}"
+          workers (json_escape phase) requests wall_s
+          (if wall_s > 0. then float_of_int requests /. wall_s else 0.))
+      !service_results
+  in
   let oc = open_out bench_json_path in
   Printf.fprintf oc
     "{\n\
-    \  \"pr\": 1,\n\
+    \  \"pr\": 2,\n\
     \  \"bench\": \"dmfstream\",\n\
     \  \"domains\": %d,\n\
     \  \"full_corpus\": %b,\n\
     \  \"corpus_size\": {\"table3\": %d, \"fig6\": %d, \"full\": %d},\n\
     \  \"experiments\": [\n    %s\n  ],\n\
+    \  \"service\": [\n    %s\n  ],\n\
     \  \"micro_ns_per_run\": [\n    %s\n  ]\n\
      }\n"
     domains full_corpus
@@ -87,6 +103,7 @@ let write_bench_json () =
     (List.length (corpus ~every:40))
     (List.length (Bioproto.Synth.corpus ~sum:32 ()))
     (String.concat ",\n    " experiments)
+    (String.concat ",\n    " service)
     (String.concat ",\n    " micro);
   close_out oc;
   Printf.printf "\nwrote %s\n" bench_json_path
@@ -925,6 +942,97 @@ let scaling () =
      deeper, busier trees across the whole stream)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Preparation-server throughput: the dmfd --stdio transport            *)
+
+let service () =
+  section
+    "Service throughput (PR 2): NDJSON requests through the stdio server, \
+     cold vs warm plan cache";
+  (* Distinct corpus ratios so the cold phase builds one forest per
+     request (no coalescing, all cache misses) and the warm phase —
+     the same lines again — is answered entirely from the plan cache. *)
+  let ratios = corpus ~every:131 in
+  let lines =
+    List.mapi
+      (fun i ratio ->
+        Printf.sprintf {|{"req": "prepare", "ratio": "%s", "D": 32, "id": %d}|}
+          (Dmf.Ratio.to_string ratio) i)
+      ratios
+  in
+  let n = List.length lines in
+  (* One full request-response round over the pipe transport that
+     [dmfd --stdio] uses: write every line, read every response. *)
+  let run_phase server =
+    let req_read, req_write = Unix.pipe () in
+    let resp_read, resp_write = Unix.pipe () in
+    let server_ic = Unix.in_channel_of_descr req_read in
+    let server_oc = Unix.out_channel_of_descr resp_write in
+    let thread =
+      Thread.create
+        (fun () ->
+          Service.Server.serve_channels server server_ic server_oc;
+          close_out_noerr server_oc;
+          close_in_noerr server_ic)
+        ()
+    in
+    let client_oc = Unix.out_channel_of_descr req_write in
+    let client_ic = Unix.in_channel_of_descr resp_read in
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun line ->
+        output_string client_oc line;
+        output_char client_oc '\n')
+      lines;
+    close_out client_oc;
+    let ok = ref 0 and hits = ref 0 in
+    for _ = 1 to n do
+      match Service.Jsonl.of_string (input_line client_ic) with
+      | Error _ -> ()
+      | Ok json ->
+        let flag key =
+          Option.bind (Service.Jsonl.member key json) Service.Jsonl.to_bool
+          = Some true
+        in
+        if flag "ok" then incr ok;
+        if flag "cache_hit" then incr hits
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    Thread.join thread;
+    close_in_noerr client_ic;
+    (!ok, !hits, wall)
+  in
+  let worker_counts =
+    let d = Mdst.Par.default_domains () in
+    if d > 1 then [ 1; d ] else [ 1 ]
+  in
+  let rows =
+    List.concat_map
+      (fun workers ->
+        let server =
+          Service.Server.create ~workers ~cache_capacity:(2 * n) ()
+        in
+        let phase name =
+          let ok, hits, wall = run_phase server in
+          service_results := (workers, name, n, wall) :: !service_results;
+          [
+            i2s workers; name; i2s n; i2s ok; i2s hits;
+            Printf.sprintf "%.4f" wall;
+            Printf.sprintf "%.0f" (float_of_int n /. wall);
+          ]
+        in
+        let cold = phase "cold" in
+        let warm = phase "warm" in
+        Service.Server.stop server;
+        [ cold; warm ])
+      worker_counts
+  in
+  print_string
+    (Mdst.Report.table
+       ~header:
+         [ "workers"; "cache"; "requests"; "ok"; "hits"; "wall s"; "req/s" ]
+       ~rows)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment workload    *)
 
 let speed () =
@@ -1058,8 +1166,44 @@ let experiments =
     ("ablation", ablation); ("dilution", dilution); ("robust", robust);
     ("assay", assay); ("pins", pins); ("routing", routing);
     ("recovery", recovery); ("wash", wash); ("pareto", pareto);
-    ("scaling", scaling); ("speed", speed);
+    ("scaling", scaling); ("service", service); ("speed", speed);
   ]
+
+(* Tee fd 1 into [path]: everything the experiments print reaches both
+   the terminal and the local transcript file.  Returns the restore
+   function — putting the real stdout back closes the pipe's last write
+   end, which ends the copier thread. *)
+let start_tee path =
+  let file = Unix.openfile path [ O_WRONLY; O_CREAT; O_TRUNC ] 0o644 in
+  let pipe_read, pipe_write = Unix.pipe () in
+  let real_stdout = Unix.dup Unix.stdout in
+  Unix.dup2 pipe_write Unix.stdout;
+  Unix.close pipe_write;
+  let copier =
+    Thread.create
+      (fun () ->
+        let buf = Bytes.create 65536 in
+        let rec drain () =
+          let k = Unix.read pipe_read buf 0 (Bytes.length buf) in
+          if k > 0 then begin
+            let rec write_all fd off =
+              if off < k then write_all fd (off + Unix.write fd buf off (k - off))
+            in
+            write_all real_stdout 0;
+            write_all file 0;
+            drain ()
+          end
+        in
+        (try drain () with Unix.Unix_error _ -> ());
+        Unix.close pipe_read)
+      ()
+  in
+  fun () ->
+    flush Stdlib.stdout;
+    Unix.dup2 real_stdout Unix.stdout;
+    Thread.join copier;
+    Unix.close real_stdout;
+    Unix.close file
 
 let () =
   let requested =
@@ -1067,16 +1211,22 @@ let () =
     | _ :: (_ :: _ as names) -> names
     | _ :: [] | [] -> List.map fst experiments
   in
+  (* Validate the selection before redirecting stdout. *)
   List.iter
     (fun name ->
-      match List.assoc_opt name experiments with
-      | Some run ->
-        let t0 = Unix.gettimeofday () in
-        run ();
-        wall_times := (name, Unix.gettimeofday () -. t0) :: !wall_times
-      | None ->
+      if not (List.mem_assoc name experiments) then begin
         Printf.eprintf "unknown experiment %s (available: %s)\n" name
           (String.concat ", " (List.map fst experiments));
-        exit 1)
+        exit 1
+      end)
     requested;
-  write_bench_json ()
+  let restore = start_tee "bench_output.txt" in
+  Fun.protect ~finally:restore (fun () ->
+      List.iter
+        (fun name ->
+          let run = List.assoc name experiments in
+          let t0 = Unix.gettimeofday () in
+          run ();
+          wall_times := (name, Unix.gettimeofday () -. t0) :: !wall_times)
+        requested;
+      write_bench_json ())

@@ -1,0 +1,78 @@
+(* dmfd — the demand-driven preparation daemon.
+
+   Serves the MDST engine behind a newline-delimited JSON protocol:
+   typed prepare/stats/ping requests go through a bounded admission
+   queue that coalesces concurrent requests for the same target, a
+   bounded LRU plan cache, and a fixed pool of planning workers on
+   OCaml 5 domains.
+
+     dmfd --stdio                      # serve stdin/stdout (tests, CI)
+     dmfd --port 7433                  # serve TCP, one thread per client
+     echo '{"req":"prepare","ratio":"2:1:1:1:1:1:9","D":20,"Mc":3}' \
+       | dmfd --stdio *)
+
+open Cmdliner
+
+let stdio_arg =
+  Arg.(
+    value & flag
+    & info [ "stdio" ]
+        ~doc:"Serve newline-delimited JSON on stdin/stdout instead of TCP.")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind (TCP mode).")
+
+let port_arg =
+  Arg.(
+    value & opt int 7433
+    & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port to listen on.")
+
+let workers_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "w"; "workers" ] ~docv:"N"
+        ~doc:
+          "Planning workers (OCaml domains). Defaults to \\$MDST_DOMAINS or \
+           the physical core count.")
+
+let queue_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "queue-capacity" ] ~docv:"N"
+        ~doc:
+          "Maximum pending planning jobs before admission blocks \
+           (backpressure).")
+
+let cache_arg =
+  Arg.(
+    value & opt int 1024
+    & info [ "cache-capacity" ] ~docv:"N"
+        ~doc:"Maximum cached plans (LRU eviction). 0 disables the cache.")
+
+let run stdio host port workers queue_capacity cache_capacity =
+  Service.Validate.run_cli (fun () ->
+      let server =
+        Service.Server.create ?workers ~queue_capacity ~cache_capacity ()
+      in
+      if stdio then begin
+        Service.Server.serve_channels server stdin stdout;
+        Service.Server.stop server
+      end
+      else begin
+        Printf.eprintf "dmfd: serving on %s:%d with %d worker(s)\n%!" host port
+          (Service.Server.workers server);
+        Service.Server.serve_tcp server ~host ~port
+      end)
+
+let cmd =
+  let doc = "demand-driven mixture-preparation server (NDJSON over stdio/TCP)" in
+  let term =
+    Term.(
+      const run $ stdio_arg $ host_arg $ port_arg $ workers_arg $ queue_arg
+      $ cache_arg)
+  in
+  Cmd.v (Cmd.info "dmfd" ~version:"1.0.0" ~doc) term
+
+let () = exit (Cmd.eval cmd)

@@ -7,19 +7,32 @@
 
 open Cmdliner
 
+(* Malformed inputs (a ratio that does not sum to a power of two, a
+   non-positive demand, an infeasible mixer count) raise
+   [Invalid_argument] deep inside the engine; surface them as one-line
+   errors with a nonzero exit instead of a raw exception.  The daemon
+   rejects the same inputs through the same [Service.Validate]
+   helpers, as a JSON error response. *)
+let protect = Service.Validate.run_cli
+
 (* ------------------------------------------------------------------ *)
 (* Common arguments                                                    *)
 
-let ratio_conv =
+(* Every conv below parses through [Service.Validate] — the exact
+   helpers the daemon runs on the matching JSON fields. *)
+let msg r = Result.map_error (fun m -> `Msg m) r
+
+let int_conv ~what validate =
   let parse s =
-    match Bioproto.Protocols.find s with
-    | Some p -> Ok p.Bioproto.Protocols.ratio
-    | None -> (
-      try Ok (Dmf.Ratio.of_string s)
-      with Invalid_argument msg -> Error (`Msg msg))
+    match int_of_string_opt s with
+    | None -> Error (`Msg (Printf.sprintf "%s must be an integer (got %s)" what s))
+    | Some v -> msg (validate v)
   in
+  Arg.conv (parse, Format.pp_print_int)
+
+let ratio_conv =
   let print ppf r = Dmf.Ratio.pp ppf r in
-  Arg.conv (parse, print)
+  Arg.conv ((fun s -> msg (Service.Validate.ratio s)), print)
 
 let ratio_arg =
   let doc =
@@ -33,15 +46,14 @@ let ratio_arg =
 
 let demand_arg =
   let doc = "Number of target droplets to produce." in
-  Arg.(value & opt int 20 & info [ "D"; "demand" ] ~docv:"N" ~doc)
+  Arg.(
+    value
+    & opt (int_conv ~what:"demand D" Service.Validate.demand) 20
+    & info [ "D"; "demand" ] ~docv:"N" ~doc)
 
 let algorithm_conv =
-  let parse s =
-    match Mixtree.Algorithm.of_string s with
-    | Some a -> Ok a
-    | None -> Error (`Msg ("unknown algorithm " ^ s ^ " (MM, RMA, MTCS, RSM)"))
-  in
-  Arg.conv (parse, Mixtree.Algorithm.pp)
+  Arg.conv
+    ((fun s -> msg (Service.Validate.algorithm s)), Mixtree.Algorithm.pp)
 
 let algorithm_arg =
   let doc = "Base mixing algorithm: MM, RMA, MTCS or RSM." in
@@ -51,16 +63,10 @@ let algorithm_arg =
     & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
 
 let scheduler_conv =
-  let parse s =
-    match String.uppercase_ascii s with
-    | "MMS" -> Ok Mdst.Streaming.MMS
-    | "SRS" -> Ok Mdst.Streaming.SRS
-    | _ -> Error (`Msg ("unknown scheduler " ^ s ^ " (MMS or SRS)"))
-  in
   let print ppf s =
     Format.pp_print_string ppf (Mdst.Streaming.scheduler_name s)
   in
-  Arg.conv (parse, print)
+  Arg.conv ((fun s -> msg (Service.Validate.scheduler s)), print)
 
 let scheduler_arg =
   let doc = "Forest scheduler: MMS (fastest) or SRS (storage-reduced)." in
@@ -71,11 +77,17 @@ let scheduler_arg =
 
 let mixers_arg =
   let doc = "On-chip mixers (default: Mlb of the MM tree)." in
-  Arg.(value & opt (some int) None & info [ "m"; "mixers" ] ~docv:"MC" ~doc)
+  Arg.(
+    value
+    & opt (some (int_conv ~what:"mixer count Mc" Service.Validate.mixers)) None
+    & info [ "m"; "mixers" ] ~docv:"MC" ~doc)
 
 let storage_arg =
   let doc = "On-chip storage units available." in
-  Arg.(value & opt int 5 & info [ "q"; "storage" ] ~docv:"Q" ~doc)
+  Arg.(
+    value
+    & opt (int_conv ~what:"storage budget q'" Service.Validate.storage) 5
+    & info [ "q"; "storage" ] ~docv:"Q" ~doc)
 
 let spec_of ratio demand algorithm scheduler mixers =
   { Mdst.Engine.ratio; demand; algorithm; scheduler; mixers }
@@ -85,6 +97,7 @@ let spec_of ratio demand algorithm scheduler mixers =
 
 let plan_cmd =
   let run ratio demand algorithm show_tree =
+    protect @@ fun () ->
     let tree = Mixtree.Algorithm.build algorithm ratio in
     let plan = Mdst.Forest.build ~algorithm ~ratio ~demand in
     Format.printf "%a@." Mdst.Plan.pp_summary plan;
@@ -107,6 +120,7 @@ let plan_cmd =
 
 let schedule_cmd =
   let run ratio demand algorithm scheduler mixers gantt =
+    protect @@ fun () ->
     let result =
       Mdst.Engine.prepare (spec_of ratio demand algorithm scheduler mixers)
     in
@@ -133,6 +147,7 @@ let schedule_cmd =
 
 let compare_cmd =
   let run ratio demand mixers =
+    protect @@ fun () ->
     let results =
       Mdst.Compare.evaluate_all ?mixers ~ratio ~demand
         Mdst.Compare.table2_schemes
@@ -167,6 +182,7 @@ let compare_cmd =
 
 let stream_cmd =
   let run ratio demand algorithm scheduler mixers storage =
+    protect @@ fun () ->
     let mixers =
       match mixers with
       | Some m -> m
@@ -215,6 +231,7 @@ let stream_cmd =
 
 let layout_cmd =
   let run ratio mixers storage =
+    protect @@ fun () ->
     let mixers =
       match mixers with
       | Some m -> m
@@ -250,6 +267,7 @@ let layout_cmd =
 
 let simulate_cmd =
   let run ratio demand algorithm scheduler mixers storage show_trace =
+    protect @@ fun () ->
     let spec = spec_of ratio demand algorithm scheduler mixers in
     let result = Mdst.Engine.prepare spec in
     let needed =
@@ -301,6 +319,7 @@ let simulate_cmd =
 
 let dilute_cmd =
   let run c d demand mixers use_twm =
+    protect @@ fun () ->
     let ratio = Mixtree.Dilution.ratio ~c ~d in
     let tree =
       if use_twm then Mixtree.Dilution.twm ~c ~d
@@ -341,6 +360,7 @@ let dilute_cmd =
 
 let robust_cmd =
   let run ratio demand epsilon =
+    protect @@ fun () ->
     Format.printf
       "worst-case CF error under a %.1f%% split-volume imbalance:@."
       (epsilon *. 100.);
@@ -379,6 +399,7 @@ let robust_cmd =
 
 let wear_cmd =
   let run ratio demand mixers =
+    protect @@ fun () ->
     let spec =
       spec_of ratio demand Mixtree.Algorithm.MM Mdst.Streaming.SRS mixers
     in
@@ -412,6 +433,7 @@ let wear_cmd =
 
 let multi_cmd =
   let run specs algorithm mixers =
+    protect @@ fun () ->
     let parse spec =
       match String.split_on_char '@' spec with
       | [ ratio; demand ] -> (
@@ -462,6 +484,7 @@ let multi_cmd =
 
 let assay_cmd =
   let run ratio mixers storage start interval count batches =
+    protect @@ fun () ->
     let requests = Assay.Demand.periodic ~start ~interval ~count ~batches in
     let mixers =
       match mixers with
@@ -510,6 +533,7 @@ let assay_cmd =
 
 let pins_cmd =
   let run ratio demand mixers =
+    protect @@ fun () ->
     let spec =
       spec_of ratio demand Mixtree.Algorithm.MM Mdst.Streaming.SRS mixers
     in
@@ -554,6 +578,7 @@ let pins_cmd =
 
 let export_cmd =
   let run ratio demand algorithm scheduler mixers directory =
+    protect @@ fun () ->
     let spec = spec_of ratio demand algorithm scheduler mixers in
     let result = Mdst.Engine.prepare spec in
     let needed =
@@ -603,6 +628,7 @@ let export_cmd =
 
 let recover_cmd =
   let run ratio demand algorithm scheduler mixers failed_node =
+    protect @@ fun () ->
     let result =
       Mdst.Engine.prepare (spec_of ratio demand algorithm scheduler mixers)
     in
@@ -649,6 +675,7 @@ let recover_cmd =
 
 let protocols_cmd =
   let run () =
+    protect @@ fun () ->
     let rows =
       List.map
         (fun p ->
@@ -668,6 +695,92 @@ let protocols_cmd =
     (Cmd.info "protocols" ~doc:"List the built-in bioprotocol mixtures")
     Term.(const run $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* client                                                              *)
+
+let client_cmd =
+  let run ratio demand algorithm scheduler mixers storage host port kind =
+    protect @@ fun () ->
+    let kind =
+      match kind with
+      | "prepare" ->
+        let demand =
+          match Service.Validate.demand demand with
+          | Ok d -> d
+          | Error msg -> failwith msg
+        in
+        Service.Request.Prepare
+          {
+            Service.Request.ratio;
+            demand;
+            algorithm;
+            scheduler;
+            mixers;
+            storage_limit = storage;
+          }
+      | "stats" -> Service.Request.Stats
+      | "ping" -> Service.Request.Ping
+      | other -> failwith ("unknown request kind " ^ other)
+    in
+    let request = { Service.Request.id = None; kind } in
+    let addr =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found | Invalid_argument _ ->
+          failwith ("cannot resolve host " ^ host))
+    in
+    let ic, oc =
+      try Unix.open_connection (Unix.ADDR_INET (addr, port))
+      with Unix.Unix_error (e, _, _) ->
+        failwith
+          (Printf.sprintf "cannot reach dmfd at %s:%d: %s" host port
+             (Unix.error_message e))
+    in
+    output_string oc
+      (Service.Jsonl.to_string (Service.Request.to_json request));
+    output_char oc '\n';
+    flush oc;
+    (match input_line ic with
+    | line -> (
+      match Service.Jsonl.of_string line with
+      | Ok json -> Format.printf "%a@." Service.Jsonl.pp json
+      | Error msg -> failwith ("malformed response: " ^ msg))
+    | exception End_of_file -> failwith "server closed the connection");
+    try Unix.shutdown_connection ic with Unix.Unix_error _ -> ()
+  in
+  let host =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"HOST" ~doc:"dmfd host.")
+  in
+  let port =
+    Arg.(
+      value & opt int 7433 & info [ "p"; "port" ] ~docv:"PORT" ~doc:"dmfd port.")
+  in
+  let kind =
+    Arg.(
+      value & opt string "prepare"
+      & info [ "req" ] ~docv:"KIND" ~doc:"Request kind: prepare, stats or ping.")
+  in
+  let client_storage =
+    Arg.(
+      value
+      & opt (some (int_conv ~what:"storage budget q'" Service.Validate.storage))
+          None
+      & info [ "q"; "storage" ] ~docv:"Q"
+          ~doc:"Storage budget q' (switches the server to multi-pass streaming).")
+  in
+  let term =
+    Term.(
+      const run $ ratio_arg $ demand_arg $ algorithm_arg $ scheduler_arg
+      $ mixers_arg $ client_storage $ host $ port $ kind)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to a running dmfd and pretty-print the response")
+    term
+
 let () =
   let doc = "demand-driven mixture preparation on DMF biochips (DAC'14)" in
   let info = Cmd.info "dmfstream" ~version:"1.0.0" ~doc in
@@ -678,4 +791,5 @@ let () =
             plan_cmd; schedule_cmd; compare_cmd; stream_cmd; layout_cmd;
             simulate_cmd; dilute_cmd; robust_cmd; wear_cmd; multi_cmd;
             assay_cmd; pins_cmd; export_cmd; recover_cmd; protocols_cmd;
+            client_cmd;
           ]))

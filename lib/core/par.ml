@@ -57,6 +57,13 @@ let map_array ?domains f input =
     Array.concat (Array.to_list chunks)
   end
 
+let serialized f =
+  let prev = Domain.DLS.get inside_parallel_region in
+  Domain.DLS.set inside_parallel_region true;
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set inside_parallel_region prev)
+    f
+
 let map ?domains f xs =
   Array.to_list (map_array ?domains f (Array.of_list xs))
 

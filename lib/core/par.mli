@@ -29,3 +29,10 @@ val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 val iter : ?domains:int -> ('a -> unit) -> 'a list -> unit
 (** [iter f xs] runs [f] on every element, in parallel, ignoring
     results. *)
+
+val serialized : (unit -> 'a) -> 'a
+(** [serialized f] runs [f] with this domain marked as being inside a
+    parallel region, so any nested {!map} degrades to a plain serial
+    map — the discipline the chunk workers already follow.  Long-lived
+    worker pools (the preparation server's domains) wrap their job
+    handlers in it: the pool, not the job, owns the parallelism. *)

@@ -1,0 +1,53 @@
+(** Minimal newline-delimited JSON codec for the preparation server.
+
+    The service protocol is one JSON object per line over a byte stream
+    (stdin/stdout or a TCP socket), so the codec only needs single-line
+    rendering and a strict parser — hand-rolled on the stdlib because the
+    switch carries no JSON library.
+
+    Integers and floats are kept apart: a number without fraction or
+    exponent parses as {!Int}, everything else as {!Float}.  Floats are
+    printed with enough digits to round-trip exactly, so
+    [of_string (to_string v)] returns a value {!equal} to [v] for every
+    finite [v]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Single-line rendering (no newline).  Control characters in strings
+    are escaped as [\u00XX].
+    @raise Invalid_argument on a non-finite float, which JSON cannot
+    represent. *)
+
+val of_string : string -> (t, string) result
+(** Parse one JSON value; trailing non-whitespace is an error. *)
+
+val equal : t -> t -> bool
+(** Structural equality; object key order is significant (the codec
+    preserves it), and NaN equals NaN. *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-oriented multi-line rendering (the [client] subcommand's
+    pretty-printer). *)
+
+(** {2 Accessors} *)
+
+val member : string -> t -> t option
+(** [member k (Obj ...)] is the first binding of [k]; [None] on other
+    constructors. *)
+
+val to_int : t -> int option
+
+val to_float : t -> float option
+(** Accepts both [Int] and [Float]. *)
+
+val to_bool : t -> bool option
+val to_str : t -> string option
+val to_list : t -> t list option

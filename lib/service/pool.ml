@@ -1,0 +1,22 @@
+type t = { domains : unit Domain.t array }
+
+let worker_loop queue handler () =
+  let rec loop () =
+    match Queue.take queue with
+    | None -> ()
+    | Some job ->
+      (try Mdst.Par.serialized (fun () -> handler job)
+       with e ->
+         (* Idempotent: a no-op if the handler already fulfilled. *)
+         Queue.fulfil job (Error (Printexc.to_string e)));
+      loop ()
+  in
+  loop ()
+
+let start ~workers ~handler queue =
+  if workers < 1 then invalid_arg "Pool.start: at least one worker";
+  { domains = Array.init workers (fun _ -> Domain.spawn (worker_loop queue handler)) }
+
+let workers t = Array.length t.domains
+
+let join t = Array.iter Domain.join t.domains

@@ -1,0 +1,20 @@
+(** Fixed worker pool on OCaml 5 domains.
+
+    [workers] domains drain the admission queue; each wraps its handler
+    in {!Mdst.Par.serialized}, so planning code that reaches a parallel
+    corpus helper degrades to serial inside a worker — the pool owns the
+    parallelism, exactly like {!Mdst.Par}'s chunk workers.  A handler
+    that escapes with an exception fulfils its job with an [Error]
+    instead of killing the worker. *)
+
+type t
+
+val start : workers:int -> handler:(Queue.job -> unit) -> Queue.t -> t
+(** Spawn [workers] domains, each looping [take -> handler] until the
+    queue is closed and drained.  The handler must {!Queue.fulfil} the
+    job.  @raise Invalid_argument if [workers < 1]. *)
+
+val workers : t -> int
+
+val join : t -> unit
+(** Wait for every worker to exit (call {!Queue.close} first). *)

@@ -1,0 +1,56 @@
+type prepared = {
+  summary : Response.summary;
+  plan : Mdst.Plan.t option;
+  schedule : Mdst.Schedule.t option;
+}
+
+let run (spec : Request.spec) =
+  match spec.Request.storage_limit with
+  | None ->
+    let result =
+      Mdst.Engine.prepare
+        {
+          Mdst.Engine.ratio = spec.Request.ratio;
+          demand = spec.Request.demand;
+          algorithm = spec.Request.algorithm;
+          scheduler = spec.Request.scheduler;
+          mixers = spec.Request.mixers;
+        }
+    in
+    {
+      summary = Response.summary_of_metrics result.Mdst.Engine.metrics;
+      plan = Some result.Mdst.Engine.plan;
+      schedule = Some result.Mdst.Engine.schedule;
+    }
+  | Some storage_limit ->
+    let mixers =
+      match spec.Request.mixers with
+      | Some m -> m
+      | None -> Mdst.Engine.default_mixers spec.Request.ratio
+    in
+    let r =
+      Mdst.Streaming.run ~algorithm:spec.Request.algorithm
+        ~ratio:spec.Request.ratio ~demand:spec.Request.demand ~mixers
+        ~storage_limit ~scheduler:spec.Request.scheduler
+    in
+    let fold f = List.fold_left f 0 r.Mdst.Streaming.passes in
+    let summary =
+      {
+        Response.scheme =
+          Mdst.Engine.scheme_name spec.Request.algorithm spec.Request.scheduler;
+        mixers;
+        demand = spec.Request.demand;
+        tc = r.Mdst.Streaming.total_cycles;
+        q =
+          fold (fun acc pass -> max acc pass.Mdst.Streaming.q);
+        tms =
+          fold (fun acc pass -> acc + Mdst.Plan.tms pass.Mdst.Streaming.plan);
+        waste = r.Mdst.Streaming.total_waste;
+        input_total = r.Mdst.Streaming.total_inputs;
+        trees =
+          fold (fun acc pass -> acc + Mdst.Plan.trees pass.Mdst.Streaming.plan);
+        passes = Mdst.Streaming.n_passes r;
+        within_limit = r.Mdst.Streaming.within_limit;
+      }
+    in
+    { summary; plan = None; schedule = None }

@@ -1,0 +1,20 @@
+(** Execution of one planning job: the bridge from a validated request
+    spec to the MDST engine.
+
+    A spec without a storage budget runs the single-pass engine
+    ({!Mdst.Engine.prepare}); with one, the multi-pass streaming engine
+    ({!Mdst.Streaming.run}).  The result keeps the plan and schedule of
+    single-pass runs so in-process callers (tests, the coalescing
+    correctness check) can re-validate them; the wire protocol only
+    ships the summary. *)
+
+type prepared = {
+  summary : Response.summary;
+  plan : Mdst.Plan.t option;  (** [None] for multi-pass streaming runs. *)
+  schedule : Mdst.Schedule.t option;
+}
+
+val run : Request.spec -> prepared
+(** Build and schedule the forest for the spec.
+    @raise Invalid_argument on inconsistent engine parameters (callers
+    go through {!Validate.protect}). *)

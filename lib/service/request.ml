@@ -1,0 +1,128 @@
+type spec = {
+  ratio : Dmf.Ratio.t;
+  demand : int;
+  algorithm : Mixtree.Algorithm.t;
+  scheduler : Mdst.Streaming.scheduler;
+  mixers : int option;
+  storage_limit : int option;
+}
+
+type kind = Prepare of spec | Stats | Ping
+
+type t = { id : Jsonl.t option; kind : kind }
+
+let coalesce_key spec =
+  Printf.sprintf "%s|%s|%s|Mc=%s|q'=%s"
+    (Dmf.Ratio.key spec.ratio)
+    (Mixtree.Algorithm.name spec.algorithm)
+    (Mdst.Streaming.scheduler_name spec.scheduler)
+    (match spec.mixers with Some m -> string_of_int m | None -> "auto")
+    (match spec.storage_limit with Some q -> string_of_int q | None -> "-")
+
+let cache_key spec =
+  Printf.sprintf "%s|D=%d" (coalesce_key spec) spec.demand
+
+(* ------------------------------------------------------------------ *)
+(* Decoding                                                            *)
+
+let ( let* ) = Result.bind
+
+let field_str json key =
+  match Jsonl.member key json with
+  | None -> Ok None
+  | Some (Jsonl.String s) -> Ok (Some s)
+  | Some _ -> Error (Printf.sprintf "field %S must be a string" key)
+
+let field_int json key =
+  match Jsonl.member key json with
+  | None | Some Jsonl.Null -> Ok None
+  | Some (Jsonl.Int i) -> Ok (Some i)
+  | Some _ -> Error (Printf.sprintf "field %S must be an integer" key)
+
+let opt_validated v f =
+  match v with
+  | None -> Ok None
+  | Some x ->
+    let* y = f x in
+    Ok (Some y)
+
+let spec_of_json json =
+  let* ratio_str = field_str json "ratio" in
+  let* ratio =
+    match ratio_str with
+    | Some s -> Validate.ratio s
+    | None -> Error "prepare request needs a \"ratio\" field"
+  in
+  let* demand_raw = field_int json "D" in
+  let* demand =
+    match demand_raw with
+    | Some d -> Validate.demand d
+    | None -> Error "prepare request needs an integer \"D\" field"
+  in
+  let* algo_str = field_str json "algorithm" in
+  let* algorithm =
+    match algo_str with
+    | Some s -> Validate.algorithm s
+    | None -> Ok Mixtree.Algorithm.MM
+  in
+  let* sched_str = field_str json "scheduler" in
+  let* scheduler =
+    match sched_str with
+    | Some s -> Validate.scheduler s
+    | None -> Ok Mdst.Streaming.SRS
+  in
+  let* mixers_raw = field_int json "Mc" in
+  let* mixers = opt_validated mixers_raw Validate.mixers in
+  let* storage_raw = field_int json "storage" in
+  let* storage_limit = opt_validated storage_raw Validate.storage in
+  Ok { ratio; demand; algorithm; scheduler; mixers; storage_limit }
+
+let of_json json =
+  match json with
+  | Jsonl.Obj _ ->
+    let id = Jsonl.member "id" json in
+    let* kind_str = field_str json "req" in
+    let* kind =
+      match kind_str with
+      | Some "prepare" ->
+        let* spec = spec_of_json json in
+        Ok (Prepare spec)
+      | Some "stats" -> Ok Stats
+      | Some "ping" -> Ok Ping
+      | Some other -> Error ("unknown request kind " ^ other)
+      | None -> Error "request needs a \"req\" field (prepare, stats, ping)"
+    in
+    Ok { id; kind }
+  | _ -> Error "request must be a JSON object"
+
+let of_line line =
+  let* json = Jsonl.of_string line in
+  of_json json
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+
+let to_json { id; kind } =
+  let id_field = match id with Some v -> [ ("id", v) ] | None -> [] in
+  let fields =
+    match kind with
+    | Stats -> [ ("req", Jsonl.String "stats") ]
+    | Ping -> [ ("req", Jsonl.String "ping") ]
+    | Prepare spec ->
+      [
+        ("req", Jsonl.String "prepare");
+        ("ratio", Jsonl.String (Dmf.Ratio.to_string spec.ratio));
+        ("D", Jsonl.Int spec.demand);
+        ("algorithm", Jsonl.String (Mixtree.Algorithm.name spec.algorithm));
+        ( "scheduler",
+          Jsonl.String (Mdst.Streaming.scheduler_name spec.scheduler) );
+      ]
+      @ (match spec.mixers with
+        | Some m -> [ ("Mc", Jsonl.Int m) ]
+        | None -> [])
+      @
+      (match spec.storage_limit with
+      | Some q -> [ ("storage", Jsonl.Int q) ]
+      | None -> [])
+  in
+  Jsonl.Obj (fields @ id_field)

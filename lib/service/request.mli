@@ -1,0 +1,49 @@
+(** Typed requests of the preparation service.
+
+    One request is one JSON object on one line.  The [req] field selects
+    the kind:
+
+    - [{"req": "prepare", "ratio": "2:1:1:1:1:1:9", "D": 20,
+        "algorithm": "MM", "scheduler": "SRS", "Mc": 3, "storage": 5,
+        "id": 7}] — plan and schedule [D] droplets of the target.
+        [algorithm] defaults to MM, [scheduler] to SRS; [Mc] defaults to
+        the paper's [Mlb] of the MM tree; [storage] switches to the
+        multi-pass streaming engine under that budget.  [ratio] also
+        accepts a protocol id (pcr16, ex1..ex5).
+    - [{"req": "stats"}] — server counters.
+    - [{"req": "ping"}] — liveness probe.
+
+    [id] is any JSON value and is echoed verbatim in the response, so a
+    pipelining client can match answers to questions. *)
+
+type spec = {
+  ratio : Dmf.Ratio.t;
+  demand : int;
+  algorithm : Mixtree.Algorithm.t;
+  scheduler : Mdst.Streaming.scheduler;
+  mixers : int option;
+  storage_limit : int option;
+      (** When set, run the {!Mdst.Streaming} multi-pass engine under
+          this storage budget instead of a single-pass schedule. *)
+}
+
+type kind = Prepare of spec | Stats | Ping
+
+type t = { id : Jsonl.t option; kind : kind }
+
+val coalesce_key : spec -> string
+(** Canonical identity of a planning job {e ignoring demand}: requests
+    for the same (ratio, algorithm, scheduler, Mc, q') coalesce into one
+    job with summed demand (the paper's demand aggregation). *)
+
+val cache_key : spec -> string
+(** {!coalesce_key} plus the demand — the plan-cache key. *)
+
+val of_json : Jsonl.t -> (t, string) result
+(** Decode and validate (via {!Validate}) a request object. *)
+
+val of_line : string -> (t, string) result
+(** Parse one protocol line: JSON decode then {!of_json}. *)
+
+val to_json : t -> Jsonl.t
+(** Encode; [of_json (to_json r)] returns a request with an equal spec. *)

@@ -1,0 +1,120 @@
+type summary = {
+  scheme : string;
+  mixers : int;
+  demand : int;
+  tc : int;
+  q : int;
+  tms : int;
+  waste : int;
+  input_total : int;
+  trees : int;
+  passes : int;
+  within_limit : bool;
+}
+
+let summary_of_metrics (m : Mdst.Metrics.t) =
+  {
+    scheme = m.Mdst.Metrics.scheme;
+    mixers = m.Mdst.Metrics.mixers;
+    demand = m.Mdst.Metrics.demand;
+    tc = m.Mdst.Metrics.tc;
+    q = m.Mdst.Metrics.q;
+    tms = m.Mdst.Metrics.tms;
+    waste = m.Mdst.Metrics.waste;
+    input_total = m.Mdst.Metrics.input_total;
+    trees = m.Mdst.Metrics.trees;
+    passes = m.Mdst.Metrics.passes;
+    within_limit = true;
+  }
+
+type stats = {
+  queue_depth : int;
+  workers : int;
+  served : int;
+  errors : int;
+  coalesced : int;
+  jobs : int;
+  plans_built : int;
+  cache : Cache.stats;
+  avg_latency_ms : float;
+  uptime_s : float;
+}
+
+type body =
+  | Schedule of {
+      summary : summary;
+      demand : int;
+      batch_demand : int;
+      coalesced : int;
+      cache_hit : bool;
+    }
+  | Pong
+  | Stats of stats
+  | Error of string
+
+type t = { id : Jsonl.t option; elapsed_ms : float option; body : body }
+
+let ok t = match t.body with Error _ -> false | _ -> true
+
+let req_name = function
+  | Schedule _ -> "prepare"
+  | Pong -> "ping"
+  | Stats _ -> "stats"
+  | Error _ -> "error"
+
+let to_json t =
+  let base =
+    [ ("ok", Jsonl.Bool (ok t)); ("req", Jsonl.String (req_name t.body)) ]
+  in
+  let id = match t.id with Some v -> [ ("id", v) ] | None -> [] in
+  let payload =
+    match t.body with
+    | Pong -> []
+    | Error msg -> [ ("error", Jsonl.String msg) ]
+    | Schedule { summary = s; demand; batch_demand; coalesced; cache_hit } ->
+      [
+        ("scheme", Jsonl.String s.scheme);
+        ("Mc", Jsonl.Int s.mixers);
+        ("D", Jsonl.Int demand);
+        ("batch_D", Jsonl.Int batch_demand);
+        ("Tc", Jsonl.Int s.tc);
+        ("q", Jsonl.Int s.q);
+        ("Tms", Jsonl.Int s.tms);
+        ("W", Jsonl.Int s.waste);
+        ("I", Jsonl.Int s.input_total);
+        ("trees", Jsonl.Int s.trees);
+        ("passes", Jsonl.Int s.passes);
+        ("within_limit", Jsonl.Bool s.within_limit);
+        ("coalesced", Jsonl.Int coalesced);
+        ("cache_hit", Jsonl.Bool cache_hit);
+      ]
+    | Stats s ->
+      [
+        ("queue_depth", Jsonl.Int s.queue_depth);
+        ("workers", Jsonl.Int s.workers);
+        ("served", Jsonl.Int s.served);
+        ("errors", Jsonl.Int s.errors);
+        ("coalesced", Jsonl.Int s.coalesced);
+        ("jobs", Jsonl.Int s.jobs);
+        ("plans_built", Jsonl.Int s.plans_built);
+        ( "cache",
+          Jsonl.Obj
+            [
+              ("hits", Jsonl.Int s.cache.Cache.hits);
+              ("misses", Jsonl.Int s.cache.Cache.misses);
+              ("evictions", Jsonl.Int s.cache.Cache.evictions);
+              ("size", Jsonl.Int s.cache.Cache.size);
+              ("capacity", Jsonl.Int s.cache.Cache.capacity);
+            ] );
+        ("avg_latency_ms", Jsonl.Float s.avg_latency_ms);
+        ("uptime_s", Jsonl.Float s.uptime_s);
+      ]
+  in
+  let elapsed =
+    match t.elapsed_ms with
+    | Some ms -> [ ("elapsed_ms", Jsonl.Float ms) ]
+    | None -> []
+  in
+  Jsonl.Obj (base @ id @ payload @ elapsed)
+
+let to_line t = Jsonl.to_string (to_json t)

@@ -1,0 +1,65 @@
+(** Typed responses of the preparation service.
+
+    One response is one JSON object on one line, always carrying an
+    [ok] boolean and the [req] kind it answers, plus the request's [id]
+    when one was given.  A schedule response reports the cost metrics of
+    the planned batch — [Tc], [q], [Tms], [W], [I] — together with the
+    coalescing facts: the waiter's own demand [D], the merged batch
+    demand [batch_D], and how many requests shared the planning job. *)
+
+type summary = {
+  scheme : string;  (** E.g. ["MM+SRS"]. *)
+  mixers : int;
+  demand : int;  (** The demand the batch was planned for. *)
+  tc : int;
+  q : int;
+  tms : int;
+  waste : int;
+  input_total : int;
+  trees : int;
+  passes : int;
+  within_limit : bool;
+      (** [false] only for a streaming run whose storage budget cannot
+          fit even a two-droplet pass. *)
+}
+
+val summary_of_metrics : Mdst.Metrics.t -> summary
+
+type stats = {
+  queue_depth : int;
+  workers : int;
+  served : int;  (** Responses written, this transport and others. *)
+  errors : int;  (** Error responses among them. *)
+  coalesced : int;  (** Requests that merged into an existing job. *)
+  jobs : int;  (** Planning jobs executed by the pool. *)
+  plans_built : int;  (** Jobs that actually built a forest (cache misses). *)
+  cache : Cache.stats;
+  avg_latency_ms : float;  (** Mean submit-to-completion of prepare requests. *)
+  uptime_s : float;
+}
+
+type body =
+  | Schedule of {
+      summary : summary;
+      demand : int;  (** This waiter's own demand. *)
+      batch_demand : int;
+      coalesced : int;  (** Requests answered by the same planning job. *)
+      cache_hit : bool;
+    }
+  | Pong
+  | Stats of stats
+  | Error of string
+
+type t = {
+  id : Jsonl.t option;
+  elapsed_ms : float option;  (** Wall time from admission to completion. *)
+  body : body;
+}
+
+val ok : t -> bool
+(** [false] exactly for {!Error} bodies. *)
+
+val to_json : t -> Jsonl.t
+
+val to_line : t -> string
+(** [to_string] of {!to_json} — one protocol line, no newline. *)

@@ -1,0 +1,245 @@
+type counters = {
+  lock : Mutex.t;
+  mutable served : int;
+  mutable errors : int;
+  mutable jobs : int;
+  mutable plans_built : int;
+  mutable latency_ms_sum : float;
+  mutable latency_samples : int;
+}
+
+type t = {
+  queue : Queue.t;
+  cache : Prep.prepared Cache.t;
+  counters : counters;
+  pool : Pool.t;
+  started_at : float;
+}
+
+let with_counters c f =
+  Mutex.lock c.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) (fun () -> f c)
+
+(* The planning handler every pool worker runs: plan cache first, the
+   engine on a miss.  The spec demand is already the coalesced sum. *)
+let run_job cache counters job =
+  let spec = Queue.job_spec job in
+  let coalesced = Queue.job_requests job in
+  let batch_demand = spec.Request.demand in
+  let key = Request.cache_key spec in
+  let result =
+    match Cache.find cache key with
+    | Some prepared ->
+      Ok { Queue.prepared; batch_demand; coalesced; cache_hit = true }
+    | None -> (
+      match Validate.protect (fun () -> Prep.run spec) with
+      | Ok prepared ->
+        Cache.add cache key prepared;
+        with_counters counters (fun c -> c.plans_built <- c.plans_built + 1);
+        Ok { Queue.prepared; batch_demand; coalesced; cache_hit = false }
+      | Error msg -> Error msg)
+  in
+  with_counters counters (fun c -> c.jobs <- c.jobs + 1);
+  Queue.fulfil job result
+
+let create ?workers ?(queue_capacity = 256) ?(cache_capacity = 1024) () =
+  let workers =
+    match workers with Some w -> w | None -> Mdst.Par.default_domains ()
+  in
+  let queue = Queue.create ~capacity:queue_capacity in
+  let cache = Cache.create ~capacity:cache_capacity in
+  let counters =
+    {
+      lock = Mutex.create ();
+      served = 0;
+      errors = 0;
+      jobs = 0;
+      plans_built = 0;
+      latency_ms_sum = 0.;
+      latency_samples = 0;
+    }
+  in
+  let pool =
+    Pool.start ~workers ~handler:(run_job cache counters) queue
+  in
+  { queue; cache; counters; pool; started_at = Unix.gettimeofday () }
+
+let workers t = Pool.workers t.pool
+
+let stats t =
+  let c = t.counters in
+  Mutex.lock c.lock;
+  let served = c.served
+  and errors = c.errors
+  and jobs = c.jobs
+  and plans_built = c.plans_built
+  and latency_ms_sum = c.latency_ms_sum
+  and latency_samples = c.latency_samples in
+  Mutex.unlock c.lock;
+  {
+    Response.queue_depth = Queue.depth t.queue;
+    workers = workers t;
+    served;
+    errors;
+    coalesced = Queue.coalesced_total t.queue;
+    jobs;
+    plans_built;
+    cache = Cache.stats t.cache;
+    avg_latency_ms =
+      (if latency_samples = 0 then 0.
+       else latency_ms_sum /. float_of_int latency_samples);
+    uptime_s = Unix.gettimeofday () -. t.started_at;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* NDJSON transport                                                    *)
+
+(* The reader admits requests the moment their line arrives — that is
+   what lets a burst of identical requests coalesce — and hands the
+   response obligations, in request order, to a writer thread.  [stats]
+   is deferred as a thunk so it observes the counters at its own
+   position in the response order, not at read time. *)
+type item =
+  | Ready of Response.t
+  | Pending of { ticket : Queue.ticket; id : Jsonl.t option; t0 : float }
+  | Thunk of (unit -> Response.t)
+
+let response_of_ticket t ~id ~t0 ticket =
+  match Queue.wait ticket with
+  | Ok outcome ->
+    let elapsed = (Unix.gettimeofday () -. t0) *. 1000. in
+    with_counters t.counters (fun c ->
+        c.latency_ms_sum <- c.latency_ms_sum +. elapsed;
+        c.latency_samples <- c.latency_samples + 1);
+    {
+      Response.id;
+      elapsed_ms = Some elapsed;
+      body =
+        Response.Schedule
+          {
+            summary = outcome.Queue.prepared.Prep.summary;
+            demand = Queue.ticket_demand ticket;
+            batch_demand = outcome.Queue.batch_demand;
+            coalesced = outcome.Queue.coalesced;
+            cache_hit = outcome.Queue.cache_hit;
+          };
+    }
+  | Error msg -> { Response.id; elapsed_ms = None; body = Response.Error msg }
+
+let serve_channels t ic oc =
+  let fifo = Stdlib.Queue.create () in
+  let lock = Mutex.create () in
+  let nonempty = Condition.create () in
+  let eof = ref false in
+  let push item =
+    Mutex.lock lock;
+    Stdlib.Queue.push item fifo;
+    Condition.signal nonempty;
+    Mutex.unlock lock
+  in
+  let next () =
+    Mutex.lock lock;
+    let rec wait () =
+      match Stdlib.Queue.take_opt fifo with
+      | Some item ->
+        Mutex.unlock lock;
+        Some item
+      | None ->
+        if !eof then begin
+          Mutex.unlock lock;
+          None
+        end
+        else begin
+          Condition.wait nonempty lock;
+          wait ()
+        end
+    in
+    wait ()
+  in
+  let writer () =
+    let rec loop () =
+      match next () with
+      | None -> ()
+      | Some item ->
+        let response =
+          match item with
+          | Ready r -> r
+          | Thunk f -> f ()
+          | Pending { ticket; id; t0 } -> response_of_ticket t ~id ~t0 ticket
+        in
+        with_counters t.counters (fun c ->
+            c.served <- c.served + 1;
+            if not (Response.ok response) then c.errors <- c.errors + 1);
+        output_string oc (Response.to_line response);
+        output_char oc '\n';
+        flush oc;
+        loop ()
+    in
+    loop ()
+  in
+  let writer_thread = Thread.create writer () in
+  (try
+     while true do
+       let line = input_line ic in
+       if String.trim line <> "" then
+         match Request.of_line line with
+         | Error msg ->
+           (* Echo the id even for a rejected request, so a pipelining
+              client can still match the error to its question. *)
+           let id =
+             match Jsonl.of_string line with
+             | Ok json -> Jsonl.member "id" json
+             | Error _ -> None
+           in
+           push (Ready { Response.id; elapsed_ms = None; body = Response.Error msg })
+         | Ok { Request.id; kind = Request.Ping } ->
+           push (Ready { Response.id; elapsed_ms = None; body = Response.Pong })
+         | Ok { Request.id; kind = Request.Stats } ->
+           push
+             (Thunk
+                (fun () ->
+                  { Response.id; elapsed_ms = None; body = Response.Stats (stats t) }))
+         | Ok { Request.id; kind = Request.Prepare spec } -> (
+           let t0 = Unix.gettimeofday () in
+           match Queue.submit t.queue spec with
+           | Ok ticket -> push (Pending { ticket; id; t0 })
+           | Error msg ->
+             push (Ready { Response.id; elapsed_ms = None; body = Response.Error msg }))
+     done
+   with End_of_file -> ());
+  Mutex.lock lock;
+  eof := true;
+  Condition.signal nonempty;
+  Mutex.unlock lock;
+  Thread.join writer_thread
+
+let serve_tcp t ~host ~port =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } ->
+        failwith ("cannot resolve host " ^ host)
+      | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+      | exception Not_found -> failwith ("cannot resolve host " ^ host))
+  in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (addr, port));
+  Unix.listen sock 64;
+  while true do
+    let fd, _peer = Unix.accept sock in
+    ignore
+      (Thread.create
+         (fun fd ->
+           let ic = Unix.in_channel_of_descr fd in
+           let oc = Unix.out_channel_of_descr fd in
+           (try serve_channels t ic oc with _ -> ());
+           (try close_out oc with _ -> ());
+           try Unix.close fd with _ -> ())
+         fd)
+  done
+
+let stop t =
+  Queue.close t.queue;
+  Pool.join t.pool

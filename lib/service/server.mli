@@ -1,0 +1,46 @@
+(** The demand-driven preparation server.
+
+    One {!t} owns the admission queue, the LRU plan cache, the worker
+    pool and the counters; any number of transports feed it.  The wire
+    protocol is newline-delimited JSON ({!Request}, {!Response}) served
+    either over stdin/stdout ({!serve_channels} — what [dmfd --stdio]
+    runs, and what tests and CI use so no sockets are needed) or over
+    TCP ({!serve_tcp}), one thread per connection sharing the same
+    queue, cache and pool.
+
+    {!serve_channels} pipelines: the reader admits requests as lines
+    arrive (so a client that writes a burst before reading gets its
+    identical requests coalesced into one planning job), while a writer
+    thread emits responses strictly in request order.  [stats] requests
+    are evaluated at their position in the response order, which makes
+    the counters deterministic for a single-transport client: after [n]
+    responses, [served = n]. *)
+
+type t
+
+val create :
+  ?workers:int ->
+  ?queue_capacity:int ->
+  ?cache_capacity:int ->
+  unit ->
+  t
+(** Start the pool.  [workers] defaults to {!Mdst.Par.default_domains}
+    (so [MDST_DOMAINS] sizes the pool), [queue_capacity] to 256 pending
+    jobs, [cache_capacity] to 1024 cached plans. *)
+
+val workers : t -> int
+
+val stats : t -> Response.stats
+
+val serve_channels : t -> in_channel -> out_channel -> unit
+(** Serve one NDJSON stream until end of input; responses are flushed
+    after every line.  Returns once every admitted request has been
+    answered.  The server stays usable afterwards. *)
+
+val serve_tcp : t -> host:string -> port:int -> unit
+(** Bind, listen and serve forever, one thread per connection.
+    @raise Unix.Unix_error if the address cannot be bound. *)
+
+val stop : t -> unit
+(** Close the admission queue and join the workers.  Jobs already
+    admitted are still completed first. *)

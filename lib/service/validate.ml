@@ -1,0 +1,49 @@
+let max_demand = 65_536
+let max_units = 4_096
+
+let ratio s =
+  match Bioproto.Protocols.find s with
+  | Some p -> Ok p.Bioproto.Protocols.ratio
+  | None -> (
+    try Ok (Dmf.Ratio.of_string s) with Invalid_argument msg -> Error msg)
+
+let bounded ~what ~hi v =
+  if v < 1 then Error (Printf.sprintf "%s must be positive (got %d)" what v)
+  else if v > hi then
+    Error (Printf.sprintf "%s must be at most %d (got %d)" what hi v)
+  else Ok v
+
+let demand v = bounded ~what:"demand D" ~hi:max_demand v
+let mixers v = bounded ~what:"mixer count Mc" ~hi:max_units v
+
+(* q' = 0 is a real operating point — streaming passes that park no
+   droplet at all — so storage is only bounded, not forced positive. *)
+let storage v =
+  if v < 0 then Error (Printf.sprintf "storage budget q' must be >= 0 (got %d)" v)
+  else if v > max_units then
+    Error
+      (Printf.sprintf "storage budget q' must be at most %d (got %d)" max_units
+         v)
+  else Ok v
+
+let algorithm s =
+  match Mixtree.Algorithm.of_string s with
+  | Some a -> Ok a
+  | None -> Error ("unknown algorithm " ^ s ^ " (MM, RMA, MTCS, RSM)")
+
+let scheduler s =
+  match String.uppercase_ascii s with
+  | "MMS" -> Ok Mdst.Streaming.MMS
+  | "SRS" -> Ok Mdst.Streaming.SRS
+  | _ -> Error ("unknown scheduler " ^ s ^ " (MMS or SRS)")
+
+let protect f =
+  try Ok (f ()) with
+  | Invalid_argument msg | Failure msg -> Error msg
+
+let run_cli f =
+  match protect f with
+  | Ok () -> ()
+  | Error msg ->
+    Printf.eprintf "error: %s\n%!" msg;
+    exit 2

@@ -1,0 +1,39 @@
+(** Shared input validation for the daemon and the CLI.
+
+    Both front ends accept the same inputs — a malformed ratio or a
+    non-positive demand is rejected with the same one-line message
+    whether it arrives as a JSON field over the wire ([dmfd] answers an
+    error response) or as a command-line argument ([dmfstream] exits
+    nonzero).  Bounds exist so one hostile request cannot wedge a worker
+    on a pathological forest. *)
+
+val max_demand : int
+(** Upper bound on a single request's droplet demand (also the bound on
+    a coalesced batch). *)
+
+val ratio : string -> (Dmf.Ratio.t, string) result
+(** Parse a colon-separated ratio or a built-in protocol id (pcr16,
+    ex1..ex5), exactly like the [dmfstream -r] argument. *)
+
+val demand : int -> (int, string) result
+(** Positive and at most {!max_demand}. *)
+
+val mixers : int -> (int, string) result
+(** Positive and at most 4096. *)
+
+val storage : int -> (int, string) result
+(** Non-negative (a zero-storage streaming run is legal) and at most
+    4096. *)
+
+val algorithm : string -> (Mixtree.Algorithm.t, string) result
+val scheduler : string -> (Mdst.Streaming.scheduler, string) result
+
+val protect : (unit -> 'a) -> ('a, string) result
+(** Run a computation, turning [Invalid_argument] and [Failure] — the
+    engine's rejection exceptions — into [Error].  Any other exception
+    propagates: those are bugs, not bad inputs. *)
+
+val run_cli : (unit -> unit) -> unit
+(** CLI wrapper: run the command body; on a rejected input print one
+    [error: ...] line on stderr and exit 2 instead of dying with a raw
+    exception backtrace. *)
