@@ -14,7 +14,7 @@
    dilution robust assay pins routing recovery wash pareto scaling
    service speed.
 
-   Every run additionally writes BENCH_PR2.json — per-experiment wall
+   Every run additionally writes BENCH_PR4.json — per-experiment wall
    times, Bechamel ns/run, service req/s, domain count and corpus sizes
    — so successive PRs accumulate a machine-readable performance
    trajectory.  Everything printed is also teed into bench_output.txt
@@ -33,13 +33,18 @@ let corpus ~every =
 let i2s = string_of_int
 
 (* ------------------------------------------------------------------ *)
-(* BENCH_PR2.json accumulators                                         *)
+(* BENCH_PR4.json accumulators                                         *)
 
 let wall_times : (string * float) list ref = ref []
 let micro_ns : (string * float) list ref = ref []
 
 (* (workers, phase, requests, wall_s) per service-throughput phase. *)
 let service_results : (int * string * int * float) list ref = ref []
+
+(* (policy, plan, counters) rows of the scheduler-core experiment. *)
+let scheduler_core_results :
+    (string * string * Mdst.Instr.counters) list ref =
+  ref []
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -55,7 +60,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let bench_json_path = "BENCH_PR2.json"
+let bench_json_path = "BENCH_PR4.json"
 
 let write_bench_json () =
   (* Resolve every value before [open_out]: a bad MDST_DOMAINS raises in
@@ -76,6 +81,17 @@ let write_bench_json () =
           (json_escape name) v)
       (List.sort compare !micro_ns)
   in
+  let scheduler_core =
+    List.rev_map
+      (fun (policy, plan_name, c) ->
+        Printf.sprintf "{\"policy\": \"%s\", \"plan\": \"%s\", %s}"
+          (json_escape policy) (json_escape plan_name)
+          (String.concat ", "
+             (List.map
+                (fun (k, v) -> Printf.sprintf "\"%s\": %g" k v)
+                (Mdst.Instr.counters_to_fields c))))
+      !scheduler_core_results
+  in
   let service =
     List.rev_map
       (fun (workers, phase, requests, wall_s) ->
@@ -89,12 +105,13 @@ let write_bench_json () =
   let oc = open_out bench_json_path in
   Printf.fprintf oc
     "{\n\
-    \  \"pr\": 2,\n\
+    \  \"pr\": 4,\n\
     \  \"bench\": \"dmfstream\",\n\
     \  \"domains\": %d,\n\
     \  \"full_corpus\": %b,\n\
     \  \"corpus_size\": {\"table3\": %d, \"fig6\": %d, \"full\": %d},\n\
     \  \"experiments\": [\n    %s\n  ],\n\
+    \  \"scheduler_core\": [\n    %s\n  ],\n\
     \  \"service\": [\n    %s\n  ],\n\
     \  \"micro_ns_per_run\": [\n    %s\n  ]\n\
      }\n"
@@ -103,6 +120,7 @@ let write_bench_json () =
     (List.length (corpus ~every:40))
     (List.length (Bioproto.Synth.corpus ~sum:32 ()))
     (String.concat ",\n    " experiments)
+    (String.concat ",\n    " scheduler_core)
     (String.concat ",\n    " service)
     (String.concat ",\n    " micro);
   close_out oc;
@@ -148,8 +166,8 @@ let fig3 () =
   let plan =
     Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16 ~demand:20
   in
-  let srs = Mdst.Srs.schedule ~plan ~mixers:3 in
-  let mms = Mdst.Mms.schedule ~plan ~mixers:3 in
+  let srs = Mdst.Scheduler.schedule Mdst.Scheduler.srs ~plan ~mixers:3 in
+  let mms = Mdst.Scheduler.schedule Mdst.Scheduler.mms ~plan ~mixers:3 in
   print_string (Mdst.Gantt.render ~plan srs);
   Printf.printf
     "measured: SRS Tc=%d q=%d | MMS Tc=%d q=%d (SRS trades time for storage)\n"
@@ -180,11 +198,11 @@ let fig5 () =
   let plan =
     Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16 ~demand:20
   in
-  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let schedule = Mdst.Scheduler.schedule Mdst.Scheduler.srs ~plan ~mixers:3 in
   let pass =
     Mdst.Forest.repeated ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16 ~demand:2
   in
-  let pass_schedule = Mdst.Oms.schedule ~plan:pass ~mixers:3 in
+  let pass_schedule = Mdst.Scheduler.schedule Mdst.Scheduler.oms ~plan:pass ~mixers:3 in
   (match
      ( Chip.Actuation.account ~layout ~plan ~schedule,
        Chip.Actuation.account ~layout ~plan:pass ~schedule:pass_schedule )
@@ -335,9 +353,9 @@ let fig6 () =
       ("RMM", Mdst.Compare.Repeated Mixtree.Algorithm.MM);
       ("RMTCS", Mdst.Compare.Repeated Mixtree.Algorithm.MTCS);
       ( "MM+MMS",
-        Mdst.Compare.Streamed (Mixtree.Algorithm.MM, Mdst.Streaming.MMS) );
+        Mdst.Compare.Streamed (Mixtree.Algorithm.MM, Mdst.Scheduler.mms) );
       ( "MTCS+MMS",
-        Mdst.Compare.Streamed (Mixtree.Algorithm.MTCS, Mdst.Streaming.MMS) );
+        Mdst.Compare.Streamed (Mixtree.Algorithm.MTCS, Mdst.Scheduler.mms) );
     ]
   in
   let average demand pick scheme =
@@ -395,8 +413,8 @@ let fig7 () =
   let rows =
     Mdst.Par.map
       (fun mixers ->
-        let mms = Mdst.Mms.schedule ~plan ~mixers in
-        let srs = Mdst.Srs.schedule ~plan ~mixers in
+        let mms = Mdst.Scheduler.schedule Mdst.Scheduler.mms ~plan ~mixers in
+        let srs = Mdst.Scheduler.schedule Mdst.Scheduler.srs ~plan ~mixers in
         [
           i2s mixers;
           i2s (Mdst.Schedule.completion_time mms);
@@ -443,7 +461,7 @@ let table4 () =
                 let r =
                   Mdst.Streaming.run ~algorithm:Mixtree.Algorithm.MM ~ratio
                     ~demand ~mixers:3 ~storage_limit:q
-                    ~scheduler:Mdst.Streaming.SRS
+                    ~scheduler:Mdst.Scheduler.srs ()
                 in
                 [
                   i2s q;
@@ -526,9 +544,9 @@ let ablation () =
   let rows =
     List.map
       (fun mixers ->
-        let mms = Mdst.Mms.schedule ~plan ~mixers in
-        let oms = Mdst.Oms.schedule ~plan ~mixers in
-        let srs = Mdst.Srs.schedule ~plan ~mixers in
+        let mms = Mdst.Scheduler.schedule Mdst.Scheduler.mms ~plan ~mixers in
+        let oms = Mdst.Scheduler.schedule Mdst.Scheduler.oms ~plan ~mixers in
+        let srs = Mdst.Scheduler.schedule Mdst.Scheduler.srs ~plan ~mixers in
         [
           i2s mixers;
           Printf.sprintf "%d/%d"
@@ -636,11 +654,11 @@ let robust () =
   let plan =
     Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16 ~demand:20
   in
-  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let schedule = Mdst.Scheduler.schedule Mdst.Scheduler.srs ~plan ~mixers:3 in
   let pass =
     Mdst.Forest.repeated ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16 ~demand:2
   in
-  let pass_schedule = Mdst.Oms.schedule ~plan:pass ~mixers:3 in
+  let pass_schedule = Mdst.Scheduler.schedule Mdst.Scheduler.oms ~plan:pass ~mixers:3 in
   match
     ( Sim.Wear.of_run ~layout ~plan ~schedule,
       Sim.Wear.of_run ~layout ~plan:pass ~schedule:pass_schedule )
@@ -670,7 +688,7 @@ let assay () =
         in
         let p =
           Assay.Planner.plan ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16
-            ~mixers:3 ~storage_limit:5 ~scheduler:Mdst.Streaming.SRS ~requests
+            ~mixers:3 ~storage_limit:5 ~scheduler:Mdst.Scheduler.srs ~requests
         in
         [
           label;
@@ -700,7 +718,7 @@ let pins () =
   let plan =
     Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16 ~demand:20
   in
-  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let schedule = Mdst.Scheduler.schedule Mdst.Scheduler.srs ~plan ~mixers:3 in
   let layout = Chip.Layout.pcr_fig5 () in
   match Sim.Executor.run ~layout ~plan ~schedule with
   | Error e -> Printf.printf "simulation failed: %s\n" e
@@ -727,7 +745,7 @@ let routing () =
   let plan =
     Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16 ~demand:20
   in
-  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let schedule = Mdst.Scheduler.schedule Mdst.Scheduler.srs ~plan ~mixers:3 in
   let layout = Chip.Layout.pcr_fig5 () in
   match Sim.Parallel_transport.analyze ~layout ~plan ~schedule with
   | Error e -> Printf.printf "analysis failed: %s\n" e
@@ -766,7 +784,7 @@ let recovery () =
   let plan =
     Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16 ~demand:20
   in
-  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let schedule = Mdst.Scheduler.schedule Mdst.Scheduler.srs ~plan ~mixers:3 in
   let pick_node_at_cycle t =
     List.find_opt
       (fun node -> Mdst.Schedule.cycle schedule node.Mdst.Plan.id = t)
@@ -826,7 +844,7 @@ let wash () =
           Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16
             ~demand
         in
-        let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+        let schedule = Mdst.Scheduler.schedule Mdst.Scheduler.srs ~plan ~mixers:3 in
         match Sim.Executor.run ~layout ~plan ~schedule with
         | Error _ -> None
         | Ok (trace, stats) ->
@@ -876,7 +894,7 @@ let pareto () =
                let run =
                  Mdst.Streaming.run ~algorithm:Mixtree.Algorithm.MM
                    ~ratio:pcr16 ~demand:32 ~mixers ~storage_limit
-                   ~scheduler:Mdst.Streaming.SRS
+                   ~scheduler:Mdst.Scheduler.srs ()
                in
                Printf.sprintf "%d/%dp" run.Mdst.Streaming.total_cycles
                  (Mdst.Streaming.n_passes run))
@@ -919,7 +937,7 @@ let scaling () =
                   Mdst.Engine.prepare
                     { Mdst.Engine.ratio; demand = 32;
                       algorithm = Mixtree.Algorithm.MM;
-                      scheduler = Mdst.Streaming.SRS; mixers = None }
+                      scheduler = Mdst.Scheduler.srs; mixers = None }
                 in
                 acc + pick result.Mdst.Engine.metrics)
               0 ratios
@@ -1046,7 +1064,7 @@ let speed () =
   let plan20 =
     Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16 ~demand:20
   in
-  let schedule20 = Mdst.Srs.schedule ~plan:plan20 ~mixers:3 in
+  let schedule20 = Mdst.Scheduler.schedule Mdst.Scheduler.srs ~plan:plan20 ~mixers:3 in
   (* Deep, wide plans (d = 6 and d = 8, hundreds of nodes) exercise the
      event-driven schedulers where the old per-cycle rescan was O(n·Tc);
      the retained naive reference runs next to them so the speedup is
@@ -1066,34 +1084,40 @@ let speed () =
         Test.make ~name:"fig1: forest D=20" (Staged.stage (forest 20));
         Test.make ~name:"sched d=6 n=280: MMS event-driven"
           (Staged.stage (fun () ->
-               ignore (Mdst.Mms.schedule ~plan:plan_d6 ~mixers:4)));
+               ignore (Mdst.Scheduler.schedule Mdst.Scheduler.mms ~plan:plan_d6 ~mixers:4)));
         Test.make ~name:"sched d=6 n=280: MMS naive rescan"
           (Staged.stage (fun () ->
                ignore (Mdst.Naive.mms ~plan:plan_d6 ~mixers:4)));
         Test.make ~name:"sched d=6 n=280: SRS event-driven"
           (Staged.stage (fun () ->
-               ignore (Mdst.Srs.schedule ~plan:plan_d6 ~mixers:4)));
+               ignore (Mdst.Scheduler.schedule Mdst.Scheduler.srs ~plan:plan_d6 ~mixers:4)));
         Test.make ~name:"sched d=6 n=280: SRS naive rescan"
           (Staged.stage (fun () ->
                ignore (Mdst.Naive.srs ~plan:plan_d6 ~mixers:4)));
         Test.make ~name:"sched d=8 n=510: MMS event-driven"
           (Staged.stage (fun () ->
-               ignore (Mdst.Mms.schedule ~plan:plan_d8 ~mixers:4)));
+               ignore (Mdst.Scheduler.schedule Mdst.Scheduler.mms ~plan:plan_d8 ~mixers:4)));
         Test.make ~name:"sched d=8 n=510: MMS naive rescan"
           (Staged.stage (fun () ->
                ignore (Mdst.Naive.mms ~plan:plan_d8 ~mixers:4)));
         Test.make ~name:"sched d=8 n=510: SRS event-driven"
           (Staged.stage (fun () ->
-               ignore (Mdst.Srs.schedule ~plan:plan_d8 ~mixers:4)));
+               ignore (Mdst.Scheduler.schedule Mdst.Scheduler.srs ~plan:plan_d8 ~mixers:4)));
         Test.make ~name:"sched d=8 n=510: SRS naive rescan"
           (Staged.stage (fun () ->
                ignore (Mdst.Naive.srs ~plan:plan_d8 ~mixers:4)));
+        Test.make ~name:"sched d=6 n=280: OMS event-driven"
+          (Staged.stage (fun () ->
+               ignore (Mdst.Scheduler.schedule Mdst.Scheduler.oms ~plan:plan_d6 ~mixers:4)));
+        Test.make ~name:"sched d=6 n=280: OMS naive rescan"
+          (Staged.stage (fun () ->
+               ignore (Mdst.Naive.oms ~plan:plan_d6 ~mixers:4)));
         Test.make ~name:"fig3: SRS schedule D=20"
           (Staged.stage (fun () ->
-               ignore (Mdst.Srs.schedule ~plan:plan20 ~mixers:3)));
+               ignore (Mdst.Scheduler.schedule Mdst.Scheduler.srs ~plan:plan20 ~mixers:3)));
         Test.make ~name:"fig3: MMS schedule D=20"
           (Staged.stage (fun () ->
-               ignore (Mdst.Mms.schedule ~plan:plan20 ~mixers:3)));
+               ignore (Mdst.Scheduler.schedule Mdst.Scheduler.mms ~plan:plan20 ~mixers:3)));
         Test.make ~name:"fig5: actuation accounting"
           (Staged.stage (fun () ->
                ignore
@@ -1104,7 +1128,7 @@ let speed () =
                ignore
                  (Mdst.Compare.evaluate ~ratio:ex1 ~demand:32
                     (Mdst.Compare.Streamed
-                       (Mixtree.Algorithm.MM, Mdst.Streaming.SRS)))));
+                       (Mixtree.Algorithm.MM, Mdst.Scheduler.srs)))));
         Test.make ~name:"table3: one corpus ratio, all schemes"
           (Staged.stage (fun () ->
                ignore
@@ -1120,14 +1144,14 @@ let speed () =
         Test.make ~name:"fig7: MMS across mixer counts"
           (Staged.stage (fun () ->
                List.iter
-                 (fun mixers -> ignore (Mdst.Mms.schedule ~plan:plan20 ~mixers))
+                 (fun mixers -> ignore (Mdst.Scheduler.schedule Mdst.Scheduler.mms ~plan:plan20 ~mixers))
                  [ 1; 3; 5; 7; 9; 11; 13; 15 ]));
         Test.make ~name:"table4: streaming run q'=3 D=32"
           (Staged.stage (fun () ->
                ignore
                  (Mdst.Streaming.run ~algorithm:Mixtree.Algorithm.MM
                     ~ratio:pcr16 ~demand:32 ~mixers:3 ~storage_limit:3
-                    ~scheduler:Mdst.Streaming.SRS)));
+                    ~scheduler:Mdst.Scheduler.srs ())));
         Test.make ~name:"simulator: PCR D=20 full run"
           (Staged.stage (fun () ->
                ignore
@@ -1158,6 +1182,57 @@ let speed () =
        ~rows:(List.sort compare !rows))
 
 (* ------------------------------------------------------------------ *)
+(* Scheduler core: every registered policy, with instrumentation hooks *)
+
+let instrument () =
+  section "Scheduler core: registered policies under instrumentation";
+  let plans =
+    [
+      ( "pcr16 D=20 Mc=3", 3,
+        Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr16
+          ~demand:20 );
+      ( "pcr d=6 D=64 Mc=4", 4,
+        Mdst.Forest.build ~algorithm:Mixtree.Algorithm.MM
+          ~ratio:(Bioproto.Protocols.pcr ~d:6) ~demand:64 );
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (plan_name, mixers, plan) ->
+        List.map
+          (fun s ->
+            let hooks, counters = Mdst.Instr.collector ~mixers in
+            let schedule =
+              Mdst.Scheduler.schedule ~instr:hooks s ~plan ~mixers
+            in
+            let c = counters () in
+            scheduler_core_results :=
+              (Mdst.Scheduler.name s, plan_name, c)
+              :: !scheduler_core_results;
+            [
+              plan_name;
+              Mdst.Scheduler.name s;
+              i2s (Mdst.Schedule.completion_time schedule);
+              i2s (Mdst.Storage.units ~plan schedule);
+              i2s c.Mdst.Instr.fired;
+              i2s c.Mdst.Instr.stores;
+              i2s c.Mdst.Instr.peak_ready;
+              Printf.sprintf "%.2f" c.Mdst.Instr.avg_storage;
+              Printf.sprintf "%.2f" c.Mdst.Instr.mixer_occupancy;
+            ])
+          (Mdst.Scheduler.all ()))
+      plans
+  in
+  print_string
+    (Mdst.Report.table
+       ~header:
+         [
+           "plan"; "policy"; "Tc"; "q"; "fired"; "stores"; "peak rdy";
+           "avg q"; "occupancy";
+         ]
+       ~rows)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1166,7 +1241,8 @@ let experiments =
     ("ablation", ablation); ("dilution", dilution); ("robust", robust);
     ("assay", assay); ("pins", pins); ("routing", routing);
     ("recovery", recovery); ("wash", wash); ("pareto", pareto);
-    ("scaling", scaling); ("service", service); ("speed", speed);
+    ("scaling", scaling); ("instrument", instrument); ("service", service);
+    ("speed", speed);
   ]
 
 (* Tee fd 1 into [path]: everything the experiments print reaches both

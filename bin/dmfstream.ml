@@ -1,8 +1,8 @@
 (* dmfstream — command-line front end of the MDST droplet-streaming engine.
 
-   Subcommands: plan, schedule, compare, stream, layout, simulate,
-   dilute, robust, wear, multi, assay, pins, export, recover,
-   protocols.
+   Subcommands: plan, schedule, algorithms, compare, stream, layout,
+   simulate, dilute, robust, wear, multi, assay, pins, export, recover,
+   protocols, client.
    Run [dmfstream --help] for details. *)
 
 open Cmdliner
@@ -63,17 +63,27 @@ let algorithm_arg =
     & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
 
 let scheduler_conv =
-  let print ppf s =
-    Format.pp_print_string ppf (Mdst.Streaming.scheduler_name s)
-  in
-  Arg.conv ((fun s -> msg (Service.Validate.scheduler s)), print)
+  Arg.conv ((fun s -> msg (Service.Validate.scheduler s)), Mdst.Scheduler.pp)
 
 let scheduler_arg =
-  let doc = "Forest scheduler: MMS (fastest) or SRS (storage-reduced)." in
+  let doc =
+    "Forest scheduler, looked up in the registry (run the algorithms \
+     subcommand for the full list): MMS (fastest), SRS (storage-reduced), \
+     OMS (critical-path baseline)."
+  in
   Arg.(
     value
-    & opt scheduler_conv Mdst.Streaming.SRS
+    & opt scheduler_conv Mdst.Scheduler.srs
     & info [ "s"; "scheduler" ] ~docv:"SCHED" ~doc)
+
+let instrument_arg =
+  Arg.(
+    value & flag
+    & info [ "instrument" ]
+        ~doc:
+          "Print the scheduler-core counters (cycles, fired nodes, \
+           store/evict traffic, peak/average storage, ready-set high-water, \
+           mixer occupancy) gathered through the instrumentation hooks.")
 
 let mixers_arg =
   let doc = "On-chip mixers (default: Mlb of the MM tree)." in
@@ -119,10 +129,22 @@ let plan_cmd =
 (* schedule                                                            *)
 
 let schedule_cmd =
-  let run ratio demand algorithm scheduler mixers gantt =
+  let run ratio demand algorithm scheduler mixers gantt instrument =
     protect @@ fun () ->
+    let spec = spec_of ratio demand algorithm scheduler mixers in
     let result =
-      Mdst.Engine.prepare (spec_of ratio demand algorithm scheduler mixers)
+      if instrument then begin
+        let mc =
+          match mixers with
+          | Some m -> m
+          | None -> Mdst.Engine.default_mixers ratio
+        in
+        let hooks, counters = Mdst.Instr.collector ~mixers:mc in
+        let result = Mdst.Engine.prepare ~instr:hooks spec in
+        Format.printf "%a@." Mdst.Instr.pp_counters (counters ());
+        result
+      end
+      else Mdst.Engine.prepare spec
     in
     Format.printf "%a@." Mdst.Metrics.pp result.Mdst.Engine.metrics;
     if gantt then
@@ -136,11 +158,37 @@ let schedule_cmd =
   let term =
     Term.(
       const run $ ratio_arg $ demand_arg $ algorithm_arg $ scheduler_arg
-      $ mixers_arg $ gantt)
+      $ mixers_arg $ gantt $ instrument_arg)
   in
   Cmd.v
     (Cmd.info "schedule" ~doc:"Schedule a mixing forest on Mc mixers")
     term
+
+(* ------------------------------------------------------------------ *)
+(* algorithms                                                          *)
+
+let algorithms_cmd =
+  let run () =
+    protect @@ fun () ->
+    print_string "Base mixing algorithms (-a):\n";
+    print_string
+      (Mdst.Report.table ~header:[ "name" ]
+         ~rows:
+           (List.map
+              (fun a -> [ Mixtree.Algorithm.name a ])
+              Mixtree.Algorithm.all));
+    print_string "\nForest schedulers (-s), from the registry:\n";
+    print_string
+      (Mdst.Report.table ~header:[ "name"; "description" ]
+         ~rows:
+           (List.map
+              (fun s -> [ Mdst.Scheduler.name s; Mdst.Scheduler.describe s ])
+              (Mdst.Scheduler.all ())))
+  in
+  Cmd.v
+    (Cmd.info "algorithms"
+       ~doc:"List the base mixing algorithms and the registered schedulers")
+    Term.(const run $ const ())
 
 (* ------------------------------------------------------------------ *)
 (* compare                                                             *)
@@ -181,17 +229,26 @@ let compare_cmd =
 (* stream                                                              *)
 
 let stream_cmd =
-  let run ratio demand algorithm scheduler mixers storage =
+  let run ratio demand algorithm scheduler mixers storage instrument =
     protect @@ fun () ->
     let mixers =
       match mixers with
       | Some m -> m
       | None -> Mdst.Engine.default_mixers ratio
     in
-    let result =
-      Mdst.Streaming.run ~algorithm ~ratio ~demand ~mixers
-        ~storage_limit:storage ~scheduler
+    let instr, counters =
+      if instrument then
+        let hooks, read = Mdst.Instr.collector ~mixers in
+        (Some hooks, Some read)
+      else (None, None)
     in
+    let result =
+      Mdst.Streaming.run ?instr ~algorithm ~ratio ~demand ~mixers
+        ~storage_limit:storage ~scheduler ()
+    in
+    (match counters with
+    | Some read -> Format.printf "%a@." Mdst.Instr.pp_counters (read ())
+    | None -> ());
     Format.printf
       "demand %d with <= %d storage units: %d pass(es) of up to %d droplets%s@."
       demand storage
@@ -219,7 +276,7 @@ let stream_cmd =
   let term =
     Term.(
       const run $ ratio_arg $ demand_arg $ algorithm_arg $ scheduler_arg
-      $ mixers_arg $ storage_arg)
+      $ mixers_arg $ storage_arg $ instrument_arg)
   in
   Cmd.v
     (Cmd.info "stream"
@@ -318,7 +375,7 @@ let simulate_cmd =
 (* dilute                                                              *)
 
 let dilute_cmd =
-  let run c d demand mixers use_twm =
+  let run c d demand scheduler mixers use_twm =
     protect @@ fun () ->
     let ratio = Mixtree.Dilution.ratio ~c ~d in
     let tree =
@@ -331,7 +388,7 @@ let dilute_cmd =
       | Some m -> m
       | None -> Mdst.Engine.default_mixers ratio
     in
-    let schedule = Mdst.Srs.schedule ~plan ~mixers in
+    let schedule = Mdst.Scheduler.schedule scheduler ~plan ~mixers in
     Format.printf "dilution target %d/%d via %s:@." c (Dmf.Binary.pow2 d)
       (if use_twm then "two-way mix" else "DMRW binary search");
     Format.printf "%a@." Mdst.Plan.pp_summary plan;
@@ -348,7 +405,9 @@ let dilute_cmd =
     Arg.(value & flag & info [ "twm" ] ~doc:"Use the bit-scan tree instead of DMRW.")
   in
   let term =
-    Term.(const run $ c_arg $ d_arg $ demand_arg $ mixers_arg $ twm_flag)
+    Term.(
+      const run $ c_arg $ d_arg $ demand_arg $ scheduler_arg $ mixers_arg
+      $ twm_flag)
   in
   Cmd.v
     (Cmd.info "dilute"
@@ -398,11 +457,9 @@ let robust_cmd =
 (* wear                                                                *)
 
 let wear_cmd =
-  let run ratio demand mixers =
+  let run ratio demand scheduler mixers =
     protect @@ fun () ->
-    let spec =
-      spec_of ratio demand Mixtree.Algorithm.MM Mdst.Streaming.SRS mixers
-    in
+    let spec = spec_of ratio demand Mixtree.Algorithm.MM scheduler mixers in
     let result = Mdst.Engine.prepare spec in
     let needed =
       Mdst.Storage.units ~plan:result.Mdst.Engine.plan
@@ -422,7 +479,9 @@ let wear_cmd =
       exit 1
     | Ok wear -> print_string (Sim.Wear.render wear)
   in
-  let term = Term.(const run $ ratio_arg $ demand_arg $ mixers_arg) in
+  let term =
+    Term.(const run $ ratio_arg $ demand_arg $ scheduler_arg $ mixers_arg)
+  in
   Cmd.v
     (Cmd.info "wear"
        ~doc:"Per-electrode actuation heatmap of a simulated run")
@@ -432,7 +491,7 @@ let wear_cmd =
 (* multi                                                               *)
 
 let multi_cmd =
-  let run specs algorithm mixers =
+  let run specs algorithm scheduler mixers =
     protect @@ fun () ->
     let parse spec =
       match String.split_on_char '@' spec with
@@ -453,7 +512,7 @@ let multi_cmd =
       | Some m -> m
       | None -> Mdst.Engine.default_mixers (fst (List.hd requests))
     in
-    let schedule = Mdst.Srs.schedule ~plan ~mixers in
+    let schedule = Mdst.Scheduler.schedule scheduler ~plan ~mixers in
     Format.printf "%a@." Mdst.Plan.pp_summary plan;
     Format.printf "Tc=%d q=%d@."
       (Mdst.Schedule.completion_time schedule)
@@ -473,7 +532,9 @@ let multi_cmd =
       & info [] ~docv:"RATIO@DEMAND"
           ~doc:"Targets, e.g. 3:3:2@8 3:3:10@8 (same number of fluids each).")
   in
-  let term = Term.(const run $ specs_arg $ algorithm_arg $ mixers_arg) in
+  let term =
+    Term.(const run $ specs_arg $ algorithm_arg $ scheduler_arg $ mixers_arg)
+  in
   Cmd.v
     (Cmd.info "multi"
        ~doc:"Prepare several target mixtures in one reagent-sharing forest")
@@ -483,7 +544,7 @@ let multi_cmd =
 (* assay                                                               *)
 
 let assay_cmd =
-  let run ratio mixers storage start interval count batches =
+  let run ratio scheduler mixers storage start interval count batches =
     protect @@ fun () ->
     let requests = Assay.Demand.periodic ~start ~interval ~count ~batches in
     let mixers =
@@ -493,7 +554,7 @@ let assay_cmd =
     in
     let p =
       Assay.Planner.plan ~algorithm:Mixtree.Algorithm.MM ~ratio ~mixers
-        ~storage_limit:storage ~scheduler:Mdst.Streaming.SRS ~requests
+        ~storage_limit:storage ~scheduler ~requests
     in
     Format.printf "%a@." Assay.Planner.pp p;
     Format.printf "pass starts: %s@."
@@ -520,8 +581,8 @@ let assay_cmd =
   in
   let term =
     Term.(
-      const run $ ratio_arg $ mixers_arg $ storage_arg $ start $ interval
-      $ count $ batches)
+      const run $ ratio_arg $ scheduler_arg $ mixers_arg $ storage_arg
+      $ start $ interval $ count $ batches)
   in
   Cmd.v
     (Cmd.info "assay"
@@ -532,11 +593,9 @@ let assay_cmd =
 (* pins                                                                *)
 
 let pins_cmd =
-  let run ratio demand mixers =
+  let run ratio demand scheduler mixers =
     protect @@ fun () ->
-    let spec =
-      spec_of ratio demand Mixtree.Algorithm.MM Mdst.Streaming.SRS mixers
-    in
+    let spec = spec_of ratio demand Mixtree.Algorithm.MM scheduler mixers in
     let result = Mdst.Engine.prepare spec in
     let needed =
       Mdst.Storage.units ~plan:result.Mdst.Engine.plan
@@ -567,7 +626,9 @@ let pins_cmd =
         (Chip.Pin_assign.pins assignment)
         (100. *. Chip.Pin_assign.saving assignment)
   in
-  let term = Term.(const run $ ratio_arg $ demand_arg $ mixers_arg) in
+  let term =
+    Term.(const run $ ratio_arg $ demand_arg $ scheduler_arg $ mixers_arg)
+  in
   Cmd.v
     (Cmd.info "pins"
        ~doc:"Broadcast pin assignment for a simulated run (after [10])")
@@ -788,8 +849,8 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            plan_cmd; schedule_cmd; compare_cmd; stream_cmd; layout_cmd;
-            simulate_cmd; dilute_cmd; robust_cmd; wear_cmd; multi_cmd;
-            assay_cmd; pins_cmd; export_cmd; recover_cmd; protocols_cmd;
-            client_cmd;
+            plan_cmd; schedule_cmd; algorithms_cmd; compare_cmd; stream_cmd;
+            layout_cmd; simulate_cmd; dilute_cmd; robust_cmd; wear_cmd;
+            multi_cmd; assay_cmd; pins_cmd; export_cmd; recover_cmd;
+            protocols_cmd; client_cmd;
           ]))

@@ -15,7 +15,7 @@ let run title requests =
   print_string (Mdst.Report.section title);
   let plan =
     Assay.Planner.plan ~algorithm:Mixtree.Algorithm.MM ~ratio ~mixers:3
-      ~storage_limit:5 ~scheduler:Mdst.Streaming.SRS ~requests
+      ~storage_limit:5 ~scheduler:Mdst.Scheduler.srs ~requests
   in
   Format.printf "%a@." Assay.Planner.pp plan;
   Format.printf "pass sizes: %s, starts: %s@."

@@ -54,7 +54,7 @@ let () =
     Mdst.Forest.of_tree ~ratio ~demand:16 ~sharing:true
       (Mixtree.Dilution.dmrw ~c:7 ~d)
   in
-  let schedule = Mdst.Srs.schedule ~plan ~mixers:2 in
+  let schedule = Mdst.Scheduler.schedule Mdst.Scheduler.srs ~plan ~mixers:2 in
   print_string (Mdst.Gantt.render ~plan schedule);
 
   section "A serial dilution series as one multi-target forest";
@@ -79,5 +79,5 @@ let () =
     (Mdst.Plan.input_total combined)
     separate;
   (* The series shares beautifully: 1/4 is one mix away from 1/2, etc. *)
-  let schedule = Mdst.Srs.schedule ~plan:combined ~mixers:2 in
+  let schedule = Mdst.Scheduler.schedule Mdst.Scheduler.srs ~plan:combined ~mixers:2 in
   print_string (Mdst.Gantt.render ~plan:combined schedule)

@@ -17,7 +17,7 @@ let section title = print_string (Mdst.Report.section title)
 let () =
   section "Nominal run: 20 droplets, 3 mixers, SRS";
   let plan = Mdst.Forest.build ~algorithm ~ratio ~demand:20 in
-  let schedule = Mdst.Srs.schedule ~plan ~mixers:3 in
+  let schedule = Mdst.Scheduler.schedule Mdst.Scheduler.srs ~plan ~mixers:3 in
   Format.printf "%a@." Mdst.Plan.pp_summary plan;
 
   section "Failure: the split of node m3,2 does not separate (cycle 3)";
@@ -51,7 +51,7 @@ let () =
     Format.printf "restart:  %a@." Mdst.Plan.pp_summary fresh;
     Format.printf "salvaging saves %d input droplet(s)@."
       (Mdst.Recovery.reagent_saving recovery);
-    let rec_schedule = Mdst.Srs.schedule ~plan:rec_plan ~mixers:3 in
+    let rec_schedule = Mdst.Scheduler.schedule Mdst.Scheduler.srs ~plan:rec_plan ~mixers:3 in
     print_string (Mdst.Gantt.render ~plan:rec_plan rec_schedule);
     section "Robustness of the recovery run";
     let report = Mdst.Split_error.analyze ~plan:rec_plan ~epsilon:0.05 in

@@ -35,7 +35,7 @@ let () =
   Format.printf "(paper: |F|=10, Tms=27, W=5, I=25, I[]=[3,2,2,2,2,2,12])@.";
 
   section "SRS schedule with three mixers (Figures 3-4)";
-  let schedule = Mdst.Srs.schedule ~plan:forest ~mixers:3 in
+  let schedule = Mdst.Scheduler.schedule Mdst.Scheduler.srs ~plan:forest ~mixers:3 in
   print_string (Mdst.Gantt.render ~plan:forest schedule);
   Format.printf "(paper: Tc = 11, q = 5)@.";
 
@@ -62,7 +62,7 @@ let () =
     (* The repeated baseline runs one pass at a time; its actuation count
        is ceil(D/2) times that of a single pass. *)
     let pass = Mdst.Forest.repeated ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand:2 in
-    let pass_schedule = Mdst.Mms.schedule ~plan:pass ~mixers:3 in
+    let pass_schedule = Mdst.Scheduler.schedule Mdst.Scheduler.mms ~plan:pass ~mixers:3 in
     (match Chip.Actuation.account ~layout ~plan:pass ~schedule:pass_schedule with
     | Error e -> Format.printf "accounting failed: %s@." e
     | Ok one_pass ->

@@ -16,7 +16,7 @@ let () =
         Mdst.Engine.ratio;
         demand = 12;
         algorithm = Mixtree.Algorithm.MM;
-        scheduler = Mdst.Streaming.SRS;
+        scheduler = Mdst.Scheduler.srs;
         mixers = None;
       }
   in
@@ -37,7 +37,7 @@ let () =
         Mdst.Engine.ratio;
         demand = 12;
         algorithm = Mixtree.Algorithm.MM;
-        scheduler = Mdst.Streaming.SRS;
+        scheduler = Mdst.Scheduler.srs;
         mixers = None;
       }
   in

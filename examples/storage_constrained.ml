@@ -23,7 +23,7 @@ let () =
             let r =
               Mdst.Streaming.run ~algorithm:Mixtree.Algorithm.MM ~ratio
                 ~demand:32 ~mixers:3 ~storage_limit
-                ~scheduler:Mdst.Streaming.SRS
+                ~scheduler:Mdst.Scheduler.srs ()
             in
             [
               string_of_int storage_limit;
@@ -45,7 +45,7 @@ let () =
   Format.printf "@.detailed run: d=4, q'=3, demand 32@.";
   let r =
     Mdst.Streaming.run ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand:32
-      ~mixers:3 ~storage_limit:3 ~scheduler:Mdst.Streaming.SRS
+      ~mixers:3 ~storage_limit:3 ~scheduler:Mdst.Scheduler.srs ()
   in
   List.iteri
     (fun i pass ->

@@ -131,10 +131,10 @@ let plan ~algorithm ~ratio ~mixers ~storage_limit ~scheduler ~requests =
       match pass_size with
       | None ->
         Mdst.Streaming.run ~algorithm ~ratio ~demand ~mixers ~storage_limit
-          ~scheduler
+          ~scheduler ()
       | Some pass_size ->
         Mdst.Streaming.run_fixed ~pass_size ~algorithm ~ratio ~demand ~mixers
-          ~storage_limit ~scheduler
+          ~storage_limit ~scheduler ()
     in
     plan_with ~streaming ~deadlines
   in

@@ -32,7 +32,7 @@ val plan :
   ratio:Dmf.Ratio.t ->
   mixers:int ->
   storage_limit:int ->
-  scheduler:Mdst.Streaming.scheduler ->
+  scheduler:Mdst.Scheduler.t ->
   requests:Demand.request list ->
   t
 (** [plan] builds, schedules and places the passes for the profile.

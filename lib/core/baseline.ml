@@ -2,7 +2,7 @@ let name algorithm = "R" ^ Mixtree.Algorithm.name algorithm
 
 let pass_metrics ~algorithm ~ratio ~mixers =
   let plan = Forest.repeated ~algorithm ~ratio ~demand:2 in
-  let s = Oms.schedule ~plan ~mixers in
+  let s = Scheduler.schedule Scheduler.oms ~plan ~mixers in
   Metrics.of_schedule ~scheme:(name algorithm) ~plan s
 
 let metrics ~algorithm ~ratio ~demand ~mixers =

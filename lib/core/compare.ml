@@ -1,6 +1,6 @@
 type scheme =
   | Repeated of Mixtree.Algorithm.t
-  | Streamed of Mixtree.Algorithm.t * Streaming.scheduler
+  | Streamed of Mixtree.Algorithm.t * Scheduler.t
 
 let scheme_name = function
   | Repeated algorithm -> Baseline.name algorithm
@@ -10,14 +10,14 @@ let table2_schemes =
   let open Mixtree.Algorithm in
   [
     Repeated MM;
-    Streamed (MM, Streaming.MMS);
-    Streamed (MM, Streaming.SRS);
+    Streamed (MM, Scheduler.mms);
+    Streamed (MM, Scheduler.srs);
     Repeated RMA;
-    Streamed (RMA, Streaming.MMS);
-    Streamed (RMA, Streaming.SRS);
+    Streamed (RMA, Scheduler.mms);
+    Streamed (RMA, Scheduler.srs);
     Repeated MTCS;
-    Streamed (MTCS, Streaming.MMS);
-    Streamed (MTCS, Streaming.SRS);
+    Streamed (MTCS, Scheduler.mms);
+    Streamed (MTCS, Scheduler.srs);
   ]
 
 let evaluate ?mixers ~ratio ~demand scheme =
@@ -60,10 +60,10 @@ let average_improvements ?mixers ~ratios ~demand algorithm =
       (fun ratio ->
         let repeated = evaluate ?mixers ~ratio ~demand (Repeated algorithm) in
         let mms =
-          evaluate ?mixers ~ratio ~demand (Streamed (algorithm, Streaming.MMS))
+          evaluate ?mixers ~ratio ~demand (Streamed (algorithm, Scheduler.mms))
         in
         let srs =
-          evaluate ?mixers ~ratio ~demand (Streamed (algorithm, Streaming.SRS))
+          evaluate ?mixers ~ratio ~demand (Streamed (algorithm, Scheduler.srs))
         in
         (repeated, mms, srs))
       ratios

@@ -7,7 +7,7 @@
 
 type scheme =
   | Repeated of Mixtree.Algorithm.t
-  | Streamed of Mixtree.Algorithm.t * Streaming.scheduler
+  | Streamed of Mixtree.Algorithm.t * Scheduler.t
 
 val scheme_name : scheme -> string
 

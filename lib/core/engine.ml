@@ -2,7 +2,7 @@ type spec = {
   ratio : Dmf.Ratio.t;
   demand : int;
   algorithm : Mixtree.Algorithm.t;
-  scheduler : Streaming.scheduler;
+  scheduler : Scheduler.t;
   mixers : int option;
 }
 
@@ -39,7 +39,7 @@ let default_mixers ratio =
     m
 
 let scheme_name algorithm scheduler =
-  Mixtree.Algorithm.name algorithm ^ "+" ^ Streaming.scheduler_name scheduler
+  Mixtree.Algorithm.name algorithm ^ "+" ^ Scheduler.name scheduler
 
 let resolve_mixers (spec : spec) =
   match spec.mixers with
@@ -48,13 +48,13 @@ let resolve_mixers (spec : spec) =
     m
   | None -> default_mixers spec.ratio
 
-let prepare spec =
+let prepare ?instr spec =
   let mixers = resolve_mixers spec in
   let plan =
     Forest.build ~algorithm:spec.algorithm ~ratio:spec.ratio
       ~demand:spec.demand
   in
-  let schedule = Streaming.run_scheduler spec.scheduler ~plan ~mixers in
+  let schedule = Scheduler.schedule ?instr spec.scheduler ~plan ~mixers in
   let metrics =
     Metrics.of_schedule
       ~scheme:(scheme_name spec.algorithm spec.scheduler)

@@ -11,7 +11,7 @@
       let result =
         Mdst.Engine.prepare
           { ratio; demand = 20; algorithm = Mixtree.Algorithm.MM;
-            scheduler = Mdst.Streaming.SRS; mixers = None }
+            scheduler = Mdst.Scheduler.srs; mixers = None }
       in
       print_string (Mdst.Gantt.render ~plan:result.plan result.schedule)
     ]} *)
@@ -20,7 +20,7 @@ type spec = {
   ratio : Dmf.Ratio.t;
   demand : int;
   algorithm : Mixtree.Algorithm.t;
-  scheduler : Streaming.scheduler;
+  scheduler : Scheduler.t;
   mixers : int option;
       (** [None] uses the paper's default: [Mlb] of the MM tree. *)
 }
@@ -37,12 +37,12 @@ val default_mixers : Dmf.Ratio.t -> int
 (** [Mlb] of the MM base tree — the minimum mixer count for the fastest
     completion of one MM pass, used throughout the paper's evaluation. *)
 
-val scheme_name :
-  Mixtree.Algorithm.t -> Streaming.scheduler -> string
+val scheme_name : Mixtree.Algorithm.t -> Scheduler.t -> string
 (** E.g. ["RMA+SRS"]. *)
 
-val prepare : spec -> result
-(** Build and schedule the mixing forest for [spec].
+val prepare : ?instr:Instr.t -> spec -> result
+(** Build and schedule the mixing forest for [spec]; [instr] hooks the
+    scheduling run (see {!Instr}).
     @raise Invalid_argument on inconsistent parameters. *)
 
 val baseline_metrics : spec -> Metrics.t

@@ -1,0 +1,100 @@
+type t = {
+  on_cycle : cycle:int -> fired:int -> ready:int -> stored:int -> unit;
+  on_fire : cycle:int -> mixer:int -> node:Plan.node -> unit;
+  on_store : cycle:int -> source:Plan.source -> unit;
+  on_evict : cycle:int -> source:Plan.source -> unit;
+}
+
+let none =
+  {
+    on_cycle = (fun ~cycle:_ ~fired:_ ~ready:_ ~stored:_ -> ());
+    on_fire = (fun ~cycle:_ ~mixer:_ ~node:_ -> ());
+    on_store = (fun ~cycle:_ ~source:_ -> ());
+    on_evict = (fun ~cycle:_ ~source:_ -> ());
+  }
+
+type counters = {
+  cycles : int;
+  fired : int;
+  stores : int;
+  evictions : int;
+  peak_storage : int;
+  avg_storage : float;
+  peak_ready : int;
+  mixer_occupancy : float;
+}
+
+type acc = {
+  mutable cycles : int;
+  mutable fired : int;
+  mutable stores : int;
+  mutable evictions : int;
+  mutable peak_storage : int;
+  mutable stored_sum : int;
+  mutable peak_ready : int;
+}
+
+let collector ~mixers =
+  if mixers < 1 then invalid_arg "Instr.collector: at least one mixer";
+  let a =
+    {
+      cycles = 0;
+      fired = 0;
+      stores = 0;
+      evictions = 0;
+      peak_storage = 0;
+      stored_sum = 0;
+      peak_ready = 0;
+    }
+  in
+  let hooks =
+    {
+      on_cycle =
+        (fun ~cycle:_ ~fired ~ready ~stored ->
+          a.cycles <- a.cycles + 1;
+          a.fired <- a.fired + fired;
+          a.stored_sum <- a.stored_sum + stored;
+          if stored > a.peak_storage then a.peak_storage <- stored;
+          if ready > a.peak_ready then a.peak_ready <- ready);
+      on_fire = (fun ~cycle:_ ~mixer:_ ~node:_ -> ());
+      on_store = (fun ~cycle:_ ~source:_ -> a.stores <- a.stores + 1);
+      on_evict = (fun ~cycle:_ ~source:_ -> a.evictions <- a.evictions + 1);
+    }
+  in
+  let read () =
+    let cycles = a.cycles in
+    {
+      cycles;
+      fired = a.fired;
+      stores = a.stores;
+      evictions = a.evictions;
+      peak_storage = a.peak_storage;
+      avg_storage =
+        (if cycles = 0 then 0.
+         else float_of_int a.stored_sum /. float_of_int cycles);
+      peak_ready = a.peak_ready;
+      mixer_occupancy =
+        (if cycles = 0 then 0.
+         else float_of_int a.fired /. float_of_int (mixers * cycles));
+    }
+  in
+  (hooks, read)
+
+let counters_to_fields (c : counters) =
+  [
+    ("cycles", float_of_int c.cycles);
+    ("fired", float_of_int c.fired);
+    ("stores", float_of_int c.stores);
+    ("evictions", float_of_int c.evictions);
+    ("peak_storage", float_of_int c.peak_storage);
+    ("avg_storage", c.avg_storage);
+    ("peak_ready", float_of_int c.peak_ready);
+    ("mixer_occupancy", c.mixer_occupancy);
+  ]
+
+let pp_counters ppf (c : counters) =
+  Format.fprintf ppf
+    "@[<v>cycles %d, fired %d, stores %d, evictions %d@ peak storage %d, avg \
+     storage %.2f, peak ready %d, mixer occupancy %.2f@]"
+    c.cycles c.fired c.stores c.evictions c.peak_storage c.avg_storage
+    c.peak_ready c.mixer_occupancy

@@ -1,0 +1,66 @@
+(** Instrumentation hooks of the scheduling core.
+
+    {!Sched_core.run} accepts an optional hook record and invokes it at
+    well-defined points of the event-driven main loop.  When no record
+    is passed, the engine skips all bookkeeping (no storage tracking, no
+    ready-set measurement) — instrumentation is strictly zero-cost when
+    absent, and a hooked run produces the exact same schedule as an
+    unhooked one.
+
+    Hook timing, for one time-cycle [t]:
+
+    + every node fired at [t] raises [on_fire];
+    + firing a node first raises [on_evict] for each of its stored
+      inputs (droplets of {!Plan.Output} or {!Plan.Reserve} sources),
+      then [on_store] for each of its output droplets that has a
+      consumer — even a droplet consumed on the very next cycle passes
+      through storage accounting as a zero-residency store/evict pair;
+    + after the last firing, [on_cycle] reports the cycle totals.
+
+    [on_cycle]'s [stored] is measured after the cycle's evictions and
+    before its productions — exactly the occupancy Algorithm 3 assigns
+    to cycle [t], so the high-water mark over a run equals
+    {!Storage.units}.  Reserve droplets are pre-seeded with [on_store]
+    at cycle 0 before the first cycle runs. *)
+
+type t = {
+  on_cycle : cycle:int -> fired:int -> ready:int -> stored:int -> unit;
+      (** End of a cycle: nodes fired this cycle, ready-set size after
+          admission (before firing), and storage occupancy per Alg. 3. *)
+  on_fire : cycle:int -> mixer:int -> node:Plan.node -> unit;
+      (** A node is assigned to a mixer at a cycle. *)
+  on_store : cycle:int -> source:Plan.source -> unit;
+      (** A consumer-bound droplet enters storage accounting.  [cycle]
+          is the production cycle (0 for pre-seeded reserves); the
+          droplet occupies storage from [cycle + 1]. *)
+  on_evict : cycle:int -> source:Plan.source -> unit;
+      (** A stored droplet is consumed at [cycle]. *)
+}
+
+val none : t
+(** All four hooks are no-ops. *)
+
+(** Per-schedule counters aggregated by {!collector}.  A collector fed
+    several runs (the passes of a streaming plan) accumulates: sums for
+    [cycles], [fired], [stores] and [evictions]; maxima for the peaks;
+    [avg_storage] and [mixer_occupancy] over all cycles seen. *)
+type counters = {
+  cycles : int;  (** Time-cycles run — the summed completion time. *)
+  fired : int;  (** Mix-split operations — the summed node count. *)
+  stores : int;  (** Droplets that entered storage accounting. *)
+  evictions : int;  (** Stored droplets consumed (unused reserves stay). *)
+  peak_storage : int;  (** High-water occupancy = [Storage.units]. *)
+  avg_storage : float;  (** Mean per-cycle occupancy. *)
+  peak_ready : int;  (** Ready-set high-water after admission. *)
+  mixer_occupancy : float;  (** [fired / (mixers * cycles)]. *)
+}
+
+val collector : mixers:int -> t * (unit -> counters)
+(** [collector ~mixers] is a hook record accumulating into a fresh set
+    of counters, and the function reading them out. *)
+
+val pp_counters : Format.formatter -> counters -> unit
+
+val counters_to_fields : counters -> (string * float) list
+(** Flat [(name, value)] pairs, in {!pp_counters} order — for JSON or
+    tabular encoders that should not depend on the record layout. *)

@@ -1,14 +1,13 @@
 (* Nodes are enqueued in (level, tree, bfs) order — "from level l upwards"
    — and dequeued first-in first-out, Mc per time-cycle.
 
-   Event-driven: a node enters the ready buffer exactly once, at the
-   moment its pending-predecessor count hits zero (or immediately, for
-   leaf-fed nodes), and the buffer is flushed into the FIFO queue at each
-   admission point, sorted by (level, tree, bfs).  Because that order is
-   total — (tree, bfs) identifies a node — each flushed batch is exactly
-   the batch the original per-cycle full-plan rescan admitted, so the
-   schedules are bit-identical to the {!Naive.mms} reference while the
-   whole run costs O(n log n) instead of O(n·Tc). *)
+   The main loop lives in {!Sched_core}; MMS is only the ready-set: a
+   FIFO queue whose admission batches are sorted by (level, tree, bfs).
+   Because that order is total — (tree, bfs) identifies a node — each
+   released batch is exactly the batch the original per-cycle full-plan
+   rescan admitted, so the schedules are bit-identical to the
+   {!Naive.mms} reference while the whole run costs O(n log n) instead
+   of O(n·Tc). *)
 let enqueue_order a b =
   let na = a.Plan.level and nb = b.Plan.level in
   match Int.compare na nb with
@@ -18,56 +17,19 @@ let enqueue_order a b =
     | c -> c)
   | c -> c
 
-let schedule ~plan ~mixers =
-  if mixers < 1 then invalid_arg "Mms.schedule: at least one mixer";
-  let n = Plan.n_nodes plan in
-  let cycles = Array.make n 0 in
-  let mixer_of = Array.make n 0 in
-  let pending = Array.init n (fun i -> Plan.pred_count plan i) in
-  (* Nodes whose pending count reached zero since the last admission. *)
-  let fresh = ref [] in
-  for i = n - 1 downto 0 do
-    if pending.(i) = 0 then fresh := Plan.node plan i :: !fresh
-  done;
-  let queue = Queue.create () in
-  let admit () =
-    match !fresh with
-    | [] -> ()
-    | batch ->
-      fresh := [];
-      List.iter
-        (fun node -> Queue.push node queue)
-        (List.sort enqueue_order batch)
-  in
-  let remaining = ref n in
-  let depth = Dmf.Ratio.accuracy (Plan.ratio plan) in
-  let run_cycle t =
-    let launched = ref 0 in
-    while !launched < mixers && not (Queue.is_empty queue) do
-      let node = Queue.pop queue in
-      incr launched;
-      cycles.(node.Plan.id) <- t;
-      mixer_of.(node.Plan.id) <- !launched;
-      decr remaining;
-      Plan.iter_successors plan node.Plan.id (fun c ->
-          pending.(c) <- pending.(c) - 1;
-          if pending.(c) = 0 then fresh := Plan.node plan c :: !fresh)
-    done
-  in
-  let t = ref 0 in
-  (* Phase 1: walk the levels of the forest, one time-cycle per level. *)
-  for _level = 1 to depth do
-    incr t;
-    admit ();
-    run_cycle !t
-  done;
-  (* Phase 2: drain the backlog, admitting newly schedulable nodes. *)
-  let guard = ref (Schedule.no_progress_bound ~nodes:n ~depth) in
-  while !remaining > 0 do
-    decr guard;
-    if !guard <= 0 then failwith "Mms.schedule: no progress (internal error)";
-    incr t;
-    admit ();
-    run_cycle !t
-  done;
-  Schedule.create ~plan ~mixers ~cycles ~mixer_of
+module Policy = struct
+  let name = "MMS"
+
+  type state = Plan.node Queue.t
+
+  let init ~plan:_ ~mixers:_ = Queue.create ()
+
+  let release queue batch =
+    List.iter (fun node -> Queue.push node queue) (List.sort enqueue_order batch)
+
+  let ready queue = Queue.length queue
+  let pick queue ~fired:_ = Queue.take_opt queue
+end
+
+let policy : Sched_core.policy = (module Policy)
+let schedule ~plan ~mixers = Sched_core.run policy ~plan ~mixers

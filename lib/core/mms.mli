@@ -8,6 +8,10 @@
     ordering makes MMS coincide with Hu's optimal schedule on a single
     mixing tree. *)
 
+val policy : Sched_core.policy
+(** MMS as a ready-set policy over the shared {!Sched_core} engine: a
+    FIFO queue with admission batches sorted by (level, tree, bfs). *)
+
 val schedule : plan:Plan.t -> mixers:int -> Schedule.t
 (** [schedule ~plan ~mixers] runs MMS.  @raise Invalid_argument if
     [mixers < 1]. *)

@@ -1,8 +1,8 @@
 (* The original O(n·T) schedulers, retained verbatim as the differential
-   reference for the event-driven rewrites in {!Mms} and {!Srs}: both
-   rescan the whole plan once per time-cycle to find newly schedulable
-   nodes.  Kept out of the hot paths; used by the property tests and the
-   speed benchmark only. *)
+   reference for the event-driven rewrites — the {!Mms}, {!Srs} and
+   {!Oms} policies over {!Sched_core}: all three rescan the whole plan
+   once per time-cycle to find newly schedulable nodes.  Kept out of the
+   hot paths; used by the property tests and the speed benchmark only. *)
 
 let enqueue_order a b =
   let na = a.Plan.level and nb = b.Plan.level in
@@ -145,5 +145,52 @@ let srs ~plan ~mixers =
     in
     take_from qint (min mixers int_nodes);
     take_from qleaf (max 0 (mixers - int_nodes))
+  done;
+  Schedule.create ~plan ~mixers ~cycles ~mixer_of
+
+let oms_priority a b =
+  match Int.compare a.Plan.level b.Plan.level with
+  | 0 -> (
+    match Int.compare a.Plan.tree b.Plan.tree with
+    | 0 -> Int.compare a.Plan.bfs b.Plan.bfs
+    | c -> c)
+  | c -> c
+
+let oms ~plan ~mixers =
+  if mixers < 1 then invalid_arg "Naive.oms: at least one mixer";
+  let n = Plan.n_nodes plan in
+  let cycles = Array.make n 0 in
+  let mixer_of = Array.make n 0 in
+  let pending = Array.make n 0 in
+  List.iter
+    (fun node -> pending.(node.Plan.id) <- List.length (Plan.predecessors node))
+    (Plan.nodes plan);
+  let scheduled = Array.make n false in
+  let remaining = ref n in
+  let t = ref 0 in
+  while !remaining > 0 do
+    incr t;
+    let ready =
+      Plan.nodes plan
+      |> List.filter (fun node ->
+             (not scheduled.(node.Plan.id)) && pending.(node.Plan.id) = 0)
+      |> List.sort oms_priority
+    in
+    List.iteri
+      (fun i node ->
+        if i < mixers then begin
+          let id = node.Plan.id in
+          scheduled.(id) <- true;
+          cycles.(id) <- !t;
+          mixer_of.(id) <- i + 1;
+          decr remaining;
+          List.iter
+            (fun port ->
+              match Plan.consumer plan ~node:id ~port with
+              | Some c -> pending.(c) <- pending.(c) - 1
+              | None -> ())
+            [ 0; 1 ]
+        end)
+      ready
   done;
   Schedule.create ~plan ~mixers ~cycles ~mixer_of

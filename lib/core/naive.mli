@@ -1,10 +1,11 @@
 (** Per-cycle full-rescan reference schedulers.
 
-    These are the original O(n·T) implementations of MMS and SRS, kept as
-    the behavioural reference for the event-driven rewrites: {!Mms} and
-    {!Srs} must produce bit-identical schedules (same cycle and same
-    mixer for every node).  The differential property tests and the speed
-    benchmark compare against them; nothing else should. *)
+    These are the original O(n·T) implementations of MMS, SRS and OMS,
+    kept as the behavioural reference for the event-driven policies over
+    {!Sched_core}: {!Mms}, {!Srs} and {!Oms} must produce bit-identical
+    schedules (same cycle and same mixer for every node).  The
+    differential property tests and the speed benchmark compare against
+    them; nothing else should. *)
 
 val mms : plan:Plan.t -> mixers:int -> Schedule.t
 (** Reference MMS (Algorithm 1), rescanning the whole plan every cycle.
@@ -13,3 +14,7 @@ val mms : plan:Plan.t -> mixers:int -> Schedule.t
 val srs : plan:Plan.t -> mixers:int -> Schedule.t
 (** Reference SRS (Algorithm 2), rescanning the whole plan every cycle.
     @raise Invalid_argument if [mixers < 1]. *)
+
+val oms : plan:Plan.t -> mixers:int -> Schedule.t
+(** Reference OMS (critical-path list scheduling), rescanning the whole
+    plan every cycle.  @raise Invalid_argument if [mixers < 1]. *)

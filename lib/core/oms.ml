@@ -7,41 +7,31 @@ let priority a b =
     | c -> c)
   | c -> c
 
-let schedule ~plan ~mixers =
-  if mixers < 1 then invalid_arg "Oms.schedule: at least one mixer";
-  let n = Plan.n_nodes plan in
-  let cycles = Array.make n 0 in
-  let mixer_of = Array.make n 0 in
-  let pending = Array.make n 0 in
-  List.iter
-    (fun node -> pending.(node.Plan.id) <- List.length (Plan.predecessors node))
-    (Plan.nodes plan);
-  let scheduled = Array.make n false in
-  let remaining = ref n in
-  let t = ref 0 in
-  while !remaining > 0 do
-    incr t;
-    let ready =
-      Plan.nodes plan
-      |> List.filter (fun node ->
-             (not scheduled.(node.Plan.id)) && pending.(node.Plan.id) = 0)
-      |> List.sort priority
-    in
-    List.iteri
-      (fun i node ->
-        if i < mixers then begin
-          let id = node.Plan.id in
-          scheduled.(id) <- true;
-          cycles.(id) <- !t;
-          mixer_of.(id) <- i + 1;
-          decr remaining;
-          List.iter
-            (fun port ->
-              match Plan.consumer plan ~node:id ~port with
-              | Some c -> pending.(c) <- pending.(c) - 1
-              | None -> ())
-            [ 0; 1 ]
-        end)
-      ready
-  done;
-  Schedule.create ~plan ~mixers ~cycles ~mixer_of
+(* The main loop lives in {!Sched_core}; OMS is only the ready-set: one
+   pairing heap in critical-path order.  The order is total ((tree, bfs)
+   identifies a node), so popping the heap's minimum Mc times selects
+   the same prefix the original sorted per-cycle rescan selected, and
+   the schedules are bit-identical to the {!Naive.oms} reference at
+   O(n log n) instead of O(n·Tc). *)
+module Policy = struct
+  let name = "OMS"
+
+  type state = Plan.node Pqueue.t ref
+
+  let init ~plan:_ ~mixers:_ = ref (Pqueue.empty ~compare:priority)
+
+  let release st batch =
+    List.iter (fun node -> st := Pqueue.insert node !st) batch
+
+  let ready st = Pqueue.size !st
+
+  let pick st ~fired:_ =
+    match Pqueue.pop !st with
+    | Some (node, rest) ->
+      st := rest;
+      Some node
+    | None -> None
+end
+
+let policy : Sched_core.policy = (module Policy)
+let schedule ~plan ~mixers = Sched_core.run policy ~plan ~mixers

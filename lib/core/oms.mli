@@ -7,6 +7,10 @@
     repeated baselines.  On general forest plans it is a strong heuristic
     (the paper's MMS and SRS are the schedulers of record there). *)
 
+val policy : Sched_core.policy
+(** OMS as a ready-set policy over the shared {!Sched_core} engine: one
+    priority queue in critical-path (deepest level first) order. *)
+
 val schedule : plan:Plan.t -> mixers:int -> Schedule.t
 (** [schedule ~plan ~mixers] runs critical-path list scheduling.
     @raise Invalid_argument if [mixers < 1]. *)

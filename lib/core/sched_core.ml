@@ -1,0 +1,102 @@
+module type POLICY = sig
+  val name : string
+
+  type state
+
+  val init : plan:Plan.t -> mixers:int -> state
+  val release : state -> Plan.node list -> unit
+  val ready : state -> int
+  val pick : state -> fired:int -> Plan.node option
+end
+
+type policy = (module POLICY)
+
+(* The merged main loop subsumes MMS's two phases: every cycle with
+   remaining work fires at least one node (if the ready-set and the
+   fresh buffer were both empty with work remaining, the topologically
+   first unfired node would have all producers fired yet never have been
+   released — impossible), so the level-walk phase and the drain phase
+   of Algorithm 1 assign the same cycles as one guarded while-loop. *)
+let run ?instr (module P : POLICY) ~plan ~mixers =
+  if mixers < 1 then invalid_arg (P.name ^ ": at least one mixer");
+  let n = Plan.n_nodes plan in
+  let cycles = Array.make n 0 in
+  let mixer_of = Array.make n 0 in
+  let pending = Array.init n (fun i -> Plan.pred_count plan i) in
+  (* Nodes whose pending count reached zero since the last admission. *)
+  let fresh = ref [] in
+  for i = n - 1 downto 0 do
+    if pending.(i) = 0 then fresh := Plan.node plan i :: !fresh
+  done;
+  let state = P.init ~plan ~mixers in
+  let remaining = ref n in
+  let depth = Dmf.Ratio.accuracy (Plan.ratio plan) in
+  let guard = ref (Schedule.no_progress_bound ~nodes:n ~depth) in
+  let t = ref 0 in
+  (* Storage occupancy per Algorithm 3, maintained only when hooked. *)
+  let stored = ref 0 in
+  (match instr with
+  | None -> ()
+  | Some h ->
+    Array.iteri
+      (fun i _ ->
+        incr stored;
+        h.Instr.on_store ~cycle:0 ~source:(Plan.Reserve i))
+      (Plan.reserves plan));
+  while !remaining > 0 do
+    decr guard;
+    if !guard <= 0 then failwith (P.name ^ ": no progress (internal error)");
+    incr t;
+    (match !fresh with
+    | [] -> ()
+    | batch ->
+      fresh := [];
+      P.release state batch);
+    let ready = match instr with None -> 0 | Some _ -> P.ready state in
+    let fired = ref 0 in
+    let produced = ref 0 in
+    let exhausted = ref false in
+    while (not !exhausted) && !fired < mixers do
+      match P.pick state ~fired:!fired with
+      | None -> exhausted := true
+      | Some node ->
+        let id = node.Plan.id in
+        incr fired;
+        cycles.(id) <- !t;
+        mixer_of.(id) <- !fired;
+        decr remaining;
+        (match instr with
+        | None -> ()
+        | Some h ->
+          h.Instr.on_fire ~cycle:!t ~mixer:!fired ~node;
+          let evict source =
+            match source with
+            | Plan.Input _ -> ()
+            | Plan.Output _ | Plan.Reserve _ ->
+              decr stored;
+              h.Instr.on_evict ~cycle:!t ~source
+          in
+          evict node.Plan.left;
+          evict node.Plan.right;
+          List.iter
+            (fun port ->
+              match Plan.consumer plan ~node:id ~port with
+              | None -> ()
+              | Some _ ->
+                incr produced;
+                h.Instr.on_store ~cycle:!t
+                  ~source:(Plan.Output { node = id; port }))
+            [ 0; 1 ]);
+        Plan.iter_successors plan id (fun c ->
+            pending.(c) <- pending.(c) - 1;
+            if pending.(c) = 0 then fresh := Plan.node plan c :: !fresh)
+    done;
+    match instr with
+    | None -> ()
+    | Some h ->
+      (* Occupancy of cycle t: after its evictions, before adding its
+         productions — droplets enter storage from the next cycle. *)
+      h.Instr.on_cycle ~cycle:!t ~fired:!fired ~ready ~stored:!stored;
+      stored := !stored + !produced
+  done;
+  Schedule.create ~plan ~mixers ~cycles ~mixer_of

@@ -1,0 +1,54 @@
+(** The event-driven scheduling engine behind every forest scheduler.
+
+    MMS (Algorithm 1), SRS (Algorithm 2) and OMS (Hu's critical-path
+    rule) differ only in {e which ready node fires next}; everything
+    else — ready-set maintenance through the plan's successor index,
+    pending-count decrement, fresh-droplet buffering (a droplet produced
+    at cycle [t] is consumable from [t + 1]), the shared
+    {!Schedule.no_progress_bound} guard and the Algorithm 3 storage
+    accounting of the instrumentation hooks — lives here, once.
+
+    A scheduler is a {!POLICY}: a mutable ready-set keyed by the order
+    the policy imposes.  The engine calls [release] with each batch of
+    newly schedulable nodes at the cycle's admission point and then
+    [pick]s up to [Mc] nodes; nodes whose last predecessor fires during
+    the cycle are buffered and released at the next admission point, so
+    every policy sees exactly the candidate sets a per-cycle full-plan
+    rescan would see.  Because the paper's priority orders are all total
+    — [(tree, bfs)] identifies a node — the engine reproduces the
+    original per-cycle-rescan schedules bit for bit (the differential
+    tests against {!Naive} check this). *)
+
+module type POLICY = sig
+  val name : string
+  (** Registry name, e.g. ["MMS"]; also used in error messages. *)
+
+  type state
+  (** The mutable ready-set. *)
+
+  val init : plan:Plan.t -> mixers:int -> state
+
+  val release : state -> Plan.node list -> unit
+  (** Admit a non-empty batch of newly schedulable nodes.  Batch order
+      is unspecified; the policy imposes its own total order. *)
+
+  val ready : state -> int
+  (** Number of admitted, not yet fired nodes.  Only called when the
+      run is instrumented. *)
+
+  val pick : state -> fired:int -> Plan.node option
+  (** Next node to fire this cycle, given that [fired] nodes already
+      fired in it ([fired = 0] marks the start of a cycle — SRS
+      snapshots its per-cycle queue quotas there).  [None] ends the
+      cycle early. *)
+end
+
+type policy = (module POLICY)
+
+val run : ?instr:Instr.t -> policy -> plan:Plan.t -> mixers:int -> Schedule.t
+(** [run policy ~plan ~mixers] schedules the whole plan.  With [instr],
+    the hooks of {!Instr} fire as documented there; without it no
+    instrumentation bookkeeping happens at all.  @raise Invalid_argument
+    if [mixers < 1]; @raise Failure on a no-progress loop (corrupt
+    pending counts — an internal error, never a property of a valid
+    plan). *)

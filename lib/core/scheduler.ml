@@ -1,0 +1,79 @@
+(* Handles are records of strings so that specs containing a scheduler
+   stay structurally comparable; the policy (a first-class module, which
+   polymorphic compare would choke on) lives in the registry table and
+   is looked up by name at dispatch time. *)
+type t = { name : string; describe : string }
+
+let table : (string, t * Sched_core.policy) Hashtbl.t = Hashtbl.create 8
+let order : t list ref = ref []
+let lock = Mutex.create ()
+
+let register ~name ~describe policy =
+  if String.trim name = "" then
+    invalid_arg "Scheduler.register: scheduler name cannot be empty";
+  let key = String.uppercase_ascii name in
+  let handle = { name; describe } in
+  Mutex.lock lock;
+  let duplicate = Hashtbl.mem table key in
+  if not duplicate then begin
+    Hashtbl.replace table key (handle, policy);
+    order := !order @ [ handle ]
+  end;
+  Mutex.unlock lock;
+  if duplicate then
+    invalid_arg ("Scheduler.register: duplicate scheduler name " ^ name);
+  handle
+
+let mms =
+  register ~name:"MMS"
+    ~describe:
+      "M_Mixers_Schedule (Alg. 1): level-wise FIFO list scheduling, fastest \
+       completion"
+    Mms.policy
+
+let srs =
+  register ~name:"SRS"
+    ~describe:
+      "Storage_Reduced_Scheduling (Alg. 2): two priority queues, fewer \
+       on-chip storage units"
+    Srs.policy
+
+let oms =
+  register ~name:"OMS"
+    ~describe:
+      "critical-path (Hu) list scheduling: optimal on a single mixing tree; \
+       the repeated-baseline scheduler"
+    Oms.policy
+
+let all () =
+  Mutex.lock lock;
+  let entries = !order in
+  Mutex.unlock lock;
+  entries
+
+let name t = t.name
+let describe t = t.describe
+let to_string t = t.name
+let pp ppf t = Format.pp_print_string ppf t.name
+
+let of_string s =
+  let key = String.uppercase_ascii (String.trim s) in
+  Mutex.lock lock;
+  let found = Hashtbl.find_opt table key in
+  Mutex.unlock lock;
+  match found with
+  | Some (handle, _) -> Ok handle
+  | None ->
+    let known = String.concat ", " (List.map (fun t -> t.name) (all ())) in
+    Error (Printf.sprintf "unknown scheduler %s (%s)" s known)
+
+let policy t =
+  Mutex.lock lock;
+  let found = Hashtbl.find_opt table (String.uppercase_ascii t.name) in
+  Mutex.unlock lock;
+  match found with
+  | Some (_, policy) -> policy
+  | None -> invalid_arg ("Scheduler: unregistered scheduler " ^ t.name)
+
+let schedule ?instr t ~plan ~mixers =
+  Sched_core.run ?instr (policy t) ~plan ~mixers

@@ -1,0 +1,57 @@
+(** The forest-scheduler registry — the one dispatch point.
+
+    Every layer that picks a scheduler by value or by name — the
+    streaming engine, the comparison tables, the assay planner, the
+    service daemon, the CLI and the benchmarks — goes through this
+    module.  A handle {!t} is a plain value (safe to store in specs,
+    compare structurally and print); the policy it names is looked up in
+    the registry at dispatch time.  Adding a scheduler is one
+    {!register} call: the CLI flag, the daemon's [scheduler] JSON field,
+    [dmfstream algorithms] and the registry equivalence tests all pick
+    it up from here.
+
+    The built-in entries are the paper's {!Mms} and {!Srs} plus the
+    {!Oms} baseline scheduler. *)
+
+type t
+(** A registered scheduler.  Handles are ordinary immutable values:
+    structural equality and polymorphic comparison are safe. *)
+
+val mms : t
+(** M_Mixers_Schedule, Algorithm 1. *)
+
+val srs : t
+(** Storage_Reduced_Scheduling, Algorithm 2. *)
+
+val oms : t
+(** Critical-path (Hu) list scheduling. *)
+
+val name : t -> string
+(** Canonical registry name, e.g. ["SRS"]. *)
+
+val describe : t -> string
+(** One-line description, shown by [dmfstream algorithms]. *)
+
+val all : unit -> t list
+(** Every registered scheduler, in registration order (built-ins
+    first). *)
+
+val register : name:string -> describe:string -> Sched_core.policy -> t
+(** [register ~name ~describe policy] adds a scheduler to the registry
+    and returns its handle.  Names are matched case-insensitively by
+    {!of_string}.  @raise Invalid_argument on an empty or duplicate
+    name. *)
+
+val of_string : string -> (t, string) result
+(** Case-insensitive lookup by name.  The error is the one-line
+    rejection message shared by the daemon's JSON validation and the
+    CLI argument parser, listing the registered names. *)
+
+val to_string : t -> string
+(** Same as {!name}; [of_string (to_string t) = Ok t]. *)
+
+val schedule : ?instr:Instr.t -> t -> plan:Plan.t -> mixers:int -> Schedule.t
+(** Dispatch to the handle's policy via {!Sched_core.run}.
+    @raise Invalid_argument if [mixers < 1]. *)
+
+val pp : Format.formatter -> t -> unit

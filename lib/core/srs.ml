@@ -18,72 +18,67 @@ let leaf_priority a b =
     | c -> c)
   | c -> c
 
-(* Event-driven: a node is inserted into Qint/Qleaf exactly once, when its
-   pending-predecessor count hits zero.  Droplets produced at cycle t are
-   consumable from t+1, so readiness discovered while launching cycle t is
-   buffered and flushed at the next cycle's admission point — exactly the
-   set the original per-cycle full-plan rescan admitted.  Both priority
-   orders are total ((tree, bfs) identifies a node), so the pairing heap
-   pops the same unique minimum whatever the insertion order, and the
-   schedules are bit-identical to the {!Naive.srs} reference at O(n log n)
-   instead of O(n·Tc). *)
-let schedule ~plan ~mixers =
-  if mixers < 1 then invalid_arg "Srs.schedule: at least one mixer";
-  let n = Plan.n_nodes plan in
-  let cycles = Array.make n 0 in
-  let mixer_of = Array.make n 0 in
-  let pending = Array.init n (fun i -> Plan.pred_count plan i) in
-  let qint = ref (Pqueue.empty ~compare:int_priority) in
-  let qleaf = ref (Pqueue.empty ~compare:leaf_priority) in
-  (* Nodes whose pending count reached zero since the last admission. *)
-  let fresh = ref [] in
-  for i = n - 1 downto 0 do
-    if pending.(i) = 0 then fresh := i :: !fresh
-  done;
-  let admit () =
+(* The main loop lives in {!Sched_core}; SRS is only the ready-set: two
+   pairing heaps and the per-cycle quota of Algorithm 2 — up to Mc nodes
+   from Qint first, then Qleaf fills the rest, with the Qleaf quota
+   based on |Qint| before dequeuing.  The quotas are snapshot when the
+   engine asks for the cycle's first node.  Both priority orders are
+   total ((tree, bfs) identifies a node), so the heaps pop the same
+   unique minimum whatever the insertion order, and the schedules are
+   bit-identical to the {!Naive.srs} reference at O(n log n) instead of
+   O(n·Tc). *)
+module Policy = struct
+  let name = "SRS"
+
+  type state = {
+    mutable qint : Plan.node Pqueue.t;
+    mutable qleaf : Plan.node Pqueue.t;
+    mutable quota_int : int;
+    mutable quota_leaf : int;
+    plan : Plan.t;
+    mixers : int;
+  }
+
+  let init ~plan ~mixers =
+    {
+      qint = Pqueue.empty ~compare:int_priority;
+      qleaf = Pqueue.empty ~compare:leaf_priority;
+      quota_int = 0;
+      quota_leaf = 0;
+      plan;
+      mixers;
+    }
+
+  let release st batch =
     List.iter
-      (fun id ->
-        let node = Plan.node plan id in
-        match Plan.child_kind plan node with
-        | `Both_leaves -> qleaf := Pqueue.insert node !qleaf
-        | `Both_internal | `One_internal -> qint := Pqueue.insert node !qint)
-      !fresh;
-    fresh := []
-  in
-  let remaining = ref n in
-  let t = ref 0 in
-  let launch t node slot =
-    cycles.(node.Plan.id) <- t;
-    mixer_of.(node.Plan.id) <- slot;
-    decr remaining;
-    Plan.iter_successors plan node.Plan.id (fun c ->
-        pending.(c) <- pending.(c) - 1;
-        if pending.(c) = 0 then fresh := c :: !fresh)
-  in
-  let depth = Dmf.Ratio.accuracy (Plan.ratio plan) in
-  let guard = ref (Schedule.no_progress_bound ~nodes:n ~depth) in
-  while !remaining > 0 do
-    decr guard;
-    if !guard <= 0 then failwith "Srs.schedule: no progress (internal error)";
-    incr t;
-    admit ();
-    (* Dequeue up to Mc from Qint first, then fill from Qleaf; per
-       Algorithm 2 the Qleaf quota is based on |Qint| before dequeuing. *)
-    let int_nodes = Pqueue.size !qint in
-    let slot = ref 0 in
-    let take_from q limit =
-      let taken = ref 0 in
-      while !taken < limit && not (Pqueue.is_empty !q) do
-        match Pqueue.pop !q with
-        | None -> ()
-        | Some (node, rest) ->
-          q := rest;
-          incr taken;
-          incr slot;
-          launch !t node !slot
-      done
-    in
-    take_from qint (min mixers int_nodes);
-    take_from qleaf (max 0 (mixers - int_nodes))
-  done;
-  Schedule.create ~plan ~mixers ~cycles ~mixer_of
+      (fun node ->
+        match Plan.child_kind st.plan node with
+        | `Both_leaves -> st.qleaf <- Pqueue.insert node st.qleaf
+        | `Both_internal | `One_internal -> st.qint <- Pqueue.insert node st.qint)
+      batch
+
+  let ready st = Pqueue.size st.qint + Pqueue.size st.qleaf
+
+  let pick st ~fired =
+    if fired = 0 then begin
+      let int_nodes = Pqueue.size st.qint in
+      st.quota_int <- min st.mixers int_nodes;
+      st.quota_leaf <- max 0 (st.mixers - int_nodes)
+    end;
+    if fired < st.quota_int then
+      match Pqueue.pop st.qint with
+      | Some (node, rest) ->
+        st.qint <- rest;
+        Some node
+      | None -> None
+    else if fired < st.quota_int + st.quota_leaf then
+      match Pqueue.pop st.qleaf with
+      | Some (node, rest) ->
+        st.qleaf <- rest;
+        Some node
+      | None -> None
+    else None
+end
+
+let policy : Sched_core.policy = (module Policy)
+let schedule ~plan ~mixers = Sched_core.run policy ~plan ~mixers

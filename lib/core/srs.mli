@@ -14,6 +14,10 @@
     SRS may finish a few cycles later than MMS, but needs fewer on-chip
     storage units (Table 3 reports 25.5% fewer on average). *)
 
+val policy : Sched_core.policy
+(** SRS as a ready-set policy over the shared {!Sched_core} engine: the
+    two priority queues and the per-cycle quota of Algorithm 2. *)
+
 val schedule : plan:Plan.t -> mixers:int -> Schedule.t
 (** [schedule ~plan ~mixers] runs SRS.  @raise Invalid_argument if
     [mixers < 1]. *)

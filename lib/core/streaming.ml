@@ -1,12 +1,3 @@
-type scheduler = MMS | SRS
-
-let scheduler_name = function MMS -> "MMS" | SRS -> "SRS"
-
-let run_scheduler scheduler ~plan ~mixers =
-  match scheduler with
-  | MMS -> Mms.schedule ~plan ~mixers
-  | SRS -> Srs.schedule ~plan ~mixers
-
 type pass = {
   demand : int;
   plan : Plan.t;
@@ -26,9 +17,9 @@ type t = {
   within_limit : bool;
 }
 
-let make_pass ~algorithm ~ratio ~mixers ~scheduler demand =
+let make_pass ?instr ~algorithm ~ratio ~mixers ~scheduler demand =
   let plan = Forest.build ~algorithm ~ratio ~demand in
-  let schedule = run_scheduler scheduler ~plan ~mixers in
+  let schedule = Scheduler.schedule ?instr scheduler ~plan ~mixers in
   {
     demand;
     plan;
@@ -49,8 +40,11 @@ let max_demand_per_pass ~algorithm ~ratio ~mixers ~storage_limit ~scheduler
   in
   search None 2
 
-let run_general ~pass_size ~algorithm ~ratio ~demand ~mixers ~storage_limit
-    ~scheduler =
+(* Only the final passes are instrumented: the per-pass-demand probes
+   explore candidate plans that never run, so their counters would
+   pollute the aggregate. *)
+let run_general ?instr ~pass_size ~algorithm ~ratio ~demand ~mixers
+    ~storage_limit ~scheduler () =
   if demand < 1 then invalid_arg "Streaming.run: demand must be >= 1";
   if mixers < 1 then invalid_arg "Streaming.run: at least one mixer";
   let per_pass_demand, within_limit =
@@ -73,7 +67,7 @@ let run_general ~pass_size ~algorithm ~ratio ~demand ~mixers ~storage_limit
     if remaining <= 0 then List.rev acc
     else
       let this = min per_pass_demand remaining in
-      let pass = make_pass ~algorithm ~ratio ~mixers ~scheduler this in
+      let pass = make_pass ?instr ~algorithm ~ratio ~mixers ~scheduler this in
       plan_passes (remaining - this) (pass :: acc)
   in
   let passes = plan_passes demand [] in
@@ -88,13 +82,13 @@ let run_general ~pass_size ~algorithm ~ratio ~demand ~mixers ~storage_limit
     within_limit;
   }
 
-let run ~algorithm ~ratio ~demand ~mixers ~storage_limit ~scheduler =
-  run_general ~pass_size:None ~algorithm ~ratio ~demand ~mixers ~storage_limit
-    ~scheduler
+let run ?instr ~algorithm ~ratio ~demand ~mixers ~storage_limit ~scheduler () =
+  run_general ?instr ~pass_size:None ~algorithm ~ratio ~demand ~mixers
+    ~storage_limit ~scheduler ()
 
-let run_fixed ~pass_size ~algorithm ~ratio ~demand ~mixers ~storage_limit
-    ~scheduler =
-  run_general ~pass_size:(Some pass_size) ~algorithm ~ratio ~demand ~mixers
-    ~storage_limit ~scheduler
+let run_fixed ?instr ~pass_size ~algorithm ~ratio ~demand ~mixers
+    ~storage_limit ~scheduler () =
+  run_general ?instr ~pass_size:(Some pass_size) ~algorithm ~ratio ~demand
+    ~mixers ~storage_limit ~scheduler ()
 
 let n_passes t = List.length t.passes

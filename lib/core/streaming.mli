@@ -5,13 +5,12 @@
     streaming engine finds the largest per-pass demand [D'] whose schedule
     fits within [q'] storage units, and meets a total demand [D] in
     [ceil (D / D')] passes; the last pass schedules an incomplete mixing
-    forest for the remaining droplets. *)
+    forest for the remaining droplets.
 
-type scheduler = MMS | SRS
-
-val scheduler_name : scheduler -> string
-
-val run_scheduler : scheduler -> plan:Plan.t -> mixers:int -> Schedule.t
+    The forest scheduler of each pass is a {!Scheduler.t} registry
+    handle; an optional {!Instr.t} hook record is threaded to the final
+    passes (never to the feasibility probes), so a collector aggregates
+    the counters of the whole multi-pass run. *)
 
 type pass = {
   demand : int;  (** Droplets produced by this pass. *)
@@ -39,32 +38,36 @@ val max_demand_per_pass :
   ratio:Dmf.Ratio.t ->
   mixers:int ->
   storage_limit:int ->
-  scheduler:scheduler ->
+  scheduler:Scheduler.t ->
   max_demand:int ->
   int option
 (** Largest even [D' <= max_demand] whose forest schedule needs at most
     [storage_limit] units, or [None] if not even [D' = 2] fits. *)
 
 val run :
+  ?instr:Instr.t ->
   algorithm:Mixtree.Algorithm.t ->
   ratio:Dmf.Ratio.t ->
   demand:int ->
   mixers:int ->
   storage_limit:int ->
-  scheduler:scheduler ->
+  scheduler:Scheduler.t ->
+  unit ->
   t
 (** [run] executes the multi-pass streaming engine; each pass produces
     the largest storage-feasible demand.
     @raise Invalid_argument if [demand < 1] or [mixers < 1]. *)
 
 val run_fixed :
+  ?instr:Instr.t ->
   pass_size:int ->
   algorithm:Mixtree.Algorithm.t ->
   ratio:Dmf.Ratio.t ->
   demand:int ->
   mixers:int ->
   storage_limit:int ->
-  scheduler:scheduler ->
+  scheduler:Scheduler.t ->
+  unit ->
   t
 (** As {!run}, but with a forced (even, positive) pass size — used by the
     demand-driven assay planner to match the production rate to the

@@ -1,14 +1,22 @@
+let resolved_mixers (spec : Request.spec) =
+  match spec.Request.mixers with
+  | Some m -> m
+  | None -> Mdst.Engine.default_mixers spec.Request.ratio
+
 type prepared = {
   summary : Response.summary;
+  instr : Mdst.Instr.counters;
   plan : Mdst.Plan.t option;
   schedule : Mdst.Schedule.t option;
 }
 
 let run (spec : Request.spec) =
+  let mixers = resolved_mixers spec in
+  let hooks, counters = Mdst.Instr.collector ~mixers in
   match spec.Request.storage_limit with
   | None ->
     let result =
-      Mdst.Engine.prepare
+      Mdst.Engine.prepare ~instr:hooks
         {
           Mdst.Engine.ratio = spec.Request.ratio;
           demand = spec.Request.demand;
@@ -19,19 +27,15 @@ let run (spec : Request.spec) =
     in
     {
       summary = Response.summary_of_metrics result.Mdst.Engine.metrics;
+      instr = counters ();
       plan = Some result.Mdst.Engine.plan;
       schedule = Some result.Mdst.Engine.schedule;
     }
   | Some storage_limit ->
-    let mixers =
-      match spec.Request.mixers with
-      | Some m -> m
-      | None -> Mdst.Engine.default_mixers spec.Request.ratio
-    in
     let r =
-      Mdst.Streaming.run ~algorithm:spec.Request.algorithm
+      Mdst.Streaming.run ~instr:hooks ~algorithm:spec.Request.algorithm
         ~ratio:spec.Request.ratio ~demand:spec.Request.demand ~mixers
-        ~storage_limit ~scheduler:spec.Request.scheduler
+        ~storage_limit ~scheduler:spec.Request.scheduler ()
     in
     let fold f = List.fold_left f 0 r.Mdst.Streaming.passes in
     let summary =
@@ -53,4 +57,4 @@ let run (spec : Request.spec) =
         within_limit = r.Mdst.Streaming.within_limit;
       }
     in
-    { summary; plan = None; schedule = None }
+    { summary; instr = counters (); plan = None; schedule = None }

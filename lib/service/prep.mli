@@ -10,6 +10,10 @@
 
 type prepared = {
   summary : Response.summary;
+  instr : Mdst.Instr.counters;
+      (** Scheduler-core counters of the run, aggregated over every
+          pass for streaming runs — shipped as the response's [instr]
+          object. *)
   plan : Mdst.Plan.t option;  (** [None] for multi-pass streaming runs. *)
   schedule : Mdst.Schedule.t option;
 }

@@ -2,7 +2,7 @@ type spec = {
   ratio : Dmf.Ratio.t;
   demand : int;
   algorithm : Mixtree.Algorithm.t;
-  scheduler : Mdst.Streaming.scheduler;
+  scheduler : Mdst.Scheduler.t;
   mixers : int option;
   storage_limit : int option;
 }
@@ -15,7 +15,7 @@ let coalesce_key spec =
   Printf.sprintf "%s|%s|%s|Mc=%s|q'=%s"
     (Dmf.Ratio.key spec.ratio)
     (Mixtree.Algorithm.name spec.algorithm)
-    (Mdst.Streaming.scheduler_name spec.scheduler)
+    (Mdst.Scheduler.name spec.scheduler)
     (match spec.mixers with Some m -> string_of_int m | None -> "auto")
     (match spec.storage_limit with Some q -> string_of_int q | None -> "-")
 
@@ -69,7 +69,7 @@ let spec_of_json json =
   let* scheduler =
     match sched_str with
     | Some s -> Validate.scheduler s
-    | None -> Ok Mdst.Streaming.SRS
+    | None -> Ok Mdst.Scheduler.srs
   in
   let* mixers_raw = field_int json "Mc" in
   let* mixers = opt_validated mixers_raw Validate.mixers in
@@ -114,8 +114,7 @@ let to_json { id; kind } =
         ("ratio", Jsonl.String (Dmf.Ratio.to_string spec.ratio));
         ("D", Jsonl.Int spec.demand);
         ("algorithm", Jsonl.String (Mixtree.Algorithm.name spec.algorithm));
-        ( "scheduler",
-          Jsonl.String (Mdst.Streaming.scheduler_name spec.scheduler) );
+        ("scheduler", Jsonl.String (Mdst.Scheduler.name spec.scheduler));
       ]
       @ (match spec.mixers with
         | Some m -> [ ("Mc", Jsonl.Int m) ]

@@ -20,7 +20,7 @@ type spec = {
   ratio : Dmf.Ratio.t;
   demand : int;
   algorithm : Mixtree.Algorithm.t;
-  scheduler : Mdst.Streaming.scheduler;
+  scheduler : Mdst.Scheduler.t;
   mixers : int option;
   storage_limit : int option;
       (** When set, run the {!Mdst.Streaming} multi-pass engine under

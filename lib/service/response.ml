@@ -47,6 +47,7 @@ type body =
       batch_demand : int;
       coalesced : int;
       cache_hit : bool;
+      instr : Mdst.Instr.counters option;
     }
   | Pong
   | Stats of stats
@@ -71,7 +72,8 @@ let to_json t =
     match t.body with
     | Pong -> []
     | Error msg -> [ ("error", Jsonl.String msg) ]
-    | Schedule { summary = s; demand; batch_demand; coalesced; cache_hit } ->
+    | Schedule { summary = s; demand; batch_demand; coalesced; cache_hit; instr }
+      ->
       [
         ("scheme", Jsonl.String s.scheme);
         ("Mc", Jsonl.Int s.mixers);
@@ -88,6 +90,20 @@ let to_json t =
         ("coalesced", Jsonl.Int coalesced);
         ("cache_hit", Jsonl.Bool cache_hit);
       ]
+      @ (match instr with
+        | None -> []
+        | Some c ->
+          [
+            ( "instr",
+              Jsonl.Obj
+                (List.map
+                   (fun (k, v) ->
+                     ( k,
+                       if Float.is_integer v && Float.abs v < 1e15 then
+                         Jsonl.Int (int_of_float v)
+                       else Jsonl.Float v ))
+                   (Mdst.Instr.counters_to_fields c)) );
+          ])
     | Stats s ->
       [
         ("queue_depth", Jsonl.Int s.queue_depth);

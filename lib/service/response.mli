@@ -45,6 +45,9 @@ type body =
       batch_demand : int;
       coalesced : int;  (** Requests answered by the same planning job. *)
       cache_hit : bool;
+      instr : Mdst.Instr.counters option;
+          (** Scheduler-core counters of the planning job (see
+              {!Mdst.Instr}), encoded as a nested [instr] object. *)
     }
   | Pong
   | Stats of stats

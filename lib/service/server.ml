@@ -122,6 +122,7 @@ let response_of_ticket t ~id ~t0 ticket =
             batch_demand = outcome.Queue.batch_demand;
             coalesced = outcome.Queue.coalesced;
             cache_hit = outcome.Queue.cache_hit;
+            instr = Some outcome.Queue.prepared.Prep.instr;
           };
     }
   | Error msg -> { Response.id; elapsed_ms = None; body = Response.Error msg }

@@ -31,11 +31,7 @@ let algorithm s =
   | Some a -> Ok a
   | None -> Error ("unknown algorithm " ^ s ^ " (MM, RMA, MTCS, RSM)")
 
-let scheduler s =
-  match String.uppercase_ascii s with
-  | "MMS" -> Ok Mdst.Streaming.MMS
-  | "SRS" -> Ok Mdst.Streaming.SRS
-  | _ -> Error ("unknown scheduler " ^ s ^ " (MMS or SRS)")
+let scheduler = Mdst.Scheduler.of_string
 
 let protect f =
   try Ok (f ()) with

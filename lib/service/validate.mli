@@ -26,7 +26,11 @@ val storage : int -> (int, string) result
     4096. *)
 
 val algorithm : string -> (Mixtree.Algorithm.t, string) result
-val scheduler : string -> (Mdst.Streaming.scheduler, string) result
+
+val scheduler : string -> (Mdst.Scheduler.t, string) result
+(** {!Mdst.Scheduler.of_string}: the registry is the single source of
+    truth for scheduler names, so the daemon's JSON field and the CLI
+    flag reject unknown names with the same one-line message. *)
 
 val protect : (unit -> 'a) -> ('a, string) result
 (** Run a computation, turning [Invalid_argument] and [Failure] — the

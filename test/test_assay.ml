@@ -47,7 +47,7 @@ let test_normalize_empty () =
 
 let plan ?(mixers = 3) ?(storage_limit = 5) requests =
   Assay.Planner.plan ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr ~mixers
-    ~storage_limit ~scheduler:Mdst.Streaming.SRS ~requests
+    ~storage_limit ~scheduler:Mdst.Scheduler.srs ~requests
 
 let test_loose_deadlines_feasible_and_jit () =
   let requests = Assay.Demand.periodic ~start:20 ~interval:15 ~count:4 ~batches:8 in
@@ -112,7 +112,7 @@ let test_fixed_pass_size () =
   let r =
     Mdst.Streaming.run_fixed ~pass_size:4 ~algorithm:Mixtree.Algorithm.MM
       ~ratio:pcr ~demand:16 ~mixers:3 ~storage_limit:5
-      ~scheduler:Mdst.Streaming.SRS
+      ~scheduler:Mdst.Scheduler.srs ()
   in
   check int "four passes" 4 (Mdst.Streaming.n_passes r);
   check bool "odd size rejected" true
@@ -120,7 +120,7 @@ let test_fixed_pass_size () =
        ignore
          (Mdst.Streaming.run_fixed ~pass_size:3 ~algorithm:Mixtree.Algorithm.MM
             ~ratio:pcr ~demand:6 ~mixers:3 ~storage_limit:5
-            ~scheduler:Mdst.Streaming.SRS);
+            ~scheduler:Mdst.Scheduler.srs ());
        false
      with Invalid_argument _ -> true)
 

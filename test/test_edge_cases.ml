@@ -70,7 +70,7 @@ let test_streaming_huge_budget_single_pass () =
   let ratio = Generators.pcr16 in
   let run =
     Mdst.Streaming.run ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand:32
-      ~mixers:3 ~storage_limit:1000 ~scheduler:Mdst.Streaming.SRS
+      ~mixers:3 ~storage_limit:1000 ~scheduler:Mdst.Scheduler.srs ()
   in
   check int "single pass" 1 (Mdst.Streaming.n_passes run)
 
@@ -138,7 +138,7 @@ let test_streaming_wins_exactly_when_demand_exceeds_two () =
     (fun demand ->
       let streamed =
         Mdst.Compare.evaluate ~ratio ~demand
-          (Mdst.Compare.Streamed (Mixtree.Algorithm.MM, Mdst.Streaming.MMS))
+          (Mdst.Compare.Streamed (Mixtree.Algorithm.MM, Mdst.Scheduler.mms))
       in
       let repeated =
         Mdst.Compare.evaluate ~ratio ~demand

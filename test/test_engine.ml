@@ -7,7 +7,7 @@ let bool = Alcotest.bool
 let pcr = Generators.pcr16
 
 let spec ?(demand = 20) ?(algorithm = Mixtree.Algorithm.MM)
-    ?(scheduler = Mdst.Streaming.SRS) ?mixers ratio =
+    ?(scheduler = Mdst.Scheduler.srs) ?mixers ratio =
   { Mdst.Engine.ratio; demand; algorithm; scheduler; mixers }
 
 let test_default_mixers () =
@@ -118,7 +118,7 @@ let test_improvements_on_corpus_slice () =
 let test_scheme_names () =
   check Alcotest.string "streamed name" "RMA+MMS"
     (Mdst.Compare.scheme_name
-       (Mdst.Compare.Streamed (Mixtree.Algorithm.RMA, Mdst.Streaming.MMS)));
+       (Mdst.Compare.Streamed (Mixtree.Algorithm.RMA, Mdst.Scheduler.mms)));
   check Alcotest.string "repeated name" "RMTCS"
     (Mdst.Compare.scheme_name (Mdst.Compare.Repeated Mixtree.Algorithm.MTCS));
   check int "nine table-2 schemes" 9 (List.length Mdst.Compare.table2_schemes)
@@ -149,7 +149,7 @@ let prop_engine_metrics_consistent =
       let result =
         Mdst.Engine.prepare
           { Mdst.Engine.ratio; demand; algorithm;
-            scheduler = Mdst.Streaming.SRS; mixers = None }
+            scheduler = Mdst.Scheduler.srs; mixers = None }
       in
       let m = result.Mdst.Engine.metrics in
       m.Mdst.Metrics.tms = Mdst.Plan.tms result.Mdst.Engine.plan

@@ -129,7 +129,7 @@ let test_default_layouts_host_their_ratios () =
           Sim.Pipeline.run
             { Mdst.Engine.ratio; demand = 4;
               algorithm = Mixtree.Algorithm.MM;
-              scheduler = Mdst.Streaming.SRS; mixers = Some 2 }
+              scheduler = Mdst.Scheduler.srs; mixers = Some 2 }
         with
         | Ok _ -> ()
         | Error e -> Alcotest.failf "N=%d: %s" n_fluids e

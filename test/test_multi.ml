@@ -79,12 +79,12 @@ let test_multi_schedulable () =
   in
   List.iter
     (fun scheduler ->
-      let s = Mdst.Streaming.run_scheduler scheduler ~plan ~mixers:2 in
+      let s = Mdst.Scheduler.schedule scheduler ~plan ~mixers:2 in
       check bool
-        (Mdst.Streaming.scheduler_name scheduler ^ " valid")
+        (Mdst.Scheduler.name scheduler ^ " valid")
         true
         (Result.is_ok (Mdst.Schedule.validate ~plan s)))
-    [ Mdst.Streaming.MMS; Mdst.Streaming.SRS ]
+    (Mdst.Scheduler.all ())
 
 let test_multi_rejects_bad_requests () =
   check bool "empty" true

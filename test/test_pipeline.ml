@@ -6,7 +6,7 @@ let int = Alcotest.int
 
 let spec ?(demand = 12) ratio =
   { Mdst.Engine.ratio; demand; algorithm = Mixtree.Algorithm.MM;
-    scheduler = Mdst.Streaming.SRS; mixers = None }
+    scheduler = Mdst.Scheduler.srs; mixers = None }
 
 let test_full_run () =
   match Sim.Pipeline.run (spec Generators.pcr16) with

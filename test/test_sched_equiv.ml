@@ -1,7 +1,10 @@
-(* Differential tests for the event-driven scheduler rewrites: on any
-   plan the event-driven MMS/SRS must produce schedules bit-identical to
-   the retained naive per-cycle-rescan reference ({!Mdst.Naive}), and the
-   parallel corpus sweep must not depend on the domain count. *)
+(* Differential tests for the scheduler core: on any plan the policies
+   running inside the shared event-driven engine (MMS/SRS/OMS) must
+   produce schedules bit-identical to the retained naive
+   per-cycle-rescan references ({!Mdst.Naive}), registry dispatch must
+   equal the direct entry points, the instrumentation hooks must count
+   consistently (and change nothing), and the parallel corpus sweep
+   must not depend on the domain count. *)
 
 open QCheck2
 
@@ -44,6 +47,70 @@ let prop_srs =
     instance_gen instance_print
     (differential Mdst.Srs.schedule Mdst.Naive.srs)
 
+let prop_oms =
+  Generators.qtest ~count:300 "event-driven OMS = naive rescan OMS"
+    instance_gen instance_print
+    (differential Mdst.Oms.schedule Mdst.Naive.oms)
+
+(* Every registered policy, over the generator corpus: the registry
+   must be the same code path as the direct entry points, and its
+   schedules must validate. *)
+let prop_registry =
+  Generators.qtest ~count:200 "registry dispatch = direct calls, and valid"
+    instance_gen instance_print
+    (fun (ratio, algorithm, demand, mixers) ->
+      let plan = Mdst.Forest.build ~algorithm ~ratio ~demand in
+      let direct_of s =
+        match Mdst.Scheduler.name s with
+        | "MMS" -> Some Mdst.Mms.schedule
+        | "SRS" -> Some Mdst.Srs.schedule
+        | "OMS" -> Some Mdst.Oms.schedule
+        | _ -> None
+      in
+      List.for_all
+        (fun s ->
+          let via_registry = Mdst.Scheduler.schedule s ~plan ~mixers in
+          Result.is_ok (Mdst.Schedule.validate ~plan via_registry)
+          &&
+          match direct_of s with
+          | Some direct ->
+            same_schedule plan via_registry (direct ~plan ~mixers)
+          | None -> true)
+        (Mdst.Scheduler.all ()))
+
+(* Instrumentation: the collector's counters must agree with the
+   schedule's own accounting, and hooking the engine must not change
+   the schedule. *)
+let prop_instr =
+  Generators.qtest ~count:200 "instrumentation counts are consistent"
+    instance_gen instance_print
+    (fun (ratio, algorithm, demand, mixers) ->
+      let plan = Mdst.Forest.build ~algorithm ~ratio ~demand in
+      List.for_all
+        (fun s ->
+          let hooks, counters = Mdst.Instr.collector ~mixers in
+          let hooked = Mdst.Scheduler.schedule ~instr:hooks s ~plan ~mixers in
+          let bare = Mdst.Scheduler.schedule s ~plan ~mixers in
+          let c = counters () in
+          c.Mdst.Instr.fired = Mdst.Plan.n_nodes plan
+          && c.Mdst.Instr.cycles = Mdst.Schedule.completion_time hooked
+          && c.Mdst.Instr.peak_storage = Mdst.Storage.units ~plan hooked
+          && same_schedule plan hooked bare)
+        (Mdst.Scheduler.all ()))
+
+let test_registry_names () =
+  Alcotest.(check bool)
+    "of_string roundtrips every registered name" true
+    (List.for_all
+       (fun s ->
+         match Mdst.Scheduler.of_string (Mdst.Scheduler.name s) with
+         | Ok s' -> Mdst.Scheduler.name s' = Mdst.Scheduler.name s
+         | Error _ -> false)
+       (Mdst.Scheduler.all ()));
+  Alcotest.(check bool)
+    "unknown name rejected" true
+    (Result.is_error (Mdst.Scheduler.of_string "NOPE"))
+
 let prop_par_map =
   Generators.qtest ~count:100 "Par.map is independent of the domain count"
     Gen.(list_size (int_range 0 40) (int_range 0 10_000))
@@ -78,7 +145,14 @@ let test_sweep_determinism () =
 let () =
   Alcotest.run "sched-equiv"
     [
-      ("differential", [ prop_mms; prop_srs ]);
+      ("differential", [ prop_mms; prop_srs; prop_oms ]);
+      ( "registry",
+        [
+          prop_registry;
+          Alcotest.test_case "registered names roundtrip" `Quick
+            test_registry_names;
+        ] );
+      ("instrumentation", [ prop_instr ]);
       ( "parallel",
         [
           prop_par_map;

@@ -55,7 +55,7 @@ let spec_gen =
   Generators.ratio_gen >>= fun ratio ->
   Generators.demand_gen >>= fun demand ->
   Generators.algorithm_gen >>= fun algorithm ->
-  oneofl [ Mdst.Streaming.MMS; Mdst.Streaming.SRS ] >>= fun scheduler ->
+  oneofl [ Mdst.Scheduler.mms; Mdst.Scheduler.srs; Mdst.Scheduler.oms ] >>= fun scheduler ->
   opt (int_range 1 8) >>= fun mixers ->
   opt (int_range 1 12) >|= fun storage_limit ->
   { Service.Request.ratio; demand; algorithm; scheduler; mixers; storage_limit }
@@ -108,7 +108,7 @@ let spec_for ?(demand = 4) () =
     Service.Request.ratio = pcr16;
     demand;
     algorithm = Mixtree.Algorithm.MM;
-    scheduler = Mdst.Streaming.SRS;
+    scheduler = Mdst.Scheduler.srs;
     mixers = Some 3;
     storage_limit = None;
   }
@@ -181,7 +181,7 @@ let coalescing () =
         Mdst.Engine.ratio = pcr16;
         demand = k * 4;
         algorithm = Mixtree.Algorithm.MM;
-        scheduler = Mdst.Streaming.SRS;
+        scheduler = Mdst.Scheduler.srs;
         mixers = Some 3;
       }
   in
@@ -368,7 +368,7 @@ let stdio_smoke () =
            Mdst.Engine.ratio = pcr16;
            demand = d;
            algorithm = Mixtree.Algorithm.MM;
-           scheduler = Mdst.Streaming.SRS;
+           scheduler = Mdst.Scheduler.srs;
            mixers = Some 3;
          })
         .Mdst.Engine.metrics

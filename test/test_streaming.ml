@@ -8,7 +8,7 @@ let pcr = Generators.pcr16
 let run ?(d = 4) ?(demand = 32) ?(mixers = 3) ~q () =
   let ratio = if d = 4 then pcr else Bioproto.Protocols.pcr ~d in
   Mdst.Streaming.run ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand ~mixers
-    ~storage_limit:q ~scheduler:Mdst.Streaming.SRS
+    ~storage_limit:q ~scheduler:Mdst.Scheduler.srs ()
 
 (* The d = 4 column of Table 4 reproduces exactly. *)
 let test_table4_d4_q3 () =
@@ -72,7 +72,7 @@ let test_infeasible_budget_flagged () =
   let ratio = Bioproto.Protocols.pcr ~d:6 in
   let r =
     Mdst.Streaming.run ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand:4
-      ~mixers:1 ~storage_limit:0 ~scheduler:Mdst.Streaming.SRS
+      ~mixers:1 ~storage_limit:0 ~scheduler:Mdst.Scheduler.srs ()
   in
   check bool "flagged infeasible" false r.Mdst.Streaming.within_limit;
   check int "falls back to pairs" 2 (Mdst.Streaming.n_passes r)
@@ -80,7 +80,7 @@ let test_infeasible_budget_flagged () =
 let test_max_demand_per_pass () =
   let fit =
     Mdst.Streaming.max_demand_per_pass ~algorithm:Mixtree.Algorithm.MM
-      ~ratio:pcr ~mixers:3 ~storage_limit:5 ~scheduler:Mdst.Streaming.SRS
+      ~ratio:pcr ~mixers:3 ~storage_limit:5 ~scheduler:Mdst.Scheduler.srs
       ~max_demand:32
   in
   (match fit with
@@ -89,7 +89,7 @@ let test_max_demand_per_pass () =
   let none =
     Mdst.Streaming.max_demand_per_pass ~algorithm:Mixtree.Algorithm.MM
       ~ratio:(Bioproto.Protocols.pcr ~d:6) ~mixers:1 ~storage_limit:0
-      ~scheduler:Mdst.Streaming.SRS ~max_demand:8
+      ~scheduler:Mdst.Scheduler.srs ~max_demand:8
   in
   check bool "impossible budget returns None" true (none = None)
 
@@ -103,7 +103,7 @@ let test_scheduler_choice () =
   let srs = run ~q:5 () in
   let mms =
     Mdst.Streaming.run ~algorithm:Mixtree.Algorithm.MM ~ratio:pcr ~demand:32
-      ~mixers:3 ~storage_limit:5 ~scheduler:Mdst.Streaming.MMS
+      ~mixers:3 ~storage_limit:5 ~scheduler:Mdst.Scheduler.mms ()
   in
   check bool "MMS streaming no slower in total cycles" true
     (mms.Mdst.Streaming.total_cycles <= srs.Mdst.Streaming.total_cycles + 2)
@@ -117,7 +117,7 @@ let prop_streaming_consistent =
     (fun (ratio, demand, storage_limit) ->
       let r =
         Mdst.Streaming.run ~algorithm:Mixtree.Algorithm.MM ~ratio ~demand
-          ~mixers:2 ~storage_limit ~scheduler:Mdst.Streaming.SRS
+          ~mixers:2 ~storage_limit ~scheduler:Mdst.Scheduler.srs ()
       in
       let sum f = List.fold_left (fun acc p -> acc + f p) 0 r.Mdst.Streaming.passes in
       r.Mdst.Streaming.total_cycles = sum (fun p -> p.Mdst.Streaming.tc)
