@@ -12,12 +12,12 @@
 
    Experiments: fig1 fig3 fig5 table2 table3 fig6 fig7 table4 ablation
    dilution robust assay pins routing recovery wash pareto scaling
-   service speed.
+   service wal speed.
 
-   Every run additionally writes BENCH_PR4.json — per-experiment wall
-   times, Bechamel ns/run, service req/s, domain count and corpus sizes
-   — so successive PRs accumulate a machine-readable performance
-   trajectory.  Everything printed is also teed into bench_output.txt
+   Every run additionally writes BENCH_PR5.json — per-experiment wall
+   times, Bechamel ns/run, service req/s, WAL fsync-batch throughput,
+   domain count and corpus sizes — so successive PRs accumulate a
+   machine-readable performance trajectory.  Everything printed is also teed into bench_output.txt
    (untracked) for local inspection. *)
 
 let pcr16 = Bioproto.Protocols.pcr ~d:4
@@ -33,13 +33,16 @@ let corpus ~every =
 let i2s = string_of_int
 
 (* ------------------------------------------------------------------ *)
-(* BENCH_PR4.json accumulators                                         *)
+(* BENCH_PR5.json accumulators                                         *)
 
 let wall_times : (string * float) list ref = ref []
 let micro_ns : (string * float) list ref = ref []
 
 (* (workers, phase, requests, wall_s) per service-throughput phase. *)
 let service_results : (int * string * int * float) list ref = ref []
+
+(* (mode, fsync_every_n, requests, wall_s, fsyncs) per WAL mode. *)
+let wal_results : (string * int * int * float * int) list ref = ref []
 
 (* (policy, plan, counters) rows of the scheduler-core experiment. *)
 let scheduler_core_results :
@@ -60,7 +63,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let bench_json_path = "BENCH_PR4.json"
+let bench_json_path = "BENCH_PR5.json"
 
 let write_bench_json () =
   (* Resolve every value before [open_out]: a bad MDST_DOMAINS raises in
@@ -102,10 +105,21 @@ let write_bench_json () =
           (if wall_s > 0. then float_of_int requests /. wall_s else 0.))
       !service_results
   in
+  let wal =
+    List.rev_map
+      (fun (mode, every_n, requests, wall_s, fsyncs) ->
+        Printf.sprintf
+          "{\"mode\": \"%s\", \"fsync_every_n\": %d, \"requests\": %d, \
+           \"wall_s\": %.6f, \"req_per_s\": %.1f, \"fsyncs\": %d}"
+          (json_escape mode) every_n requests wall_s
+          (if wall_s > 0. then float_of_int requests /. wall_s else 0.)
+          fsyncs)
+      !wal_results
+  in
   let oc = open_out bench_json_path in
   Printf.fprintf oc
     "{\n\
-    \  \"pr\": 4,\n\
+    \  \"pr\": 5,\n\
     \  \"bench\": \"dmfstream\",\n\
     \  \"domains\": %d,\n\
     \  \"full_corpus\": %b,\n\
@@ -113,6 +127,7 @@ let write_bench_json () =
     \  \"experiments\": [\n    %s\n  ],\n\
     \  \"scheduler_core\": [\n    %s\n  ],\n\
     \  \"service\": [\n    %s\n  ],\n\
+    \  \"wal\": [\n    %s\n  ],\n\
     \  \"micro_ns_per_run\": [\n    %s\n  ]\n\
      }\n"
     domains full_corpus
@@ -122,6 +137,7 @@ let write_bench_json () =
     (String.concat ",\n    " experiments)
     (String.concat ",\n    " scheduler_core)
     (String.concat ",\n    " service)
+    (String.concat ",\n    " wal)
     (String.concat ",\n    " micro);
   close_out oc;
   Printf.printf "\nwrote %s\n" bench_json_path
@@ -962,63 +978,64 @@ let scaling () =
 (* ------------------------------------------------------------------ *)
 (* Preparation-server throughput: the dmfd --stdio transport            *)
 
+(* Distinct corpus ratios so a cold phase builds one forest per request
+   (no coalescing, all cache misses).  Shared by [service] and [wal]. *)
+let service_lines () =
+  List.mapi
+    (fun i ratio ->
+      Printf.sprintf {|{"req": "prepare", "ratio": "%s", "D": 32, "id": %d}|}
+        (Dmf.Ratio.to_string ratio) i)
+    (corpus ~every:131)
+
+(* One full request-response round over the pipe transport that
+   [dmfd --stdio] uses: write every line, read every response. *)
+let stream_requests server lines =
+  let n = List.length lines in
+  let req_read, req_write = Unix.pipe () in
+  let resp_read, resp_write = Unix.pipe () in
+  let server_ic = Unix.in_channel_of_descr req_read in
+  let server_oc = Unix.out_channel_of_descr resp_write in
+  let thread =
+    Thread.create
+      (fun () ->
+        Service.Server.serve_channels server server_ic server_oc;
+        close_out_noerr server_oc;
+        close_in_noerr server_ic)
+      ()
+  in
+  let client_oc = Unix.out_channel_of_descr req_write in
+  let client_ic = Unix.in_channel_of_descr resp_read in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun line ->
+      output_string client_oc line;
+      output_char client_oc '\n')
+    lines;
+  close_out client_oc;
+  let ok = ref 0 and hits = ref 0 in
+  for _ = 1 to n do
+    match Service.Jsonl.of_string (input_line client_ic) with
+    | Error _ -> ()
+    | Ok json ->
+      let flag key =
+        Option.bind (Service.Jsonl.member key json) Service.Jsonl.to_bool
+        = Some true
+      in
+      if flag "ok" then incr ok;
+      if flag "cache_hit" then incr hits
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  Thread.join thread;
+  close_in_noerr client_ic;
+  (!ok, !hits, wall)
+
 let service () =
   section
     "Service throughput (PR 2): NDJSON requests through the stdio server, \
      cold vs warm plan cache";
-  (* Distinct corpus ratios so the cold phase builds one forest per
-     request (no coalescing, all cache misses) and the warm phase —
-     the same lines again — is answered entirely from the plan cache. *)
-  let ratios = corpus ~every:131 in
-  let lines =
-    List.mapi
-      (fun i ratio ->
-        Printf.sprintf {|{"req": "prepare", "ratio": "%s", "D": 32, "id": %d}|}
-          (Dmf.Ratio.to_string ratio) i)
-      ratios
-  in
+  let lines = service_lines () in
   let n = List.length lines in
-  (* One full request-response round over the pipe transport that
-     [dmfd --stdio] uses: write every line, read every response. *)
-  let run_phase server =
-    let req_read, req_write = Unix.pipe () in
-    let resp_read, resp_write = Unix.pipe () in
-    let server_ic = Unix.in_channel_of_descr req_read in
-    let server_oc = Unix.out_channel_of_descr resp_write in
-    let thread =
-      Thread.create
-        (fun () ->
-          Service.Server.serve_channels server server_ic server_oc;
-          close_out_noerr server_oc;
-          close_in_noerr server_ic)
-        ()
-    in
-    let client_oc = Unix.out_channel_of_descr req_write in
-    let client_ic = Unix.in_channel_of_descr resp_read in
-    let t0 = Unix.gettimeofday () in
-    List.iter
-      (fun line ->
-        output_string client_oc line;
-        output_char client_oc '\n')
-      lines;
-    close_out client_oc;
-    let ok = ref 0 and hits = ref 0 in
-    for _ = 1 to n do
-      match Service.Jsonl.of_string (input_line client_ic) with
-      | Error _ -> ()
-      | Ok json ->
-        let flag key =
-          Option.bind (Service.Jsonl.member key json) Service.Jsonl.to_bool
-          = Some true
-        in
-        if flag "ok" then incr ok;
-        if flag "cache_hit" then incr hits
-    done;
-    let wall = Unix.gettimeofday () -. t0 in
-    Thread.join thread;
-    close_in_noerr client_ic;
-    (!ok, !hits, wall)
-  in
+  let run_phase server = stream_requests server lines in
   let worker_counts =
     let d = Mdst.Par.default_domains () in
     if d > 1 then [ 1; d ] else [ 1 ]
@@ -1049,6 +1066,86 @@ let service () =
        ~header:
          [ "workers"; "cache"; "requests"; "ok"; "hits"; "wall s"; "req/s" ]
        ~rows)
+
+(* ------------------------------------------------------------------ *)
+(* WAL durability tax: throughput vs fsync batch size (PR 5)           *)
+
+let wal () =
+  section
+    "WAL durability (PR 5): cold-cache request throughput vs fsync batch \
+     size (single worker; every_n = 1 syncs before each response)";
+  let lines = service_lines () in
+  let n = List.length lines in
+  let with_temp_dir f =
+    let dir = Filename.temp_dir "dmfd-bench-wal" "" in
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter
+          (fun name ->
+            try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+          (try Sys.readdir dir with Sys_error _ -> [||]);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ())
+      (fun () -> f dir)
+  in
+  (* every_n < 0 is the no-WAL baseline; 0 never syncs on count (the
+     one outstanding close-time sync remains); larger batches amortise
+     the fsync over more journal records. *)
+  let run_mode every_n =
+    if every_n < 0 then begin
+      let server = Service.Server.create ~workers:1 ~cache_capacity:(2 * n) () in
+      let ok, _hits, wall = stream_requests server lines in
+      Service.Server.stop server;
+      ("off", 0, ok, wall, 0)
+    end
+    else
+      with_temp_dir (fun dir ->
+        let config =
+          {
+            Durable.Manager.dir;
+            fsync = { Durable.Wal.every_n; every_ms = 0. };
+            snapshot_every = 0;
+            cache_capacity = 2 * n;
+          }
+        in
+        let manager, _recovery = Durable.Manager.start config in
+        let server =
+          Service.Server.create ~workers:1 ~cache_capacity:(2 * n)
+            ~on_accept:(Durable.Manager.on_accept manager)
+            ~on_complete:(fun ~spec ~requests ~ok ->
+              Durable.Manager.on_complete manager ~spec ~requests ~ok)
+            ()
+        in
+        let ok, _hits, wall = stream_requests server lines in
+        Service.Server.stop server;
+        let fsyncs = Durable.Manager.fsyncs manager in
+        Durable.Manager.close manager;
+        ("wal", every_n, ok, wall, fsyncs))
+  in
+  (* Discarded warm-up pass: the first server to plan the corpus pays
+     page-fault and allocator warm-up that would be misread as WAL cost
+     (or savings) for whichever mode happens to run first. *)
+  ignore (run_mode (-1));
+  let rows =
+    List.map
+      (fun every_n ->
+        let mode, every_n, ok, wall, fsyncs = run_mode every_n in
+        wal_results := (mode, every_n, n, wall, fsyncs) :: !wal_results;
+        [
+          mode; i2s every_n; i2s n; i2s ok; i2s fsyncs;
+          Printf.sprintf "%.4f" wall;
+          Printf.sprintf "%.0f" (float_of_int n /. wall);
+        ])
+      [ -1; 1; 8; 64; 256 ]
+  in
+  print_string
+    (Mdst.Report.table
+       ~header:
+         [ "mode"; "fsync n"; "requests"; "ok"; "fsyncs"; "wall s"; "req/s" ]
+       ~rows);
+  print_string
+    "\n(each mode streams the same cold corpus through a fresh server; the\n\
+    \ journal records two lines per request — accepted + completed — so\n\
+    \ strict mode pays ~2 fsyncs per response)\n"
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment workload    *)
@@ -1242,7 +1339,7 @@ let experiments =
     ("assay", assay); ("pins", pins); ("routing", routing);
     ("recovery", recovery); ("wash", wash); ("pareto", pareto);
     ("scaling", scaling); ("instrument", instrument); ("service", service);
-    ("speed", speed);
+    ("wal", wal); ("speed", speed);
   ]
 
 (* Tee fd 1 into [path]: everything the experiments print reaches both

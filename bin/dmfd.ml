@@ -8,8 +8,17 @@
 
      dmfd --stdio                      # serve stdin/stdout (tests, CI)
      dmfd --port 7433                  # serve TCP, one thread per client
+     dmfd --port 7433 --wal-dir wal    # ... with crash recovery
      echo '{"req":"prepare","ratio":"2:1:1:1:1:1:9","D":20,"Mc":3}' \
-       | dmfd --stdio *)
+       | dmfd --stdio
+
+   With --wal-dir, accepted requests and completed jobs are journaled
+   to a write-ahead log (lib/durable): on boot the daemon loads the
+   latest snapshot, replays the journal tail, re-plans the recovered
+   cache through the deterministic scheduler registry and resubmits
+   requests that were accepted but never answered.  SIGTERM/SIGINT
+   shut the daemon down cleanly: the queue drains, the workers join,
+   and the journal is synced, snapshotted and compacted. *)
 
 open Cmdliner
 
@@ -51,18 +60,129 @@ let cache_arg =
     & info [ "cache-capacity" ] ~docv:"N"
         ~doc:"Maximum cached plans (LRU eviction). 0 disables the cache.")
 
-let run stdio host port workers queue_capacity cache_capacity =
+let wal_dir_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "wal-dir" ] ~docv:"DIR"
+        ~doc:
+          "Enable durability: journal accepted requests and completed jobs \
+           to a write-ahead log in $(docv), and recover state from it on \
+           boot. Off by default.")
+
+let fsync_batch_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "fsync-batch" ] ~docv:"N"
+        ~doc:
+          "fsync the journal after every $(docv) records. 1 (the default) \
+           makes every response durable before the client sees it; larger \
+           batches trade a bounded tail-loss window for throughput. 0 \
+           disables count-based syncing.")
+
+let fsync_ms_arg =
+  Arg.(
+    value & opt float 0.
+    & info [ "fsync-ms" ] ~docv:"MS"
+        ~doc:
+          "Also fsync the journal once $(docv) milliseconds have passed \
+           since the last sync (bounds the loss window of a large \
+           --fsync-batch under a slow trickle of requests). 0 disables the \
+           time trigger.")
+
+let snapshot_arg =
+  Arg.(
+    value & opt int 512
+    & info [ "snapshot-every" ] ~docv:"N"
+        ~doc:
+          "Snapshot the durable state (and compact the journal) after every \
+           $(docv) journaled records. 0 snapshots only on clean shutdown.")
+
+let run stdio host port workers queue_capacity cache_capacity wal_dir
+    fsync_batch fsync_ms snapshot_every =
   Service.Validate.run_cli (fun () ->
-      let server =
-        Service.Server.create ?workers ~queue_capacity ~cache_capacity ()
+      let durable =
+        Option.map
+          (fun dir ->
+            let config =
+              {
+                Durable.Manager.dir;
+                fsync = { Durable.Wal.every_n = fsync_batch; every_ms = fsync_ms };
+                snapshot_every;
+                cache_capacity;
+              }
+            in
+            Durable.Manager.start config)
+          wal_dir
       in
+      let server =
+        match durable with
+        | None -> Service.Server.create ?workers ~queue_capacity ~cache_capacity ()
+        | Some (manager, _) ->
+          Service.Server.create ?workers ~queue_capacity ~cache_capacity
+            ~on_accept:(Durable.Manager.on_accept manager)
+            ~on_complete:(fun ~spec ~requests ~ok ->
+              Durable.Manager.on_complete manager ~spec ~requests ~ok)
+            ~wal_stats:(fun () -> Durable.Manager.stats_json manager)
+            ()
+      in
+      (match durable with
+      | None -> ()
+      | Some (manager, recovery) ->
+        let t0 = Unix.gettimeofday () in
+        let cache = Durable.Manager.recovered_cache manager in
+        let pending = Durable.Manager.recovered_pending manager in
+        let plans = Service.Server.prime server ~cache ~pending in
+        let prime_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+        Durable.Manager.note_prime manager ~ms:prime_ms ~plans
+          ~pending:(List.length pending);
+        Printf.eprintf
+          "dmfd: recovered %d plan(s) and %d pending job(s) from %d replayed \
+           record(s)%s%s in %.1f ms\n\
+           %!"
+          plans (List.length pending) recovery.Durable.Replay.replayed
+          (match recovery.Durable.Replay.snapshot_seq with
+          | Some s -> Printf.sprintf " on snapshot #%d" s
+          | None -> "")
+          (if recovery.Durable.Replay.truncated > 0 then
+             Printf.sprintf " (torn tail: %d line(s) dropped)"
+               recovery.Durable.Replay.truncated
+           else "")
+          (recovery.Durable.Replay.wall_ms +. prime_ms));
+      (* Clean shutdown on SIGTERM/SIGINT: drain the queue, join the
+         workers, sync + snapshot + compact the journal.  The handler
+         runs on whichever thread takes the signal — possibly one that
+         holds a server lock — so the actual teardown happens on a
+         fresh thread that can take those locks normally. *)
+      let shutting_down = Mutex.create () in
+      let shutdown _signal =
+        ignore
+          (Thread.create
+             (fun () ->
+               if Mutex.try_lock shutting_down then begin
+                 Service.Server.stop server;
+                 (match durable with
+                 | Some (manager, _) -> Durable.Manager.close manager
+                 | None -> ());
+                 exit 0
+               end)
+             ())
+      in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle shutdown);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle shutdown);
       if stdio then begin
         Service.Server.serve_channels server stdin stdout;
-        Service.Server.stop server
+        Service.Server.stop server;
+        match durable with
+        | Some (manager, _) -> Durable.Manager.close manager
+        | None -> ()
       end
       else begin
-        Printf.eprintf "dmfd: serving on %s:%d with %d worker(s)\n%!" host port
-          (Service.Server.workers server);
+        Printf.eprintf "dmfd: serving on %s:%d with %d worker(s)%s\n%!" host
+          port
+          (Service.Server.workers server)
+          (match wal_dir with
+          | Some dir -> Printf.sprintf ", journaling to %s" dir
+          | None -> "");
         Service.Server.serve_tcp server ~host ~port
       end)
 
@@ -71,7 +191,8 @@ let cmd =
   let term =
     Term.(
       const run $ stdio_arg $ host_arg $ port_arg $ workers_arg $ queue_arg
-      $ cache_arg)
+      $ cache_arg $ wal_dir_arg $ fsync_batch_arg $ fsync_ms_arg
+      $ snapshot_arg)
   in
   Cmd.v (Cmd.info "dmfd" ~version:"1.0.0" ~doc) term
 

@@ -760,11 +760,29 @@ let protocols_cmd =
 (* client                                                              *)
 
 let client_cmd =
+  let client_ratio =
+    (* Unlike the planning subcommands, only the prepare kind needs a
+       ratio — stats/ping/recover-stats must work without one. *)
+    Arg.(
+      value
+      & opt (some ratio_conv) None
+      & info [ "r"; "ratio" ] ~docv:"RATIO"
+          ~doc:"Target ratio (required for --req prepare).")
+  in
   let run ratio demand algorithm scheduler mixers storage host port kind =
     protect @@ fun () ->
+    (* recover-stats is a stats request whose response is narrowed to
+       the wal object — the recovery/journal counters of a daemon
+       running with --wal-dir. *)
+    let wal_only = kind = "recover-stats" in
     let kind =
       match kind with
       | "prepare" ->
+        let ratio =
+          match ratio with
+          | Some r -> r
+          | None -> failwith "--req prepare needs a --ratio"
+        in
         let demand =
           match Service.Validate.demand demand with
           | Ok d -> d
@@ -779,7 +797,7 @@ let client_cmd =
             mixers;
             storage_limit = storage;
           }
-      | "stats" -> Service.Request.Stats
+      | "stats" | "recover-stats" -> Service.Request.Stats
       | "ping" -> Service.Request.Ping
       | other -> failwith ("unknown request kind " ^ other)
     in
@@ -805,7 +823,17 @@ let client_cmd =
     (match input_line ic with
     | line -> (
       match Service.Jsonl.of_string line with
-      | Ok json -> Format.printf "%a@." Service.Jsonl.pp json
+      | Ok json ->
+        let json =
+          if not wal_only then json
+          else
+            match Service.Jsonl.member "wal" json with
+            | Some wal -> wal
+            | None ->
+              failwith
+                "the daemon runs without --wal-dir (no wal object in stats)"
+        in
+        Format.printf "%a@." Service.Jsonl.pp json
       | Error msg -> failwith ("malformed response: " ^ msg))
     | exception End_of_file -> failwith "server closed the connection");
     try Unix.shutdown_connection ic with Unix.Unix_error _ -> ()
@@ -822,7 +850,10 @@ let client_cmd =
   let kind =
     Arg.(
       value & opt string "prepare"
-      & info [ "req" ] ~docv:"KIND" ~doc:"Request kind: prepare, stats or ping.")
+      & info [ "req" ] ~docv:"KIND"
+          ~doc:
+            "Request kind: prepare, stats, ping, or recover-stats (the stats \
+             response's wal/recovery counters only).")
   in
   let client_storage =
     Arg.(
@@ -834,7 +865,7 @@ let client_cmd =
   in
   let term =
     Term.(
-      const run $ ratio_arg $ demand_arg $ algorithm_arg $ scheduler_arg
+      const run $ client_ratio $ demand_arg $ algorithm_arg $ scheduler_arg
       $ mixers_arg $ client_storage $ host $ port $ kind)
   in
   Cmd.v

@@ -1,0 +1,26 @@
+let try_remove path =
+  match Sys.remove path with () -> true | exception Sys_error _ -> false
+
+let run ~dir ~upto =
+  let segments = Wal.segments ~dir in
+  (* A segment covers [start, next_start - 1]; without a successor its
+     end is unknown, so it stays. *)
+  let rec removable = function
+    | (start, path) :: ((next_start, _) :: _ as rest) ->
+      if next_start - 1 <= upto && start <= upto then
+        path :: removable rest
+      else removable rest
+    | [ _ ] | [] -> []
+  in
+  let segs_removed =
+    List.fold_left
+      (fun n path -> if try_remove path then n + 1 else n)
+      0 (removable segments)
+  in
+  let snaps_removed =
+    List.fold_left
+      (fun n (seq, path) ->
+        if seq < upto && try_remove path then n + 1 else n)
+      0 (Snapshot.list ~dir)
+  in
+  (segs_removed, snaps_removed)

@@ -1,0 +1,15 @@
+(** Journal compaction: drop what the latest snapshot made redundant.
+
+    A snapshot at sequence number [s] subsumes every record with
+    [seq <= s], so any segment whose records all fall at or below [s]
+    can be deleted, as can every older snapshot.  Whole files only —
+    segments are rotated at snapshot time precisely so the boundary
+    falls between files and no rewrite is needed. *)
+
+val run : dir:string -> upto:int -> int * int
+(** [run ~dir ~upto] deletes journal segments that end at or before
+    sequence [upto] and snapshots older than [upto]; returns
+    [(segments_removed, snapshots_removed)].  A segment's end is
+    inferred from the next segment's start, so the newest segment is
+    never removed.  Deletion failures are ignored (compaction retries
+    at the next snapshot). *)

@@ -1,0 +1,146 @@
+type config = {
+  dir : string;
+  fsync : Wal.fsync_policy;
+  snapshot_every : int;
+  cache_capacity : int;
+}
+
+type t = {
+  config : config;
+  lock : Mutex.t;
+  wal : Wal.t;
+  mirror : State.t;
+  recovery : Replay.stats;
+  recovered_cache : Service.Request.spec list;
+  recovered_pending : Service.Request.spec list;
+  mutable last_snapshot_seq : int;
+  mutable since_snapshot : int;
+  mutable snapshots_written : int;
+  mutable segments_compacted : int;
+  mutable snapshots_compacted : int;
+  mutable prime_ms : float;
+  mutable primed_plans : int;
+  mutable primed_pending : int;
+  mutable closed : bool;
+}
+
+let start config =
+  let state, recovery =
+    Replay.recover ~dir:config.dir ~cache_capacity:config.cache_capacity
+  in
+  let wal =
+    Wal.open_segment ~dir:config.dir ~start_seq:recovery.Replay.next_seq
+      ~fsync:config.fsync
+  in
+  ( {
+      config;
+      lock = Mutex.create ();
+      wal;
+      mirror = state;
+      recovery;
+      (* Least recently used first: inserting in this order rebuilds
+         the same recency chain. *)
+      recovered_cache = List.rev (State.cache_specs state);
+      recovered_pending = State.outstanding state;
+      last_snapshot_seq =
+        (match recovery.Replay.snapshot_seq with Some s -> s | None -> 0);
+      since_snapshot = recovery.Replay.replayed;
+      snapshots_written = 0;
+      segments_compacted = 0;
+      snapshots_compacted = 0;
+      prime_ms = 0.;
+      primed_plans = 0;
+      primed_pending = 0;
+      closed = false;
+    },
+    recovery )
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Caller holds the lock. *)
+let snapshot_locked t =
+  let upto = Wal.next_seq t.wal - 1 in
+  if upto > t.last_snapshot_seq then begin
+    Wal.sync t.wal;
+    ignore (Snapshot.write ~dir:t.config.dir ~seq:upto t.mirror);
+    Wal.rotate t.wal;
+    let segs, snaps = Compact.run ~dir:t.config.dir ~upto in
+    t.last_snapshot_seq <- upto;
+    t.since_snapshot <- 0;
+    t.snapshots_written <- t.snapshots_written + 1;
+    t.segments_compacted <- t.segments_compacted + segs;
+    t.snapshots_compacted <- t.snapshots_compacted + snaps
+  end
+
+let journal t kind =
+  locked t (fun () ->
+      if not t.closed then begin
+        ignore (Wal.append t.wal kind);
+        State.apply t.mirror kind;
+        t.since_snapshot <- t.since_snapshot + 1;
+        if
+          t.config.snapshot_every > 0
+          && t.since_snapshot >= t.config.snapshot_every
+        then snapshot_locked t
+      end)
+
+let on_accept t spec = journal t (Record.Accepted spec)
+
+let on_complete t ~spec ~requests ~ok =
+  journal t (Record.Completed { spec; requests; ok })
+
+let recovered_cache t = t.recovered_cache
+let recovered_pending t = t.recovered_pending
+
+let note_prime t ~ms ~plans ~pending =
+  locked t (fun () ->
+      t.prime_ms <- ms;
+      t.primed_plans <- plans;
+      t.primed_pending <- pending)
+
+let state t = locked t (fun () -> State.copy t.mirror)
+let snapshot_now t = locked t (fun () -> snapshot_locked t)
+let appends t = locked t (fun () -> Wal.appends t.wal)
+let fsyncs t = locked t (fun () -> Wal.fsyncs t.wal)
+
+let stats_json t =
+  locked t (fun () ->
+      let r = t.recovery in
+      Service.Jsonl.Obj
+        [
+          ("dir", Service.Jsonl.String t.config.dir);
+          ("last_seq", Service.Jsonl.Int (Wal.next_seq t.wal - 1));
+          ("appends", Service.Jsonl.Int (Wal.appends t.wal));
+          ("fsyncs", Service.Jsonl.Int (Wal.fsyncs t.wal));
+          ("fsync_every_n", Service.Jsonl.Int t.config.fsync.Wal.every_n);
+          ("fsync_every_ms", Service.Jsonl.Float t.config.fsync.Wal.every_ms);
+          ("snapshot_every", Service.Jsonl.Int t.config.snapshot_every);
+          ("snapshots_written", Service.Jsonl.Int t.snapshots_written);
+          ("segments_compacted", Service.Jsonl.Int t.segments_compacted);
+          ("snapshots_compacted", Service.Jsonl.Int t.snapshots_compacted);
+          ( "recovery",
+            Service.Jsonl.Obj
+              [
+                ( "snapshot_seq",
+                  match r.Replay.snapshot_seq with
+                  | Some s -> Service.Jsonl.Int s
+                  | None -> Service.Jsonl.Null );
+                ("replayed", Service.Jsonl.Int r.Replay.replayed);
+                ("truncated", Service.Jsonl.Int r.Replay.truncated);
+                ("gap", Service.Jsonl.Bool r.Replay.gap);
+                ("wall_ms", Service.Jsonl.Float r.Replay.wall_ms);
+                ("prime_ms", Service.Jsonl.Float t.prime_ms);
+                ("primed_plans", Service.Jsonl.Int t.primed_plans);
+                ("primed_pending", Service.Jsonl.Int t.primed_pending);
+              ] );
+        ])
+
+let close t =
+  locked t (fun () ->
+      if not t.closed then begin
+        t.closed <- true;
+        snapshot_locked t;
+        Wal.close t.wal
+      end)

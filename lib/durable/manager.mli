@@ -1,0 +1,69 @@
+(** The daemon-facing façade over the durable machinery.
+
+    One {!t} owns the journal, a live mirror of the durable {!State},
+    and the snapshot/compaction schedule.  {!start} recovers whatever a
+    previous process left in the directory and then opens a fresh
+    journal segment after it; the caller re-derives the in-memory
+    plans from {!recovered_cache}/{!recovered_pending} (see
+    {!Service.Server.prime}) and wires {!on_accept}/{!on_complete} into
+    the server's hooks.
+
+    All operations are mutex-guarded and safe across domains and
+    threads.  {!on_complete} must be invoked {e before} the job's
+    waiters are released (the server guarantees this): with a strict
+    fsync policy, any response a client has observed is then already
+    durable — the invariant the kill -9 recovery tests check. *)
+
+type config = {
+  dir : string;
+  fsync : Wal.fsync_policy;
+  snapshot_every : int;
+      (** Snapshot (then rotate and compact) after this many journal
+          records; [<= 0] snapshots only on {!close}. *)
+  cache_capacity : int;  (** Must match the server's, for the mirror. *)
+}
+
+type t
+
+val start : config -> t * Replay.stats
+(** Recover, then open the journal for appending. *)
+
+val on_accept : t -> Service.Request.spec -> unit
+(** Journal an admitted prepare request (the queue's admission hook,
+    called under the queue lock so journal order = admission order). *)
+
+val on_complete :
+  t -> spec:Service.Request.spec -> requests:int -> ok:bool -> unit
+(** Journal a resolved planning job (the server's completion hook,
+    called before the waiters are released). *)
+
+val recovered_cache : t -> Service.Request.spec list
+(** Cache contents recovery rebuilt, {e least} recently used first —
+    the insertion order that reproduces the LRU recency. *)
+
+val recovered_pending : t -> Service.Request.spec list
+(** Accepted-but-unanswered specs recovery found, admission order.
+    Resubmitting them must bypass {!on_accept} — their accepted
+    records are already in the journal. *)
+
+val note_prime : t -> ms:float -> plans:int -> pending:int -> unit
+(** Record what re-planning the recovered state cost, for {!stats_json}. *)
+
+val state : t -> State.t
+(** A copy of the live durable-state mirror (tests compare it against
+    both the real server and a fresh {!Replay.recover}). *)
+
+val snapshot_now : t -> unit
+(** Sync, snapshot at the last journaled record, rotate the segment and
+    compact.  No-op when nothing new was journaled since the last
+    snapshot. *)
+
+val appends : t -> int
+val fsyncs : t -> int
+
+val stats_json : t -> Service.Jsonl.t
+(** The [wal] object of the daemon's [stats] response: journal and
+    snapshot counters plus the boot's recovery stats. *)
+
+val close : t -> unit
+(** Final sync, snapshot and compaction, then close the journal. *)

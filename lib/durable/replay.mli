@@ -1,0 +1,29 @@
+(** Boot-time recovery: latest valid snapshot + journal tail.
+
+    {!recover} rebuilds the durable {!State} a crashed daemon left
+    behind: load the newest snapshot that verifies, then apply every
+    journal record with a later sequence number, segment by segment, in
+    order.  The first record in a segment that fails to verify — CRC
+    mismatch, JSON parse error, an over-long or truncated line — marks
+    a torn tail: that record and everything after it {e in that
+    segment} is dropped (and counted), and replay moves to the next
+    segment.  A sequence-number gap between surviving records aborts
+    the replay at the gap instead of rebuilding a state that never
+    existed.
+
+    The rebuilt state carries only request specs; the caller re-derives
+    cached plans by re-running the deterministic planner
+    ({!Service.Server.prime} via {!Manager}). *)
+
+type stats = {
+  snapshot_seq : int option;  (** Snapshot the recovery started from. *)
+  replayed : int;  (** Journal records applied on top of it. *)
+  truncated : int;  (** Torn or invalid journal lines dropped. *)
+  gap : bool;  (** A sequence gap stopped the replay early. *)
+  wall_ms : float;  (** Snapshot load + replay time. *)
+  next_seq : int;  (** First unused sequence number after recovery. *)
+}
+
+val recover : dir:string -> cache_capacity:int -> State.t * stats
+(** A missing or empty [dir] recovers to the empty state (all-zero
+    stats, [next_seq = 1]). *)

@@ -1,0 +1,34 @@
+(** Atomic, versioned snapshots of the durable {!State}.
+
+    A snapshot file [snapshot-<seq12>.json] captures the state after
+    every record up to and including sequence number [<seq12>] has been
+    applied; recovery loads the newest valid one and replays only the
+    journal records after it.  Files are written to a [.tmp] sibling,
+    fsynced, then renamed into place — a crash mid-write leaves the old
+    snapshot untouched, and a half-written tmp file is never considered
+    by {!load_latest}.
+
+    Like the journal, snapshots store request {e specs}, not plans:
+    deterministic re-planning through the scheduler registry rebuilds
+    the cached values on boot. *)
+
+val version : int
+(** Current format version; {!load_latest} refuses newer files. *)
+
+val name : int -> string
+
+val list : dir:string -> (int * string) list
+(** [(seq, absolute path)] of every snapshot file, ascending. *)
+
+val write : dir:string -> seq:int -> State.t -> string
+(** Serialize atomically; returns the path written.
+    @raise Unix.Unix_error on filesystem failure. *)
+
+val load : cache_capacity:int -> string -> (State.t, string) result
+(** Read one snapshot file, verifying its CRC and version.  The state
+    is rebuilt under the caller's [cache_capacity] (see
+    {!State.restore}). *)
+
+val load_latest : dir:string -> cache_capacity:int -> (int * State.t) option
+(** The newest snapshot that verifies, with its sequence number;
+    corrupt or unreadable candidates are skipped, older ones tried. *)

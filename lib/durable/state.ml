@@ -1,0 +1,82 @@
+type t = {
+  cache_capacity : int;
+  mutable cache : Service.Request.spec list;  (* most recently used first *)
+  mutable outstanding : Service.Request.spec list;  (* admission order *)
+  mutable evictions : int;
+}
+
+let create ~cache_capacity =
+  if cache_capacity < 0 then invalid_arg "State.create: negative capacity";
+  { cache_capacity; cache = []; outstanding = []; evictions = 0 }
+
+let copy t = { t with cache_capacity = t.cache_capacity }
+
+let restore ~cache_capacity ~cache_mru ~outstanding =
+  let t = create ~cache_capacity in
+  t.cache <- List.filteri (fun i _ -> i < cache_capacity) cache_mru;
+  t.outstanding <- outstanding;
+  t
+
+let touch t spec =
+  if t.cache_capacity > 0 then begin
+    let key = Service.Request.cache_key spec in
+    let rest =
+      List.filter (fun s -> Service.Request.cache_key s <> key) t.cache
+    in
+    let cache = spec :: rest in
+    (* Mirror Cache.add: evict from the LRU end while over capacity. *)
+    let size = List.length cache in
+    if size > t.cache_capacity then begin
+      t.evictions <- t.evictions + (size - t.cache_capacity);
+      t.cache <- List.filteri (fun i _ -> i < t.cache_capacity) cache
+    end
+    else t.cache <- cache
+  end
+
+(* Discharge [requests] outstanding entries coalesced under [key],
+   oldest first.  Entries that are not found are ignored — a journal
+   whose accepted records were compacted away mid-batch never arises
+   from the Manager, but replay stays total anyway. *)
+let discharge t key requests =
+  let remaining = ref requests in
+  t.outstanding <-
+    List.filter
+      (fun spec ->
+        if !remaining > 0 && Service.Request.coalesce_key spec = key then begin
+          decr remaining;
+          false
+        end
+        else true)
+      t.outstanding
+
+let apply t = function
+  | Record.Accepted spec -> t.outstanding <- t.outstanding @ [ spec ]
+  | Record.Completed { spec; requests; ok } ->
+    discharge t (Service.Request.coalesce_key spec) requests;
+    if ok then touch t spec
+
+let cache_specs t = t.cache
+let cache_keys t = List.map Service.Request.cache_key t.cache
+let outstanding t = t.outstanding
+let evictions t = t.evictions
+
+let equal a b =
+  cache_keys a = cache_keys b
+  && List.map
+       (fun s -> (Service.Request.coalesce_key s, s.Service.Request.demand))
+       a.outstanding
+     = List.map
+         (fun s -> (Service.Request.coalesce_key s, s.Service.Request.demand))
+         b.outstanding
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>cache (MRU first):@,";
+  List.iter (fun k -> Format.fprintf ppf "  %s@," k) (cache_keys t);
+  Format.fprintf ppf "outstanding:@,";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "  %s D=%d@,"
+        (Service.Request.coalesce_key s)
+        s.Service.Request.demand)
+    t.outstanding;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,109 @@
+type fsync_policy = { every_n : int; every_ms : float }
+
+let strict = { every_n = 1; every_ms = 0. }
+
+type t = {
+  dir : string;
+  fsync : fsync_policy;
+  mutable fd : Unix.file_descr;
+  mutable next_seq : int;
+  mutable unsynced : int;
+  mutable last_sync : float;
+  mutable appends : int;
+  mutable fsyncs : int;
+}
+
+let rec ensure_dir dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then ensure_dir parent;
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let segment_name seq = Printf.sprintf "wal-%012d.ndjson" seq
+
+let parse_name ~prefix ~suffix name =
+  let pn = String.length prefix and sn = String.length suffix in
+  let n = String.length name in
+  if
+    n > pn + sn
+    && String.sub name 0 pn = prefix
+    && String.sub name (n - sn) sn = suffix
+  then int_of_string_opt (String.sub name pn (n - pn - sn))
+  else None
+
+let listing ~prefix ~suffix dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | names ->
+    Array.to_list names
+    |> List.filter_map (fun name ->
+           match parse_name ~prefix ~suffix name with
+           | Some seq -> Some (seq, Filename.concat dir name)
+           | None -> None)
+    |> List.sort compare
+
+let segments ~dir = listing ~prefix:"wal-" ~suffix:".ndjson" dir
+
+let open_fd dir start_seq =
+  Unix.openfile
+    (Filename.concat dir (segment_name start_seq))
+    [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+    0o644
+
+let open_segment ~dir ~start_seq ~fsync =
+  ensure_dir dir;
+  {
+    dir;
+    fsync;
+    fd = open_fd dir start_seq;
+    next_seq = start_seq;
+    unsynced = 0;
+    last_sync = Unix.gettimeofday ();
+    appends = 0;
+    fsyncs = 0;
+  }
+
+let write_all fd s =
+  let n = String.length s in
+  let written = ref 0 in
+  while !written < n do
+    written := !written + Unix.write_substring fd s !written (n - !written)
+  done
+
+let sync t =
+  if t.unsynced > 0 then begin
+    Unix.fsync t.fd;
+    t.fsyncs <- t.fsyncs + 1;
+    t.unsynced <- 0;
+    t.last_sync <- Unix.gettimeofday ()
+  end
+
+let append t kind =
+  let seq = t.next_seq in
+  write_all t.fd (Record.encode ~seq kind ^ "\n");
+  t.next_seq <- seq + 1;
+  t.appends <- t.appends + 1;
+  t.unsynced <- t.unsynced + 1;
+  let due_count = t.fsync.every_n > 0 && t.unsynced >= t.fsync.every_n in
+  let due_time =
+    t.fsync.every_ms > 0.
+    && (Unix.gettimeofday () -. t.last_sync) *. 1000. >= t.fsync.every_ms
+  in
+  if due_count || due_time then sync t;
+  seq
+
+let rotate t =
+  sync t;
+  Unix.close t.fd;
+  t.fd <- open_fd t.dir t.next_seq;
+  t.last_sync <- Unix.gettimeofday ()
+
+let close t =
+  sync t;
+  Unix.close t.fd
+
+let next_seq t = t.next_seq
+let appends t = t.appends
+let fsyncs t = t.fsyncs

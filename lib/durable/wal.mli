@@ -1,0 +1,63 @@
+(** The append-only NDJSON journal.
+
+    A WAL directory holds segment files named [wal-<seq12>.ndjson],
+    where [<seq12>] is the zero-padded sequence number of the segment's
+    first record; records carry strictly increasing sequence numbers
+    across segments.  {!Manager} opens a fresh segment on every boot
+    and rotates to a new one at each snapshot, so {!Compact} can drop
+    whole files that a snapshot has made redundant.
+
+    Durability is tunable with {!fsync_policy}: [every_n = 1] fsyncs
+    after every record (strict — a response the client saw is always
+    recoverable), larger batches trade a bounded window of lost tail
+    records for throughput (measured by the [wal] bench experiment).
+    [every_ms] adds a time bound so a slow trickle of requests does not
+    postpone the sync indefinitely; either trigger alone may be
+    disabled with a non-positive value.
+
+    Not thread-safe; {!Manager} serializes access. *)
+
+type fsync_policy = { every_n : int; every_ms : float }
+
+val strict : fsync_policy
+(** [{ every_n = 1; every_ms = 0. }] — sync every record. *)
+
+type t
+
+val open_segment : dir:string -> start_seq:int -> fsync:fsync_policy -> t
+(** Create (or append to) the segment whose first record will be
+    [start_seq], creating [dir] as needed.
+    @raise Unix.Unix_error if the directory or file cannot be made. *)
+
+val append : t -> Record.kind -> int
+(** Journal one record; returns the sequence number it was assigned.
+    Syncs afterwards if the fsync policy says so. *)
+
+val sync : t -> unit
+(** Force an fsync of any unsynced appends now. *)
+
+val rotate : t -> unit
+(** Sync and close the current segment, then open a fresh one starting
+    at the next sequence number. *)
+
+val close : t -> unit
+(** Sync and close.  The value must not be used afterwards. *)
+
+val next_seq : t -> int
+(** Sequence number the next {!append} will be assigned. *)
+
+val appends : t -> int
+(** Records appended through this value (all segments). *)
+
+val fsyncs : t -> int
+(** fsync calls issued through this value. *)
+
+(** {2 Directory layout} *)
+
+val segment_name : int -> string
+val segments : dir:string -> (int * string) list
+(** [(start_seq, absolute path)] of every segment file in [dir], in
+    ascending [start_seq] order; empty for a missing directory. *)
+
+val ensure_dir : string -> unit
+(** [mkdir -p]. *)

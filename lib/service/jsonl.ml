@@ -314,6 +314,41 @@ let rec pp ppf = function
       kvs
 
 (* ------------------------------------------------------------------ *)
+(* Bounded line reading                                                *)
+
+type line =
+  | Line of string
+  | Tail of string
+  | Oversized of int
+  | Eof
+
+let max_line_bytes = 1 lsl 20
+
+let read_line ?(max_bytes = max_line_bytes) ic =
+  let buf = Buffer.create 128 in
+  (* Over the bound: stop buffering, just count until newline or EOF so
+     the stream stays line-synchronized for the caller. *)
+  let rec skip n =
+    match input_char ic with
+    | '\n' -> Oversized n
+    | _ -> skip (n + 1)
+    | exception End_of_file -> Oversized n
+  in
+  let rec loop () =
+    match input_char ic with
+    | '\n' -> Line (Buffer.contents buf)
+    | c ->
+      if Buffer.length buf >= max_bytes then skip (Buffer.length buf + 1)
+      else begin
+        Buffer.add_char buf c;
+        loop ()
+      end
+    | exception End_of_file ->
+      if Buffer.length buf = 0 then Eof else Tail (Buffer.contents buf)
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
 (* Accessors                                                           *)
 
 let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None

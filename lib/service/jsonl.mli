@@ -37,6 +37,33 @@ val pp : Format.formatter -> t -> unit
 (** Human-oriented multi-line rendering (the [client] subcommand's
     pretty-printer). *)
 
+(** {2 Bounded line reading}
+
+    NDJSON consumers (the server's reader thread, WAL replay) must not
+    let one malformed line exhaust memory, and must distinguish a
+    complete final line from one whose trailing newline never made it
+    to disk — the torn-tail case crash recovery truncates at. *)
+
+type line =
+  | Line of string  (** A complete, newline-terminated line. *)
+  | Tail of string
+      (** The final line of the stream, not newline-terminated: input
+          ended mid-line (truncated file, torn journal write). *)
+  | Oversized of int
+      (** The line exceeded the byte bound; its full length is
+          reported and the stream is positioned after it (or at end of
+          input), so the caller can reject and keep reading. *)
+  | Eof
+
+val max_line_bytes : int
+(** Default bound: 1 MiB, far above any protocol line. *)
+
+val read_line : ?max_bytes:int -> in_channel -> line
+(** Read one line (newline not included).  Unlike
+    {!Stdlib.input_line}, never allocates more than [max_bytes] for
+    the line and never conflates a truncated final line with a
+    complete one. *)
+
 (** {2 Accessors} *)
 
 val member : string -> t -> t option

@@ -24,11 +24,12 @@ type t = {
   pending : job Stdlib.Queue.t;
   by_key : (string, job) Hashtbl.t;  (* pending jobs only *)
   capacity : int;
+  on_admit : (Request.spec -> unit) option;
   mutable coalesced : int;
   mutable closed : bool;
 }
 
-let create ~capacity =
+let create ?on_admit ~capacity () =
   if capacity < 1 then invalid_arg "Queue.create: capacity must be positive";
   {
     lock = Mutex.create ();
@@ -37,6 +38,7 @@ let create ~capacity =
     pending = Stdlib.Queue.create ();
     by_key = Hashtbl.create 64;
     capacity;
+    on_admit;
     coalesced = 0;
     closed = false;
   }
@@ -55,7 +57,17 @@ let new_job key spec =
     result = None;
   }
 
-let submit t (spec : Request.spec) =
+(* The admission hook runs under the queue lock, before any worker can
+   take the job: what it observes (e.g. what the WAL journals) is
+   exactly the admission order, and an admitted request is journaled
+   strictly before its job can complete. *)
+let admitted t (spec : Request.spec) quiet ticket =
+  (match t.on_admit with
+  | Some hook when not quiet -> hook spec
+  | Some _ | None -> ());
+  Ok ticket
+
+let submit ?(quiet = false) t (spec : Request.spec) =
   let key = Request.coalesce_key spec in
   locked t (fun () ->
       if t.closed then Error "server is shutting down"
@@ -72,7 +84,7 @@ let submit t (spec : Request.spec) =
             };
           job.requests <- job.requests + 1;
           t.coalesced <- t.coalesced + 1;
-          Ok { job; my_demand = spec.Request.demand }
+          admitted t spec quiet { job; my_demand = spec.Request.demand }
         | Some _ | None ->
           (* New pending job; block while the queue is full. *)
           let rec wait_for_room () =
@@ -89,7 +101,7 @@ let submit t (spec : Request.spec) =
                  is the one later requests coalesce into. *)
               Hashtbl.replace t.by_key key job;
               Condition.signal t.not_empty;
-              Ok { job; my_demand = spec.Request.demand }
+              admitted t spec quiet { job; my_demand = spec.Request.demand }
             end
           in
           wait_for_room ())

@@ -34,15 +34,22 @@ type outcome = {
   cache_hit : bool;
 }
 
-val create : capacity:int -> t
-(** @raise Invalid_argument if [capacity < 1]. *)
+val create : ?on_admit:(Request.spec -> unit) -> capacity:int -> unit -> t
+(** [on_admit] is called for every successfully admitted request —
+    merge or fresh job alike — under the queue lock, so calls happen in
+    admission order and strictly before any worker can complete the
+    request's job.  The write-ahead log hangs its accepted-record hook
+    here; it must not call back into the queue.
+    @raise Invalid_argument if [capacity < 1]. *)
 
-val submit : t -> Request.spec -> (ticket, string) result
+val submit : ?quiet:bool -> t -> Request.spec -> (ticket, string) result
 (** Admit a request: merge into the pending job with the same coalesce
     key, or enqueue a new job (blocking while the queue is full).
     A merge that would push the batch demand over {!Validate.max_demand}
     is not performed — the request is queued as its own fresh job
-    instead.  [Error] only after {!close}. *)
+    instead.  [quiet] (default [false]) suppresses the [on_admit] hook:
+    recovery resubmits journaled requests that were already accepted
+    once.  [Error] only after {!close}. *)
 
 val take : t -> job option
 (** Worker side: pop the oldest pending job, blocking while the queue is

@@ -38,6 +38,7 @@ type stats = {
   cache : Cache.stats;
   avg_latency_ms : float;
   uptime_s : float;
+  wal : Jsonl.t option;
 }
 
 type body =
@@ -125,6 +126,7 @@ let to_json t =
         ("avg_latency_ms", Jsonl.Float s.avg_latency_ms);
         ("uptime_s", Jsonl.Float s.uptime_s);
       ]
+      @ (match s.wal with Some w -> [ ("wal", w) ] | None -> [])
   in
   let elapsed =
     match t.elapsed_ms with

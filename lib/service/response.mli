@@ -36,6 +36,10 @@ type stats = {
   cache : Cache.stats;
   avg_latency_ms : float;  (** Mean submit-to-completion of prepare requests. *)
   uptime_s : float;
+  wal : Jsonl.t option;
+      (** Journal/recovery counters when the daemon runs with a
+          write-ahead log ([dmfd --wal-dir]), [None] otherwise — so a
+          daemon without durability serves byte-identical stats. *)
 }
 
 type body =

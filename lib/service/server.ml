@@ -14,6 +14,7 @@ type t = {
   counters : counters;
   pool : Pool.t;
   started_at : float;
+  wal_stats : (unit -> Jsonl.t) option;
 }
 
 let with_counters c f =
@@ -21,8 +22,12 @@ let with_counters c f =
   Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) (fun () -> f c)
 
 (* The planning handler every pool worker runs: plan cache first, the
-   engine on a miss.  The spec demand is already the coalesced sum. *)
-let run_job cache counters job =
+   engine on a miss.  The spec demand is already the coalesced sum.
+   [on_complete] (the WAL's completion hook) fires for every job — hits
+   refresh LRU recency, which recovery must replay — and strictly
+   before [Queue.fulfil] releases the waiters, so with a strict fsync
+   policy no client ever observes a response that is not yet durable. *)
+let run_job cache counters on_complete job =
   let spec = Queue.job_spec job in
   let coalesced = Queue.job_requests job in
   let batch_demand = spec.Request.demand in
@@ -40,13 +45,17 @@ let run_job cache counters job =
       | Error msg -> Error msg)
   in
   with_counters counters (fun c -> c.jobs <- c.jobs + 1);
+  (match on_complete with
+  | Some hook -> hook ~spec ~requests:coalesced ~ok:(Result.is_ok result)
+  | None -> ());
   Queue.fulfil job result
 
-let create ?workers ?(queue_capacity = 256) ?(cache_capacity = 1024) () =
+let create ?workers ?(queue_capacity = 256) ?(cache_capacity = 1024) ?on_accept
+    ?on_complete ?wal_stats () =
   let workers =
     match workers with Some w -> w | None -> Mdst.Par.default_domains ()
   in
-  let queue = Queue.create ~capacity:queue_capacity in
+  let queue = Queue.create ?on_admit:on_accept ~capacity:queue_capacity () in
   let cache = Cache.create ~capacity:cache_capacity in
   let counters =
     {
@@ -60,11 +69,33 @@ let create ?workers ?(queue_capacity = 256) ?(cache_capacity = 1024) () =
     }
   in
   let pool =
-    Pool.start ~workers ~handler:(run_job cache counters) queue
+    Pool.start ~workers ~handler:(run_job cache counters on_complete) queue
   in
-  { queue; cache; counters; pool; started_at = Unix.gettimeofday () }
+  { queue; cache; counters; pool; started_at = Unix.gettimeofday (); wal_stats }
 
 let workers t = Pool.workers t.pool
+let cache_keys t = Cache.keys t.cache
+
+(* Recovery priming: rebuild the plans the crashed process had.
+   Re-planning is deterministic (every spec dispatches through the
+   Mdst.Scheduler registry), so inserting in least-recently-used-first
+   order reproduces both the cache contents and the recency chain.
+   Recovered pending requests are resubmitted quietly — their accepted
+   records are already journaled — with no waiter: the pool plans them
+   and the completion hook discharges them, re-warming the cache. *)
+let prime t ~cache ~pending =
+  let plans =
+    List.fold_left
+      (fun n spec ->
+        match Validate.protect (fun () -> Prep.run spec) with
+        | Ok prepared ->
+          Cache.add t.cache (Request.cache_key spec) prepared;
+          n + 1
+        | Error _ -> n)
+      0 cache
+  in
+  List.iter (fun spec -> ignore (Queue.submit ~quiet:true t.queue spec)) pending;
+  plans
 
 let stats t =
   let c = t.counters in
@@ -89,6 +120,7 @@ let stats t =
       (if latency_samples = 0 then 0.
        else latency_ms_sum /. float_of_int latency_samples);
     uptime_s = Unix.gettimeofday () -. t.started_at;
+    wal = Option.map (fun f -> f ()) t.wal_stats;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -179,35 +211,53 @@ let serve_channels t ic oc =
     loop ()
   in
   let writer_thread = Thread.create writer () in
-  (try
-     while true do
-       let line = input_line ic in
-       if String.trim line <> "" then
-         match Request.of_line line with
-         | Error msg ->
-           (* Echo the id even for a rejected request, so a pipelining
-              client can still match the error to its question. *)
-           let id =
-             match Jsonl.of_string line with
-             | Ok json -> Jsonl.member "id" json
-             | Error _ -> None
-           in
-           push (Ready { Response.id; elapsed_ms = None; body = Response.Error msg })
-         | Ok { Request.id; kind = Request.Ping } ->
-           push (Ready { Response.id; elapsed_ms = None; body = Response.Pong })
-         | Ok { Request.id; kind = Request.Stats } ->
-           push
-             (Thunk
-                (fun () ->
-                  { Response.id; elapsed_ms = None; body = Response.Stats (stats t) }))
-         | Ok { Request.id; kind = Request.Prepare spec } -> (
-           let t0 = Unix.gettimeofday () in
-           match Queue.submit t.queue spec with
-           | Ok ticket -> push (Pending { ticket; id; t0 })
-           | Error msg ->
-             push (Ready { Response.id; elapsed_ms = None; body = Response.Error msg }))
-     done
-   with End_of_file -> ());
+  let rec read_loop () =
+    match Jsonl.read_line ic with
+    | Jsonl.Eof -> ()
+    | Jsonl.Oversized n ->
+      (* The line was discarded unread, so there is no id to echo. *)
+      push
+        (Ready
+           {
+             Response.id = None;
+             elapsed_ms = None;
+             body =
+               Response.Error
+                 (Printf.sprintf "request line of %d bytes exceeds the %d byte limit"
+                    n Jsonl.max_line_bytes);
+           });
+      read_loop ()
+    | Jsonl.Line line | Jsonl.Tail line ->
+      begin
+        if String.trim line <> "" then
+          match Request.of_line line with
+          | Error msg ->
+            (* Echo the id even for a rejected request, so a pipelining
+               client can still match the error to its question. *)
+            let id =
+              match Jsonl.of_string line with
+              | Ok json -> Jsonl.member "id" json
+              | Error _ -> None
+            in
+            push (Ready { Response.id; elapsed_ms = None; body = Response.Error msg })
+          | Ok { Request.id; kind = Request.Ping } ->
+            push (Ready { Response.id; elapsed_ms = None; body = Response.Pong })
+          | Ok { Request.id; kind = Request.Stats } ->
+            push
+              (Thunk
+                 (fun () ->
+                   { Response.id; elapsed_ms = None; body = Response.Stats (stats t) }))
+          | Ok { Request.id; kind = Request.Prepare spec } -> (
+            let t0 = Unix.gettimeofday () in
+            match Queue.submit t.queue spec with
+            | Ok ticket -> push (Pending { ticket; id; t0 })
+            | Error msg ->
+              push
+                (Ready { Response.id; elapsed_ms = None; body = Response.Error msg }))
+      end;
+      read_loop ()
+  in
+  read_loop ();
   Mutex.lock lock;
   eof := true;
   Condition.signal nonempty;
@@ -229,16 +279,21 @@ let serve_tcp t ~host ~port =
   Unix.bind sock (Unix.ADDR_INET (addr, port));
   Unix.listen sock 64;
   while true do
-    let fd, _peer = Unix.accept sock in
-    ignore
-      (Thread.create
-         (fun fd ->
-           let ic = Unix.in_channel_of_descr fd in
-           let oc = Unix.out_channel_of_descr fd in
-           (try serve_channels t ic oc with _ -> ());
-           (try close_out oc with _ -> ());
-           try Unix.close fd with _ -> ())
-         fd)
+    (* A signal (e.g. SIGTERM starting the clean-shutdown thread)
+       interrupts the blocking accept; keep serving until the shutdown
+       path exits the process. *)
+    match Unix.accept sock with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | fd, _peer ->
+      ignore
+        (Thread.create
+           (fun fd ->
+             let ic = Unix.in_channel_of_descr fd in
+             let oc = Unix.out_channel_of_descr fd in
+             (try serve_channels t ic oc with _ -> ());
+             (try close_out oc with _ -> ());
+             try Unix.close fd with _ -> ())
+           fd)
   done
 
 let stop t =

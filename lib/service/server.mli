@@ -22,15 +22,44 @@ val create :
   ?workers:int ->
   ?queue_capacity:int ->
   ?cache_capacity:int ->
+  ?on_accept:(Request.spec -> unit) ->
+  ?on_complete:(spec:Request.spec -> requests:int -> ok:bool -> unit) ->
+  ?wal_stats:(unit -> Jsonl.t) ->
   unit ->
   t
 (** Start the pool.  [workers] defaults to {!Mdst.Par.default_domains}
     (so [MDST_DOMAINS] sizes the pool), [queue_capacity] to 256 pending
-    jobs, [cache_capacity] to 1024 cached plans. *)
+    jobs, [cache_capacity] to 1024 cached plans.
+
+    The three optional hooks are how a write-ahead log observes the
+    server without the service library depending on it ([dmfd] wires
+    them to [Durable.Manager]):
+    - [on_accept] fires for every admitted prepare request, in
+      admission order, under the queue lock ({!Queue.create}'s
+      [on_admit]);
+    - [on_complete] fires for every resolved planning job — cache hits
+      included, since a hit refreshes LRU recency — strictly {e before}
+      the job's waiters are released, so a synced journal record always
+      precedes the response a client can observe;
+    - [wal_stats] is evaluated on each [stats] request and becomes the
+      response's [wal] object. *)
 
 val workers : t -> int
 
 val stats : t -> Response.stats
+
+val cache_keys : t -> string list
+(** Cached plan keys, most recently used first (recovery tests compare
+    these against the durable state model). *)
+
+val prime : t -> cache:Request.spec list -> pending:Request.spec list -> int
+(** Rebuild recovered state on boot: re-plan and insert [cache] specs
+    (given least recently used first, reproducing the recency order),
+    then resubmit [pending] specs without waiters and without
+    re-triggering [on_accept] (their accepted records are already
+    journaled).  Returns the number of plans rebuilt; specs that fail
+    validation or planning are skipped.  Call before serving any
+    transport. *)
 
 val serve_channels : t -> in_channel -> out_channel -> unit
 (** Serve one NDJSON stream until end of input; responses are flushed

@@ -1,0 +1,506 @@
+(* The durable subsystem: CRC-32 known answers, record codec round-trips
+   and corruption detection, WAL append -> replay round-trips including
+   deliberately torn tails, snapshot load/compaction, the bounded
+   Jsonl.read_line, and differential properties checking that recovery
+   rebuilds exactly the state an uninterrupted run reaches. *)
+
+open QCheck2
+
+let pcr16 = Generators.pcr16
+
+let with_temp_dir f =
+  let dir = Filename.temp_dir "durable-test" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun name ->
+          try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+let spec_for ?(ratio = pcr16) ?(demand = 4) ?(mixers = Some 3) () =
+  {
+    Service.Request.ratio;
+    demand;
+    algorithm = Mixtree.Algorithm.MM;
+    scheduler = Mdst.Scheduler.srs;
+    mixers;
+    storage_limit = None;
+  }
+
+(* A small pool of specs sharing few coalesce keys, so discharge and
+   LRU-touch collisions actually happen under random op streams. *)
+let spec_pool =
+  [|
+    spec_for ();
+    spec_for ~demand:8 ();
+    spec_for ~ratio:(Dmf.Ratio.of_string "3:1") ~demand:4 ();
+    spec_for ~ratio:(Dmf.Ratio.of_string "1:1:2") ~mixers:(Some 1) ();
+  |]
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32                                                              *)
+
+let crc32_known () =
+  Alcotest.(check int) "empty" 0 (Durable.Crc32.string "");
+  Alcotest.(check int) "check value" 0xCBF43926
+    (Durable.Crc32.string "123456789");
+  Alcotest.(check int) "fox" 0x414FA339
+    (Durable.Crc32.string "The quick brown fox jumps over the lazy dog");
+  Alcotest.(check int) "sub agrees with string" 0xCBF43926
+    (Durable.Crc32.sub "xx123456789yy" ~pos:2 ~len:9)
+
+(* ------------------------------------------------------------------ *)
+(* Record codec                                                        *)
+
+let kind_equal a b =
+  match (a, b) with
+  | Durable.Record.Accepted s, Durable.Record.Accepted s' ->
+    Service.Request.cache_key s = Service.Request.cache_key s'
+  | ( Durable.Record.Completed { spec; requests; ok },
+      Durable.Record.Completed { spec = spec'; requests = r'; ok = ok' } ) ->
+    Service.Request.cache_key spec = Service.Request.cache_key spec'
+    && requests = r' && ok = ok'
+  | _ -> false
+
+let record_roundtrip () =
+  let check_kind kind =
+    let line = Durable.Record.encode ~seq:7 kind in
+    match Durable.Record.decode line with
+    | Ok (7, kind') ->
+      Alcotest.(check bool) "kind survives" true (kind_equal kind kind')
+    | Ok (seq, _) -> Alcotest.failf "wrong seq %d" seq
+    | Error msg -> Alcotest.failf "decode failed: %s" msg
+  in
+  check_kind (Durable.Record.Accepted (spec_for ()));
+  check_kind
+    (Durable.Record.Completed { spec = spec_for ~demand:20 (); requests = 5; ok = true });
+  check_kind
+    (Durable.Record.Completed { spec = spec_for (); requests = 1; ok = false })
+
+let record_corruption () =
+  let line = Durable.Record.encode ~seq:3 (Durable.Record.Accepted (spec_for ())) in
+  let reject what s =
+    match Durable.Record.decode s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %s" what
+  in
+  (* Flip one byte in the middle: the CRC no longer matches. *)
+  let flipped = Bytes.of_string line in
+  let mid = String.length line / 2 in
+  Bytes.set flipped mid (if Bytes.get flipped mid = '1' then '2' else '1');
+  reject "a flipped byte" (Bytes.to_string flipped);
+  (* A torn write: any strict prefix fails to parse or to checksum. *)
+  reject "a truncated record" (String.sub line 0 (String.length line - 4));
+  reject "garbage" "not json";
+  reject "the empty line" ""
+
+(* ------------------------------------------------------------------ *)
+(* WAL append -> replay                                                 *)
+
+let sample_kinds =
+  [
+    Durable.Record.Accepted spec_pool.(0);
+    Durable.Record.Accepted spec_pool.(1);
+    Durable.Record.Completed { spec = spec_pool.(0); requests = 1; ok = true };
+    Durable.Record.Accepted spec_pool.(2);
+    Durable.Record.Completed { spec = spec_pool.(1); requests = 1; ok = true };
+    Durable.Record.Completed { spec = spec_pool.(2); requests = 1; ok = false };
+    Durable.Record.Accepted spec_pool.(3);
+  ]
+
+let model_of kinds =
+  let state = Durable.State.create ~cache_capacity:8 in
+  List.iter (Durable.State.apply state) kinds;
+  state
+
+let write_wal dir kinds =
+  let wal =
+    Durable.Wal.open_segment ~dir ~start_seq:1 ~fsync:Durable.Wal.strict
+  in
+  List.iter (fun kind -> ignore (Durable.Wal.append wal kind)) kinds;
+  Durable.Wal.close wal
+
+let wal_replay_roundtrip () =
+  with_temp_dir (fun dir ->
+      write_wal dir sample_kinds;
+      let state, stats = Durable.Replay.recover ~dir ~cache_capacity:8 in
+      Alcotest.(check int) "all records replayed" (List.length sample_kinds)
+        stats.Durable.Replay.replayed;
+      Alcotest.(check int) "nothing truncated" 0 stats.Durable.Replay.truncated;
+      Alcotest.(check bool) "no gap" false stats.Durable.Replay.gap;
+      Alcotest.(check (option int)) "no snapshot" None
+        stats.Durable.Replay.snapshot_seq;
+      Alcotest.(check int) "next seq" (List.length sample_kinds + 1)
+        stats.Durable.Replay.next_seq;
+      Alcotest.(check bool) "state equals the model" true
+        (Durable.State.equal state (model_of sample_kinds)))
+
+let wal_torn_tail () =
+  with_temp_dir (fun dir ->
+      write_wal dir sample_kinds;
+      (* Tear the last record mid-write: chop a few bytes off the file. *)
+      let path =
+        match Durable.Wal.segments ~dir with
+        | [ (1, path) ] -> path
+        | _ -> Alcotest.fail "expected exactly one segment"
+      in
+      let size = (Unix.stat path).Unix.st_size in
+      Unix.truncate path (size - 4);
+      let state, stats = Durable.Replay.recover ~dir ~cache_capacity:8 in
+      let n = List.length sample_kinds in
+      Alcotest.(check int) "tail record dropped" (n - 1)
+        stats.Durable.Replay.replayed;
+      Alcotest.(check int) "one torn line" 1 stats.Durable.Replay.truncated;
+      Alcotest.(check bool) "no gap" false stats.Durable.Replay.gap;
+      let shorter = List.filteri (fun i _ -> i < n - 1) sample_kinds in
+      Alcotest.(check bool) "state equals the model minus the tail" true
+        (Durable.State.equal state (model_of shorter)))
+
+let missing_dir_recovers_empty () =
+  let state, stats =
+    Durable.Replay.recover ~dir:"/nonexistent/durable-test" ~cache_capacity:8
+  in
+  Alcotest.(check int) "nothing replayed" 0 stats.Durable.Replay.replayed;
+  Alcotest.(check int) "next seq is 1" 1 stats.Durable.Replay.next_seq;
+  Alcotest.(check bool) "empty state" true
+    (Durable.State.equal state (Durable.State.create ~cache_capacity:8))
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+
+let snapshot_roundtrip () =
+  with_temp_dir (fun dir ->
+      let state = model_of sample_kinds in
+      let path = Durable.Snapshot.write ~dir ~seq:7 state in
+      (match Durable.Snapshot.load ~cache_capacity:8 path with
+      | Ok state' ->
+        Alcotest.(check bool) "snapshot round-trips the state" true
+          (Durable.State.equal state state')
+      | Error msg -> Alcotest.failf "load failed: %s" msg);
+      (* A corrupted newer snapshot is skipped in favour of an older one. *)
+      let older = model_of (List.filteri (fun i _ -> i < 3) sample_kinds) in
+      ignore (Durable.Snapshot.write ~dir ~seq:3 older);
+      let newer = open_out_gen [ Open_append ] 0o644 path in
+      output_string newer "garbage";
+      close_out newer;
+      match Durable.Snapshot.load_latest ~dir ~cache_capacity:8 with
+      | Some (3, state') ->
+        Alcotest.(check bool) "fell back to the older snapshot" true
+          (Durable.State.equal older state')
+      | Some (seq, _) -> Alcotest.failf "loaded snapshot #%d" seq
+      | None -> Alcotest.fail "no snapshot loaded")
+
+let snapshot_then_compact () =
+  with_temp_dir (fun dir ->
+      let config =
+        {
+          Durable.Manager.dir;
+          fsync = Durable.Wal.strict;
+          snapshot_every = 3;
+          cache_capacity = 8;
+        }
+      in
+      let manager, recovery = Durable.Manager.start config in
+      Alcotest.(check int) "fresh dir" 0 recovery.Durable.Replay.replayed;
+      List.iter
+        (function
+          | Durable.Record.Accepted spec -> Durable.Manager.on_accept manager spec
+          | Durable.Record.Completed { spec; requests; ok } ->
+            Durable.Manager.on_complete manager ~spec ~requests ~ok)
+        sample_kinds;
+      let live = Durable.Manager.state manager in
+      Durable.Manager.close manager;
+      (* Snapshots were taken every 3 records, segments rotated and old
+         ones dropped; recovery must still land on the same state. *)
+      Alcotest.(check bool) "snapshots exist" true
+        (Durable.Snapshot.list ~dir <> []);
+      Alcotest.(check bool) "old segments compacted" true
+        (List.length (Durable.Wal.segments ~dir) <= 2);
+      let state, stats = Durable.Replay.recover ~dir ~cache_capacity:8 in
+      Alcotest.(check bool) "recovered from a snapshot" true
+        (stats.Durable.Replay.snapshot_seq <> None);
+      Alcotest.(check bool) "recovered state = live state" true
+        (Durable.State.equal state live);
+      Alcotest.(check bool) "recovered state = uninterrupted model" true
+        (Durable.State.equal state (model_of sample_kinds)))
+
+(* ------------------------------------------------------------------ *)
+(* Bounded line reader (the Jsonl hardening)                           *)
+
+let read_line_cases () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "lines" in
+      let oc = open_out path in
+      output_string oc "short\n";
+      output_string oc (String.make 40 'x');
+      output_string oc "\nafter\ntail-without-newline";
+      close_out oc;
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          (match Service.Jsonl.read_line ~max_bytes:16 ic with
+          | Service.Jsonl.Line "short" -> ()
+          | _ -> Alcotest.fail "short line misread");
+          (match Service.Jsonl.read_line ~max_bytes:16 ic with
+          | Service.Jsonl.Oversized 40 -> ()
+          | _ -> Alcotest.fail "oversized line not rejected");
+          (* The stream stays line-synchronized after a rejection. *)
+          (match Service.Jsonl.read_line ~max_bytes:16 ic with
+          | Service.Jsonl.Line "after" -> ()
+          | _ -> Alcotest.fail "lost synchronization after oversized line");
+          (match Service.Jsonl.read_line ~max_bytes:32 ic with
+          | Service.Jsonl.Tail "tail-without-newline" -> ()
+          | _ -> Alcotest.fail "truncated final line not flagged");
+          match Service.Jsonl.read_line ic with
+          | Service.Jsonl.Eof -> ()
+          | _ -> Alcotest.fail "missing Eof"))
+
+(* ------------------------------------------------------------------ *)
+(* Differential properties: recovery = the uninterrupted run           *)
+
+type op = Accept of int | Complete of int * int * bool
+
+let op_gen =
+  let open Gen in
+  let idx = int_range 0 (Array.length spec_pool - 1) in
+  oneof
+    [
+      map (fun i -> Accept i) idx;
+      map3 (fun i r ok -> Complete (i, r, ok)) idx (int_range 1 3) bool;
+    ]
+
+let kind_of_op = function
+  | Accept i -> Durable.Record.Accepted spec_pool.(i)
+  | Complete (i, r, ok) ->
+    Durable.Record.Completed { spec = spec_pool.(i); requests = r; ok }
+
+let op_print = function
+  | Accept i -> Printf.sprintf "A%d" i
+  | Complete (i, r, ok) -> Printf.sprintf "C%d(%d,%b)" i r ok
+
+let prop_manager_recovery =
+  Generators.qtest ~count:60
+    "random op streams: manager mirror = recovery = reference replay"
+    Gen.(
+      triple
+        (list_size (int_range 1 30) op_gen)
+        (int_range 0 5) (int_range 1 8))
+    (Print.triple (Print.list op_print) string_of_int string_of_int)
+    (fun (ops, snapshot_every, every_n) ->
+      with_temp_dir (fun dir ->
+          let config =
+            {
+              Durable.Manager.dir;
+              fsync = { Durable.Wal.every_n; every_ms = 0. };
+              snapshot_every;
+              cache_capacity = 4;
+            }
+          in
+          let manager, _ = Durable.Manager.start config in
+          let reference = Durable.State.create ~cache_capacity:4 in
+          List.iter
+            (fun op ->
+              let kind = kind_of_op op in
+              Durable.State.apply reference kind;
+              match kind with
+              | Durable.Record.Accepted spec ->
+                Durable.Manager.on_accept manager spec
+              | Durable.Record.Completed { spec; requests; ok } ->
+                Durable.Manager.on_complete manager ~spec ~requests ~ok)
+            ops;
+          let mirror = Durable.Manager.state manager in
+          Durable.Manager.close manager;
+          let recovered, stats = Durable.Replay.recover ~dir ~cache_capacity:4 in
+          (not stats.Durable.Replay.gap)
+          && stats.Durable.Replay.truncated = 0
+          && Durable.State.equal mirror reference
+          && Durable.State.equal recovered reference))
+
+let prop_torn_tail_recovery =
+  Generators.qtest ~count:60
+    "a torn journal tail recovers to the state minus the last record"
+    Gen.(list_size (int_range 1 25) op_gen)
+    (Print.list op_print)
+    (fun ops ->
+      with_temp_dir (fun dir ->
+          let kinds = List.map kind_of_op ops in
+          write_wal dir kinds;
+          let path =
+            match Durable.Wal.segments ~dir with
+            | (_, path) :: _ -> path
+            | [] -> failwith "no segment"
+          in
+          let size = (Unix.stat path).Unix.st_size in
+          Unix.truncate path (size - 4);
+          let recovered, stats = Durable.Replay.recover ~dir ~cache_capacity:4 in
+          let n = List.length kinds in
+          let reference = Durable.State.create ~cache_capacity:4 in
+          List.iteri
+            (fun i kind -> if i < n - 1 then Durable.State.apply reference kind)
+            kinds;
+          stats.Durable.Replay.replayed = n - 1
+          && stats.Durable.Replay.truncated = 1
+          && (not stats.Durable.Replay.gap)
+          && Durable.State.equal recovered reference))
+
+(* ------------------------------------------------------------------ *)
+(* Server-level differential over the generator corpus                 *)
+
+(* Strip the fields that legitimately differ between the original run
+   and a replayed one: timing, and cache_hit (a recovered server
+   answers re-issued requests from the rebuilt cache). *)
+let normalize json =
+  match json with
+  | Service.Jsonl.Obj kvs ->
+    Service.Jsonl.Obj
+      (List.filter
+         (fun (k, _) -> k <> "elapsed_ms" && k <> "cache_hit")
+         kvs)
+  | j -> j
+
+let round_trip server requests =
+  let req_read, req_write = Unix.pipe ~cloexec:false () in
+  let resp_read, resp_write = Unix.pipe ~cloexec:false () in
+  let server_ic = Unix.in_channel_of_descr req_read in
+  let server_oc = Unix.out_channel_of_descr resp_write in
+  let server_thread =
+    Thread.create
+      (fun () ->
+        Service.Server.serve_channels server server_ic server_oc;
+        close_out_noerr server_oc;
+        close_in_noerr server_ic)
+      ()
+  in
+  let client_oc = Unix.out_channel_of_descr req_write in
+  let client_ic = Unix.in_channel_of_descr resp_read in
+  List.iter
+    (fun line ->
+      output_string client_oc line;
+      output_char client_oc '\n')
+    requests;
+  close_out client_oc;
+  let responses =
+    List.map
+      (fun _ ->
+        match Service.Jsonl.of_string (input_line client_ic) with
+        | Ok json -> json
+        | Error msg -> Alcotest.failf "bad response line: %s" msg)
+      requests
+  in
+  Thread.join server_thread;
+  close_in_noerr client_ic;
+  responses
+
+let server_recovery_differential () =
+  with_temp_dir (fun dir ->
+      (* Distinct corpus ratios: no coalescing races with one worker,
+         so both runs are fully deterministic. *)
+      let ratios =
+        List.filteri (fun i _ -> i < 6) (Lazy.force Generators.corpus_slice)
+      in
+      let lines =
+        List.mapi
+          (fun i ratio ->
+            Printf.sprintf
+              {|{"req": "prepare", "ratio": "%s", "D": 32, "id": %d}|}
+              (Dmf.Ratio.to_string ratio) i)
+          ratios
+      in
+      let config =
+        {
+          Durable.Manager.dir;
+          fsync = Durable.Wal.strict;
+          snapshot_every = 4;
+          cache_capacity = 16;
+        }
+      in
+      let manager, _ = Durable.Manager.start config in
+      let server =
+        Service.Server.create ~workers:1 ~cache_capacity:16
+          ~on_accept:(Durable.Manager.on_accept manager)
+          ~on_complete:(fun ~spec ~requests ~ok ->
+            Durable.Manager.on_complete manager ~spec ~requests ~ok)
+          ()
+      in
+      let original = round_trip server lines in
+      (* The durable mirror tracks the real server's cache exactly. *)
+      Alcotest.(check (list string)) "mirror matches the live cache"
+        (Service.Server.cache_keys server)
+        (Durable.State.cache_keys (Durable.Manager.state manager));
+      Service.Server.stop server;
+      Durable.Manager.close manager;
+      (* Boot a second daemon from the directory, exactly as dmfd does. *)
+      let manager2, recovery = Durable.Manager.start config in
+      Alcotest.(check int) "no pending jobs after a clean run" 0
+        (List.length (Durable.Manager.recovered_pending manager2));
+      Alcotest.(check bool) "recovery loaded a snapshot" true
+        (recovery.Durable.Replay.snapshot_seq <> None);
+      let server2 = Service.Server.create ~workers:1 ~cache_capacity:16 () in
+      let plans =
+        Service.Server.prime server2
+          ~cache:(Durable.Manager.recovered_cache manager2)
+          ~pending:(Durable.Manager.recovered_pending manager2)
+      in
+      Alcotest.(check int) "every plan rebuilt" (List.length lines) plans;
+      Alcotest.(check (list string)) "recovered cache recency preserved"
+        (Durable.State.cache_keys (Durable.Manager.state manager2))
+        (Service.Server.cache_keys server2);
+      (* Re-issuing the stream must produce identical payloads. *)
+      let replayed = round_trip server2 lines in
+      List.iter2
+        (fun a b ->
+          if not (Service.Jsonl.equal (normalize a) (normalize b)) then
+            Alcotest.failf "payload diverged:\n  %s\n  %s"
+              (Service.Jsonl.to_string a) (Service.Jsonl.to_string b))
+        original replayed;
+      (* ... and entirely from the recovered plan cache. *)
+      List.iter
+        (fun json ->
+          match
+            Option.bind
+              (Service.Jsonl.member "cache_hit" json)
+              Service.Jsonl.to_bool
+          with
+          | Some true -> ()
+          | _ -> Alcotest.fail "replayed request missed the recovered cache")
+        replayed;
+      Service.Server.stop server2;
+      Durable.Manager.close manager2)
+
+let () =
+  Alcotest.run "durable"
+    [
+      ( "crc32",
+        [ Alcotest.test_case "known answers" `Quick crc32_known ] );
+      ( "record",
+        [
+          Alcotest.test_case "encode/decode round-trip" `Quick record_roundtrip;
+          Alcotest.test_case "corruption detected" `Quick record_corruption;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "append then recover" `Quick wal_replay_roundtrip;
+          Alcotest.test_case "torn tail truncated" `Quick wal_torn_tail;
+          Alcotest.test_case "missing dir = empty state" `Quick
+            missing_dir_recovers_empty;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "write/load round-trip and fallback" `Quick
+            snapshot_roundtrip;
+          Alcotest.test_case "manager snapshots, rotates and compacts" `Quick
+            snapshot_then_compact;
+        ] );
+      ( "jsonl",
+        [ Alcotest.test_case "bounded read_line" `Quick read_line_cases ] );
+      ( "differential",
+        [
+          prop_manager_recovery;
+          prop_torn_tail_recovery;
+          Alcotest.test_case "server recovery reproduces the run" `Quick
+            server_recovery_differential;
+        ] );
+    ]

@@ -115,7 +115,7 @@ let spec_for ?(demand = 4) () =
 
 let coalescing () =
   let k = 5 in
-  let queue = Service.Queue.create ~capacity:8 in
+  let queue = Service.Queue.create ~capacity:8 () in
   let tickets =
     List.init k (fun _ ->
         match Service.Queue.submit queue (spec_for ()) with
@@ -205,7 +205,7 @@ let coalescing () =
 let demand_cap_merge () =
   (* Merging never pushes a batch past Validate.max_demand: the
      overflowing request becomes its own fresh job. *)
-  let queue = Service.Queue.create ~capacity:8 in
+  let queue = Service.Queue.create ~capacity:8 () in
   let big = Service.Validate.max_demand - 2 in
   let submit d =
     match Service.Queue.submit queue (spec_for ~demand:d ()) with
@@ -427,9 +427,148 @@ let stdio_smoke () =
     Service.Server.stop server
   | _ -> Alcotest.fail "wrong response count"
 
+(* ------------------------------------------------------------------ *)
+(* kill -9 mid-stream: the crash-recovery e2e smoke                    *)
+
+let with_temp_dir f =
+  let dir = Filename.temp_dir "service-test" "" in
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter
+        (fun name ->
+          try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+        (try Sys.readdir dir with Sys_error _ -> [||]);
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+    (fun () -> f dir)
+
+(* A real SIGKILL halfway through a request stream: a forked child runs
+   the server with a strict-fsync WAL over pipes, the parent reads two
+   responses and kills it with no chance to clean up, then recovers the
+   journal and checks every answered response is reproducible. *)
+let kill9_recovery () =
+  with_temp_dir (fun dir ->
+      let ratios =
+        List.filteri (fun i _ -> i < 6) (Lazy.force Generators.corpus_slice)
+      in
+      let lines =
+        List.mapi
+          (fun i ratio ->
+            Printf.sprintf
+              {|{"req": "prepare", "ratio": "%s", "D": 32, "id": %d}|}
+              (Dmf.Ratio.to_string ratio) i)
+          ratios
+      in
+      let config =
+        {
+          Durable.Manager.dir;
+          fsync = Durable.Wal.strict;
+          snapshot_every = 0;
+          cache_capacity = 16;
+        }
+      in
+      let req_read, req_write = Unix.pipe ~cloexec:false () in
+      let resp_read, resp_write = Unix.pipe ~cloexec:false () in
+      match Unix.fork () with
+      | 0 ->
+        (* The daemon-to-be-crashed.  Never exits on its own: the parent
+           holds the request pipe open and SIGKILLs it mid-stream. *)
+        Unix.close req_write;
+        Unix.close resp_read;
+        (try
+           let manager, _ = Durable.Manager.start config in
+           let server =
+             Service.Server.create ~workers:1 ~cache_capacity:16
+               ~on_accept:(Durable.Manager.on_accept manager)
+               ~on_complete:(fun ~spec ~requests ~ok ->
+                 Durable.Manager.on_complete manager ~spec ~requests ~ok)
+               ()
+           in
+           Service.Server.serve_channels server
+             (Unix.in_channel_of_descr req_read)
+             (Unix.out_channel_of_descr resp_write)
+         with _ -> Unix._exit 1);
+        Unix._exit 0
+      | pid ->
+        Unix.close req_read;
+        Unix.close resp_write;
+        let client_oc = Unix.out_channel_of_descr req_write in
+        let client_ic = Unix.in_channel_of_descr resp_read in
+        List.iter
+          (fun line ->
+            output_string client_oc line;
+            output_char client_oc '\n')
+          lines;
+        flush client_oc;
+        let parse line =
+          match Service.Jsonl.of_string line with
+          | Ok json -> json
+          | Error msg -> Alcotest.failf "bad response line: %s" msg
+        in
+        (* Bind each read: list elements evaluate right to left. *)
+        let first_answer = parse (input_line client_ic) in
+        let second_answer = parse (input_line client_ic) in
+        let answered = [ first_answer; second_answer ] in
+        Unix.kill pid Sys.sigkill;
+        (match Unix.waitpid [] pid with
+        | _, Unix.WSIGNALED s when s = Sys.sigkill -> ()
+        | _, _ -> Alcotest.fail "child did not die of SIGKILL");
+        close_out_noerr client_oc;
+        close_in_noerr client_ic;
+        (* The journal survived the kill: with a strict fsync policy
+           every response the parent read was durable before it was
+           written, so recovery rebuilds at least those plans. *)
+        let state, stats = Durable.Replay.recover ~dir ~cache_capacity:16 in
+        Alcotest.(check bool) "records replayed" true
+          (stats.Durable.Replay.replayed >= 4);
+        Alcotest.(check bool) "no sequence gap" false stats.Durable.Replay.gap;
+        let keys = Durable.State.cache_keys state in
+        let answered_lines = List.filteri (fun i _ -> i < 2) lines in
+        List.iter
+          (fun line ->
+            match Service.Request.of_line line with
+            | Ok { Service.Request.kind = Prepare spec; _ } ->
+              let key = Service.Request.cache_key spec in
+              Alcotest.(check bool)
+                (Printf.sprintf "answered plan %s recovered" key)
+                true (List.mem key keys)
+            | Ok _ | Error _ -> Alcotest.fail "bad request line")
+          answered_lines;
+        (* Boot a fresh daemon from the directory exactly as dmfd does
+           and re-issue the answered requests: identical payloads. *)
+        let manager, _ = Durable.Manager.start config in
+        let server = Service.Server.create ~workers:1 ~cache_capacity:16 () in
+        ignore
+          (Service.Server.prime server
+             ~cache:(Durable.Manager.recovered_cache manager)
+             ~pending:(Durable.Manager.recovered_pending manager));
+        let replayed = round_trip server answered_lines in
+        let volatile = [ "elapsed_ms"; "cache_hit"; "coalesced"; "batch_D" ] in
+        let normalize = function
+          | Service.Jsonl.Obj kvs ->
+            Service.Jsonl.Obj
+              (List.filter (fun (k, _) -> not (List.mem k volatile)) kvs)
+          | j -> j
+        in
+        List.iter2
+          (fun a b ->
+            if not (Service.Jsonl.equal (normalize a) (normalize b)) then
+              Alcotest.failf "payload diverged after recovery:\n  %s\n  %s"
+                (Service.Jsonl.to_string a) (Service.Jsonl.to_string b))
+          answered replayed;
+        Service.Server.stop server;
+        Durable.Manager.close manager)
+
 let () =
   Alcotest.run "service"
     [
+      (* Must run first: OCaml 5 forbids Unix.fork once any domain has
+         ever been spawned, and every later server test spawns worker
+         domains.  (The child forks before creating its own.) *)
+      ( "crash-recovery",
+        [
+          Alcotest.test_case "kill -9 mid-stream, recover, re-answer" `Quick
+            kill9_recovery;
+        ] );
       ( "jsonl",
         [
           prop_json_roundtrip;
