@@ -147,34 +147,50 @@ let run stdio host port workers queue_capacity cache_capacity wal_dir
              Printf.sprintf " (torn tail: %d line(s) dropped)"
                recovery.Durable.Replay.truncated
            else "")
-          (recovery.Durable.Replay.wall_ms +. prime_ms));
-      (* Clean shutdown on SIGTERM/SIGINT: drain the queue, join the
-         workers, sync + snapshot + compact the journal.  The handler
-         runs on whichever thread takes the signal — possibly one that
-         holds a server lock — so the actual teardown happens on a
-         fresh thread that can take those locks normally. *)
-      let shutting_down = Mutex.create () in
+          (recovery.Durable.Replay.wall_ms +. prime_ms);
+        if recovery.Durable.Replay.gap then
+          Printf.eprintf
+            "dmfd: WARNING: journal had a sequence gap; snapshotted the \
+             recovered state and quarantined %d segment(s)\n\
+             %!"
+            (Durable.Manager.quarantined_segments manager));
+      (* Clean shutdown: drain the queue, join the workers, sync +
+         snapshot + compact the journal — exactly once, whether it is
+         triggered by SIGTERM/SIGINT or by stdin reaching EOF in
+         --stdio mode (both can fire; the second caller waits for the
+         first and then no-ops, so Pool.join never runs twice). *)
+      let shutdown_lock = Mutex.create () in
+      let stopped = ref false in
+      let shutdown_once () =
+        Mutex.lock shutdown_lock;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock shutdown_lock)
+          (fun () ->
+            if not !stopped then begin
+              stopped := true;
+              Service.Server.stop server;
+              match durable with
+              | Some (manager, _) -> Durable.Manager.close manager
+              | None -> ()
+            end)
+      in
+      (* The handler runs on whichever thread takes the signal —
+         possibly one that holds a server lock — so the actual teardown
+         happens on a fresh thread that can take those locks
+         normally. *)
       let shutdown _signal =
         ignore
           (Thread.create
              (fun () ->
-               if Mutex.try_lock shutting_down then begin
-                 Service.Server.stop server;
-                 (match durable with
-                 | Some (manager, _) -> Durable.Manager.close manager
-                 | None -> ());
-                 exit 0
-               end)
+               shutdown_once ();
+               exit 0)
              ())
       in
       Sys.set_signal Sys.sigterm (Sys.Signal_handle shutdown);
       Sys.set_signal Sys.sigint (Sys.Signal_handle shutdown);
       if stdio then begin
         Service.Server.serve_channels server stdin stdout;
-        Service.Server.stop server;
-        match durable with
-        | Some (manager, _) -> Durable.Manager.close manager
-        | None -> ()
+        shutdown_once ()
       end
       else begin
         Printf.eprintf "dmfd: serving on %s:%d with %d worker(s)%s\n%!" host

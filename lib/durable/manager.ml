@@ -8,11 +8,13 @@ type config = {
 type t = {
   config : config;
   lock : Mutex.t;
+  lock_file : Unix.file_descr;
   wal : Wal.t;
   mirror : State.t;
   recovery : Replay.stats;
   recovered_cache : Service.Request.spec list;
   recovered_pending : Service.Request.spec list;
+  segments_quarantined : int;
   mutable last_snapshot_seq : int;
   mutable since_snapshot : int;
   mutable snapshots_written : int;
@@ -24,9 +26,72 @@ type t = {
   mutable closed : bool;
 }
 
+(* A second daemon journaling to the same directory would interleave
+   duplicate sequence numbers into the same O_APPEND segment, so the
+   directory is claimed with an advisory lock held for the manager's
+   lifetime (and dropped by the kernel if the process dies). *)
+let acquire_dir_lock dir =
+  let fd =
+    Unix.openfile (Filename.concat dir "LOCK")
+      [ Unix.O_RDWR; Unix.O_CREAT ]
+      0o644
+  in
+  match Unix.lockf fd Unix.F_TLOCK 0 with
+  | () -> fd
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES), _, _) ->
+    Unix.close fd;
+    failwith
+      (Printf.sprintf "wal directory %s is in use by another process" dir)
+
+(* Cut a torn segment back to its valid prefix so the bytes past it can
+   never merge with a future append (Replay reports the offsets but
+   never writes itself). *)
+let repair_torn (path, valid_bytes) =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Unix.ftruncate fd valid_bytes;
+      try Unix.fsync fd with Unix.Unix_error _ -> ())
+
+(* Records past a sequence gap can never be replayed (applying them
+   would rebuild a state that never existed), yet left in place they
+   would abort every future boot's replay before it reaches the journal
+   written after them.  The recovered state is snapshotted first — so
+   nothing already applied is lost — and only then are the unreachable
+   segments renamed out of the [wal-*.ndjson] namespace.  A crash
+   between the two steps just re-runs this on the next boot. *)
+let quarantine_segments dir =
+  List.fold_left
+    (fun n (_start, path) ->
+      let rec fresh i =
+        let candidate =
+          if i = 0 then path ^ ".quarantined"
+          else Printf.sprintf "%s.quarantined.%d" path i
+        in
+        if Sys.file_exists candidate then fresh (i + 1) else candidate
+      in
+      Sys.rename path (fresh 0);
+      n + 1)
+    0 (Wal.segments ~dir)
+
 let start config =
+  Wal.ensure_dir config.dir;
+  let lock_file = acquire_dir_lock config.dir in
   let state, recovery =
     Replay.recover ~dir:config.dir ~cache_capacity:config.cache_capacity
+  in
+  List.iter repair_torn recovery.Replay.repairs;
+  let last_snapshot_seq, since_snapshot, segments_quarantined =
+    if recovery.Replay.gap then begin
+      let upto = recovery.Replay.next_seq - 1 in
+      ignore (Snapshot.write ~dir:config.dir ~seq:upto state);
+      (upto, 0, quarantine_segments config.dir)
+    end
+    else
+      ( (match recovery.Replay.snapshot_seq with Some s -> s | None -> 0),
+        recovery.Replay.replayed,
+        0 )
   in
   let wal =
     Wal.open_segment ~dir:config.dir ~start_seq:recovery.Replay.next_seq
@@ -35,6 +100,7 @@ let start config =
   ( {
       config;
       lock = Mutex.create ();
+      lock_file;
       wal;
       mirror = state;
       recovery;
@@ -42,9 +108,9 @@ let start config =
          the same recency chain. *)
       recovered_cache = List.rev (State.cache_specs state);
       recovered_pending = State.outstanding state;
-      last_snapshot_seq =
-        (match recovery.Replay.snapshot_seq with Some s -> s | None -> 0);
-      since_snapshot = recovery.Replay.replayed;
+      segments_quarantined;
+      last_snapshot_seq;
+      since_snapshot;
       snapshots_written = 0;
       segments_compacted = 0;
       snapshots_compacted = 0;
@@ -74,25 +140,33 @@ let snapshot_locked t =
     t.snapshots_compacted <- t.snapshots_compacted + snaps
   end
 
-let journal t kind =
+(* [snapshot] gates the threshold check: the admission hook runs under
+   the queue lock, where a snapshot's sync + write + compaction would
+   stall every client and worker for the duration of the disk I/O.
+   Admissions still count; the snapshot happens at the next completion
+   (every accepted job completes), which runs on a worker thread with
+   no queue lock held. *)
+let journal ~snapshot t kind =
   locked t (fun () ->
       if not t.closed then begin
         ignore (Wal.append t.wal kind);
         State.apply t.mirror kind;
         t.since_snapshot <- t.since_snapshot + 1;
         if
-          t.config.snapshot_every > 0
+          snapshot
+          && t.config.snapshot_every > 0
           && t.since_snapshot >= t.config.snapshot_every
         then snapshot_locked t
       end)
 
-let on_accept t spec = journal t (Record.Accepted spec)
+let on_accept t spec = journal ~snapshot:false t (Record.Accepted spec)
 
 let on_complete t ~spec ~requests ~ok =
-  journal t (Record.Completed { spec; requests; ok })
+  journal ~snapshot:true t (Record.Completed { spec; requests; ok })
 
 let recovered_cache t = t.recovered_cache
 let recovered_pending t = t.recovered_pending
+let quarantined_segments t = t.segments_quarantined
 
 let note_prime t ~ms ~plans ~pending =
   locked t (fun () ->
@@ -120,6 +194,7 @@ let stats_json t =
           ("snapshots_written", Service.Jsonl.Int t.snapshots_written);
           ("segments_compacted", Service.Jsonl.Int t.segments_compacted);
           ("snapshots_compacted", Service.Jsonl.Int t.snapshots_compacted);
+          ("segments_quarantined", Service.Jsonl.Int t.segments_quarantined);
           ( "recovery",
             Service.Jsonl.Obj
               [
@@ -142,5 +217,6 @@ let close t =
       if not t.closed then begin
         t.closed <- true;
         snapshot_locked t;
-        Wal.close t.wal
+        Wal.close t.wal;
+        Unix.close t.lock_file
       end)

@@ -26,7 +26,20 @@ type config = {
 type t
 
 val start : config -> t * Replay.stats
-(** Recover, then open the journal for appending. *)
+(** Recover, then open the journal for appending.
+
+    Recovery side effects on the directory: torn segment tails reported
+    by {!Replay.recover} are truncated back to their valid prefix (so a
+    reopened segment can never merge a new record with torn bytes), and
+    when a sequence gap aborted the replay the recovered state is
+    snapshotted and every existing segment is renamed to
+    [*.quarantined] — unreachable records are preserved for inspection
+    but no longer block future boots from replaying the journal written
+    after them.
+
+    Holds an advisory lock on [dir/LOCK] until {!close} (or process
+    death).
+    @raise Failure if another process already journals to [dir]. *)
 
 val on_accept : t -> Service.Request.spec -> unit
 (** Journal an admitted prepare request (the queue's admission hook,
@@ -45,6 +58,10 @@ val recovered_pending : t -> Service.Request.spec list
 (** Accepted-but-unanswered specs recovery found, admission order.
     Resubmitting them must bypass {!on_accept} — their accepted
     records are already in the journal. *)
+
+val quarantined_segments : t -> int
+(** Segments this boot renamed aside because a sequence gap made them
+    unreplayable; 0 on a clean recovery. *)
 
 val note_prime : t -> ms:float -> plans:int -> pending:int -> unit
 (** Record what re-planning the recovered state cost, for {!stats_json}. *)

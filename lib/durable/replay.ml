@@ -5,6 +5,7 @@ type stats = {
   gap : bool;
   wall_ms : float;
   next_seq : int;
+  repairs : (string * int) list;
 }
 
 let recover ~dir ~cache_capacity =
@@ -15,6 +16,7 @@ let recover ~dir ~cache_capacity =
     | None -> (State.create ~cache_capacity, None)
   in
   let replayed = ref 0 and truncated = ref 0 and gap = ref false in
+  let repairs = ref [] in
   let expected = ref (match snapshot_seq with Some s -> s + 1 | None -> 1) in
   (try
      List.iter
@@ -23,6 +25,10 @@ let recover ~dir ~cache_capacity =
          Fun.protect
            ~finally:(fun () -> close_in_noerr ic)
            (fun () ->
+             (* Byte offset just past the last record whose bytes
+                verified, so a torn segment can be cut back to its valid
+                prefix before anything appends to it again. *)
+             let good_end = ref 0 in
              (* Count every line left in the segment: once one record is
                 torn, the ones after it are unusable (their sequence
                 numbers would gap) even if their bytes verify. *)
@@ -32,7 +38,8 @@ let recover ~dir ~cache_capacity =
                  | Service.Jsonl.Eof -> n
                  | _ -> go (n + 1)
                in
-               truncated := !truncated + 1 + go 0
+               truncated := !truncated + 1 + go 0;
+               repairs := (path, !good_end) :: !repairs
              in
              let rec lines () =
                match Service.Jsonl.read_line ic with
@@ -43,11 +50,13 @@ let recover ~dir ~cache_capacity =
                  | Error _ -> drain_rest ()
                  | Ok (seq, _) when seq < !expected ->
                    (* Already covered by the snapshot. *)
+                   good_end := pos_in ic;
                    lines ()
                  | Ok (seq, kind) when seq = !expected ->
                    State.apply state kind;
                    incr replayed;
                    expected := seq + 1;
+                   good_end := pos_in ic;
                    lines ()
                  | Ok _ ->
                    gap := true;
@@ -65,4 +74,5 @@ let recover ~dir ~cache_capacity =
       gap = !gap;
       wall_ms;
       next_seq = !expected;
+      repairs = List.rev !repairs;
     } )

@@ -13,7 +13,15 @@
 
     The rebuilt state carries only request specs; the caller re-derives
     cached plans by re-running the deterministic planner
-    ({!Service.Server.prime} via {!Manager}). *)
+    ({!Service.Server.prime} via {!Manager}).
+
+    {!recover} itself never writes: torn segments are reported in
+    {!field-stats.repairs} and it is the caller's job ({!Manager.start})
+    to truncate them back to their valid prefix {e before} appending to
+    the directory again.  Otherwise a segment whose {e first} record was
+    torn would be re-opened for append at the same [start_seq] and the
+    new record's bytes would merge with the torn partial line into one
+    unreadable record. *)
 
 type stats = {
   snapshot_seq : int option;  (** Snapshot the recovery started from. *)
@@ -22,6 +30,10 @@ type stats = {
   gap : bool;  (** A sequence gap stopped the replay early. *)
   wall_ms : float;  (** Snapshot load + replay time. *)
   next_seq : int;  (** First unused sequence number after recovery. *)
+  repairs : (string * int) list;
+      (** [(path, valid_bytes)] for each segment holding torn bytes:
+          everything past [valid_bytes] failed to verify and must be
+          truncated away before the journal accepts new appends. *)
 }
 
 val recover : dir:string -> cache_capacity:int -> State.t * stats

@@ -158,6 +158,136 @@ let wal_torn_tail () =
       Alcotest.(check bool) "state equals the model minus the tail" true
         (Durable.State.equal state (model_of shorter)))
 
+(* The two-crash scenario: crash #1 tears the FIRST record of a fresh
+   segment, so recovery's next_seq equals that segment's start_seq and
+   the manager re-opens the very same file for appending.  Without the
+   repair pass the new record's bytes merge with the torn partial line
+   into one CRC-invalid line, and crash #2 then loses the whole
+   segment — including records that were fsynced and acknowledged. *)
+let torn_head_segment_repaired () =
+  with_temp_dir (fun dir ->
+      write_wal dir sample_kinds;
+      let n = List.length sample_kinds in
+      let next = Filename.concat dir (Durable.Wal.segment_name (n + 1)) in
+      let line =
+        Durable.Record.encode ~seq:(n + 1)
+          (Durable.Record.Accepted spec_pool.(0))
+      in
+      let oc = open_out_bin next in
+      output_string oc (String.sub line 0 (String.length line / 2));
+      close_out oc;
+      let config =
+        {
+          Durable.Manager.dir;
+          fsync = Durable.Wal.strict;
+          snapshot_every = 0;
+          cache_capacity = 8;
+        }
+      in
+      let manager, recovery = Durable.Manager.start config in
+      Alcotest.(check int) "replayed up to the torn head" n
+        recovery.Durable.Replay.replayed;
+      Alcotest.(check int) "torn head dropped" 1
+        recovery.Durable.Replay.truncated;
+      Alcotest.(check int) "journal resumes at the torn segment's seq"
+        (n + 1) recovery.Durable.Replay.next_seq;
+      (* Journal one record (strict fsync: it is on disk) and crash
+         again — no close, no snapshot. *)
+      Durable.Manager.on_accept manager spec_pool.(3);
+      let state, stats = Durable.Replay.recover ~dir ~cache_capacity:8 in
+      Alcotest.(check int) "every acknowledged record recovered" (n + 1)
+        stats.Durable.Replay.replayed;
+      Alcotest.(check int) "no torn lines on the second boot" 0
+        stats.Durable.Replay.truncated;
+      Alcotest.(check bool) "no gap" false stats.Durable.Replay.gap;
+      Alcotest.(check bool) "state includes the post-repair record" true
+        (Durable.State.equal state
+           (model_of
+              (sample_kinds @ [ Durable.Record.Accepted spec_pool.(3) ]))))
+
+(* A lost segment leaves a sequence gap.  The boot that detects it must
+   snapshot what it recovered and move the unreachable segments aside:
+   otherwise every later boot re-hits the gap and aborts before reaching
+   the journal this daemon goes on to write. *)
+let gap_segments_quarantined () =
+  with_temp_dir (fun dir ->
+      let head = List.filteri (fun i _ -> i < 3) sample_kinds in
+      let tail = List.filteri (fun i _ -> i >= 5) sample_kinds in
+      let w1 =
+        Durable.Wal.open_segment ~dir ~start_seq:1 ~fsync:Durable.Wal.strict
+      in
+      List.iter (fun k -> ignore (Durable.Wal.append w1 k)) head;
+      Durable.Wal.close w1;
+      (* Seqs 4..5 never make it to disk: the next segment starts at 6. *)
+      let w2 =
+        Durable.Wal.open_segment ~dir ~start_seq:6 ~fsync:Durable.Wal.strict
+      in
+      List.iter (fun k -> ignore (Durable.Wal.append w2 k)) tail;
+      Durable.Wal.close w2;
+      let config =
+        {
+          Durable.Manager.dir;
+          fsync = Durable.Wal.strict;
+          snapshot_every = 0;
+          cache_capacity = 8;
+        }
+      in
+      let manager, recovery = Durable.Manager.start config in
+      Alcotest.(check bool) "gap detected" true recovery.Durable.Replay.gap;
+      Alcotest.(check int) "records before the gap applied" 3
+        recovery.Durable.Replay.replayed;
+      Alcotest.(check int) "both old segments quarantined" 2
+        (Durable.Manager.quarantined_segments manager);
+      (* The daemon keeps serving; crash without a clean close. *)
+      Durable.Manager.on_accept manager spec_pool.(3);
+      Durable.Manager.on_complete manager ~spec:spec_pool.(3) ~requests:1
+        ~ok:true;
+      let state, stats = Durable.Replay.recover ~dir ~cache_capacity:8 in
+      Alcotest.(check bool) "no gap on the second boot" false
+        stats.Durable.Replay.gap;
+      Alcotest.(check (option int)) "snapshot covers the pre-gap state"
+        (Some 3) stats.Durable.Replay.snapshot_seq;
+      Alcotest.(check int) "post-quarantine records recovered" 2
+        stats.Durable.Replay.replayed;
+      Alcotest.(check bool) "state = pre-gap + post-quarantine records" true
+        (Durable.State.equal state
+           (model_of
+              (head
+              @ [
+                  Durable.Record.Accepted spec_pool.(3);
+                  Durable.Record.Completed
+                    { spec = spec_pool.(3); requests = 1; ok = true };
+                ]))))
+
+(* lockf locks never conflict within one process, so the double-daemon
+   guard is probed from a forked child, exactly the situation it is
+   there to prevent. *)
+let dir_lock_exclusive () =
+  with_temp_dir (fun dir ->
+      let config =
+        {
+          Durable.Manager.dir;
+          fsync = Durable.Wal.strict;
+          snapshot_every = 0;
+          cache_capacity = 8;
+        }
+      in
+      let manager, _ = Durable.Manager.start config in
+      (match Unix.fork () with
+      | 0 -> (
+        match Durable.Manager.start config with
+        | exception Failure _ -> Unix._exit 0
+        | _ -> Unix._exit 1)
+      | pid -> (
+        match Unix.waitpid [] pid with
+        | _, Unix.WEXITED 0 -> ()
+        | _ ->
+          Alcotest.fail "a second process was allowed to journal to the dir"));
+      Durable.Manager.close manager;
+      (* A clean close releases the claim. *)
+      let manager2, _ = Durable.Manager.start config in
+      Durable.Manager.close manager2)
+
 let missing_dir_recovers_empty () =
   let state, stats =
     Durable.Replay.recover ~dir:"/nonexistent/durable-test" ~cache_capacity:8
@@ -486,6 +616,12 @@ let () =
           Alcotest.test_case "torn tail truncated" `Quick wal_torn_tail;
           Alcotest.test_case "missing dir = empty state" `Quick
             missing_dir_recovers_empty;
+          Alcotest.test_case "torn segment head repaired before reuse" `Quick
+            torn_head_segment_repaired;
+          Alcotest.test_case "sequence gap quarantines old segments" `Quick
+            gap_segments_quarantined;
+          Alcotest.test_case "wal dir is single-writer" `Quick
+            dir_lock_exclusive;
         ] );
       ( "snapshot",
         [
