@@ -9,16 +9,24 @@
                                                  subsample)
      MDST_DOMAINS=4 dune exec bench/main.exe  -- corpus sweeps on 4 domains
                                                  (default: physical cores)
+     DMF_BENCH_REPS=5 dune exec bench/main.exe service wal
+                                              -- repeat the service/WAL
+                                                 phases 5x and pool their
+                                                 latency samples (default 1)
 
    Experiments: fig1 fig3 fig5 table2 table3 fig6 fig7 table4 ablation
    dilution robust assay pins routing recovery wash pareto scaling
    service wal speed.
 
-   Every run additionally writes BENCH_PR5.json — per-experiment wall
-   times, Bechamel ns/run, service req/s, WAL fsync-batch throughput,
-   domain count and corpus sizes — so successive PRs accumulate a
-   machine-readable performance trajectory.  Everything printed is also teed into bench_output.txt
-   (untracked) for local inspection. *)
+   Every run additionally writes BENCH_PR6.json — per-experiment wall
+   times, Bechamel ns/run, service req/s with p50/p95/p99 request
+   latencies, WAL fsync-batch throughput (same percentiles), domain
+   count and corpus sizes — so successive PRs accumulate a
+   machine-readable performance trajectory.  The same JSON is copied to
+   bench_results/bench-<timestamp>.json plus the stable alias
+   bench_results/bench-latest.json (both untracked).  Everything printed
+   is also teed into bench_output.txt (untracked) for local
+   inspection. *)
 
 let pcr16 = Bioproto.Protocols.pcr ~d:4
 
@@ -32,17 +40,39 @@ let corpus ~every =
 
 let i2s = string_of_int
 
+(* How many times to repeat each service/WAL measurement phase; the
+   latency samples of all repetitions are pooled before the percentiles
+   are taken, so higher values firm up the tail estimates. *)
+let bench_reps =
+  match Sys.getenv_opt "DMF_BENCH_REPS" with
+  | None -> 1
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 1)
+
+(* Nearest-rank percentile (p in 0..100) of unsorted samples. *)
+let percentile p samples =
+  match List.sort Float.compare samples with
+  | [] -> 0.
+  | sorted ->
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    let rank = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) in
+    arr.(max 0 (min (n - 1) (rank - 1)))
+
 (* ------------------------------------------------------------------ *)
-(* BENCH_PR5.json accumulators                                         *)
+(* BENCH_PR6.json accumulators                                         *)
 
 let wall_times : (string * float) list ref = ref []
 let micro_ns : (string * float) list ref = ref []
 
-(* (workers, phase, requests, wall_s) per service-throughput phase. *)
-let service_results : (int * string * int * float) list ref = ref []
+(* (workers, phase, requests, wall_s, latencies_ms) per
+   service-throughput phase; latencies pooled across repetitions. *)
+let service_results : (int * string * int * float * float list) list ref =
+  ref []
 
-(* (mode, fsync_every_n, requests, wall_s, fsyncs) per WAL mode. *)
-let wal_results : (string * int * int * float * int) list ref = ref []
+(* (mode, fsync_every_n, requests, wall_s, fsyncs, latencies_ms) per WAL
+   mode. *)
+let wal_results : (string * int * int * float * int * float list) list ref =
+  ref []
 
 (* (policy, plan, counters) rows of the scheduler-core experiment. *)
 let scheduler_core_results :
@@ -63,7 +93,8 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let bench_json_path = "BENCH_PR5.json"
+let bench_json_path = "BENCH_PR6.json"
+let bench_results_dir = "bench_results"
 
 let write_bench_json () =
   (* Resolve every value before [open_out]: a bad MDST_DOMAINS raises in
@@ -95,31 +126,38 @@ let write_bench_json () =
                 (Mdst.Instr.counters_to_fields c))))
       !scheduler_core_results
   in
+  let percentile_fields latencies =
+    Printf.sprintf "\"p50_ms\": %.3f, \"p95_ms\": %.3f, \"p99_ms\": %.3f"
+      (percentile 50. latencies) (percentile 95. latencies)
+      (percentile 99. latencies)
+  in
   let service =
     List.rev_map
-      (fun (workers, phase, requests, wall_s) ->
+      (fun (workers, phase, requests, wall_s, latencies) ->
         Printf.sprintf
           "{\"workers\": %d, \"phase\": \"%s\", \"requests\": %d, \
-           \"wall_s\": %.6f, \"req_per_s\": %.1f}"
+           \"wall_s\": %.6f, \"req_per_s\": %.1f, %s}"
           workers (json_escape phase) requests wall_s
-          (if wall_s > 0. then float_of_int requests /. wall_s else 0.))
+          (if wall_s > 0. then float_of_int requests /. wall_s else 0.)
+          (percentile_fields latencies))
       !service_results
   in
   let wal =
     List.rev_map
-      (fun (mode, every_n, requests, wall_s, fsyncs) ->
+      (fun (mode, every_n, requests, wall_s, fsyncs, latencies) ->
         Printf.sprintf
           "{\"mode\": \"%s\", \"fsync_every_n\": %d, \"requests\": %d, \
-           \"wall_s\": %.6f, \"req_per_s\": %.1f, \"fsyncs\": %d}"
+           \"wall_s\": %.6f, \"req_per_s\": %.1f, \"fsyncs\": %d, %s}"
           (json_escape mode) every_n requests wall_s
           (if wall_s > 0. then float_of_int requests /. wall_s else 0.)
-          fsyncs)
+          fsyncs
+          (percentile_fields latencies))
       !wal_results
   in
   let oc = open_out bench_json_path in
   Printf.fprintf oc
     "{\n\
-    \  \"pr\": 5,\n\
+    \  \"pr\": 6,\n\
     \  \"bench\": \"dmfstream\",\n\
     \  \"domains\": %d,\n\
     \  \"full_corpus\": %b,\n\
@@ -140,7 +178,27 @@ let write_bench_json () =
     (String.concat ",\n    " wal)
     (String.concat ",\n    " micro);
   close_out oc;
-  Printf.printf "\nwrote %s\n" bench_json_path
+  (* Keep the trajectory under bench_results/ too: one timestamped copy
+     per run plus a stable bench-latest.json alias for tooling.  The
+     stamped name is not printed, so bench_output.txt stays
+     deterministic across runs. *)
+  let contents = In_channel.with_open_bin bench_json_path In_channel.input_all in
+  (try Unix.mkdir bench_results_dir 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let tm = Unix.localtime (Unix.gettimeofday ()) in
+  let stamped =
+    Filename.concat bench_results_dir
+      (Printf.sprintf "bench-%04d%02d%02d-%02d%02d%02d.json"
+         (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+         tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec)
+  in
+  List.iter
+    (fun path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc contents))
+    [ stamped; Filename.concat bench_results_dir "bench-latest.json" ];
+  Printf.printf "\nwrote %s (+ %s/bench-latest.json)\n" bench_json_path
+    bench_results_dir
 
 (* ------------------------------------------------------------------ *)
 (* Figure 1 / 2: mixing-forest construction for the PCR master-mix     *)
@@ -1006,15 +1064,23 @@ let stream_requests server lines =
   let client_oc = Unix.out_channel_of_descr req_write in
   let client_ic = Unix.in_channel_of_descr resp_read in
   let t0 = Unix.gettimeofday () in
-  List.iter
-    (fun line ->
+  (* Per-request service latency: stamp each line as it is enqueued and
+     match responses back by their echoed "id" (workers > 1 may answer
+     out of order). *)
+  let sent = Array.make (max n 1) t0 in
+  List.iteri
+    (fun i line ->
       output_string client_oc line;
-      output_char client_oc '\n')
+      output_char client_oc '\n';
+      sent.(i) <- Unix.gettimeofday ())
     lines;
   close_out client_oc;
   let ok = ref 0 and hits = ref 0 in
+  let latencies = ref [] in
   for _ = 1 to n do
-    match Service.Jsonl.of_string (input_line client_ic) with
+    let line = input_line client_ic in
+    let now = Unix.gettimeofday () in
+    match Service.Jsonl.of_string line with
     | Error _ -> ()
     | Ok json ->
       let flag key =
@@ -1022,12 +1088,18 @@ let stream_requests server lines =
         = Some true
       in
       if flag "ok" then incr ok;
-      if flag "cache_hit" then incr hits
+      if flag "cache_hit" then incr hits;
+      (match
+         Option.bind (Service.Jsonl.member "id" json) Service.Jsonl.to_int
+       with
+      | Some id when id >= 0 && id < n ->
+        latencies := ((now -. sent.(id)) *. 1000.) :: !latencies
+      | Some _ | None -> ())
   done;
   let wall = Unix.gettimeofday () -. t0 in
   Thread.join thread;
   close_in_noerr client_ic;
-  (!ok, !hits, wall)
+  (!ok, !hits, wall, !latencies)
 
 let service () =
   section
@@ -1035,7 +1107,6 @@ let service () =
      cold vs warm plan cache";
   let lines = service_lines () in
   let n = List.length lines in
-  let run_phase server = stream_requests server lines in
   let worker_counts =
     let d = Mdst.Par.default_domains () in
     if d > 1 then [ 1; d ] else [ 1 ]
@@ -1043,29 +1114,52 @@ let service () =
   let rows =
     List.concat_map
       (fun workers ->
-        let server =
-          Service.Server.create ~workers ~cache_capacity:(2 * n) ()
+        (* One fresh server per repetition, so every cold phase really
+           is cold; phase samples are pooled across repetitions. *)
+        let runs =
+          List.init bench_reps (fun _ ->
+              let server =
+                Service.Server.create ~workers ~cache_capacity:(2 * n) ()
+              in
+              let cold = stream_requests server lines in
+              let warm = stream_requests server lines in
+              Service.Server.stop server;
+              (cold, warm))
         in
-        let phase name =
-          let ok, hits, wall = run_phase server in
-          service_results := (workers, name, n, wall) :: !service_results;
+        let phase name select =
+          let ok, hits, wall, latencies =
+            List.fold_left
+              (fun (ok, hits, wall, lats) run ->
+                let o, h, w, l = select run in
+                (ok + o, hits + h, wall +. w, List.rev_append l lats))
+              (0, 0, 0., []) runs
+          in
+          let requests = n * bench_reps in
+          service_results :=
+            (workers, name, requests, wall, latencies) :: !service_results;
           [
-            i2s workers; name; i2s n; i2s ok; i2s hits;
+            i2s workers; name; i2s requests; i2s ok; i2s hits;
             Printf.sprintf "%.4f" wall;
-            Printf.sprintf "%.0f" (float_of_int n /. wall);
+            Printf.sprintf "%.0f" (float_of_int requests /. wall);
+            Printf.sprintf "%.2f" (percentile 50. latencies);
+            Printf.sprintf "%.2f" (percentile 95. latencies);
+            Printf.sprintf "%.2f" (percentile 99. latencies);
           ]
         in
-        let cold = phase "cold" in
-        let warm = phase "warm" in
-        Service.Server.stop server;
-        [ cold; warm ])
+        [ phase "cold" fst; phase "warm" snd ])
       worker_counts
   in
   print_string
     (Mdst.Report.table
        ~header:
-         [ "workers"; "cache"; "requests"; "ok"; "hits"; "wall s"; "req/s" ]
-       ~rows)
+         [
+           "workers"; "cache"; "requests"; "ok"; "hits"; "wall s"; "req/s";
+           "p50 ms"; "p95 ms"; "p99 ms";
+         ]
+       ~rows);
+  if bench_reps > 1 then
+    Printf.printf "(%d repetitions pooled per phase; DMF_BENCH_REPS)\n"
+      bench_reps
 
 (* ------------------------------------------------------------------ *)
 (* WAL durability tax: throughput vs fsync batch size (PR 5)           *)
@@ -1093,9 +1187,9 @@ let wal () =
   let run_mode every_n =
     if every_n < 0 then begin
       let server = Service.Server.create ~workers:1 ~cache_capacity:(2 * n) () in
-      let ok, _hits, wall = stream_requests server lines in
+      let ok, _hits, wall, latencies = stream_requests server lines in
       Service.Server.stop server;
-      ("off", 0, ok, wall, 0)
+      ("off", 0, ok, wall, 0, latencies)
     end
     else
       with_temp_dir (fun dir ->
@@ -1115,11 +1209,11 @@ let wal () =
               Durable.Manager.on_complete manager ~spec ~requests ~ok)
             ()
         in
-        let ok, _hits, wall = stream_requests server lines in
+        let ok, _hits, wall, latencies = stream_requests server lines in
         Service.Server.stop server;
         let fsyncs = Durable.Manager.fsyncs manager in
         Durable.Manager.close manager;
-        ("wal", every_n, ok, wall, fsyncs))
+        ("wal", every_n, ok, wall, fsyncs, latencies))
   in
   (* Discarded warm-up pass: the first server to plan the corpus pays
      page-fault and allocator warm-up that would be misread as WAL cost
@@ -1128,19 +1222,35 @@ let wal () =
   let rows =
     List.map
       (fun every_n ->
-        let mode, every_n, ok, wall, fsyncs = run_mode every_n in
-        wal_results := (mode, every_n, n, wall, fsyncs) :: !wal_results;
+        (* Repetitions pool their latency samples and sum wall time. *)
+        let runs = List.init bench_reps (fun _ -> run_mode every_n) in
+        let mode, every_n, _, _, _, _ = List.hd runs in
+        let ok, wall, fsyncs, latencies =
+          List.fold_left
+            (fun (ok, wall, fsyncs, lats) (_, _, o, w, f, l) ->
+              (ok + o, wall +. w, fsyncs + f, List.rev_append l lats))
+            (0, 0., 0, []) runs
+        in
+        let requests = n * bench_reps in
+        wal_results :=
+          (mode, every_n, requests, wall, fsyncs, latencies) :: !wal_results;
         [
-          mode; i2s every_n; i2s n; i2s ok; i2s fsyncs;
+          mode; i2s every_n; i2s requests; i2s ok; i2s fsyncs;
           Printf.sprintf "%.4f" wall;
-          Printf.sprintf "%.0f" (float_of_int n /. wall);
+          Printf.sprintf "%.0f" (float_of_int requests /. wall);
+          Printf.sprintf "%.2f" (percentile 50. latencies);
+          Printf.sprintf "%.2f" (percentile 95. latencies);
+          Printf.sprintf "%.2f" (percentile 99. latencies);
         ])
       [ -1; 1; 8; 64; 256 ]
   in
   print_string
     (Mdst.Report.table
        ~header:
-         [ "mode"; "fsync n"; "requests"; "ok"; "fsyncs"; "wall s"; "req/s" ]
+         [
+           "mode"; "fsync n"; "requests"; "ok"; "fsyncs"; "wall s"; "req/s";
+           "p50 ms"; "p95 ms"; "p99 ms";
+         ]
        ~rows);
   print_string
     "\n(each mode streams the same cold corpus through a fresh server; the\n\

@@ -48,15 +48,26 @@ let account ~layout ~plan ~schedule =
     let cost = Cost_matrix.cost matrix ~src ~dst in
     movements := { cycle; description; src; dst; cost } :: !movements
   in
+  (* The nearest waste depends only on the source mixer; memoise it so
+     the waste fold runs once per mixer, not once per evacuated
+     droplet. *)
+  let nearest_waste_cache = Hashtbl.create 8 in
   let nearest_waste src =
-    List.fold_left
-      (fun best w ->
-        let c = Cost_matrix.cost matrix ~src ~dst:w.Chip_module.id in
-        match best with
-        | Some (_, bc) when bc <= c -> best
-        | Some _ | None -> Some (w.Chip_module.id, c))
-      None wastes
-    |> Option.get |> fst
+    match Hashtbl.find_opt nearest_waste_cache src with
+    | Some w -> w
+    | None ->
+      let w =
+        List.fold_left
+          (fun best w ->
+            let c = Cost_matrix.cost matrix ~src ~dst:w.Chip_module.id in
+            match best with
+            | Some (_, bc) when bc <= c -> best
+            | Some _ | None -> Some (w.Chip_module.id, c))
+          None wastes
+        |> Option.get |> fst
+      in
+      Hashtbl.add nearest_waste_cache src w;
+      w
   in
   let result =
     try

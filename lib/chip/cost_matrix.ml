@@ -4,27 +4,83 @@ type t = {
   cost : int option array array;
 }
 
-let build layout =
-  let labels =
-    List.map (fun m -> m.Chip_module.id) (Layout.modules layout)
+(* Distance from a flooded source to [dst]: the flood covers free cells
+   and the source module's own cells, so a path reaches [dst] by
+   stepping from some flooded neighbour [n] onto a boundary cell [c] of
+   the destination rectangle and then walking inside the rectangle to
+   the anchor.  The rectangle is convex and fully passable, so the
+   inside walk costs exactly the Manhattan distance — taking the
+   minimum over all (c, n) pairs reproduces the pairwise BFS distance. *)
+let distance_from_flood layout dist dst =
+  let width = Layout.width layout in
+  let anchor = Chip_module.anchor dst in
+  let r = dst.Chip_module.rect in
+  let best = ref max_int in
+  for dy = 0 to r.Geometry.h - 1 do
+    for dx = 0 to r.Geometry.w - 1 do
+      let c = { Geometry.x = r.Geometry.x + dx; y = r.Geometry.y + dy } in
+      let inside = Geometry.manhattan c anchor in
+      let consider (n : Geometry.point) =
+        if Layout.in_bounds layout n then begin
+          let d = dist.((n.Geometry.y * width) + n.Geometry.x) in
+          if d >= 0 && d + 1 + inside < !best then best := d + 1 + inside
+        end
+      in
+      List.iter consider (Geometry.neighbours4 c)
+    done
+  done;
+  if !best = max_int then None else Some !best
+
+let fill_row ?scratch layout modules cost i =
+  let src = modules.(i) in
+  let dist =
+    Router.flood ?scratch layout ~allow:[ src.Chip_module.id ]
+      ~start:(Chip_module.anchor src)
   in
-  let n = List.length labels in
+  Array.iteri
+    (fun j dst ->
+      if i = j then cost.(i).(j) <- Some 0
+      else cost.(i).(j) <- distance_from_flood layout dist dst)
+    modules
+
+let build ?scratch layout =
+  let scratch =
+    match scratch with Some s -> s | None -> Router.Scratch.create ()
+  in
+  let modules = Array.of_list (Layout.modules layout) in
+  let labels = Array.to_list (Array.map (fun m -> m.Chip_module.id) modules) in
+  let n = Array.length modules in
   let index = Hashtbl.create n in
   List.iteri (fun i id -> Hashtbl.add index id i) labels;
   let cost = Array.make_matrix n n None in
-  List.iteri
-    (fun i src ->
-      List.iteri
-        (fun j dst ->
-          if i = j then cost.(i).(j) <- Some 0
-          else if j > i then begin
-            let c = Router.distance layout ~src ~dst in
-            cost.(i).(j) <- c;
-            cost.(j).(i) <- c
-          end)
-        labels)
-    labels;
+  for i = 0 to n - 1 do
+    fill_row ~scratch layout modules cost i
+  done;
   { labels; index; cost }
+
+let update ?scratch t layout ~changed =
+  let scratch =
+    match scratch with Some s -> s | None -> Router.Scratch.create ()
+  in
+  let modules = Array.of_list (Layout.modules layout) in
+  let n = Array.length modules in
+  if n <> List.length t.labels then
+    invalid_arg "Cost_matrix.update: module count changed";
+  let cost = Array.map Array.copy t.cost in
+  let t' = { t with cost } in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt t.index id with
+      | None -> invalid_arg (Printf.sprintf "Cost_matrix: unknown module %s" id)
+      | Some i ->
+        fill_row ~scratch layout modules cost i;
+        (* Costs are symmetric: mirror the fresh row into the column so
+           unchanged sources see the moved module's new position. *)
+        for j = 0 to n - 1 do
+          cost.(j).(i) <- cost.(i).(j)
+        done)
+    changed;
+  t'
 
 let lookup t id =
   match Hashtbl.find_opt t.index id with
@@ -41,6 +97,29 @@ let cost t ~src ~dst =
 
 let labels t = t.labels
 
+(* All-pairs build via one BFS per (src, dst) pair: the original
+   implementation, kept as the differential reference for the
+   single-source [build]. *)
+let build_pairwise layout =
+  let labels = List.map (fun m -> m.Chip_module.id) (Layout.modules layout) in
+  let n = List.length labels in
+  let index = Hashtbl.create n in
+  List.iteri (fun i id -> Hashtbl.add index id i) labels;
+  let cost = Array.make_matrix n n None in
+  List.iteri
+    (fun i src ->
+      List.iteri
+        (fun j dst ->
+          if i = j then cost.(i).(j) <- Some 0
+          else if j > i then begin
+            let c = Router.Reference.distance layout ~src ~dst in
+            cost.(i).(j) <- c;
+            cost.(j).(i) <- c
+          end)
+        labels)
+    labels;
+  { labels; index; cost }
+
 let render ?rows ?columns t =
   let rows = Option.value ~default:t.labels rows in
   let columns = Option.value ~default:t.labels columns in
@@ -51,16 +130,16 @@ let render ?rows ?columns t =
   in
   let header = "" :: columns in
   let body = List.map (fun r -> r :: List.map (cell r) columns) rows in
-  let widths =
-    List.map
-      (fun column_cells ->
-        List.fold_left (fun acc s -> max acc (String.length s)) 0 column_cells)
-      (List.map
-         (fun i -> List.map (fun row -> List.nth row i) (header :: body))
-         (List.init (List.length header) Fun.id))
-  in
+  (* Column widths in one pass over the rows (no List.nth transpose). *)
+  let widths = Array.make (List.length header) 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i s -> widths.(i) <- max widths.(i) (String.length s))
+        row)
+    (header :: body);
   let render_row row =
     String.concat " "
-      (List.map2 (fun w cell -> Printf.sprintf "%*s" w cell) widths row)
+      (List.mapi (fun i cell -> Printf.sprintf "%*s" widths.(i) cell) row)
   in
   String.concat "\n" (List.map render_row (header :: body)) ^ "\n"

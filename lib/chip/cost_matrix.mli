@@ -2,13 +2,32 @@
 
     Pairwise shortest-path costs, in electrodes actuated, between every
     pair of modules on an otherwise empty chip.  Used by the actuation
-    accounting and by the placer's objective. *)
+    accounting and by the placer's objective.
+
+    [build] runs one single-source flood fill per module (O(n) BFS
+    passes) instead of one BFS per pair (O(n²)); [build_pairwise] keeps
+    the pairwise construction as the differential reference.  [update]
+    recomputes only the rows and columns of modules whose rectangles
+    changed, which makes the placer's per-swap re-evaluation O(2)
+    floods instead of a full rebuild. *)
 
 type t
 
-val build : Layout.t -> t
-(** All-pairs costs via BFS routing.  Unreachable pairs are recorded as
-    such and raise on lookup. *)
+val build : ?scratch:Router.Scratch.t -> Layout.t -> t
+(** All-pairs costs via one flood fill per source module.  Unreachable
+    pairs are recorded as such and raise on lookup.  Pass [scratch] to
+    reuse BFS buffers across consecutive builds. *)
+
+val update :
+  ?scratch:Router.Scratch.t -> t -> Layout.t -> changed:string list -> t
+(** [update t layout ~changed] is the matrix of [layout], obtained from
+    [t] by re-flooding only the modules named in [changed] (rows and,
+    by symmetry, columns).  Only valid when [layout] differs from the
+    matrix's layout by moves that leave the overall set of occupied
+    cells unchanged — e.g. the placer's same-size rectangle swaps —
+    so that paths between unchanged modules are unaffected.  [t] is
+    not mutated.
+    @raise Invalid_argument on unknown ids or a changed module count. *)
 
 val cost : t -> src:string -> dst:string -> int
 (** @raise Invalid_argument on unknown ids or unreachable pairs. *)
@@ -16,6 +35,11 @@ val cost : t -> src:string -> dst:string -> int
 val reachable : t -> src:string -> dst:string -> bool
 
 val labels : t -> string list
+
+val build_pairwise : Layout.t -> t
+(** The original one-BFS-per-pair construction (via
+    {!Router.Reference}), kept as the differential reference for
+    {!build} and {!update}. *)
 
 val render : ?rows:string list -> ?columns:string list -> t -> string
 (** A text matrix restricted to the given module ids (all by default) —

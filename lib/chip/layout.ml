@@ -3,6 +3,13 @@ type t = {
   height : int;
   modules : Chip_module.t list;
   by_id : (string, Chip_module.t) Hashtbl.t;
+  (* O(1) occupancy: cell y*width+x holds the index of the covering
+     module in [module_array], or -1 when the cell is free.  Routing
+     BFS touches every cell of the grid, so the lookup must not scan
+     the module list. *)
+  cells : int array;
+  module_array : Chip_module.t array;
+  index_by_id : (string, int) Hashtbl.t;
 }
 
 let width l = l.width
@@ -46,7 +53,20 @@ let make ~width ~height ~modules =
       check_overlaps rest
   in
   check_overlaps modules;
-  { width; height; modules; by_id }
+  let module_array = Array.of_list modules in
+  let index_by_id = Hashtbl.create 16 in
+  Array.iteri
+    (fun i m -> Hashtbl.add index_by_id m.Chip_module.id i)
+    module_array;
+  let cells = Array.make (width * height) (-1) in
+  Array.iteri
+    (fun i m ->
+      List.iter
+        (fun (p : Geometry.point) ->
+          cells.((p.Geometry.y * width) + p.Geometry.x) <- i)
+        (Geometry.rect_cells m.Chip_module.rect))
+    module_array;
+  { width; height; modules; by_id; cells; module_array; index_by_id }
 
 let find l id = Hashtbl.find_opt l.by_id id
 
@@ -106,10 +126,20 @@ let in_bounds l (p : Geometry.point) =
   p.Geometry.x >= 0 && p.Geometry.x < l.width && p.Geometry.y >= 0
   && p.Geometry.y < l.height
 
-let module_at l p =
-  List.find_opt (fun m -> Geometry.rect_contains m.Chip_module.rect p) l.modules
+let module_index_at l (p : Geometry.point) =
+  if in_bounds l p then l.cells.((p.Geometry.y * l.width) + p.Geometry.x)
+  else -1
 
-let free l p = in_bounds l p && module_at l p = None
+let module_count l = Array.length l.module_array
+let module_of_index l i = l.module_array.(i)
+let index_of_id l id = Hashtbl.find_opt l.index_by_id id
+
+let module_at l p =
+  match module_index_at l p with
+  | -1 -> None
+  | i -> Some l.module_array.(i)
+
+let free l p = in_bounds l p && module_index_at l p = -1
 
 (* Programmatic placement: reservoirs alternate along the top and bottom
    edges, mixers sit in a central row, storage cells in rows below the

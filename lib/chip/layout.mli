@@ -44,9 +44,24 @@ val reservoir_for : t -> Dmf.Fluid.t -> Chip_module.t
 val in_bounds : t -> Geometry.point -> bool
 
 val module_at : t -> Geometry.point -> Chip_module.t option
+(** O(1): a precomputed occupancy grid maps each cell to its covering
+    module.  [None] out of bounds or on a free cell. *)
 
 val free : t -> Geometry.point -> bool
 (** In bounds and not covered by any module. *)
+
+val module_index_at : t -> Geometry.point -> int
+(** The index (into the {!make}-time module order) of the module
+    covering [p], or [-1] when the cell is free or out of bounds.
+    Routing hot loops compare these indices instead of ids. *)
+
+val module_count : t -> int
+
+val module_of_index : t -> int -> Chip_module.t
+(** The module at a {!module_index_at} index; indices follow the order
+    of {!modules}. *)
+
+val index_of_id : t -> string -> int option
 
 val render : t -> string
 (** ASCII map of the chip. *)

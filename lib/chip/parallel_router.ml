@@ -28,86 +28,199 @@ let cells_conflict layout a b =
     | Some ma, Some mb when ma.Chip_module.id = mb.Chip_module.id -> false
     | Some _, Some _ | Some _, None | None, Some _ | None, None -> true
 
-let step_conflicts layout ~candidate ~candidate_prev reserved t =
-  List.exists
-    (fun positions ->
-      let now = position_at positions t in
-      let before = position_at positions (t - 1) in
-      cells_conflict layout candidate now
-      || cells_conflict layout candidate before
-      || cells_conflict layout candidate_prev now)
-    reserved
+(* The search runs on a time-expanded grid of (cell, sub-step) nodes,
+   node index [t * cells + cell].  Instead of testing every candidate
+   step against every reserved trajectory, each reservation is marked
+   once into a stamped conflict grid — cell c is marked at sub-step t
+   when some reserved droplet sits within Chebyshev distance 1 of c at
+   t (minus the same-module exemption) — so the BFS tests a step in
+   O(1) and parking in O(1) via the latest marked sub-step per cell.
+   Stamps make clearing free: bumping a generation counter invalidates
+   every mark and visit at once. *)
+module Scratch = struct
+  type t = {
+    mutable cells : int; (* per-cell capacity *)
+    mutable nodes : int; (* (horizon+1) * cells capacity *)
+    mutable visited : int array; (* BFS visit stamp per node *)
+    mutable parent : int array; (* predecessor node; -1 = root *)
+    mutable queue : int array; (* FIFO ring over nodes *)
+    mutable bfs_stamp : int;
+    mutable conflict : int array; (* reservation mark stamp per node *)
+    mutable last_conflict : int array; (* per cell: latest marked sub-step *)
+    mutable last_stamp : int array; (* stamp guarding last_conflict *)
+    mutable mark_stamp : int;
+  }
 
-(* Once arrived, the droplet parks at [cell]: it must stay clear of every
-   reserved trajectory for the rest of the horizon. *)
-let can_park layout reserved cell ~from_t ~horizon =
-  let rec check t =
-    if t > horizon then true
-    else if
-      step_conflicts layout ~candidate:cell ~candidate_prev:cell reserved t
-    then false
-    else check (t + 1)
-  in
-  check from_t
+  let create () =
+    {
+      cells = 0;
+      nodes = 0;
+      visited = [||];
+      parent = [||];
+      queue = [||];
+      bfs_stamp = 0;
+      conflict = [||];
+      last_conflict = [||];
+      last_stamp = [||];
+      mark_stamp = 0;
+    }
 
-let route_one layout ~horizon ~reserved request =
+  let ensure t ~cells ~nodes =
+    if t.nodes < nodes then begin
+      t.visited <- Array.make nodes 0;
+      t.parent <- Array.make nodes (-1);
+      t.queue <- Array.make nodes 0;
+      t.conflict <- Array.make nodes 0;
+      t.nodes <- nodes;
+      t.bfs_stamp <- 0;
+      t.mark_stamp <- 0
+    end;
+    if t.cells < cells then begin
+      t.last_conflict <- Array.make cells (-1);
+      t.last_stamp <- Array.make cells 0;
+      t.cells <- cells
+    end
+end
+
+(* Mark one reserved trajectory into the conflict grid, sub-steps 0
+   through [horizon] (the droplet parks at its last position). *)
+let mark_trajectory scratch layout ~cells ~horizon positions =
+  let width = Layout.width layout and height = Layout.height layout in
+  let stamp = scratch.Scratch.mark_stamp in
+  let conflict = scratch.Scratch.conflict
+  and last_conflict = scratch.Scratch.last_conflict
+  and last_stamp = scratch.Scratch.last_stamp in
+  for t = 0 to horizon do
+    let q = position_at positions t in
+    let mq = Layout.module_index_at layout q in
+    for dy = -1 to 1 do
+      let y = q.Geometry.y + dy in
+      if y >= 0 && y < height then
+        for dx = -1 to 1 do
+          let x = q.Geometry.x + dx in
+          if x >= 0 && x < width then begin
+            let ci = (y * width) + x in
+            let mc = Layout.module_index_at layout { Geometry.x = x; y } in
+            if not (mc >= 0 && mc = mq) then begin
+              conflict.((t * cells) + ci) <- stamp;
+              if last_stamp.(ci) <> stamp then begin
+                last_stamp.(ci) <- stamp;
+                last_conflict.(ci) <- t
+              end
+              else if last_conflict.(ci) < t then last_conflict.(ci) <- t
+            end
+          end
+        done
+    done
+  done
+
+let route_one_flat scratch layout ~cells ~horizon request =
+  let width = Layout.width layout in
+  let mask = Array.make (max 1 (Layout.module_count layout)) false in
+  List.iter
+    (fun id ->
+      match Layout.index_of_id layout id with
+      | Some i -> mask.(i) <- true
+      | None -> ())
+    request.allow;
   let allowed_cell p =
     Layout.in_bounds layout p
     &&
-    match Layout.module_at layout p with
-    | None -> true
-    | Some m -> List.mem m.Chip_module.id request.allow
+    let mi = Layout.module_index_at layout p in
+    mi = -1 || mask.(mi)
   in
   if not (allowed_cell request.src && allowed_cell request.dst) then None
   else begin
-    let key (p : Geometry.point) t = ((p.Geometry.y * 4096) + p.Geometry.x, t) in
-    let parent = Hashtbl.create 256 in
-    let queue = Queue.create () in
-    let goal = ref None in
-    Hashtbl.add parent (key request.src 0) None;
-    if
-      not
-        (step_conflicts layout ~candidate:request.src
-           ~candidate_prev:request.src reserved 0)
-    then Queue.push (request.src, 0) queue;
-    while !goal = None && not (Queue.is_empty queue) do
-      let p, t = Queue.pop queue in
-      if
-        p = request.dst
-        && can_park layout reserved p ~from_t:t ~horizon
-      then goal := Some (p, t)
-      else if t < horizon then
-        List.iter
-          (fun next ->
+    scratch.Scratch.bfs_stamp <- scratch.Scratch.bfs_stamp + 1;
+    let stamp = scratch.Scratch.bfs_stamp in
+    let mark = scratch.Scratch.mark_stamp in
+    let visited = scratch.Scratch.visited
+    and parent = scratch.Scratch.parent
+    and queue = scratch.Scratch.queue
+    and conflict = scratch.Scratch.conflict
+    and last_conflict = scratch.Scratch.last_conflict
+    and last_stamp = scratch.Scratch.last_stamp in
+    let conflict_at t ci =
+      conflict.(((if t < 0 then 0 else t) * cells) + ci) = mark
+    in
+    (* A step of [p] (from [prev]) at sub-step [t] violates segregation
+       against some reservation at t or an adjacent sub-step. *)
+    let step_blocked ~p ~prev t =
+      conflict_at t p || conflict_at (t - 1) p || conflict_at t prev
+    in
+    (* Parking at [ci] from [from_t] onwards is clear iff no reservation
+       marks the cell at any sub-step >= from_t - 1. *)
+    let can_park ci ~from_t =
+      let lc = if last_stamp.(ci) = mark then last_conflict.(ci) else -1 in
+      lc < max 0 (from_t - 1)
+    in
+    let cell_of (p : Geometry.point) = (p.Geometry.y * width) + p.Geometry.x in
+    let src_ci = cell_of request.src and dst_ci = cell_of request.dst in
+    let root = src_ci in
+    visited.(root) <- stamp;
+    parent.(root) <- -1;
+    let head = ref 0 and tail = ref 0 in
+    if not (step_blocked ~p:src_ci ~prev:src_ci 0) then begin
+      queue.(!tail) <- root;
+      incr tail
+    end;
+    let goal = ref (-1) in
+    while !goal < 0 && !head < !tail do
+      let node = queue.(!head) in
+      incr head;
+      let t = node / cells and ci = node mod cells in
+      if ci = dst_ci && can_park ci ~from_t:t then goal := node
+      else if t < horizon then begin
+        let x = ci mod width and y = ci / width in
+        let visit nx ny =
+          let p = { Geometry.x = nx; y = ny } in
+          if allowed_cell p then begin
+            let nci = (ny * width) + nx in
+            let nnode = ((t + 1) * cells) + nci in
             if
-              allowed_cell next
-              && (not (Hashtbl.mem parent (key next (t + 1))))
-              && not
-                   (step_conflicts layout ~candidate:next ~candidate_prev:p
-                      reserved (t + 1))
+              visited.(nnode) <> stamp
+              && not (step_blocked ~p:nci ~prev:ci (t + 1))
             then begin
-              Hashtbl.add parent (key next (t + 1)) (Some (p, t));
-              Queue.push (next, t + 1) queue
-            end)
-          (p :: Geometry.neighbours4 p)
+              visited.(nnode) <- stamp;
+              parent.(nnode) <- node;
+              queue.(!tail) <- nnode;
+              incr tail
+            end
+          end
+        in
+        (* Wait in place first, then the neighbours4 order — the same
+           expansion order as [Reference.route_one]. *)
+        visit x y;
+        visit (x - 1) y;
+        visit (x + 1) y;
+        visit x (y - 1);
+        visit x (y + 1)
+      end
     done;
-    match !goal with
-    | None -> None
-    | Some (p, t) ->
-      let rec backtrack (p, t) acc =
-        match Hashtbl.find parent (key p t) with
-        | None -> p :: acc
-        | Some prev -> backtrack prev (p :: acc)
+    if !goal < 0 then None
+    else begin
+      let rec backtrack node acc =
+        let ci = node mod cells in
+        let p = { Geometry.x = ci mod width; y = ci / width } in
+        if parent.(node) < 0 then p :: acc
+        else backtrack parent.(node) (p :: acc)
       in
-      Some (backtrack (p, t) [])
+      Some (backtrack !goal [])
+    end
   end
 
-let route_batch ?horizon layout requests =
-  let horizon =
-    match horizon with
-    | Some h -> h
-    | None -> 4 * 2 * (Layout.width layout + Layout.height layout)
+let default_horizon layout =
+  4 * 2 * (Layout.width layout + Layout.height layout)
+
+let route_batch ?scratch ?horizon layout requests =
+  let scratch =
+    match scratch with Some s -> s | None -> Scratch.create ()
   in
+  let horizon =
+    match horizon with Some h -> h | None -> default_horizon layout
+  in
+  let cells = Layout.width layout * Layout.height layout in
+  Scratch.ensure scratch ~cells ~nodes:((horizon + 1) * cells);
   let ordered =
     List.stable_sort
       (fun a b ->
@@ -116,23 +229,25 @@ let route_batch ?horizon layout requests =
           (Geometry.manhattan a.src a.dst))
       requests
   in
-  let rec plan reserved routed = function
+  let rec plan routed = function
     | [] -> Ok (List.rev routed)
     | request :: rest -> (
-      match route_one layout ~horizon ~reserved request with
+      match route_one_flat scratch layout ~cells ~horizon request with
       | None -> Error (request : request)
       | Some trajectory ->
-        let positions = Array.of_list trajectory in
-        plan (positions :: reserved)
-          ({ id = request.id; trajectory } :: routed)
-          rest)
+        mark_trajectory scratch layout ~cells ~horizon
+          (Array.of_list trajectory);
+        plan ({ id = request.id; trajectory } :: routed) rest)
   in
   (* Prioritised planning is order-sensitive: a droplet routed early may
      cut through the still-parked source of a later one.  On failure,
      promote the failed droplet to the front and replan — at most once
      per droplet. *)
   let rec attempt order retries =
-    match plan [] [] order with
+    (* A fresh mark generation drops every reservation of the failed
+       attempt at once. *)
+    scratch.Scratch.mark_stamp <- scratch.Scratch.mark_stamp + 1;
+    match plan [] order with
     | Ok routed -> Ok routed
     | Error (failed : request) ->
       if retries <= 0 then
@@ -155,6 +270,136 @@ let route_batch ?horizon layout requests =
       { r with trajectory = r.trajectory @ List.init missing (fun _ -> last) }
     in
     Ok (List.map pad routed)
+
+(* The original space-time planner — per-call Hashtbl parent maps and a
+   linear scan of every reserved trajectory per expansion — kept as the
+   differential reference for the stamped-grid implementation. *)
+module Reference = struct
+  let step_conflicts layout ~candidate ~candidate_prev reserved t =
+    List.exists
+      (fun positions ->
+        let now = position_at positions t in
+        let before = position_at positions (t - 1) in
+        cells_conflict layout candidate now
+        || cells_conflict layout candidate before
+        || cells_conflict layout candidate_prev now)
+      reserved
+
+  (* Once arrived, the droplet parks at [cell]: it must stay clear of
+     every reserved trajectory for the rest of the horizon. *)
+  let can_park layout reserved cell ~from_t ~horizon =
+    let rec check t =
+      if t > horizon then true
+      else if
+        step_conflicts layout ~candidate:cell ~candidate_prev:cell reserved t
+      then false
+      else check (t + 1)
+    in
+    check from_t
+
+  let route_one layout ~horizon ~reserved request =
+    let allowed_cell p =
+      Layout.in_bounds layout p
+      &&
+      match Layout.module_at layout p with
+      | None -> true
+      | Some m -> List.mem m.Chip_module.id request.allow
+    in
+    if not (allowed_cell request.src && allowed_cell request.dst) then None
+    else begin
+      let key (p : Geometry.point) t =
+        ((p.Geometry.y * 4096) + p.Geometry.x, t)
+      in
+      let parent = Hashtbl.create 256 in
+      let queue = Queue.create () in
+      let goal = ref None in
+      Hashtbl.add parent (key request.src 0) None;
+      if
+        not
+          (step_conflicts layout ~candidate:request.src
+             ~candidate_prev:request.src reserved 0)
+      then Queue.push (request.src, 0) queue;
+      while !goal = None && not (Queue.is_empty queue) do
+        let p, t = Queue.pop queue in
+        if
+          p = request.dst
+          && can_park layout reserved p ~from_t:t ~horizon
+        then goal := Some (p, t)
+        else if t < horizon then
+          List.iter
+            (fun next ->
+              if
+                allowed_cell next
+                && (not (Hashtbl.mem parent (key next (t + 1))))
+                && not
+                     (step_conflicts layout ~candidate:next ~candidate_prev:p
+                        reserved (t + 1))
+              then begin
+                Hashtbl.add parent (key next (t + 1)) (Some (p, t));
+                Queue.push (next, t + 1) queue
+              end)
+            (p :: Geometry.neighbours4 p)
+        done;
+      match !goal with
+      | None -> None
+      | Some (p, t) ->
+        let rec backtrack (p, t) acc =
+          match Hashtbl.find parent (key p t) with
+          | None -> p :: acc
+          | Some prev -> backtrack prev (p :: acc)
+        in
+        Some (backtrack (p, t) [])
+    end
+
+  let route_batch ?horizon layout requests =
+    let horizon =
+      match horizon with Some h -> h | None -> default_horizon layout
+    in
+    let ordered =
+      List.stable_sort
+        (fun a b ->
+          Int.compare
+            (Geometry.manhattan b.src b.dst)
+            (Geometry.manhattan a.src a.dst))
+        requests
+    in
+    let rec plan reserved routed = function
+      | [] -> Ok (List.rev routed)
+      | request :: rest -> (
+        match route_one layout ~horizon ~reserved request with
+        | None -> Error (request : request)
+        | Some trajectory ->
+          let positions = Array.of_list trajectory in
+          plan (positions :: reserved)
+            ({ id = request.id; trajectory } :: routed)
+            rest)
+    in
+    let rec attempt order retries =
+      match plan [] [] order with
+      | Ok routed -> Ok routed
+      | Error (failed : request) ->
+        if retries <= 0 then
+          Error
+            (Printf.sprintf
+               "droplet %d cannot reach (%d,%d) within %d sub-steps" failed.id
+               failed.dst.Geometry.x failed.dst.Geometry.y horizon)
+        else
+          let rest =
+            List.filter (fun (r : request) -> r.id <> failed.id) order
+          in
+          attempt (failed :: rest) (retries - 1)
+    in
+    match attempt ordered (List.length ordered) with
+    | Error _ as e -> e
+    | Ok routed ->
+      let span = makespan routed in
+      let pad r =
+        let last = List.nth r.trajectory (List.length r.trajectory - 1) in
+        let missing = span + 1 - List.length r.trajectory in
+        { r with trajectory = r.trajectory @ List.init missing (fun _ -> last) }
+      in
+      Ok (List.map pad routed)
+end
 
 let validate layout routed =
   let check cond fmt =

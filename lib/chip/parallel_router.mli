@@ -15,7 +15,13 @@
     against the reservations of the already-routed ones, with waiting
     allowed.  This is a heuristic — prioritised planning is not
     complete — so {!route_batch} can fail on pathological batches; the
-    time horizon bounds the search. *)
+    time horizon bounds the search.
+
+    The search runs on flat int-indexed arrays (node [t * cells +
+    cell]) with stamped visit/reservation marks, so planning one
+    droplet costs O(nodes) with no per-expansion scan of the reserved
+    trajectories; {!Reference} keeps the original Hashtbl/Queue
+    planner as the differential oracle. *)
 
 type request = {
   id : int;  (** Caller's identifier, echoed in the result. *)
@@ -32,7 +38,18 @@ type routed = {
           (droplets park at their destination). *)
 }
 
+(** Reusable planning buffers: time-expanded visit/parent/queue arrays
+    and the stamped reservation grid.  One scratch serves any number of
+    sequential {!route_batch} calls (it grows to the largest layout and
+    horizon seen); it is not thread-safe. *)
+module Scratch : sig
+  type t
+
+  val create : unit -> t
+end
+
 val route_batch :
+  ?scratch:Scratch.t ->
   ?horizon:int ->
   Layout.t ->
   request list ->
@@ -40,7 +57,8 @@ val route_batch :
 (** [route_batch layout requests] plans all moves concurrently.
     [horizon] bounds the sub-step count (default: grid perimeter x 4).
     Fails when some droplet cannot reach its destination within the
-    horizon under the accumulated reservations. *)
+    horizon under the accumulated reservations.  Pass [scratch] to
+    reuse planning buffers across consecutive batches. *)
 
 val makespan : routed list -> int
 (** Sub-steps until the last droplet arrives (trajectory length - 1);
@@ -50,3 +68,11 @@ val validate : Layout.t -> routed list -> (unit, string) result
 (** Re-checks every constraint of a planned batch: unit steps or waits
     only, in-bounds, module avoidance (except same-module pairs), and
     the dynamic segregation rule at equal and adjacent sub-steps. *)
+
+(** The original space-time planner — per-call Hashtbl parent maps and
+    a linear scan of every reserved trajectory per expansion — kept as
+    the differential reference for the stamped flat-array planner. *)
+module Reference : sig
+  val route_batch :
+    ?horizon:int -> Layout.t -> request list -> (routed list, string) result
+end

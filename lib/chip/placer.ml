@@ -13,8 +13,7 @@ let flows_of_accounting accounting =
 
 let unreachable_penalty = 10_000
 
-let transport_cost layout flows =
-  let matrix = Cost_matrix.build layout in
+let flow_cost layout matrix flows =
   List.fold_left
     (fun acc ((src, dst), count) ->
       let cost =
@@ -27,6 +26,8 @@ let transport_cost layout flows =
       in
       acc + (count * cost))
     0 flows
+
+let transport_cost layout flows = flow_cost layout (Cost_matrix.build layout) flows
 
 (* Swap the rectangles of two same-kind, same-size modules. *)
 let swap_modules layout a b =
@@ -61,19 +62,26 @@ let swap_groups layout =
   @ group (Layout.mixers layout)
   @ group (Layout.storage_units layout)
 
-let optimize ?(iterations = 2000) ?(seed = 42) layout ~flows =
+(* One candidate: apply the swap and re-evaluate with only the two
+   touched modules re-flooded (same-size swaps keep the overall set of
+   occupied cells identical, so no other distance can change). *)
+let evaluate_swap ?scratch current matrix flows (a, b) =
+  let candidate = swap_modules current a b in
+  let matrix = Cost_matrix.update ?scratch matrix candidate ~changed:[ a; b ] in
+  (candidate, matrix, flow_cost candidate matrix flows)
+
+let optimize ?(iterations = 2000) ?(seed = 42) ?(batch = 1) layout ~flows =
   let pairs = Array.of_list (swap_groups layout) in
   if Array.length pairs = 0 then (layout, transport_cost layout flows)
   else begin
+    let scratch = Router.Scratch.create () in
     let state = Random.State.make [| seed |] in
     let current = ref layout in
-    let current_cost = ref (transport_cost layout flows) in
+    let current_matrix = ref (Cost_matrix.build ~scratch layout) in
+    let current_cost = ref (flow_cost layout !current_matrix flows) in
     let best = ref layout in
     let best_cost = ref !current_cost in
-    for i = 0 to iterations - 1 do
-      let a, b = pairs.(Random.State.int state (Array.length pairs)) in
-      let candidate = swap_modules !current a b in
-      let cost = transport_cost candidate flows in
+    let accept_step ~i (candidate, matrix, cost) =
       let temperature =
         float_of_int (iterations - i) /. float_of_int iterations
       in
@@ -84,24 +92,99 @@ let optimize ?(iterations = 2000) ?(seed = 42) layout ~flows =
       in
       if accept then begin
         current := candidate;
+        current_matrix := matrix;
         current_cost := cost;
         if cost < !best_cost then begin
           best := candidate;
           best_cost := cost
         end
       end
-    done;
+    in
+    if batch <= 1 then
+      (* Sequential annealing: the RNG is consumed exactly as in the
+         full-rebuild reference, so for a fixed seed the trajectory —
+         and hence the returned layout — is bit-identical. *)
+      for i = 0 to iterations - 1 do
+        let pair = pairs.(Random.State.int state (Array.length pairs)) in
+        accept_step ~i (evaluate_swap ~scratch !current !current_matrix flows pair)
+      done
+    else begin
+      (* Batched annealing: draw [batch] independent candidate swaps of
+         the current layout, evaluate them concurrently, then apply the
+         annealing acceptance to the cheapest (first on ties).  The
+         trajectory depends only on (seed, batch) — Mdst.Par.map keeps
+         result order at any domain count. *)
+      let i = ref 0 in
+      while !i < iterations do
+        let k = min batch (iterations - !i) in
+        let drawn =
+          List.init k (fun _ ->
+              pairs.(Random.State.int state (Array.length pairs)))
+        in
+        let evaluated =
+          Mdst.Par.map (evaluate_swap !current !current_matrix flows) drawn
+        in
+        let chosen =
+          List.fold_left
+            (fun acc ((_, _, cost) as candidate) ->
+              match acc with
+              | Some (_, _, best) when best <= cost -> acc
+              | Some _ | None -> Some candidate)
+            None evaluated
+        in
+        Option.iter (accept_step ~i:!i) chosen;
+        i := !i + k
+      done
+    end;
     (!best, !best_cost)
   end
 
-let optimize_for ?iterations ?seed ~plan ~schedule layout =
+let optimize_for ?iterations ?seed ?batch ~plan ~schedule layout =
   match Actuation.account ~layout ~plan ~schedule with
   | Error e -> Error e
   | Ok accounting ->
     let flows = flows_of_accounting accounting in
     let before = accounting.Actuation.total_electrodes in
-    let improved, _ = optimize ?iterations ?seed layout ~flows in
+    let improved, _ = optimize ?iterations ?seed ?batch layout ~flows in
     (match Actuation.account ~layout:improved ~plan ~schedule with
     | Error e -> Error e
     | Ok improved_accounting ->
       Ok (improved, before, improved_accounting.Actuation.total_electrodes))
+
+(* The original annealer, kept as the differential reference: every
+   candidate pays a full matrix rebuild, so equality with [optimize]
+   pins both the delta evaluation and the RNG discipline. *)
+module Reference = struct
+  let optimize ?(iterations = 2000) ?(seed = 42) layout ~flows =
+    let pairs = Array.of_list (swap_groups layout) in
+    if Array.length pairs = 0 then (layout, transport_cost layout flows)
+    else begin
+      let state = Random.State.make [| seed |] in
+      let current = ref layout in
+      let current_cost = ref (transport_cost layout flows) in
+      let best = ref layout in
+      let best_cost = ref !current_cost in
+      for i = 0 to iterations - 1 do
+        let a, b = pairs.(Random.State.int state (Array.length pairs)) in
+        let candidate = swap_modules !current a b in
+        let cost = transport_cost candidate flows in
+        let temperature =
+          float_of_int (iterations - i) /. float_of_int iterations
+        in
+        let accept =
+          cost <= !current_cost
+          || Random.State.float state 1.0
+             < exp (float_of_int (!current_cost - cost) /. (temperature *. 50.))
+        in
+        if accept then begin
+          current := candidate;
+          current_cost := cost;
+          if cost < !best_cost then begin
+            best := candidate;
+            best_cost := cost
+          end
+        end
+      done;
+      (!best, !best_cost)
+    end
+end

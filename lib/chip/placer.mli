@@ -23,15 +23,26 @@ val transport_cost : Layout.t -> flows -> int
 val optimize :
   ?iterations:int ->
   ?seed:int ->
+  ?batch:int ->
   Layout.t ->
   flows:flows ->
   Layout.t * int
 (** [optimize layout ~flows] anneals module permutations and returns the
-    best layout found with its cost.  Deterministic for a fixed [seed]. *)
+    best layout found with its cost.  Candidate swaps are delta-evaluated:
+    only the two touched modules are re-flooded ({!Cost_matrix.update}),
+    never the whole matrix.
+
+    With the default [batch = 1] the annealing trajectory is
+    bit-identical to {!Reference.optimize} for a fixed [seed].  With
+    [batch > 1], each round draws [batch] independent candidate swaps,
+    evaluates them concurrently over domains ([Mdst.Par]) and anneals
+    on the cheapest; the trajectory then depends only on
+    [(seed, batch)], not on the domain count. *)
 
 val optimize_for :
   ?iterations:int ->
   ?seed:int ->
+  ?batch:int ->
   plan:Mdst.Plan.t ->
   schedule:Mdst.Schedule.t ->
   Layout.t ->
@@ -39,3 +50,11 @@ val optimize_for :
 (** Convenience wrapper: account the schedule on the layout, optimise for
     the resulting flows and return
     [(best_layout, cost_before, cost_after)] in actuated electrodes. *)
+
+(** The original annealer — a full cost-matrix rebuild per candidate —
+    kept as the differential reference for the delta-evaluated
+    {!optimize}. *)
+module Reference : sig
+  val optimize :
+    ?iterations:int -> ?seed:int -> Layout.t -> flows:flows -> Layout.t * int
+end

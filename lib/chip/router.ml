@@ -1,66 +1,268 @@
-let bfs ~allowed ~start ~goal =
-  if not (allowed start && allowed goal) then None
+(* Shortest-path routing on the electrode grid.
+
+   The hot loops (cost matrices, the placer's annealing, the
+   simulator) run thousands of BFS passes over the same grid, so the
+   search works on reusable int-indexed scratch buffers (cell index
+   [y*width+x]) instead of tuple-keyed hash tables: a visit-stamp
+   array doubles as the visited set (no clearing between runs), a flat
+   ring buffer replaces the [Queue], and the parent chain is a plain
+   int array.  [Reference] keeps the original Hashtbl/Queue
+   implementation as a differential oracle; both expand neighbours in
+   the same order, so they return identical paths, not merely
+   equal-cost ones. *)
+
+module Scratch = struct
+  type t = {
+    mutable capacity : int;
+    mutable state : int array; (* visit stamp per cell *)
+    mutable parent : int array; (* predecessor cell index; -1 = root *)
+    mutable queue : int array; (* FIFO ring: each cell enters at most once *)
+    mutable stamp : int;
+  }
+
+  let create () =
+    { capacity = 0; state = [||]; parent = [||]; queue = [||]; stamp = 0 }
+
+  (* Grow to [n] cells if needed and open a fresh visit generation. *)
+  let enter t n =
+    if t.capacity < n then begin
+      t.state <- Array.make n 0;
+      t.parent <- Array.make n (-1);
+      t.queue <- Array.make n 0;
+      t.capacity <- n;
+      t.stamp <- 0
+    end;
+    t.stamp <- t.stamp + 1;
+    t.stamp
+end
+
+(* The flat BFS.  [allowed x y] is consulted at most once per cell;
+   neighbour order (left, right, up, down) matches
+   [Geometry.neighbours4] so paths are bit-identical to [Reference]. *)
+let bfs_flat scratch ~width ~height ~allowed ~(start : Geometry.point)
+    ~(goal : Geometry.point) =
+  let in_grid x y = x >= 0 && x < width && y >= 0 && y < height in
+  if
+    not
+      (in_grid start.Geometry.x start.Geometry.y
+      && allowed start.Geometry.x start.Geometry.y
+      && in_grid goal.Geometry.x goal.Geometry.y
+      && allowed goal.Geometry.x goal.Geometry.y)
+  then None
   else begin
-    let key (p : Geometry.point) = (p.Geometry.x, p.Geometry.y) in
-    let parent = Hashtbl.create 64 in
-    let queue = Queue.create () in
-    Hashtbl.add parent (key start) None;
-    Queue.push start queue;
+    let stamp = Scratch.enter scratch (width * height) in
+    let state = scratch.Scratch.state
+    and parent = scratch.Scratch.parent
+    and queue = scratch.Scratch.queue in
+    let si = (start.Geometry.y * width) + start.Geometry.x in
+    let gi = (goal.Geometry.y * width) + goal.Geometry.x in
+    state.(si) <- stamp;
+    parent.(si) <- -1;
+    queue.(0) <- si;
+    let head = ref 0 and tail = ref 1 in
     let found = ref false in
-    while (not !found) && not (Queue.is_empty queue) do
-      let p = Queue.pop queue in
-      if p = goal then found := true
-      else
-        List.iter
-          (fun next ->
-            if allowed next && not (Hashtbl.mem parent (key next)) then begin
-              Hashtbl.add parent (key next) (Some p);
-              Queue.push next queue
-            end)
-          (Geometry.neighbours4 p)
+    while (not !found) && !head < !tail do
+      let p = queue.(!head) in
+      incr head;
+      if p = gi then found := true
+      else begin
+        let px = p mod width and py = p / width in
+        let visit x y =
+          if in_grid x y then begin
+            let q = (y * width) + x in
+            if state.(q) <> stamp && allowed x y then begin
+              state.(q) <- stamp;
+              parent.(q) <- p;
+              queue.(!tail) <- q;
+              incr tail
+            end
+          end
+        in
+        visit (px - 1) py;
+        visit (px + 1) py;
+        visit px (py - 1);
+        visit px (py + 1)
+      end
     done;
     if not !found then None
     else begin
-      let rec backtrack p acc =
-        match Hashtbl.find parent (key p) with
-        | None -> p :: acc
-        | Some prev -> backtrack prev (p :: acc)
+      let rec backtrack i acc =
+        let p = { Geometry.x = i mod width; y = i / width } in
+        if parent.(i) < 0 then p :: acc else backtrack parent.(i) (p :: acc)
       in
-      Some (backtrack goal [])
+      Some (backtrack gi [])
     end
   end
 
-let route ?(blocked = fun _ -> false) layout ~src ~dst =
-  let allowed p =
-    Layout.in_bounds layout p
-    && (not (blocked p))
-    &&
-    match Layout.module_at layout p with
-    | None -> true
-    | Some m ->
-      m.Chip_module.id = src.Chip_module.id
-      || m.Chip_module.id = dst.Chip_module.id
-  in
-  bfs ~allowed ~start:(Chip_module.anchor src) ~goal:(Chip_module.anchor dst)
+let shared_scratch = function
+  | Some s -> s
+  | None -> Scratch.create ()
 
-let route_cells ?(blocked = fun _ -> false) layout ~allow ~src ~dst =
-  let allowed p =
-    Layout.in_bounds layout p
-    && (not (blocked p))
-    &&
-    match Layout.module_at layout p with
-    | None -> true
-    | Some m -> List.mem m.Chip_module.id allow
-  in
-  bfs ~allowed ~start:src ~goal:dst
+(* Membership mask over module indices for an [allow] id list. *)
+let allow_mask layout allow =
+  let mask = Array.make (max 1 (Layout.module_count layout)) false in
+  List.iter
+    (fun id ->
+      match Layout.index_of_id layout id with
+      | Some i -> mask.(i) <- true
+      | None -> ())
+    allow;
+  mask
 
-let route_ids ?blocked layout ~src ~dst =
-  route ?blocked layout ~src:(Layout.find_exn layout src)
+let route ?scratch ?(blocked = fun _ -> false) layout ~src ~dst =
+  let scratch = shared_scratch scratch in
+  let si =
+    Option.value ~default:(-2) (Layout.index_of_id layout src.Chip_module.id)
+  and di =
+    Option.value ~default:(-2) (Layout.index_of_id layout dst.Chip_module.id)
+  in
+  let allowed x y =
+    let p = { Geometry.x = x; y } in
+    (not (blocked p))
+    &&
+    let mi = Layout.module_index_at layout p in
+    mi = -1 || mi = si || mi = di
+  in
+  bfs_flat scratch ~width:(Layout.width layout) ~height:(Layout.height layout)
+    ~allowed ~start:(Chip_module.anchor src) ~goal:(Chip_module.anchor dst)
+
+let route_cells ?scratch ?(blocked = fun _ -> false) layout ~allow ~src ~dst =
+  let scratch = shared_scratch scratch in
+  let mask = allow_mask layout allow in
+  let allowed x y =
+    let p = { Geometry.x = x; y } in
+    (not (blocked p))
+    &&
+    let mi = Layout.module_index_at layout p in
+    mi = -1 || mask.(mi)
+  in
+  bfs_flat scratch ~width:(Layout.width layout) ~height:(Layout.height layout)
+    ~allowed ~start:src ~goal:dst
+
+let route_ids ?scratch ?blocked layout ~src ~dst =
+  route ?scratch ?blocked layout ~src:(Layout.find_exn layout src)
     ~dst:(Layout.find_exn layout dst)
 
 let path_cost = function
   | [] -> 0
   | path -> List.length path - 1
 
-let distance layout ~src ~dst =
-  Option.map path_cost (route_ids layout ~src ~dst)
+let distance ?scratch layout ~src ~dst =
+  Option.map path_cost (route_ids ?scratch layout ~src ~dst)
+
+(* Single-source flood fill: distances from [start] to every cell that
+   is free or covered by a module in [allow].  One flood per source
+   module replaces one BFS per (src, dst) pair in the cost matrix. *)
+let flood ?scratch layout ~allow ~(start : Geometry.point) =
+  let scratch = shared_scratch scratch in
+  let width = Layout.width layout and height = Layout.height layout in
+  let n = width * height in
+  let dist = Array.make n (-1) in
+  let mask = allow_mask layout allow in
+  let allowed x y =
+    let mi = Layout.module_index_at layout { Geometry.x = x; y } in
+    mi = -1 || mask.(mi)
+  in
+  let in_grid x y = x >= 0 && x < width && y >= 0 && y < height in
+  if
+    in_grid start.Geometry.x start.Geometry.y
+    && allowed start.Geometry.x start.Geometry.y
+  then begin
+    let stamp = Scratch.enter scratch n in
+    let state = scratch.Scratch.state and queue = scratch.Scratch.queue in
+    let si = (start.Geometry.y * width) + start.Geometry.x in
+    state.(si) <- stamp;
+    dist.(si) <- 0;
+    queue.(0) <- si;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let p = queue.(!head) in
+      incr head;
+      let d = dist.(p) in
+      let px = p mod width and py = p / width in
+      let visit x y =
+        if in_grid x y then begin
+          let q = (y * width) + x in
+          if state.(q) <> stamp && allowed x y then begin
+            state.(q) <- stamp;
+            dist.(q) <- d + 1;
+            queue.(!tail) <- q;
+            incr tail
+          end
+        end
+      in
+      visit (px - 1) py;
+      visit (px + 1) py;
+      visit px (py - 1);
+      visit px (py + 1)
+    done
+  end;
+  dist
+
+(* The original implementation, kept verbatim as the differential
+   reference (the Mdst.Naive convention): tuple-keyed Hashtbl parent
+   map and a Queue, one fresh allocation of each per call. *)
+module Reference = struct
+  let bfs ~allowed ~start ~goal =
+    if not (allowed start && allowed goal) then None
+    else begin
+      let key (p : Geometry.point) = (p.Geometry.x, p.Geometry.y) in
+      let parent = Hashtbl.create 64 in
+      let queue = Queue.create () in
+      Hashtbl.add parent (key start) None;
+      Queue.push start queue;
+      let found = ref false in
+      while (not !found) && not (Queue.is_empty queue) do
+        let p = Queue.pop queue in
+        if p = goal then found := true
+        else
+          List.iter
+            (fun next ->
+              if allowed next && not (Hashtbl.mem parent (key next)) then begin
+                Hashtbl.add parent (key next) (Some p);
+                Queue.push next queue
+              end)
+            (Geometry.neighbours4 p)
+      done;
+      if not !found then None
+      else begin
+        let rec backtrack p acc =
+          match Hashtbl.find parent (key p) with
+          | None -> p :: acc
+          | Some prev -> backtrack prev (p :: acc)
+        in
+        Some (backtrack goal [])
+      end
+    end
+
+  let route ?(blocked = fun _ -> false) layout ~src ~dst =
+    let allowed p =
+      Layout.in_bounds layout p
+      && (not (blocked p))
+      &&
+      match Layout.module_at layout p with
+      | None -> true
+      | Some m ->
+        m.Chip_module.id = src.Chip_module.id
+        || m.Chip_module.id = dst.Chip_module.id
+    in
+    bfs ~allowed ~start:(Chip_module.anchor src) ~goal:(Chip_module.anchor dst)
+
+  let route_cells ?(blocked = fun _ -> false) layout ~allow ~src ~dst =
+    let allowed p =
+      Layout.in_bounds layout p
+      && (not (blocked p))
+      &&
+      match Layout.module_at layout p with
+      | None -> true
+      | Some m -> List.mem m.Chip_module.id allow
+    in
+    bfs ~allowed ~start:src ~goal:dst
+
+  let route_ids ?blocked layout ~src ~dst =
+    route ?blocked layout ~src:(Layout.find_exn layout src)
+      ~dst:(Layout.find_exn layout dst)
+
+  let distance layout ~src ~dst =
+    Option.map path_cost (route_ids layout ~src ~dst)
+end

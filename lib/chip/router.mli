@@ -4,9 +4,25 @@
     of every module other than the source and destination are obstacles;
     an optional [blocked] predicate adds dynamic obstacles (e.g. the
     segregation ring around currently parked droplets in the
-    simulator). *)
+    simulator).
+
+    Every search runs on flat int-indexed arrays (cell [y*width+x])
+    with visit stamps instead of hash tables; callers on a hot path
+    pass an explicit {!Scratch.t} so consecutive searches reuse the
+    same buffers.  {!Reference} retains the original Hashtbl/Queue
+    implementation as a differential oracle — both expand neighbours
+    in the same order and return identical paths. *)
+
+module Scratch : sig
+  type t
+  (** Reusable BFS buffers.  Grown on demand to the largest grid seen;
+      not safe to share across domains. *)
+
+  val create : unit -> t
+end
 
 val route :
+  ?scratch:Scratch.t ->
   ?blocked:(Geometry.point -> bool) ->
   Layout.t ->
   src:Chip_module.t ->
@@ -17,6 +33,7 @@ val route :
     destination is unreachable. *)
 
 val route_ids :
+  ?scratch:Scratch.t ->
   ?blocked:(Geometry.point -> bool) ->
   Layout.t ->
   src:string ->
@@ -26,6 +43,7 @@ val route_ids :
     @raise Invalid_argument on unknown ids. *)
 
 val route_cells :
+  ?scratch:Scratch.t ->
   ?blocked:(Geometry.point -> bool) ->
   Layout.t ->
   allow:string list ->
@@ -40,5 +58,46 @@ val path_cost : Geometry.point list -> int
 (** Number of electrode actuations of a path: one per step, i.e.
     [length - 1]; a trivial path costs 0. *)
 
-val distance : Layout.t -> src:string -> dst:string -> int option
+val distance :
+  ?scratch:Scratch.t -> Layout.t -> src:string -> dst:string -> int option
 (** Shortest-path cost between two modules on an otherwise empty chip. *)
+
+val flood :
+  ?scratch:Scratch.t ->
+  Layout.t ->
+  allow:string list ->
+  start:Geometry.point ->
+  int array
+(** [flood layout ~allow ~start] is the array of BFS distances from
+    [start] to every cell, indexed [y * width + x]; [-1] marks
+    unreachable cells.  Passable cells are the free cells plus the
+    cells of the modules named in [allow].  One flood per source module
+    gives a whole cost-matrix row in a single pass. *)
+
+(** The original per-call Hashtbl/Queue implementation, kept as the
+    differential reference for the flat-array searches. *)
+module Reference : sig
+  val route :
+    ?blocked:(Geometry.point -> bool) ->
+    Layout.t ->
+    src:Chip_module.t ->
+    dst:Chip_module.t ->
+    Geometry.point list option
+
+  val route_ids :
+    ?blocked:(Geometry.point -> bool) ->
+    Layout.t ->
+    src:string ->
+    dst:string ->
+    Geometry.point list option
+
+  val route_cells :
+    ?blocked:(Geometry.point -> bool) ->
+    Layout.t ->
+    allow:string list ->
+    src:Geometry.point ->
+    dst:Geometry.point ->
+    Geometry.point list option
+
+  val distance : Layout.t -> src:string -> dst:string -> int option
+end

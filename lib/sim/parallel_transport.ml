@@ -44,6 +44,7 @@ let analyze ~layout ~plan ~schedule =
       Hashtbl.fold (fun cycle movements acc -> (cycle, List.rev movements) :: acc) by_cycle []
       |> List.sort compare
     in
+    let scratch = Chip.Parallel_router.Scratch.create () in
     let reports =
       List.map
         (fun (cycle, movements) ->
@@ -62,7 +63,7 @@ let analyze ~layout ~plan ~schedule =
           let serial_steps =
             List.fold_left (fun acc m -> acc + m.Chip.Actuation.cost) 0 movements
           in
-          match Chip.Parallel_router.route_batch layout requests with
+          match Chip.Parallel_router.route_batch ~scratch layout requests with
           | Ok routed ->
             {
               cycle;

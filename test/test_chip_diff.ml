@@ -1,0 +1,260 @@
+(* Differential properties for the chip-layer hot paths: every
+   flat-array implementation (grid BFS, single-source cost matrices,
+   delta-evaluated placement, stamped parallel routing) is pinned
+   against the reference implementation it replaced, on randomized
+   layouts.  The references are retained precisely for these oracles:
+   equal outputs here are what licenses the fast paths everywhere
+   else. *)
+
+open QCheck2
+
+let layout_params_gen =
+  Gen.(
+    int_range 1 4 >>= fun mixers ->
+    int_range 1 8 >>= fun storage ->
+    int_range 1 2 >>= fun wastes ->
+    int_range 1 8 >|= fun fluids -> (mixers, storage, wastes, fluids))
+
+let layout_of (mixers, storage_units, wastes, n_fluids) =
+  Chip.Layout.default ~mixers ~storage_units ~wastes ~n_fluids ()
+
+let case_gen = Gen.pair layout_params_gen (Gen.int_range 0 0x3FFFFFFF)
+
+let case_print ((m, s, w, f), seed) =
+  Printf.sprintf "mixers=%d storage=%d wastes=%d fluids=%d seed=%d" m s w f
+    seed
+
+(* A small deterministic PRNG so a failing case is reproducible from the
+   printed seed alone. *)
+let lcg seed =
+  let state = ref (seed land 0x3FFFFFFF) in
+  fun bound ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    if bound <= 0 then 0 else !state mod bound
+
+(* A pure pseudo-random obstacle field (must be a function of the cell
+   only: both router implementations query it independently). *)
+let blocked_of seed (p : Chip.Geometry.point) =
+  Hashtbl.hash (seed, p.Chip.Geometry.x, p.Chip.Geometry.y) mod 7 = 0
+
+let module_ids layout =
+  List.map (fun m -> m.Chip.Chip_module.id) (Chip.Layout.modules layout)
+
+(* ------------------------------------------------------------------ *)
+(* Router: flat grid BFS vs Reference                                  *)
+
+let prop_route_ids (params, seed) =
+  let layout = layout_of params in
+  let ids = module_ids layout in
+  let blocked = blocked_of seed in
+  let scratch = Chip.Router.Scratch.create () in
+  List.for_all
+    (fun src ->
+      List.for_all
+        (fun dst ->
+          Chip.Router.route_ids ~scratch ~blocked layout ~src ~dst
+          = Chip.Router.Reference.route_ids ~blocked layout ~src ~dst)
+        ids)
+    ids
+
+let prop_route_cells (params, seed) =
+  let layout = layout_of params in
+  let modules = Array.of_list (Chip.Layout.modules layout) in
+  let rand = lcg seed in
+  let pick_module () = modules.(rand (Array.length modules)) in
+  let pick_cell m =
+    let cells = Chip.Geometry.rect_cells m.Chip.Chip_module.rect in
+    List.nth cells (rand (List.length cells))
+  in
+  let a = pick_module () and b = pick_module () in
+  let src = pick_cell a and dst = pick_cell b in
+  let allow = [ a.Chip.Chip_module.id; b.Chip.Chip_module.id ] in
+  let blocked = blocked_of seed in
+  Chip.Router.route_cells ~blocked layout ~allow ~src ~dst
+  = Chip.Router.Reference.route_cells ~blocked layout ~allow ~src ~dst
+
+(* ------------------------------------------------------------------ *)
+(* Cost matrix: single-source floods vs pairwise BFS, and delta update *)
+
+let matrices_equal a b =
+  let la = Chip.Cost_matrix.labels a and lb = Chip.Cost_matrix.labels b in
+  la = lb
+  && List.for_all
+       (fun src ->
+         List.for_all
+           (fun dst ->
+             let ra = Chip.Cost_matrix.reachable a ~src ~dst in
+             ra = Chip.Cost_matrix.reachable b ~src ~dst
+             && ((not ra)
+                || Chip.Cost_matrix.cost a ~src ~dst
+                   = Chip.Cost_matrix.cost b ~src ~dst))
+           la)
+       la
+
+let prop_build_matches_pairwise (params, _seed) =
+  let layout = layout_of params in
+  matrices_equal
+    (Chip.Cost_matrix.build layout)
+    (Chip.Cost_matrix.build_pairwise layout)
+
+(* Same-kind, same-size module pairs — the swaps the placer draws. *)
+let swap_pairs layout =
+  let same_size a b =
+    a.Chip.Chip_module.rect.Chip.Geometry.w
+    = b.Chip.Chip_module.rect.Chip.Geometry.w
+    && a.Chip.Chip_module.rect.Chip.Geometry.h
+       = b.Chip.Chip_module.rect.Chip.Geometry.h
+  in
+  let group modules =
+    List.concat_map
+      (fun m ->
+        List.filter_map
+          (fun m' ->
+            if m.Chip.Chip_module.id < m'.Chip.Chip_module.id && same_size m m'
+            then Some (m.Chip.Chip_module.id, m'.Chip.Chip_module.id)
+            else None)
+          modules)
+      modules
+  in
+  group (Chip.Layout.reservoirs layout)
+  @ group (Chip.Layout.mixers layout)
+  @ group (Chip.Layout.storage_units layout)
+
+let apply_swap layout (a, b) =
+  let ma = Chip.Layout.find_exn layout a
+  and mb = Chip.Layout.find_exn layout b in
+  let replace m =
+    if m.Chip.Chip_module.id = a then
+      { m with Chip.Chip_module.rect = mb.Chip.Chip_module.rect }
+    else if m.Chip.Chip_module.id = b then
+      { m with Chip.Chip_module.rect = ma.Chip.Chip_module.rect }
+    else m
+  in
+  Chip.Layout.make
+    ~width:(Chip.Layout.width layout)
+    ~height:(Chip.Layout.height layout)
+    ~modules:(List.map replace (Chip.Layout.modules layout))
+
+let prop_update_chain (params, seed) =
+  let layout = layout_of params in
+  let pairs = Array.of_list (swap_pairs layout) in
+  if Array.length pairs = 0 then true
+  else begin
+    let rand = lcg seed in
+    let current = ref layout in
+    let matrix = ref (Chip.Cost_matrix.build layout) in
+    for _ = 1 to 1 + rand 5 do
+      let ((a, b) as pair) = pairs.(rand (Array.length pairs)) in
+      let candidate = apply_swap !current pair in
+      matrix := Chip.Cost_matrix.update !matrix candidate ~changed:[ a; b ];
+      current := candidate
+    done;
+    matrices_equal !matrix (Chip.Cost_matrix.build_pairwise !current)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Placer: delta-evaluated annealing vs full-rebuild Reference         *)
+
+let flows_of_seed layout seed =
+  let ids = Array.of_list (module_ids layout) in
+  let rand = lcg (seed lxor 0x2A2A2A) in
+  List.init
+    (1 + rand 6)
+    (fun _ ->
+      ((ids.(rand (Array.length ids)), ids.(rand (Array.length ids))),
+       1 + rand 5))
+
+let layouts_equal a b =
+  let profile l =
+    List.map
+      (fun m -> (m.Chip.Chip_module.id, m.Chip.Chip_module.rect))
+      (Chip.Layout.modules l)
+  in
+  profile a = profile b
+
+let prop_placer_matches_reference (params, seed) =
+  let layout = layout_of params in
+  let flows = flows_of_seed layout seed in
+  let anneal_seed = seed land 0xFFFF in
+  let fast, fast_cost =
+    Chip.Placer.optimize ~iterations:60 ~seed:anneal_seed layout ~flows
+  in
+  let slow, slow_cost =
+    Chip.Placer.Reference.optimize ~iterations:60 ~seed:anneal_seed layout
+      ~flows
+  in
+  fast_cost = slow_cost && layouts_equal fast slow
+
+let prop_placer_batch_deterministic (params, seed) =
+  let layout = layout_of params in
+  let flows = flows_of_seed layout seed in
+  let anneal_seed = seed land 0xFFFF in
+  let run () =
+    Chip.Placer.optimize ~iterations:60 ~seed:anneal_seed ~batch:3 layout
+      ~flows
+  in
+  let a, a_cost = run () and b, b_cost = run () in
+  a_cost = b_cost && layouts_equal a b
+
+(* ------------------------------------------------------------------ *)
+(* Parallel router: stamped flat planner vs Reference                  *)
+
+let prop_route_batch_matches_reference (params, seed) =
+  let layout = layout_of params in
+  let modules = Array.of_list (Chip.Layout.modules layout) in
+  let rand = lcg seed in
+  (* A deterministic shuffle, then consecutive pairs: distinct source
+     and destination modules so no two droplets share a start cell. *)
+  for i = Array.length modules - 1 downto 1 do
+    let j = rand (i + 1) in
+    let tmp = modules.(i) in
+    modules.(i) <- modules.(j);
+    modules.(j) <- tmp
+  done;
+  let batch = min (1 + rand 3) (Array.length modules / 2) in
+  let anchor m = List.hd (Chip.Geometry.rect_cells m.Chip.Chip_module.rect) in
+  let requests =
+    List.init batch (fun i ->
+        let src = modules.(2 * i) and dst = modules.((2 * i) + 1) in
+        {
+          Chip.Parallel_router.id = i;
+          src = anchor src;
+          dst = anchor dst;
+          allow = [ src.Chip.Chip_module.id; dst.Chip.Chip_module.id ];
+        })
+  in
+  Chip.Parallel_router.route_batch layout requests
+  = Chip.Parallel_router.Reference.route_batch layout requests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "chip-diff"
+    [
+      ( "router",
+        [
+          Generators.qtest ~count:20 "route_ids = Reference (all pairs)"
+            case_gen case_print prop_route_ids;
+          Generators.qtest ~count:100 "route_cells = Reference" case_gen
+            case_print prop_route_cells;
+        ] );
+      ( "cost-matrix",
+        [
+          Generators.qtest ~count:40 "build = build_pairwise" case_gen
+            case_print prop_build_matches_pairwise;
+          Generators.qtest ~count:40 "update chain = fresh pairwise build"
+            case_gen case_print prop_update_chain;
+        ] );
+      ( "placer",
+        [
+          Generators.qtest ~count:15 "delta annealing = Reference trajectory"
+            case_gen case_print prop_placer_matches_reference;
+          Generators.qtest ~count:10 "batched annealing is deterministic"
+            case_gen case_print prop_placer_batch_deterministic;
+        ] );
+      ( "parallel-router",
+        [
+          Generators.qtest ~count:40 "route_batch = Reference" case_gen
+            case_print prop_route_batch_matches_reference;
+        ] );
+    ]
