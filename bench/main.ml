@@ -14,15 +14,19 @@
                                                  phases 5x and pool their
                                                  latency samples (default 1)
 
-   Experiments: fig1 fig3 fig5 table2 table3 fig6 fig7 table4 ablation
-   dilution robust assay pins routing recovery wash pareto scaling
-   service wal speed.
+   Experiments: cluster fig1 fig3 fig5 table2 table3 fig6 fig7 table4
+   ablation dilution robust assay pins routing recovery wash pareto
+   scaling service wal speed.  (cluster forks daemon processes and so
+   must precede anything that spawns domains; keep it first when
+   selecting subsets that include it.)
 
-   Every run additionally writes BENCH_PR6.json — per-experiment wall
+   Every run additionally writes BENCH_PR7.json — per-experiment wall
    times, Bechamel ns/run, service req/s with p50/p95/p99 request
-   latencies, WAL fsync-batch throughput (same percentiles), domain
-   count and corpus sizes — so successive PRs accumulate a
-   machine-readable performance trajectory.  The same JSON is copied to
+   latencies, cluster req/s vs shard count through dmfrouter (cold and
+   warm, with the exact-coalescing flag and the 4-shard warm speedup),
+   WAL fsync-batch throughput (same percentiles), domain/core counts
+   and corpus sizes — so successive PRs accumulate a machine-readable
+   performance trajectory.  The same JSON is copied to
    bench_results/bench-<timestamp>.json plus the stable alias
    bench_results/bench-latest.json (both untracked).  Everything printed
    is also teed into bench_output.txt (untracked) for local
@@ -74,6 +78,15 @@ let service_results : (int * string * int * float * float list) list ref =
 let wal_results : (string * int * int * float * int * float list) list ref =
   ref []
 
+(* (config, shards, phase, requests, wall_s, ok, latencies_ms) per
+   cluster-experiment phase; coalescing is exact iff every cluster
+   configuration built precisely one plan per distinct cache key. *)
+let cluster_results :
+    (string * int * string * int * float * int * float list) list ref =
+  ref []
+
+let cluster_plans_exact = ref true
+
 (* (policy, plan, counters) rows of the scheduler-core experiment. *)
 let scheduler_core_results :
     (string * string * Mdst.Instr.counters) list ref =
@@ -93,7 +106,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let bench_json_path = "BENCH_PR6.json"
+let bench_json_path = "BENCH_PR7.json"
 let bench_results_dir = "bench_results"
 
 let write_bench_json () =
@@ -142,6 +155,35 @@ let write_bench_json () =
           (percentile_fields latencies))
       !service_results
   in
+  let cluster_rows =
+    List.rev_map
+      (fun (config, shards, phase, requests, wall_s, ok, latencies) ->
+        Printf.sprintf
+          "{\"config\": \"%s\", \"shards\": %d, \"phase\": \"%s\", \
+           \"requests\": %d, \"ok\": %d, \"wall_s\": %.6f, \
+           \"req_per_s\": %.1f, %s}"
+          (json_escape config) shards (json_escape phase) requests ok wall_s
+          (if wall_s > 0. then float_of_int requests /. wall_s else 0.)
+          (percentile_fields latencies))
+      !cluster_results
+  in
+  (* Warm throughput of the 4-shard router relative to the direct
+     single daemon — the headline scaling number.  On a 1-core box the
+     shards serialize and this hovers near 1; the cores field records
+     what was available. *)
+  let cluster_speedup =
+    let warm_rps config shards =
+      List.find_map
+        (fun (c, s, phase, requests, wall_s, _, _) ->
+          if c = config && s = shards && phase = "warm" && wall_s > 0. then
+            Some (float_of_int requests /. wall_s)
+          else None)
+        !cluster_results
+    in
+    match (warm_rps "direct" 1, warm_rps "router" 4) with
+    | Some direct, Some sharded when direct > 0. -> sharded /. direct
+    | _ -> 0.
+  in
   let wal =
     List.rev_map
       (fun (mode, every_n, requests, wall_s, fsyncs, latencies) ->
@@ -157,24 +199,35 @@ let write_bench_json () =
   let oc = open_out bench_json_path in
   Printf.fprintf oc
     "{\n\
-    \  \"pr\": 6,\n\
+    \  \"pr\": 7,\n\
     \  \"bench\": \"dmfstream\",\n\
     \  \"domains\": %d,\n\
+    \  \"cores\": %d,\n\
     \  \"full_corpus\": %b,\n\
     \  \"corpus_size\": {\"table3\": %d, \"fig6\": %d, \"full\": %d},\n\
     \  \"experiments\": [\n    %s\n  ],\n\
     \  \"scheduler_core\": [\n    %s\n  ],\n\
     \  \"service\": [\n    %s\n  ],\n\
+    \  \"cluster\": {\n\
+    \    \"client_connections\": 8,\n\
+    \    \"coalescing_exact\": %b,\n\
+    \    \"warm_speedup_4_shards\": %.3f,\n\
+    \    \"rows\": [\n      %s\n    ]\n\
+    \  },\n\
     \  \"wal\": [\n    %s\n  ],\n\
     \  \"micro_ns_per_run\": [\n    %s\n  ]\n\
      }\n"
-    domains full_corpus
+    domains
+    (Domain.recommended_domain_count ())
+    full_corpus
     (List.length (corpus ~every:8))
     (List.length (corpus ~every:40))
     (List.length (Bioproto.Synth.corpus ~sum:32 ()))
     (String.concat ",\n    " experiments)
     (String.concat ",\n    " scheduler_core)
     (String.concat ",\n    " service)
+    !cluster_plans_exact cluster_speedup
+    (String.concat ",\n      " cluster_rows)
     (String.concat ",\n    " wal)
     (String.concat ",\n    " micro);
   close_out oc;
@@ -1258,6 +1311,239 @@ let wal () =
     \ strict mode pays ~2 fsyncs per response)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Cluster throughput: dmfrouter over N dmfd shards (PR 7)             *)
+
+(* Spawns real dmfd/dmfrouter processes, so it must run before any
+   experiment that creates worker domains: OCaml 5 forbids Unix.fork
+   once a domain has ever been spawned.  The experiment registry lists
+   it first for exactly that reason.
+
+   Topology per row: C pipelined client connections stream the corpus
+   (every key duplicated on every connection) against either one daemon
+   directly or a dmfrouter over N single-worker shards.  Cold replays
+   plan, warm replays hit the plan cache.  The exactness invariant —
+   the whole cluster builds exactly one plan per distinct cache key,
+   i.e. sharding by coalesce key loses no coalescing or caching — is
+   asserted on the merged stats after both phases.  Throughput scales
+   with physical cores; the recorded "cores" field says what this box
+   had. *)
+
+let cluster () =
+  section
+    "Cluster (PR 7): req/s vs shard count through dmfrouter, cold and warm, \
+     8 pipelined client connections (single-worker shards)";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let bindir = Filename.concat (Filename.dirname (Filename.dirname Sys.executable_name)) "bin" in
+  let dmfd = Filename.concat bindir "dmfd.exe" in
+  let dmfrouter = Filename.concat bindir "dmfrouter.exe" in
+  if not (Sys.file_exists dmfd && Sys.file_exists dmfrouter) then
+    Printf.printf "skipped: %s not built alongside the bench executable\n"
+      bindir
+  else begin
+    let lines =
+      List.mapi
+        (fun i ratio ->
+          Printf.sprintf {|{"req": "prepare", "ratio": "%s", "D": 32, "id": %d}|}
+            (Dmf.Ratio.to_string ratio) i)
+        (corpus ~every:131)
+    in
+    let n = List.length lines in
+    let conns = 8 in
+    (* Launch one process, reading its PORT=<port> announcement from
+       stdout; stderr logs go to /dev/null.  The announcement doubles
+       as the readiness barrier: it is printed after listen(2). *)
+    let spawn prog argv =
+      let out_read, out_write = Unix.pipe () in
+      let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+      let pid = Unix.create_process prog argv devnull out_write devnull in
+      Unix.close out_write;
+      Unix.close devnull;
+      let ic = Unix.in_channel_of_descr out_read in
+      let port =
+        match input_line ic with
+        | line when String.length line > 5 && String.sub line 0 5 = "PORT=" ->
+          int_of_string (String.sub line 5 (String.length line - 5))
+        | line -> failwith (prog ^ ": expected PORT=<n>, got " ^ line)
+        | exception End_of_file -> failwith (prog ^ " died before announcing its port")
+      in
+      (pid, ic, port)
+    in
+    let reap (pid, ic, _port) =
+      (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+      ignore (Unix.waitpid [] pid);
+      close_in_noerr ic
+    in
+    (* One phase: every connection pipelines the whole corpus and reads
+       its responses back; per-request latency is matched by echoed id
+       within the connection. *)
+    let stream_phase port =
+      let t0 = Unix.gettimeofday () in
+      let per_conn = Array.make conns (0, 0, []) in
+      let threads =
+        List.init conns (fun ci ->
+            Thread.create
+              (fun () ->
+                let fd = Service.Net.connect ~host:"127.0.0.1" ~port in
+                (try Unix.setsockopt fd Unix.TCP_NODELAY true
+                 with Unix.Unix_error _ -> ());
+                let oc = Unix.out_channel_of_descr fd in
+                let ic = Unix.in_channel_of_descr fd in
+                let sent = Array.make (max n 1) t0 in
+                List.iteri
+                  (fun i line ->
+                    output_string oc line;
+                    output_char oc '\n';
+                    sent.(i) <- Unix.gettimeofday ())
+                  lines;
+                flush oc;
+                let ok = ref 0 and hits = ref 0 in
+                let latencies = ref [] in
+                for _ = 1 to n do
+                  let line = input_line ic in
+                  let now = Unix.gettimeofday () in
+                  match Service.Jsonl.of_string line with
+                  | Error _ -> ()
+                  | Ok json ->
+                    let flag key =
+                      Option.bind (Service.Jsonl.member key json)
+                        Service.Jsonl.to_bool
+                      = Some true
+                    in
+                    if flag "ok" then incr ok;
+                    if flag "cache_hit" then incr hits;
+                    (match
+                       Option.bind (Service.Jsonl.member "id" json)
+                         Service.Jsonl.to_int
+                     with
+                    | Some id when id >= 0 && id < n ->
+                      latencies :=
+                        ((now -. sent.(id)) *. 1000.) :: !latencies
+                    | Some _ | None -> ())
+                done;
+                (try Unix.close fd with Unix.Unix_error _ -> ());
+                per_conn.(ci) <- (!ok, !hits, !latencies))
+              ())
+      in
+      List.iter Thread.join threads;
+      let wall = Unix.gettimeofday () -. t0 in
+      let ok, hits, latencies =
+        Array.fold_left
+          (fun (ok, hits, lats) (o, h, l) ->
+            (ok + o, hits + h, List.rev_append l lats))
+          (0, 0, []) per_conn
+      in
+      (ok, hits, wall, latencies)
+    in
+    (* (served, plans_built, coalesced, cache hits) from the endpoint's
+       stats — the single daemon's own, or the router's cluster-wide
+       merge (counters summed over shards). *)
+    let fetch_counters port =
+      let fd = Service.Net.connect ~host:"127.0.0.1" ~port in
+      let oc = Unix.out_channel_of_descr fd in
+      let ic = Unix.in_channel_of_descr fd in
+      output_string oc "{\"req\":\"stats\"}\n";
+      flush oc;
+      let counters =
+        match Service.Jsonl.of_string (input_line ic) with
+        | Ok json ->
+          let geti name obj =
+            Option.value ~default:0
+              (Option.bind (Service.Jsonl.member name obj) Service.Jsonl.to_int)
+          in
+          ( geti "served" json,
+            geti "plans_built" json,
+            geti "coalesced" json,
+            match Service.Jsonl.member "cache" json with
+            | Some cache -> geti "hits" cache
+            | None -> 0 )
+        | Error _ -> (0, 0, 0, 0)
+      in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      counters
+    in
+    let run_config label nshards =
+      let shards =
+        List.init nshards (fun _ ->
+            spawn dmfd
+              [| dmfd; "--port"; "0"; "-w"; "1"; "--cache-capacity"; i2s (2 * n) |])
+      in
+      let router =
+        if label = "direct" then None
+        else
+          Some
+            (spawn dmfrouter
+               (Array.of_list
+                  ([ dmfrouter; "--port"; "0" ]
+                  @ List.concat_map
+                      (fun (_, _, port) ->
+                        [ "--shard"; Printf.sprintf "127.0.0.1:%d" port ])
+                      shards)))
+      in
+      let front =
+        match router with
+        | Some (_, _, port) -> port
+        | None -> (match shards with (_, _, port) :: _ -> port | [] -> 0)
+      in
+      let cold = stream_phase front in
+      let warm = stream_phase front in
+      let served, plans, coalesced, hits = fetch_counters front in
+      (* The accounting identity that keeps the numbers honest: every
+         request the cluster served was exactly one of freshly planned,
+         merged into a concurrent batch (demand-summing coalescing), or
+         answered from the plan cache — summed over shards with nothing
+         lost and nothing double-counted.  (The split between the three
+         is scheduling-dependent; the sum is not.) *)
+      if served <> plans + coalesced + hits then cluster_plans_exact := false;
+      Option.iter reap router;
+      List.iter reap shards;
+      let row phase (ok, hits, wall, latencies) =
+        let requests = n * conns in
+        cluster_results :=
+          (label, nshards, phase, requests, wall, ok, latencies)
+          :: !cluster_results;
+        [
+          label; i2s nshards; phase; i2s requests; i2s ok; i2s hits;
+          i2s plans;
+          Printf.sprintf "%.4f" wall;
+          Printf.sprintf "%.0f" (float_of_int requests /. wall);
+          Printf.sprintf "%.2f" (percentile 50. latencies);
+          Printf.sprintf "%.2f" (percentile 95. latencies);
+          Printf.sprintf "%.2f" (percentile 99. latencies);
+        ]
+      in
+      [ row "cold" cold; row "warm" warm ]
+    in
+    let rows =
+      List.concat
+        [
+          run_config "direct" 1;
+          run_config "router" 1;
+          run_config "router" 2;
+          run_config "router" 4;
+        ]
+    in
+    print_string
+      (Mdst.Report.table
+         ~header:
+           [
+             "config"; "shards"; "cache"; "requests"; "ok"; "hits"; "plans";
+             "wall s"; "req/s"; "p50 ms"; "p95 ms"; "p99 ms";
+           ]
+         ~rows);
+    Printf.printf
+      "\n(plans = cluster-wide plans_built after both phases: %d distinct\n\
+      \ keys over %d connections; concurrent duplicates either coalesce\n\
+      \ into demand-summed batches or hit the plan cache, and the merged\n\
+      \ accounting identity served = plans + coalesced + hits held for\n\
+      \ every configuration: %s.  Sharding is by coalesce key, so equal\n\
+      \ keys always meet in one daemon.  Shard processes are\n\
+      \ single-worker; req/s scaling needs cores — this box has %d.)\n"
+      n conns
+      (if !cluster_plans_exact then "exact" else "VIOLATED")
+      (Domain.recommended_domain_count ())
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment workload    *)
 
 let speed () =
@@ -1443,6 +1729,9 @@ let instrument () =
 
 let experiments =
   [
+    (* cluster first: it forks daemon processes, which OCaml 5 forbids
+       after any other experiment has spawned worker domains. *)
+    ("cluster", cluster);
     ("fig1", fig1); ("fig3", fig3); ("fig5", fig5); ("table2", table2);
     ("table3", table3); ("fig6", fig6); ("fig7", fig7); ("table4", table4);
     ("ablation", ablation); ("dilution", dilution); ("robust", robust);

@@ -36,7 +36,11 @@ let host_arg =
 let port_arg =
   Arg.(
     value & opt int 7433
-    & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port to listen on.")
+    & info [ "p"; "port" ] ~docv:"PORT"
+        ~doc:
+          "TCP port to listen on. 0 binds a kernel-chosen ephemeral port and \
+           announces it on stdout as a PORT=<n> line (machine-parseable, for \
+           supervisors launching shard fleets).")
 
 let workers_arg =
   Arg.(
@@ -192,15 +196,20 @@ let run stdio host port workers queue_capacity cache_capacity wal_dir
         Service.Server.serve_channels server stdin stdout;
         shutdown_once ()
       end
-      else begin
-        Printf.eprintf "dmfd: serving on %s:%d with %d worker(s)%s\n%!" host
-          port
-          (Service.Server.workers server)
-          (match wal_dir with
-          | Some dir -> Printf.sprintf ", journaling to %s" dir
-          | None -> "");
-        Service.Server.serve_tcp server ~host ~port
-      end)
+      else
+        (* The bound-port announcement goes to stdout (logs go to
+           stderr) so a supervisor can launch `--port 0` shards and
+           read back where each one landed. *)
+        let on_listen bound =
+          Printf.printf "PORT=%d\n%!" bound;
+          Printf.eprintf "dmfd: serving on %s:%d with %d worker(s)%s\n%!" host
+            bound
+            (Service.Server.workers server)
+            (match wal_dir with
+            | Some dir -> Printf.sprintf ", journaling to %s" dir
+            | None -> "")
+        in
+        Service.Server.serve_tcp server ~on_listen ~host ~port)
 
 let cmd =
   let doc = "demand-driven mixture-preparation server (NDJSON over stdio/TCP)" in

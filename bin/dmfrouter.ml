@@ -1,0 +1,125 @@
+(* dmfrouter — consistent-hash routing front-end for a dmfd fleet.
+
+   Speaks the same NDJSON protocol as a single daemon, so any client
+   (dmfstream, the bench harness, a pipe of raw JSON) points at it
+   unchanged.  Prepare requests are forwarded — as raw bytes — to the
+   shard owning their coalesce key on a consistent-hash ring, so
+   requests that could merge into one planning job always meet in the
+   same daemon and demand-summing coalescing stays exactly as effective
+   as in a single process.  stats fans out to every shard and merges;
+   ping and the route placement diagnostic are answered locally.
+
+     dmfrouter --shard 127.0.0.1:7433 --shard 127.0.0.1:7434 --port 7400
+     dmfrouter --shard 127.0.0.1:7433 --port 0   # announce PORT=<n>
+
+   A dead shard produces error responses within a bounded retry budget
+   (never a hang) and is reported healthy:false in merged stats; the
+   other shards keep streaming. *)
+
+open Cmdliner
+
+let parse_endpoint s =
+  match String.rindex_opt s ':' with
+  | None -> Error (`Msg (Printf.sprintf "%S is not HOST:PORT" s))
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port_s = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port_s with
+    | Some port when port > 0 && port < 65536 && host <> "" ->
+      Ok (host, port)
+    | _ -> Error (`Msg (Printf.sprintf "%S is not HOST:PORT" s)))
+
+let endpoint_conv =
+  Arg.conv
+    ( parse_endpoint,
+      fun ppf (host, port) -> Format.fprintf ppf "%s:%d" host port )
+
+let shards_arg =
+  Arg.(
+    non_empty
+    & opt_all endpoint_conv []
+    & info [ "s"; "shard" ] ~docv:"HOST:PORT"
+        ~doc:
+          "A dmfd shard endpoint. Repeatable; the option order defines the \
+           ring's shard indices, so every router over the same list routes \
+           identically.")
+
+let host_arg =
+  Arg.(
+    value & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"HOST" ~doc:"Address to bind.")
+
+let port_arg =
+  Arg.(
+    value & opt int 7400
+    & info [ "p"; "port" ] ~docv:"PORT"
+        ~doc:
+          "TCP port to listen on. 0 binds a kernel-chosen ephemeral port and \
+           announces it on stdout as a PORT=<n> line.")
+
+let vnodes_arg =
+  Arg.(
+    value
+    & opt int Cluster.Ring.default_vnodes
+    & info [ "vnodes" ] ~docv:"N"
+        ~doc:"Ring points per shard (balance/remap granularity).")
+
+let retries_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "retries" ] ~docv:"N"
+        ~doc:"Reconnect attempts per request to a down shard.")
+
+let backoff_arg =
+  Arg.(
+    value & opt float 50.
+    & info [ "backoff-ms" ] ~docv:"MS"
+        ~doc:"Pause between reconnect attempts.")
+
+let cooldown_arg =
+  Arg.(
+    value & opt float 1000.
+    & info [ "cooldown-ms" ] ~docv:"MS"
+        ~doc:
+          "Fail-fast window after the retry budget is spent: requests to the \
+           shard error immediately until the window expires.")
+
+let run shards host port vnodes retries backoff_ms cooldown_ms =
+  Service.Validate.run_cli (fun () ->
+      let router =
+        Cluster.Router.create ~vnodes ~retries ~backoff_ms ~cooldown_ms shards
+      in
+      let shutdown _signal =
+        ignore
+          (Thread.create
+             (fun () ->
+               Cluster.Router.close router;
+               exit 0)
+             ())
+      in
+      Sys.set_signal Sys.sigterm (Sys.Signal_handle shutdown);
+      Sys.set_signal Sys.sigint (Sys.Signal_handle shutdown);
+      (* Forwarding to a shard that died mid-write raises EPIPE on this
+         process by default; the shard client turns it into an error
+         response instead. *)
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      let on_listen bound =
+        Printf.printf "PORT=%d\n%!" bound;
+        Printf.eprintf "dmfrouter: routing %s:%d over %d shard(s): %s\n%!" host
+          bound
+          (Cluster.Router.shards router)
+          (String.concat ", "
+             (List.map (fun (h, p) -> Printf.sprintf "%s:%d" h p) shards))
+      in
+      Cluster.Router.serve_tcp router ~on_listen ~host ~port)
+
+let cmd =
+  let doc = "consistent-hash routing front-end for a dmfd shard fleet" in
+  let term =
+    Term.(
+      const run $ shards_arg $ host_arg $ port_arg $ vnodes_arg $ retries_arg
+      $ backoff_arg $ cooldown_arg)
+  in
+  Cmd.v (Cmd.info "dmfrouter" ~version:"1.0.0" ~doc) term
+
+let () = exit (Cmd.eval cmd)

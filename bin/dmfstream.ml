@@ -775,13 +775,17 @@ let client_cmd =
        the wal object — the recovery/journal counters of a daemon
        running with --wal-dir. *)
     let wal_only = kind = "recover-stats" in
+    (* route is a prepare whose "req" field is rewritten: the router
+       answers it locally with the shard placement of the coalesce key
+       instead of forwarding, so scripts can learn key ownership. *)
+    let route = kind = "route" in
     let kind =
       match kind with
-      | "prepare" ->
+      | "prepare" | "route" ->
         let ratio =
           match ratio with
           | Some r -> r
-          | None -> failwith "--req prepare needs a --ratio"
+          | None -> failwith ("--req " ^ kind ^ " needs a --ratio")
         in
         let demand =
           match Service.Validate.demand demand with
@@ -802,22 +806,29 @@ let client_cmd =
       | other -> failwith ("unknown request kind " ^ other)
     in
     let request = { Service.Request.id = None; kind } in
-    let addr =
-      try Unix.inet_addr_of_string host
-      with Failure _ -> (
-        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
-        with Not_found | Invalid_argument _ ->
-          failwith ("cannot resolve host " ^ host))
+    let json =
+      match (route, Service.Request.to_json request) with
+      | true, Service.Jsonl.Obj fields ->
+        Service.Jsonl.Obj
+          (List.map
+             (function
+               | "req", Service.Jsonl.String _ ->
+                 ("req", Service.Jsonl.String "route")
+               | binding -> binding)
+             fields)
+      | _, json -> json
     in
-    let ic, oc =
-      try Unix.open_connection (Unix.ADDR_INET (addr, port))
-      with Unix.Unix_error (e, _, _) ->
+    let fd =
+      try Service.Net.connect ~host ~port with
+      | Failure msg -> failwith msg
+      | Unix.Unix_error (e, _, _) ->
         failwith
           (Printf.sprintf "cannot reach dmfd at %s:%d: %s" host port
              (Unix.error_message e))
     in
-    output_string oc
-      (Service.Jsonl.to_string (Service.Request.to_json request));
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    output_string oc (Service.Jsonl.to_string json);
     output_char oc '\n';
     flush oc;
     (match input_line ic with
@@ -836,7 +847,7 @@ let client_cmd =
         Format.printf "%a@." Service.Jsonl.pp json
       | Error msg -> failwith ("malformed response: " ^ msg))
     | exception End_of_file -> failwith "server closed the connection");
-    try Unix.shutdown_connection ic with Unix.Unix_error _ -> ()
+    try Unix.close fd with Unix.Unix_error _ -> ()
   in
   let host =
     Arg.(
@@ -852,8 +863,10 @@ let client_cmd =
       value & opt string "prepare"
       & info [ "req" ] ~docv:"KIND"
           ~doc:
-            "Request kind: prepare, stats, ping, or recover-stats (the stats \
-             response's wal/recovery counters only).")
+            "Request kind: prepare, stats, ping, recover-stats (the stats \
+             response's wal/recovery counters only), or route (ask a \
+             dmfrouter which shard owns the coalesce key; takes the same \
+             options as prepare).")
   in
   let client_storage =
     Arg.(

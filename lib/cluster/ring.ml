@@ -1,0 +1,66 @@
+(* Consistent-hash ring over shard labels.
+
+   Each shard contributes [vnodes] points on a 62-bit hash circle; a key
+   is owned by the first point clockwise of its own hash.  Adding or
+   removing a shard moves only the points of that shard, so only the
+   arcs it owned (about 1/N of the keys) change hands — the property the
+   remap tests in test_cluster pin down.
+
+   The hash is FNV-1a folded into OCaml's native int (multiplication
+   wraps mod 2^63 on 64-bit platforms, so the value is identical across
+   processes — router and tests must agree on key placement), followed
+   by a splitmix-style finalizer: FNV alone diffuses the short numeric
+   suffixes of vnode labels poorly, and a biased circle defeats the
+   whole balancing argument. *)
+
+let fnv_prime = 0x100000001b3
+let fnv_seed = 0x3cbf29ce4842221
+
+let hash key =
+  let h = ref fnv_seed in
+  String.iter (fun c -> h := (!h lxor Char.code c) * fnv_prime) key;
+  (* Finalizer: two xor-shift-multiply rounds (constants < 2^62). *)
+  let h = !h in
+  let h = (h lxor (h lsr 30)) * 0x2545f4914f6cdd1d in
+  let h = (h lxor (h lsr 27)) * 0x1b03738712fad17 in
+  (h lxor (h lsr 31)) land max_int
+
+type t = {
+  labels : string array;
+  points : (int * int) array;  (* (point hash, shard index), sorted *)
+}
+
+let default_vnodes = 128
+
+let create ?(vnodes = default_vnodes) labels =
+  if labels = [] then invalid_arg "Ring.create: at least one shard";
+  if vnodes < 1 then invalid_arg "Ring.create: at least one vnode";
+  let labels = Array.of_list labels in
+  let points =
+    Array.init
+      (Array.length labels * vnodes)
+      (fun i ->
+        let shard = i / vnodes and v = i mod vnodes in
+        (hash (Printf.sprintf "%s#%d" labels.(shard) v), shard))
+  in
+  (* Ties (hash collisions between shards' points) break on the shard
+     index, deterministically. *)
+  Array.sort compare points;
+  { labels; points }
+
+let shards t = Array.length t.labels
+let label t i = t.labels.(i)
+
+let lookup t key =
+  let h = hash key in
+  let points = t.points in
+  let n = Array.length points in
+  (* First point with hash >= h; wraps to point 0 past the last. *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if fst points.(mid) < h then search (mid + 1) hi else search lo mid
+  in
+  let idx = search 0 n in
+  snd points.(if idx = n then 0 else idx)

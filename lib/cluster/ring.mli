@@ -1,0 +1,40 @@
+(** Consistent-hash ring over shard labels.
+
+    The router shards the daemon fleet by {!Service.Request.coalesce_key}:
+    every request that {e could} merge into the same planning job hashes
+    to the same shard, so the admission queue's demand-summing (and the
+    plan cache, whose key refines the coalesce key) stays exactly as
+    effective as in a single daemon — the exact-coalescing argument of
+    the cluster design.
+
+    The ring places [vnodes] points per shard on a hash circle; a key
+    belongs to the shard owning the first point at or clockwise of the
+    key's hash.  Placement is a pure function of the label list and
+    [vnodes], identical across processes and runs.  Adding or removing a
+    shard only reassigns the arcs owned by that shard's points: about
+    [1/N] of the key space moves, the rest stays put. *)
+
+type t
+
+val default_vnodes : int
+(** 128 points per shard — balances shards within ~±25% on realistic
+    key populations (pinned by the test-suite tolerance). *)
+
+val create : ?vnodes:int -> string list -> t
+(** [create labels] builds the ring; [labels] are the shard identities
+    (the router uses ["host:port"]) and their order defines the shard
+    indices {!lookup} returns.
+    @raise Invalid_argument on an empty list or [vnodes < 1]. *)
+
+val shards : t -> int
+(** Number of shards. *)
+
+val label : t -> int -> string
+(** The label of shard [i] (inverse of the [create] ordering). *)
+
+val lookup : t -> string -> int
+(** Owner shard of a key, in [0 .. shards - 1].  Deterministic. *)
+
+val hash : string -> int
+(** The ring's key hash (FNV-1a + finalizer), in [0 .. max_int].
+    Exposed for the balance properties in the test suite. *)

@@ -1,0 +1,53 @@
+(** NDJSON proxy that shards a dmfd fleet by coalesce key.
+
+    The router listens on the daemon protocol and forwards [prepare]
+    requests — as raw bytes — to the shard owning
+    [Request.coalesce_key] on a consistent-hash {!Ring}.  Requests that
+    could merge into one planning job therefore always meet in the same
+    daemon, so demand-summing coalescing and the plan cache (whose key
+    refines the coalesce key) work exactly as in a single daemon.
+
+    Per client connection, responses are emitted strictly in request
+    order even though shards answer concurrently.  [ping] and the
+    [route] placement diagnostic are answered locally; [stats] fans out
+    to every shard and merges deterministically ({!Stats.merge}).  A
+    dead shard yields error responses within the shard client's bounded
+    retry budget — never a hang — and is reported [healthy:false] in
+    merged stats (health = did it answer this stats probe). *)
+
+type t
+
+val create :
+  ?vnodes:int ->
+  ?retries:int ->
+  ?backoff_ms:float ->
+  ?cooldown_ms:float ->
+  (string * int) list ->
+  t
+(** [create endpoints] builds the ring over [(host, port)] shards; the
+    list order defines shard indices.  Connections are opened lazily on
+    first use.  Defaults: {!Ring.default_vnodes}, 3 retries, 50 ms
+    backoff, 1 s cooldown.
+    @raise Invalid_argument on an empty endpoint list. *)
+
+val shards : t -> int
+
+val route : t -> Service.Request.spec -> int * string
+(** Owner of a spec's coalesce key: [(shard index, "host:port")].
+    Pure ring arithmetic — no I/O. *)
+
+val serve_channels : t -> in_channel -> out_channel -> unit
+(** Proxy one client connection until EOF, preserving request order in
+    the responses. *)
+
+val serve_tcp : ?on_listen:(int -> unit) -> t -> host:string -> port:int -> unit
+(** Accept loop; one thread per client connection.  [on_listen]
+    receives the bound port after [listen] — with [port = 0] this is
+    the kernel-chosen ephemeral port.  Never returns normally. *)
+
+val stats_json : t -> Service.Jsonl.t
+(** Blocking cluster-wide stats body (the fan-out the [stats] request
+    uses), for embedders and tests. *)
+
+val close : t -> unit
+(** Close every shard connection, failing outstanding requests. *)

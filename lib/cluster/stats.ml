@@ -1,0 +1,108 @@
+(* Deterministic merge of per-shard stats responses.
+
+   The router's stats answer must be a function of the shard answers
+   alone — same inputs, same output, independent of fan-out completion
+   order — so the bench and the CI smoke can assert on it.  Counters
+   are summed, avg_latency_ms is weighted by each shard's served count,
+   uptime_s is the oldest shard's, and everything per-shard (including
+   the nested durability [wal] object, which has no meaningful sum) is
+   kept verbatim under a [shards] array in ring-index order. *)
+
+module Jsonl = Service.Jsonl
+
+let geti name json =
+  match Option.bind (Jsonl.member name json) Jsonl.to_int with
+  | Some v -> v
+  | None -> 0
+
+let getf name json =
+  match Option.bind (Jsonl.member name json) Jsonl.to_float with
+  | Some v -> v
+  | None -> 0.
+
+(* Fields of the daemon's stats body that merge by summation. *)
+let summed_fields =
+  [ "queue_depth"; "workers"; "served"; "errors"; "coalesced"; "jobs";
+    "plans_built" ]
+
+let cache_fields = [ "hits"; "misses"; "evictions"; "size"; "capacity" ]
+
+let merge entries =
+  let answered =
+    List.filter_map (fun (_, stats) -> stats) entries
+  in
+  let sum get name = List.fold_left (fun acc s -> acc + get name s) 0 answered in
+  let counters =
+    List.map (fun name -> (name, Jsonl.Int (sum geti name))) summed_fields
+  in
+  let cache =
+    Jsonl.Obj
+      (List.map
+         (fun name ->
+           ( name,
+             Jsonl.Int
+               (List.fold_left
+                  (fun acc s ->
+                    match Jsonl.member "cache" s with
+                    | Some c -> acc + geti name c
+                    | None -> acc)
+                  0 answered) ))
+         cache_fields)
+  in
+  let served_total = sum geti "served" in
+  let avg_latency_ms =
+    if served_total = 0 then 0.
+    else
+      List.fold_left
+        (fun acc s ->
+          acc +. (getf "avg_latency_ms" s *. float_of_int (geti "served" s)))
+        0. answered
+      /. float_of_int served_total
+  in
+  let uptime_s =
+    List.fold_left (fun acc s -> Float.max acc (getf "uptime_s" s)) 0. answered
+  in
+  let shard_entries =
+    List.map
+      (fun ((c : Shard_client.stats), stats) ->
+        Jsonl.Obj
+          ([
+             ("addr", Jsonl.String c.Shard_client.addr);
+             ("healthy", Jsonl.Bool c.Shard_client.healthy);
+             ("sent", Jsonl.Int c.Shard_client.sent);
+             ("answered", Jsonl.Int c.Shard_client.answered);
+             ("failed", Jsonl.Int c.Shard_client.failed);
+             ("connects", Jsonl.Int c.Shard_client.connects);
+           ]
+          @
+          match stats with
+          | Some s ->
+            let keep name =
+              match Jsonl.member name s with
+              | Some v -> [ (name, v) ]
+              | None -> []
+            in
+            List.concat_map keep
+              (summed_fields
+              @ [ "cache"; "avg_latency_ms"; "uptime_s"; "wal" ])
+          | None -> []))
+      entries
+  in
+  let healthy =
+    List.length
+      (List.filter (fun ((c : Shard_client.stats), _) -> c.healthy) entries)
+  in
+  Jsonl.Obj
+    (counters
+    @ [
+        ("cache", cache);
+        ("avg_latency_ms", Jsonl.Float avg_latency_ms);
+        ("uptime_s", Jsonl.Float uptime_s);
+        ( "cluster",
+          Jsonl.Obj
+            [
+              ("shards", Jsonl.Int (List.length entries));
+              ("healthy", Jsonl.Int healthy);
+            ] );
+        ("shards", Jsonl.List shard_entries);
+      ])

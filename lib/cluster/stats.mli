@@ -1,0 +1,19 @@
+(** Deterministic aggregation of per-shard stats responses.
+
+    Given one entry per ring shard — the client-side transport counters
+    plus the shard's parsed stats body ([None] if the shard did not
+    answer) — builds the cluster-wide stats payload: daemon counters
+    summed, [cache] sub-counters summed, [avg_latency_ms] weighted by
+    each shard's [served], [uptime_s] as the maximum, a [cluster]
+    object with shard/healthy counts, and a [shards] array in ring
+    order carrying each shard's address, health, transport counters and
+    verbatim per-shard fields (including the nested [wal] object, which
+    has no meaningful cluster-wide sum).
+
+    The output is a pure function of the inputs: fan-out timing and
+    completion order cannot change it. *)
+
+val merge :
+  (Shard_client.stats * Service.Jsonl.t option) list -> Service.Jsonl.t
+(** The returned object is the merged stats {e body}; the router adds
+    the protocol envelope ([ok]/[req]/[id]). *)

@@ -1,0 +1,36 @@
+(* Shared TCP name resolution for every networked front end.
+
+   One helper, used by the dmfstream client, the dmfd TCP listener and
+   the dmfrouter shard pool, so they all accept exactly the same host
+   syntax and fail with the same message.  Resolution goes through
+   [Unix.getaddrinfo]: unlike the deprecated [Unix.gethostbyname] it is
+   thread-safe (the router resolves shard addresses from many threads)
+   and does not share a static result buffer. *)
+
+let resolve ~host ~port =
+  match Unix.inet_addr_of_string host with
+  | addr -> Unix.ADDR_INET (addr, port)
+  | exception Failure _ -> (
+    let hints =
+      [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_FAMILY Unix.PF_INET ]
+    in
+    let inet = function
+      | { Unix.ai_addr = Unix.ADDR_INET _ as addr; _ } -> Some addr
+      | _ -> None
+    in
+    match
+      List.find_map inet
+        (try Unix.getaddrinfo host (string_of_int port) hints
+         with Unix.Unix_error _ -> [])
+    with
+    | Some addr -> addr
+    | None -> failwith ("cannot resolve host " ^ host))
+
+let connect ~host ~port =
+  let addr = resolve ~host ~port in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match Unix.connect fd addr with
+  | () -> fd
+  | exception e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise e

@@ -1,0 +1,19 @@
+(** Shared TCP name resolution.
+
+    The dmfstream client, the dmfd listener and the dmfrouter shard pool
+    all resolve [host:port] endpoints through this one helper, built on
+    the thread-safe [Unix.getaddrinfo] (the deprecated
+    [Unix.gethostbyname] shares a static result buffer and must not be
+    called from the router's per-shard threads). *)
+
+val resolve : host:string -> port:int -> Unix.sockaddr
+(** Resolve [host] to an IPv4 socket address.  [host] may be a dotted
+    quad (no lookup performed) or a name.
+    @raise Failure ["cannot resolve host <host>"] when resolution yields
+    no IPv4 address. *)
+
+val connect : host:string -> port:int -> Unix.file_descr
+(** {!resolve}, then open a connected [SOCK_STREAM] socket.  The socket
+    is closed again if [connect] itself fails.
+    @raise Failure on resolution failure, [Unix.Unix_error] on
+    connection failure. *)

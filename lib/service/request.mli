@@ -39,6 +39,12 @@ val coalesce_key : spec -> string
 val cache_key : spec -> string
 (** {!coalesce_key} plus the demand — the plan-cache key. *)
 
+val spec_of_json : Jsonl.t -> (spec, string) result
+(** Decode and validate just the spec fields (ratio, D, algorithm,
+    scheduler, Mc, storage) of a request object, ignoring [req].  The
+    router uses this for its local [route] diagnostic, which carries the
+    same fields as a prepare but never reaches a shard. *)
+
 val of_json : Jsonl.t -> (t, string) result
 (** Decode and validate (via {!Validate}) a request object. *)
 

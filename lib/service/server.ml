@@ -264,20 +264,19 @@ let serve_channels t ic oc =
   Mutex.unlock lock;
   Thread.join writer_thread
 
-let serve_tcp t ~host ~port =
-  let addr =
-    try Unix.inet_addr_of_string host
-    with Failure _ -> (
-      match Unix.gethostbyname host with
-      | { Unix.h_addr_list = [||]; _ } ->
-        failwith ("cannot resolve host " ^ host)
-      | { Unix.h_addr_list; _ } -> h_addr_list.(0)
-      | exception Not_found -> failwith ("cannot resolve host " ^ host))
-  in
+let serve_tcp ?on_listen t ~host ~port =
+  let addr = Net.resolve ~host ~port in
   let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   Unix.setsockopt sock Unix.SO_REUSEADDR true;
-  Unix.bind sock (Unix.ADDR_INET (addr, port));
+  Unix.bind sock addr;
   Unix.listen sock 64;
+  (match on_listen with
+  | None -> ()
+  | Some f -> (
+    (* With port 0 the kernel picked the port; read it back. *)
+    match Unix.getsockname sock with
+    | Unix.ADDR_INET (_, bound) -> f bound
+    | Unix.ADDR_UNIX _ -> f port));
   while true do
     (* A signal (e.g. SIGTERM starting the clean-shutdown thread)
        interrupts the blocking accept; keep serving until the shutdown

@@ -66,8 +66,12 @@ val serve_channels : t -> in_channel -> out_channel -> unit
     after every line.  Returns once every admitted request has been
     answered.  The server stays usable afterwards. *)
 
-val serve_tcp : t -> host:string -> port:int -> unit
+val serve_tcp : ?on_listen:(int -> unit) -> t -> host:string -> port:int -> unit
 (** Bind, listen and serve forever, one thread per connection.
+    [port = 0] binds an ephemeral port; [on_listen] receives the port
+    actually bound (after [listen], before the first [accept]), which is
+    how [dmfd --port 0] announces itself to the router launcher and to
+    smoke tests.
     @raise Unix.Unix_error if the address cannot be bound. *)
 
 val stop : t -> unit
