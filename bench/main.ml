@@ -1355,6 +1355,7 @@ let cluster () =
     let spawn prog argv =
       let out_read, out_write = Unix.pipe () in
       let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+      Analysis.Runtime.assert_no_domains_spawned ();
       let pid = Unix.create_process prog argv devnull out_write devnull in
       Unix.close out_write;
       Unix.close devnull;

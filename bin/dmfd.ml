@@ -165,7 +165,11 @@ let run stdio host port workers queue_capacity cache_capacity wal_dir
          first and then no-ops, so Pool.join never runs twice). *)
       let shutdown_lock = Mutex.create () in
       let stopped = ref false in
-      let shutdown_once () =
+      let[@dmflint.allow
+           "blocking-under-lock: shutdown_lock exists precisely to make \
+            one caller do the blocking teardown (worker join + journal \
+            close) while the loser waits for it; nothing else ever \
+            takes this lock"] shutdown_once () =
         Mutex.lock shutdown_lock;
         Fun.protect
           ~finally:(fun () -> Mutex.unlock shutdown_lock)

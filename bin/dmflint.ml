@@ -1,0 +1,71 @@
+(* dmflint — concurrency-discipline lint over dune-produced .cmt files.
+
+   Build first, then point it at the build tree (or the repo root: it
+   scans recursively for .cmt):
+
+     dune build @all
+     dune exec bin/dmflint.exe -- --root _build/default --exclude lint_fixtures
+
+   Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/environment
+   error (e.g. no .cmt files found). *)
+
+let run root excludes json dot quiet =
+  if not (Sys.file_exists root && Sys.is_directory root) then begin
+    Printf.eprintf "dmflint: not a directory: %s\n" root;
+    exit 2
+  end;
+  let r = Lint.Engine.run ~root ~excludes in
+  if r.Lint.Engine.units = [] then begin
+    Printf.eprintf
+      "dmflint: no readable .cmt files under %s (run `dune build` first?)\n"
+      root;
+    exit 2
+  end;
+  (match dot with
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Lint.Lockgraph.to_dot r.Lint.Engine.graph);
+    close_out oc;
+    if not quiet then Printf.printf "lock-order graph written to %s\n" path
+  | None -> ());
+  if json then Lint.Report.print_json stdout r
+  else Lint.Report.print_human ~quiet stdout r;
+  if Lint.Engine.unsuppressed r = [] then exit 0 else exit 1
+
+open Cmdliner
+
+let root =
+  Arg.(
+    value & opt string "_build/default"
+    & info [ "root" ] ~docv:"DIR" ~doc:"Directory to scan for .cmt files.")
+
+let excludes =
+  Arg.(
+    value & opt_all string []
+    & info [ "exclude" ] ~docv:"SUBSTR"
+        ~doc:
+          "Skip .cmt files whose path or source file contains $(docv). \
+           Repeatable.")
+
+let json =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit findings as JSON.")
+
+let dot =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE"
+        ~doc:"Write the lock-order graph as Graphviz DOT to $(docv).")
+
+let quiet =
+  Arg.(
+    value & flag
+    & info [ "quiet" ] ~doc:"Do not list suppressed findings.")
+
+let cmd =
+  let doc = "static concurrency-discipline checks over .cmt typed trees" in
+  Cmd.v
+    (Cmd.info "dmflint" ~doc)
+    Term.(const run $ root $ excludes $ json $ dot $ quiet)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,87 @@
+(* Orchestration: load -> extract -> propagate -> rules -> cycles ->
+   suppression matching.  A suppression is an attribute
+   [@dmflint.allow "<rule>: <rationale>"] whose carrier's line span
+   covers the finding, in the same file, for the same rule; malformed
+   suppressions are themselves findings (DML000) and cannot be
+   suppressed. *)
+
+type result = {
+  findings : Finding.t list;  (* sorted; suppressed ones marked *)
+  graph : Lockgraph.t;
+  cycles : string list list;
+  units : Summary.unit_info list;
+  errors : Loader.error list;
+}
+
+let apply_suppressions units findings =
+  let sups = List.concat_map (fun u -> u.Summary.suppressions) units in
+  List.iter
+    (fun (f : Finding.t) ->
+      if f.rule.Ids.id <> Ids.bad_suppression.Ids.id then
+        match
+          List.find_opt
+            (fun s ->
+              s.Summary.s_file = f.loc.Summary.file
+              && f.loc.Summary.line >= s.Summary.s_line_start
+              && f.loc.Summary.line <= s.Summary.s_line_end
+              &&
+              match Ids.by_name s.Summary.s_rule with
+              | Some r -> r.Ids.id = f.rule.Ids.id
+              | None -> false)
+            sups
+        with
+        | Some s -> f.suppressed <- Some s.Summary.s_rationale
+        | None -> ())
+    findings
+
+let dedup findings =
+  let seen = Hashtbl.create 64 in
+  List.filter
+    (fun f ->
+      let k = Finding.key f in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.replace seen k ();
+        true
+      end)
+    findings
+
+let run ~root ~excludes =
+  let units, errors = Loader.load ~root ~excludes in
+  let prop = Propagate.run units in
+  let out = Rules.run units prop in
+  let cycles = Lockgraph.cycles out.Rules.graph in
+  let cycle_findings =
+    List.map
+      (fun scc ->
+        let loc, where =
+          match Lockgraph.cycle_witness out.Rules.graph scc with
+          | Some (_, _, loc) -> (loc, "")
+          | None -> ({ Summary.file = ""; line = 0; col = 0 }, "")
+        in
+        ignore where;
+        Finding.make Ids.lock_order loc
+          (Printf.sprintf "lock-order cycle: %s"
+             (String.concat " -> " (scc @ [ List.hd scc ]))))
+      cycles
+  in
+  let bad_sup_findings =
+    List.concat_map
+      (fun u ->
+        List.map
+          (fun loc ->
+            Finding.make Ids.bad_suppression loc
+              "malformed [@dmflint.allow]: payload must be \"<rule>: \
+               <rationale>\" naming a known rule with a non-empty rationale")
+          u.Summary.bad_suppressions)
+      units
+  in
+  let findings =
+    dedup (out.Rules.findings @ cycle_findings @ bad_sup_findings)
+  in
+  apply_suppressions units findings;
+  let findings = List.sort Finding.compare findings in
+  { findings; graph = out.Rules.graph; cycles; units; errors }
+
+let unsuppressed r =
+  List.filter (fun (f : Finding.t) -> f.suppressed = None) r.findings

@@ -1,0 +1,62 @@
+type t = {
+  rule : Ids.rule;
+  loc : Summary.loc;
+  message : string;
+  mutable suppressed : string option;  (* the suppression's rationale *)
+}
+
+let make rule loc message = { rule; loc; message; suppressed = None }
+
+let compare a b =
+  match String.compare a.loc.Summary.file b.loc.Summary.file with
+  | 0 -> (
+    match Int.compare a.loc.Summary.line b.loc.Summary.line with
+    | 0 -> (
+      match String.compare a.rule.Ids.id b.rule.Ids.id with
+      | 0 -> String.compare a.message b.message
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let key f =
+  Printf.sprintf "%s|%s|%d|%s" f.rule.Ids.id f.loc.Summary.file
+    f.loc.Summary.line f.message
+
+let to_human f =
+  Printf.sprintf "%s: %s %s: %s%s"
+    (Summary.string_of_loc f.loc)
+    f.rule.Ids.id f.rule.Ids.name f.message
+    (match f.suppressed with
+    | Some why -> Printf.sprintf "\n    suppressed: %s" why
+    | None -> "")
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON emission (the lint library deliberately has no
+   dependency on the served stack, lib/service's Jsonl included).     *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf
+    "{\"rule\": \"%s\", \"name\": \"%s\", \"file\": \"%s\", \"line\": %d, \
+     \"col\": %d, \"message\": \"%s\", \"suppressed\": %b%s}"
+    f.rule.Ids.id f.rule.Ids.name
+    (json_escape f.loc.Summary.file)
+    f.loc.Summary.line f.loc.Summary.col (json_escape f.message)
+    (f.suppressed <> None)
+    (match f.suppressed with
+    | Some why -> Printf.sprintf ", \"rationale\": \"%s\"" (json_escape why)
+    | None -> "")

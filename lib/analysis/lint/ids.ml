@@ -1,0 +1,88 @@
+(* The rule registry.  IDs are stable: tests, suppressions and CI
+   output all key on them, so a rule is never renumbered — new rules
+   append.  Suppressions may name a rule by id ("DML002") or by name
+   ("blocking-under-lock"). *)
+
+type rule = {
+  id : string;
+  name : string;
+  summary : string;
+}
+
+let bad_suppression =
+  {
+    id = "DML000";
+    name = "bad-suppression";
+    summary =
+      "[@dmflint.allow] payload must be \"<rule>: <rationale>\" with a \
+       non-empty rationale — a suppression is a reviewable claim";
+  }
+
+let lock_order =
+  {
+    id = "DML001";
+    name = "lock-order";
+    summary =
+      "cycle in the interprocedural may-hold-while-acquiring lock-order \
+       graph (potential deadlock), or a lock re-acquired while held";
+  }
+
+let blocking_under_lock =
+  {
+    id = "DML002";
+    name = "blocking-under-lock";
+    summary =
+      "a blocking operation (Unix I/O, fsync, connect, sleep, join, queue \
+       parking) may run while a mutex is held";
+  }
+
+let callback_under_lock =
+  {
+    id = "DML003";
+    name = "callback-under-lock";
+    summary =
+      "a caller-supplied function value (callback / continuation) may be \
+       invoked while a mutex is held";
+  }
+
+let condvar_mutex =
+  {
+    id = "DML004";
+    name = "condvar-mutex";
+    summary =
+      "Condition.wait without its mutex held, with a mutex other than the \
+       condvar's established pair, or parking while other locks are held";
+  }
+
+let fork_after_domain =
+  {
+    id = "DML005";
+    name = "fork-after-domain";
+    summary =
+      "Unix.fork / Unix.create_process reachable after Domain.spawn in \
+       program order, or a fork site without a preceding \
+       Analysis.Runtime.assert_no_domains_spawned ()";
+  }
+
+let eintr_unsafe =
+  {
+    id = "DML006";
+    name = "eintr-unsafe";
+    summary =
+      "raw interruptible Unix call in an executable that installs signal \
+       handlers, without an EINTR guard or Analysis.Runtime.retry_eintr";
+  }
+
+let all =
+  [
+    bad_suppression;
+    lock_order;
+    blocking_under_lock;
+    callback_under_lock;
+    condvar_mutex;
+    fork_after_domain;
+    eintr_unsafe;
+  ]
+
+let by_name s =
+  List.find_opt (fun r -> r.id = s || r.name = s) all

@@ -1,0 +1,60 @@
+(* .cmt discovery and reading.  The analyzer consumes whatever typed
+   trees dune has already produced (dune always passes -bin-annot), so
+   "lint the repo" is: build, then point the loader at the build tree. *)
+
+type error = { path : string; reason : string }
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let excluded excludes path =
+  List.exists (fun e -> e <> "" && contains ~sub:e path) excludes
+
+let rec scan acc dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> acc
+  | entries ->
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc name ->
+        if name = ".git" then acc
+        else
+          let path = Filename.concat dir name in
+          if Sys.is_directory path then scan acc path
+          else if Filename.check_suffix name ".cmt" then path :: acc
+          else acc)
+      acc entries
+
+(* Returns units in deterministic order, de-duplicated by module name
+   (the same unit can appear under several build contexts). *)
+let load ~root ~excludes =
+  let cmts = List.sort String.compare (scan [] root) in
+  let seen = Hashtbl.create 64 in
+  let units = ref [] in
+  let errors = ref [] in
+  List.iter
+    (fun path ->
+      if not (excluded excludes path) then
+        match Cmt_format.read_cmt path with
+        | exception e ->
+          errors := { path; reason = Printexc.to_string e } :: !errors
+        | cmt -> (
+          let source_excluded =
+            match cmt.Cmt_format.cmt_sourcefile with
+            | Some f -> excluded excludes f
+            | None -> false
+          in
+          if (not source_excluded) && not (Hashtbl.mem seen cmt.cmt_modname)
+          then
+            match cmt.Cmt_format.cmt_annots with
+            | Cmt_format.Implementation str ->
+              Hashtbl.replace seen cmt.cmt_modname ();
+              (match Extract.of_structure ~modname:cmt.cmt_modname str with
+              | u -> units := u :: !units
+              | exception e ->
+                errors := { path; reason = Printexc.to_string e } :: !errors)
+            | _ -> ()))
+    cmts;
+  (List.rev !units, List.rev !errors)

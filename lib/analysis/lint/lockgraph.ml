@@ -1,0 +1,108 @@
+(* The may-hold-while-acquiring graph: an edge a -> b means some
+   execution path acquires b while holding a.  A cycle is a potential
+   deadlock; the witness on each edge is the acquisition site that
+   created it. *)
+
+module SS = Set.Make (String)
+
+type t = { edges : (string * string, Summary.loc) Hashtbl.t }
+
+let create () = { edges = Hashtbl.create 64 }
+
+let add g a b loc =
+  if a <> b && not (Hashtbl.mem g.edges (a, b)) then
+    Hashtbl.replace g.edges (a, b) loc
+
+let nodes g =
+  Hashtbl.fold (fun (a, b) _ acc -> SS.add a (SS.add b acc)) g.edges SS.empty
+
+let successors g n =
+  Hashtbl.fold
+    (fun (a, b) _ acc -> if a = n then b :: acc else acc)
+    g.edges []
+  |> List.sort String.compare
+
+(* Tarjan; SCCs with more than one node are deadlock-capable. *)
+let cycles g =
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let sccs = ref [] in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v ();
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (successors g v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let rec pop acc =
+        match !stack with
+        | [] -> acc
+        | w :: rest ->
+          stack := rest;
+          Hashtbl.remove on_stack w;
+          if w = v then w :: acc else pop (w :: acc)
+      in
+      let scc = pop [] in
+      if List.length scc > 1 then sccs := List.sort String.compare scc :: !sccs
+    end
+  in
+  SS.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) (nodes g);
+  List.rev !sccs
+
+(* A representative witness location for a cycle: the first edge inside
+   the SCC, in deterministic order. *)
+let cycle_witness g scc =
+  let in_scc n = List.mem n scc in
+  let best = ref None in
+  Hashtbl.iter
+    (fun (a, b) loc ->
+      if in_scc a && in_scc b then
+        match !best with
+        | Some (a', b', _) when (a', b') <= (a, b) -> ()
+        | _ -> best := Some (a, b, loc))
+    g.edges;
+  !best
+
+let to_dot g =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "digraph lock_order {\n";
+  Buffer.add_string b "  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n";
+  let cyc = cycles g in
+  let in_cycle n = List.exists (fun scc -> List.mem n scc) cyc in
+  SS.iter
+    (fun n ->
+      Buffer.add_string b
+        (Printf.sprintf "  \"%s\"%s;\n" n
+           (if in_cycle n then " [color=red]" else "")))
+    (nodes g);
+  let edges =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) g.edges []
+    |> List.sort compare
+  in
+  List.iter
+    (fun ((a, bn), loc) ->
+      let red =
+        List.exists (fun scc -> List.mem a scc && List.mem bn scc) cyc
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  \"%s\" -> \"%s\" [label=\"%s:%d\"%s];\n" a bn
+           (Filename.basename loc.Summary.file)
+           loc.Summary.line
+           (if red then ", color=red" else "")))
+    edges;
+  Buffer.add_string b "}\n";
+  Buffer.contents b

@@ -1,0 +1,84 @@
+(* Primitive classification.  Names are post-normalization ("Stdlib."
+   stripped, "__" -> "."), so stdlib channel primitives appear bare. *)
+
+module SS = Set.Make (String)
+
+let of_list = SS.of_list
+
+(* Operations that can park the calling thread for an unbounded or
+   scheduler-visible amount of time: raw Unix I/O, fsync, sleeps,
+   joins, and buffered channel I/O (which blocks on the peer for
+   sockets and pipes). *)
+let blocking =
+  of_list
+    [
+      "Unix.sleep";
+      "Unix.sleepf";
+      "Unix.read";
+      "Unix.write";
+      "Unix.single_write";
+      "Unix.select";
+      "Unix.accept";
+      "Unix.connect";
+      "Unix.fsync";
+      "Unix.waitpid";
+      "Unix.wait";
+      "Unix.recv";
+      "Unix.send";
+      "Unix.recvfrom";
+      "Unix.sendto";
+      "Unix.system";
+      "Unix.lockf";
+      "Thread.delay";
+      "Thread.join";
+      "Domain.join";
+      "output_string";
+      "output_char";
+      "output_bytes";
+      "output_binary_int";
+      "output_value";
+      "flush";
+      "input_line";
+      "input_char";
+      "input_byte";
+      "input_binary_int";
+      "input_value";
+      "really_input";
+      "really_input_string";
+    ]
+
+(* Process-creating primitives: forbidden once any domain has been
+   spawned (OCaml 5 runtime constraint), and required to be preceded by
+   Analysis.Runtime.assert_no_domains_spawned in the same function. *)
+let fork =
+  of_list
+    [
+      "Unix.fork";
+      "Unix.create_process";
+      "Unix.create_process_env";
+      "Unix.system";
+      "Unix.open_process";
+      "Unix.open_process_in";
+      "Unix.open_process_out";
+      "Unix.open_process_full";
+    ]
+
+let spawn = "Domain.spawn"
+
+(* Unix calls that fail with EINTR when a signal handler is installed
+   without SA_RESTART — which is how the OCaml runtime installs them.
+   Deliberately the classic non-restartable set: plain reads/writes are
+   excluded to keep the rule's signal/noise high. *)
+let interruptible =
+  of_list
+    [
+      "Unix.accept";
+      "Unix.select";
+      "Unix.connect";
+      "Unix.wait";
+      "Unix.waitpid";
+      "Unix.sleep";
+      "Unix.sleepf";
+    ]
+
+let assert_no_domains = "Analysis.Runtime.assert_no_domains_spawned"

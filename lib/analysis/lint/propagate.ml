@@ -1,0 +1,182 @@
+(* Phase 1: interprocedural fixpoint over per-function summaries.
+   Every function is interpreted from an empty held set; calls pull in
+   their callee's summary; closures passed to a combinator are
+   interpreted under the locks that combinator holds at the invocation
+   of that parameter (param_held), which is itself discovered during
+   the fixpoint.  Closures handed to a thread-starter run with an empty
+   held set and contribute nothing to the spawning function's
+   lock-sensitive facts (they execute on another thread), but their
+   spawns/forks still propagate. *)
+
+module SS = Set.Make (String)
+module S = Summary
+
+type summ = {
+  mutable acquires : SS.t;  (* locks possibly acquired during a call *)
+  mutable blocks : (string * S.loc) option;  (* witness prim, its site *)
+  mutable callback : (string * S.loc) option;
+      (* invokes a function value that is not one of its own parameters
+         (field projection, pattern-bound hook): callers cannot
+         discharge it by passing a known-safe closure *)
+  mutable spawns : bool;
+  mutable forks : bool;
+  mutable calls : SS.t;
+  mutable refs : SS.t;
+}
+
+type t = {
+  summaries : (string, summ) Hashtbl.t;
+  param_held : (string * int, SS.t) Hashtbl.t;
+}
+
+let find t name = Hashtbl.find_opt t.summaries name
+let param_held t key =
+  match Hashtbl.find_opt t.param_held key with
+  | Some s -> s
+  | None -> SS.empty
+
+let fresh_summ () =
+  {
+    acquires = SS.empty;
+    blocks = None;
+    callback = None;
+    spawns = false;
+    forks = false;
+    calls = SS.empty;
+    refs = SS.empty;
+  }
+
+let run (units : S.unit_info list) =
+  let t = { summaries = Hashtbl.create 256; param_held = Hashtbl.create 64 } in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun f -> Hashtbl.replace t.summaries f.S.qname (fresh_summ ()))
+        u.S.funcs)
+    units;
+  let changed = ref true in
+  let grow_set get set v s =
+    if not (SS.subset v (get s)) then begin
+      set s (SS.union (get s) v);
+      changed := true
+    end
+  in
+  let add_acquires =
+    grow_set (fun s -> s.acquires) (fun s v -> s.acquires <- v)
+  in
+  let add_calls = grow_set (fun s -> s.calls) (fun s v -> s.calls <- v) in
+  let add_refs = grow_set (fun s -> s.refs) (fun s v -> s.refs <- v) in
+  let set_blocks s w =
+    if s.blocks = None then begin
+      s.blocks <- Some w;
+      changed := true
+    end
+  in
+  let set_callback s w =
+    if s.callback = None then begin
+      s.callback <- Some w;
+      changed := true
+    end
+  in
+  let set_spawns s =
+    if not s.spawns then begin
+      s.spawns <- true;
+      changed := true
+    end
+  in
+  let set_forks s =
+    if not s.forks then begin
+      s.forks <- true;
+      changed := true
+    end
+  in
+  let add_param_held key held =
+    let cur = param_held t key in
+    if not (SS.subset held cur) then begin
+      Hashtbl.replace t.param_held key (SS.union cur held);
+      changed := true
+    end
+  in
+  (* [live]: false inside a closure that runs on another thread — its
+     lock-sensitive facts are not the enclosing function's. *)
+  let rec walk fname s ~live held evs =
+    List.fold_left (step fname s ~live) held evs
+  and step fname s ~live held ev =
+    match ev with
+    | S.Acquire { lock; _ } ->
+      if live then add_acquires (SS.singleton lock) s;
+      SS.add lock held
+    | S.Release { lock } -> SS.remove lock held
+    | S.Wait { loc; _ } ->
+      if live then set_blocks s ("Condition.wait", loc);
+      held
+    | S.Call { callee = S.Global g; loc; _ } ->
+      add_calls (SS.singleton g) s;
+      if live && SS.mem g Prims.blocking then set_blocks s (g, loc);
+      if SS.mem g Prims.fork then set_forks s;
+      if g = Prims.spawn then set_spawns s;
+      (match find t g with
+      | Some gs ->
+        if live then begin
+          add_acquires gs.acquires s;
+          (match gs.blocks with Some w -> set_blocks s w | None -> ());
+          (match gs.callback with Some w -> set_callback s w | None -> ())
+        end;
+        if gs.spawns then set_spawns s;
+        if gs.forks then set_forks s
+      | None -> ());
+      held
+    | S.Call { callee = S.Callback { param_index = Some i; _ }; _ } ->
+      if live then add_param_held (fname, i) held;
+      held
+    | S.Call { callee = S.Callback { name; param_index = None }; loc; _ } ->
+      if live then set_callback s (name, loc);
+      held
+    | S.Ref { name; loc } ->
+      add_refs (SS.singleton name) s;
+      (* A blocking function handed to an iterator (Array.iter
+         Domain.join ...) blocks just like calling it. *)
+      if live && SS.mem name Prims.blocking then set_blocks s (name, loc);
+      (match find t name with
+      | Some gs ->
+        if gs.spawns then set_spawns s;
+        if gs.forks then set_forks s;
+        if live then (
+          match gs.blocks with Some w -> set_blocks s w | None -> ())
+      | None -> ());
+      held
+    | S.ClosureArg { callee; index; fresh; body } ->
+      let inner_held =
+        if fresh then SS.empty
+        else
+          match callee with
+          | Some c -> SS.union held (param_held t (c, index))
+          | None -> held
+      in
+      ignore (walk fname s ~live:(live && not fresh) inner_held body);
+      held
+    | S.Branch alts ->
+      (* Must-hold join: a lock is held after the branch only if every
+         alternative exits with it held.  Union would let one
+         wait-loop path poison everything downstream of an inlined
+         local function with a phantom held lock. *)
+      (match List.map (fun alt -> walk fname s ~live held alt) alts with
+      | [] -> held
+      | first :: rest -> List.fold_left SS.inter first rest)
+  in
+  let rounds = ref 0 in
+  while !changed && !rounds < 64 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun u ->
+        List.iter
+          (fun f ->
+            match find t f.S.qname with
+            | Some s ->
+              ignore (walk f.S.qname s ~live:true SS.empty f.S.events)
+            | None -> ())
+          u.S.funcs)
+      units
+  done;
+  t

@@ -1,0 +1,60 @@
+(* Output: a human listing for terminals and a JSON document for CI. *)
+
+let print_human ?(quiet = false) oc (r : Engine.result) =
+  let unsup = Engine.unsuppressed r in
+  let suppressed =
+    List.filter (fun (f : Finding.t) -> f.suppressed <> None) r.findings
+  in
+  List.iter (fun f -> Printf.fprintf oc "%s\n" (Finding.to_human f)) unsup;
+  if (not quiet) && suppressed <> [] then begin
+    Printf.fprintf oc "\nsuppressed (%d):\n" (List.length suppressed);
+    List.iter
+      (fun f -> Printf.fprintf oc "  %s\n" (Finding.to_human f))
+      suppressed
+  end;
+  List.iter
+    (fun e ->
+      Printf.fprintf oc "warning: could not read %s: %s\n" e.Loader.path
+        e.Loader.reason)
+    r.errors;
+  Printf.fprintf oc
+    "%d finding%s (%d suppressed), %d unit%s analyzed, lock graph: %d \
+     node%s, %d cycle%s\n"
+    (List.length r.findings)
+    (if List.length r.findings = 1 then "" else "s")
+    (List.length suppressed)
+    (List.length r.units)
+    (if List.length r.units = 1 then "" else "s")
+    (Lockgraph.SS.cardinal (Lockgraph.nodes r.graph))
+    (if Lockgraph.SS.cardinal (Lockgraph.nodes r.graph) = 1 then "" else "s")
+    (List.length r.cycles)
+    (if List.length r.cycles = 1 then "" else "s")
+
+let print_json oc (r : Engine.result) =
+  let unsup = Engine.unsuppressed r in
+  Printf.fprintf oc "{\n  \"findings\": [\n";
+  let n = List.length r.findings in
+  List.iteri
+    (fun i f ->
+      Printf.fprintf oc "    %s%s\n" (Finding.to_json f)
+        (if i = n - 1 then "" else ","))
+    r.findings;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"cycles\": [%s],\n"
+    (String.concat ", "
+       (List.map
+          (fun scc ->
+            Printf.sprintf "[%s]"
+              (String.concat ", "
+                 (List.map
+                    (fun l -> Printf.sprintf "\"%s\"" (Finding.json_escape l))
+                    scc)))
+          r.cycles));
+  Printf.fprintf oc
+    "  \"summary\": {\"total\": %d, \"suppressed\": %d, \"unsuppressed\": \
+     %d, \"units\": %d, \"errors\": %d}\n"
+    (List.length r.findings)
+    (List.length r.findings - List.length unsup)
+    (List.length unsup) (List.length r.units)
+    (List.length r.errors);
+  Printf.fprintf oc "}\n"

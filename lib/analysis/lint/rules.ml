@@ -1,0 +1,261 @@
+(* Phase 2: re-interpret every function from an empty held set, with
+   summaries available, and emit findings + lock-graph edges.  Findings
+   fire in the frame that actually holds the lock (every function is a
+   phase-2 root), so a blocking callee produces one finding per
+   offending call site, not one per transitive path. *)
+
+module SS = Set.Make (String)
+module S = Summary
+
+type out = {
+  mutable findings : Finding.t list;
+  graph : Lockgraph.t;
+  mutable pairs : (string * string * S.loc) list;  (* condvar, mutex *)
+}
+
+let add_finding out rule loc msg =
+  out.findings <- Finding.make rule loc msg :: out.findings
+
+let held_names held = String.concat ", " (List.rev_map fst held)
+
+(* Functions transitively reachable — via calls and escaping refs —
+   from the <init> of any unit that installs a Sys.Signal_handle, plus
+   the handlers themselves.  Only these run in a program where EINTR is
+   live. *)
+let signal_reachable units (prop : Propagate.t) =
+  let roots =
+    List.concat_map
+      (fun u ->
+        if u.S.installs_signal_handler then
+          (u.S.modname ^ ".<init>") :: u.S.signal_roots
+        else [])
+      units
+  in
+  let visited = ref SS.empty in
+  let rec visit n =
+    if not (SS.mem n !visited) then begin
+      visited := SS.add n !visited;
+      match Propagate.find prop n with
+      | Some s ->
+        SS.iter visit s.Propagate.calls;
+        SS.iter visit s.Propagate.refs
+      | None -> ()
+    end
+  in
+  List.iter visit roots;
+  !visited
+
+type flags = { mutable spawned : bool; mutable asserted : bool }
+
+let run (units : S.unit_info list) (prop : Propagate.t) =
+  let out = { findings = []; graph = Lockgraph.create (); pairs = [] } in
+  let reachable = signal_reachable units prop in
+  let summ g = Propagate.find prop g in
+  let rec exec ~sensitive flags held evs =
+    List.fold_left (step ~sensitive flags) held evs
+  and step ~sensitive flags held ev =
+    match ev with
+    | S.Acquire { lock; loc } ->
+      if List.mem_assoc lock held then begin
+        add_finding out Ids.lock_order loc
+          (Printf.sprintf "lock %s acquired while already held" lock);
+        held
+      end
+      else begin
+        List.iter (fun (h, _) -> Lockgraph.add out.graph h lock loc) held;
+        (lock, loc) :: held
+      end
+    | S.Release { lock } -> List.remove_assoc lock held
+    | S.Wait { cond; mutex; loc } ->
+      out.pairs <- (cond, mutex, loc) :: out.pairs;
+      if not (List.mem_assoc mutex held) then
+        add_finding out Ids.condvar_mutex loc
+          (Printf.sprintf "Condition.wait on %s without its mutex %s held"
+             cond mutex);
+      let others = List.remove_assoc mutex held in
+      if others <> [] then
+        add_finding out Ids.condvar_mutex loc
+          (Printf.sprintf
+             "Condition.wait on %s parks the thread while still holding %s"
+             cond (held_names others));
+      held
+    | S.Call { callee = S.Global g; loc; guarded } ->
+      if g = Prims.assert_no_domains then flags.asserted <- true;
+      let gs = summ g in
+      (* blocking / callback under a lock *)
+      (if held <> [] then
+         if SS.mem g Prims.blocking then
+           add_finding out Ids.blocking_under_lock loc
+             (Printf.sprintf "%s may block while holding %s" g
+                (held_names held))
+         else
+           match gs with
+           | Some s -> (
+             (match s.Propagate.blocks with
+             | Some (w, _) ->
+               add_finding out Ids.blocking_under_lock loc
+                 (Printf.sprintf "%s may block (%s) while holding %s" g w
+                    (held_names held))
+             | None -> ());
+             match s.Propagate.callback with
+             | Some (cb, _) ->
+               add_finding out Ids.callback_under_lock loc
+                 (Printf.sprintf
+                    "%s may invoke the caller-supplied function %s while \
+                     holding %s"
+                    g cb (held_names held))
+             | None -> ())
+           | None -> ());
+      (* lock-order edges through the callee *)
+      (match gs with
+      | Some s ->
+        SS.iter
+          (fun a ->
+            List.iter (fun (h, _) -> Lockgraph.add out.graph h a loc) held)
+          s.Propagate.acquires
+      | None -> ());
+      (* fork-after-domain, in program order *)
+      let callee_forks =
+        SS.mem g Prims.fork
+        || match gs with Some s -> s.Propagate.forks | None -> false
+      in
+      let callee_spawns =
+        g = Prims.spawn
+        || match gs with Some s -> s.Propagate.spawns | None -> false
+      in
+      (if SS.mem g Prims.fork then
+         if flags.spawned then
+           add_finding out Ids.fork_after_domain loc
+             (Printf.sprintf "%s after Domain.spawn in program order" g)
+         else if not flags.asserted then
+           add_finding out Ids.fork_after_domain loc
+             (Printf.sprintf
+                "%s without a preceding \
+                 Analysis.Runtime.assert_no_domains_spawned ()"
+                g)
+         else ()
+       else if callee_forks && flags.spawned then
+         add_finding out Ids.fork_after_domain loc
+           (Printf.sprintf "%s may fork, but domains were already spawned" g));
+      if callee_spawns then flags.spawned <- true;
+      (* EINTR discipline *)
+      if sensitive && SS.mem g Prims.interruptible && not guarded then
+        add_finding out Ids.eintr_unsafe loc
+          (Printf.sprintf
+             "%s can fail with EINTR here (signal handlers are installed); \
+              guard it or use Analysis.Runtime.retry_eintr"
+             g);
+      held
+    | S.Call { callee = S.Callback { name; _ }; loc; _ } ->
+      if held <> [] then
+        add_finding out Ids.callback_under_lock loc
+          (Printf.sprintf
+             "caller-supplied function %s invoked while holding %s" name
+             (held_names held));
+      held
+    | S.Ref { name; loc } ->
+      if held <> [] then begin
+        if SS.mem name Prims.blocking then
+          add_finding out Ids.blocking_under_lock loc
+            (Printf.sprintf
+               "%s handed to an iterator may block while holding %s" name
+               (held_names held))
+        else
+          match summ name with
+          | Some s -> (
+            match s.Propagate.blocks with
+            | Some (w, _) ->
+              add_finding out Ids.blocking_under_lock loc
+                (Printf.sprintf
+                   "%s handed to an iterator may block (%s) while holding %s"
+                   name w (held_names held))
+            | None -> ())
+          | None -> ()
+      end;
+      (match summ name with
+      | Some s ->
+        if s.Propagate.forks && flags.spawned then
+          add_finding out Ids.fork_after_domain loc
+            (Printf.sprintf
+               "%s (which may fork) is registered to run after Domain.spawn \
+                in program order"
+               name);
+        if s.Propagate.spawns then flags.spawned <- true
+      | None -> ());
+      held
+    | S.ClosureArg { callee; index; fresh; body } ->
+      let inner_held =
+        if fresh then []
+        else
+          let extra =
+            match callee with
+            | Some c -> Propagate.param_held prop (c, index)
+            | None -> SS.empty
+          in
+          SS.fold
+            (fun l acc ->
+              if List.mem_assoc l acc then acc
+              else (l, { S.file = ""; line = 0; col = 0 }) :: acc)
+            extra held
+      in
+      ignore (exec ~sensitive flags inner_held body);
+      held
+    | S.Branch alts ->
+      let sp0 = flags.spawned and as0 = flags.asserted in
+      let outs =
+        List.map
+          (fun alt ->
+            flags.spawned <- sp0;
+            flags.asserted <- as0;
+            let h = exec ~sensitive flags held alt in
+            (h, flags.spawned, flags.asserted))
+          alts
+      in
+      flags.spawned <- sp0 || List.exists (fun (_, s, _) -> s) outs;
+      flags.asserted <-
+        (match outs with
+        | [] -> as0
+        | _ -> List.for_all (fun (_, _, a) -> a) outs);
+      (* Must-hold join: keep a lock only if every alternative exits
+         holding it (matching Propagate's Branch semantics). *)
+      (match outs with
+      | [] -> held
+      | (first, _, _) :: rest ->
+        List.filter
+          (fun (l, _) ->
+            List.for_all (fun (h, _, _) -> List.mem_assoc l h) rest)
+          first)
+  in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun f ->
+          let sensitive = SS.mem f.S.qname reachable in
+          let flags = { spawned = false; asserted = false } in
+          ignore (exec ~sensitive flags [] f.S.events))
+        u.S.funcs)
+    units;
+  (* Condvar/mutex pairing: each condition variable class must wait on
+     one mutex class everywhere. *)
+  let by_cond = Hashtbl.create 16 in
+  List.iter
+    (fun (c, m, loc) ->
+      let cur = try Hashtbl.find by_cond c with Not_found -> [] in
+      Hashtbl.replace by_cond c ((m, loc) :: cur))
+    (List.rev out.pairs);
+  Hashtbl.iter
+    (fun c pairs ->
+      match List.rev pairs with
+      | [] -> ()
+      | (m0, _) :: rest ->
+        List.iter
+          (fun (m, loc) ->
+            if m <> m0 then
+              add_finding out Ids.condvar_mutex loc
+                (Printf.sprintf
+                   "condition variable %s waits with mutex %s here but with \
+                    %s elsewhere"
+                   c m m0))
+          rest)
+    by_cond;
+  out

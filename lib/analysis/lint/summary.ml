@@ -1,0 +1,76 @@
+(* Shared shapes: the per-function event trees the extractor produces
+   from a .cmt typed tree, and the per-unit information the global
+   passes consume.  Locks are named by *class*, not by allocation:
+   a record field's class is "<type path>.<field>" (every Queue.t
+   shares "Service.Queue.t.lock"), a local mutex's class is
+   "<unit>.<function>.<var>".  That is the right granularity for
+   lock-order analysis of this codebase: discipline is per-field, not
+   per-instance. *)
+
+type loc = { file : string; line : int; col : int }
+
+let loc_of_location (l : Location.t) =
+  {
+    file = l.loc_start.Lexing.pos_fname;
+    line = l.loc_start.Lexing.pos_lnum;
+    col = l.loc_start.Lexing.pos_cnum - l.loc_start.Lexing.pos_bol;
+  }
+
+let string_of_loc l = Printf.sprintf "%s:%d:%d" l.file l.line l.col
+
+type callee =
+  | Global of string
+      (* resolved, normalized path: "Mutex.lock", "Service.Queue.submit" *)
+  | Callback of { name : string; param_index : int option }
+      (* a function value that is not a statically known function:
+         a parameter (param_index points into the enclosing top-level
+         function's parameter list), a pattern-bound continuation, a
+         projected field, ... *)
+
+type event =
+  | Acquire of { lock : string; loc : loc }
+  | Release of { lock : string }
+  | Wait of { cond : string; mutex : string; loc : loc }
+  | Call of { callee : callee; loc : loc; guarded : bool }
+      (* [guarded] : syntactically inside an EINTR handler or an
+         Analysis.Runtime.retry_eintr thunk *)
+  | Ref of { name : string; loc : loc }
+      (* a statically known function escaping as a value (argument,
+         list element, partial application): assumed to run at this
+         point in program order for the fork-after-domain rule *)
+  | ClosureArg of {
+      callee : string option;  (* Global callee it was passed to *)
+      index : int;             (* argument position *)
+      fresh : bool;            (* runs on a new thread/domain: held set
+                                  does not propagate in *)
+      body : event list;
+    }
+  | Branch of event list list  (* match / if / try alternatives *)
+
+type func = {
+  qname : string;  (* "Service.Queue.submit"; "<Unit>.<init>" for
+                      top-level effects in structure order *)
+  floc : loc;
+  events : event list;
+}
+
+type suppression = {
+  s_file : string;
+  s_line_start : int;
+  s_line_end : int;
+  s_rule : string;      (* rule id or name, as written *)
+  s_rationale : string;
+  s_loc : loc;          (* of the attribute, for diagnostics *)
+}
+
+type unit_info = {
+  modname : string;          (* normalized: "Service.Queue" *)
+  funcs : func list;
+  suppressions : suppression list;
+  bad_suppressions : loc list;
+      (* [@dmflint.allow] attributes whose payload is not
+         "<rule>: <rationale>" *)
+  signal_roots : string list;
+      (* functions installed via Sys.Signal_handle *)
+  installs_signal_handler : bool;
+}

@@ -1,0 +1,31 @@
+(* The spawn ledger is an atomic, not a mutex-guarded cell: it is
+   read on fork paths that run while worker domains may be live, and
+   it must never itself introduce a lock. *)
+
+let spawned = Atomic.make 0
+
+let note_domain_spawn () = Atomic.incr spawned
+let domains_spawned () = Atomic.get spawned
+
+let assert_no_domains_spawned () =
+  let n = Atomic.get spawned in
+  if n > 0 then
+    invalid_arg
+      (Printf.sprintf
+         "fork-after-domain: refusing to fork after %d domain spawn(s); \
+          OCaml 5 cannot fork once a domain has been spawned (dmflint rule \
+          fork-after-domain)"
+         n)
+
+let rec retry_eintr f =
+  match f () with
+  | v -> v
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> retry_eintr f
+
+let read_retry fd buf off len =
+  retry_eintr (fun () -> Unix.read fd buf off len)
+
+let write_retry fd buf off len =
+  retry_eintr (fun () -> Unix.write fd buf off len)
+
+let waitpid_retry flags pid = retry_eintr (fun () -> Unix.waitpid flags pid)

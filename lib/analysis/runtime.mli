@@ -1,0 +1,43 @@
+(** Process-wide concurrency-discipline helpers.
+
+    The static side of the discipline lives in [lib/analysis/lint]
+    (the [dmflint] analyzer over dune's [.cmt] typed trees); this
+    module is the runtime side: the spawn ledger that turns the
+    "fork before any domain" convention into a loud assertion, and
+    the EINTR retry wrappers the analyzer's [eintr-unsafe] rule
+    steers signal-path code towards. *)
+
+val note_domain_spawn : unit -> unit
+(** Record that this process is about to spawn (or just spawned) an
+    OCaml domain.  Called by every domain-spawning wrapper in the
+    repo ([Mdst.Par], [Service.Pool]); call it too if you use
+    [Domain.spawn] directly. *)
+
+val domains_spawned : unit -> int
+(** How many domain spawns have been recorded in this process. *)
+
+val assert_no_domains_spawned : unit -> unit
+(** Fail (with [Invalid_argument]) unless no domain has ever been
+    spawned in this process.  Call it immediately before [Unix.fork]
+    or [Unix.create_process]: OCaml 5 does not support forking once
+    a domain has been spawned, and the failure mode is a child
+    deadlocked on a runtime lock — this assertion fails loudly at
+    the fork site instead.  The static counterpart is dmflint's
+    [fork-after-domain] rule. *)
+
+val retry_eintr : (unit -> 'a) -> 'a
+(** Run [f], retrying while it raises [Unix.Unix_error (EINTR, _, _)].
+    Use it around interruptible syscalls ([accept], [connect],
+    [read], [waitpid], ...) in executables that install signal
+    handlers; dmflint's [eintr-unsafe] rule recognises this wrapper
+    as a guard. *)
+
+val read_retry : Unix.file_descr -> bytes -> int -> int -> int
+(** [Unix.read] through {!retry_eintr}. *)
+
+val write_retry : Unix.file_descr -> bytes -> int -> int -> int
+(** [Unix.write] through {!retry_eintr}. *)
+
+val waitpid_retry :
+  Unix.wait_flag list -> int -> int * Unix.process_status
+(** [Unix.waitpid] through {!retry_eintr}. *)

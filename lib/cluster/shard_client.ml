@@ -190,6 +190,13 @@ let send t line k =
       let orphans = fail_conn_locked t conn in
       Mutex.unlock t.lock;
       List.iter (fun k -> k None) orphans)
+[@@dmflint.allow
+  "blocking-under-lock: t.lock must cover push-to-pending and the \
+   socket write together — that pairing is what keeps the pipelined \
+   FIFO aligned with the shard's response order (see the module \
+   comment); reconnect backoff under the same lock bounds the stall \
+   at the retry budget and only delays requests for the shard that \
+   is already down"]
 
 let healthy t =
   Mutex.lock t.lock;

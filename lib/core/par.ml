@@ -45,6 +45,7 @@ let map_array ?domains f input =
           let start, len = bounds i in
           Array.init len (fun j -> f input.(start + j)))
     in
+    Analysis.Runtime.note_domain_spawn ();
     let spawned = Array.init (k - 1) (fun i -> Domain.spawn (work (i + 1))) in
     let wrap g = try Ok (g ()) with e -> Error e in
     let first = wrap (work 0) in

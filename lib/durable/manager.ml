@@ -124,6 +124,9 @@ let start config =
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+[@@dmflint.allow
+  "callback-under-lock: with-lock combinator; dmflint analyzes every \
+   caller's closure under t.lock via param_held"]
 
 (* Caller holds the lock. *)
 let snapshot_locked t =
@@ -158,6 +161,11 @@ let journal ~snapshot t kind =
           && t.since_snapshot >= t.config.snapshot_every
         then snapshot_locked t
       end)
+[@@dmflint.allow
+  "blocking-under-lock: WAL append (and the occasional threshold \
+   snapshot) fsync under t.lock by design — t.lock serializes the \
+   journal and is only ever taken from worker threads and shutdown, \
+   never while the queue admission lock is held (PR 5 review)"]
 
 let on_accept t spec = journal ~snapshot:false t (Record.Accepted spec)
 
@@ -176,6 +184,10 @@ let note_prime t ~ms ~plans ~pending =
 
 let state t = locked t (fun () -> State.copy t.mirror)
 let snapshot_now t = locked t (fun () -> snapshot_locked t)
+[@@dmflint.allow
+  "blocking-under-lock: explicit operator-requested snapshot; the disk \
+   I/O is the point, and t.lock must cover it so no append interleaves \
+   with the snapshot's view of the mirror"]
 let appends t = locked t (fun () -> Wal.appends t.wal)
 let fsyncs t = locked t (fun () -> Wal.fsyncs t.wal)
 
@@ -220,3 +232,7 @@ let close t =
         Wal.close t.wal;
         Unix.close t.lock_file
       end)
+[@@dmflint.allow
+  "blocking-under-lock: shutdown-only path; the final sync + snapshot \
+   must complete under t.lock so a racing journal call either lands \
+   before the snapshot or observes closed=true and does nothing"]

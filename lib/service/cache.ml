@@ -45,6 +45,9 @@ let create ~capacity =
 let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+[@@dmflint.allow
+  "callback-under-lock: with-lock combinator; dmflint analyzes every \
+   caller's closure under t.lock via param_held"]
 
 let unlink t n =
   (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);

@@ -29,7 +29,14 @@ let resolve ~host ~port =
 let connect ~host ~port =
   let addr = resolve ~host ~port in
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  match Unix.connect fd addr with
+  (* connect(2) interrupted by a signal keeps establishing the
+     connection in the background, so the retry can find the socket
+     already connected: EISCONN on the retry is success. *)
+  match
+    Analysis.Runtime.retry_eintr (fun () ->
+        try Unix.connect fd addr
+        with Unix.Unix_error (Unix.EISCONN, _, _) -> ())
+  with
   | () -> fd
   | exception e ->
     (try Unix.close fd with Unix.Unix_error _ -> ());

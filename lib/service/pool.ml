@@ -15,6 +15,7 @@ let worker_loop queue handler () =
 
 let start ~workers ~handler queue =
   if workers < 1 then invalid_arg "Pool.start: at least one worker";
+  Analysis.Runtime.note_domain_spawn ();
   { domains = Array.init workers (fun _ -> Domain.spawn (worker_loop queue handler)) }
 
 let workers t = Array.length t.domains

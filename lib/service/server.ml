@@ -20,6 +20,9 @@ type t = {
 let with_counters c f =
   Mutex.lock c.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock c.lock) (fun () -> f c)
+[@@dmflint.allow
+  "callback-under-lock: with-lock combinator over the counters record; \
+   every closure passed in is a handful of integer field updates"]
 
 (* The planning handler every pool worker runs: plan cache first, the
    engine on a miss.  The spec demand is already the coalesced sum.

@@ -1,0 +1,9 @@
+(* DML002: sleeping while holding the lock stalls every other thread
+   that needs it. *)
+
+let m = Mutex.create ()
+
+let slow_critical () =
+  Mutex.lock m;
+  Thread.delay 0.01;
+  Mutex.unlock m

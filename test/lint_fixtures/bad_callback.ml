@@ -1,0 +1,9 @@
+(* DML003: a caller-supplied function runs while the lock is held —
+   if it blocks or takes this lock, the process deadlocks. *)
+
+let m = Mutex.create ()
+
+let notify cb =
+  Mutex.lock m;
+  cb ();
+  Mutex.unlock m

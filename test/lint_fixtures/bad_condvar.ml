@@ -1,0 +1,7 @@
+(* DML004: Condition.wait without the paired mutex held is undefined
+   behaviour — the wakeup can be lost. *)
+
+let m = Mutex.create ()
+let ready = Condition.create ()
+
+let await () = Condition.wait ready m

@@ -1,0 +1,10 @@
+(* DML006: this program installs a signal handler, so every slow
+   syscall can fail with EINTR — the raw select is a latent crash. *)
+
+let () = Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> ()))
+
+let poll fd = ignore (Unix.select [ fd ] [] [] 0.01)
+
+let main () = poll Unix.stdin
+
+let () = if Array.length Sys.argv > 10 then main ()

@@ -1,0 +1,9 @@
+(* DML005: Unix.fork after Domain.spawn — the OCaml 5 runtime cannot
+   fork once a domain has ever been spawned. *)
+
+let run () =
+  let d = Domain.spawn (fun () -> ()) in
+  let pid = Unix.fork () in
+  if pid = 0 then exit 0;
+  ignore (Unix.waitpid [] pid);
+  Domain.join d

@@ -1,0 +1,17 @@
+(* DML001: ab and ba take the two mutexes in opposite order — the
+   classic deadlock-capable cycle. *)
+
+let a = Mutex.create ()
+let b = Mutex.create ()
+
+let ab () =
+  Mutex.lock a;
+  Mutex.lock b;
+  Mutex.unlock b;
+  Mutex.unlock a
+
+let ba () =
+  Mutex.lock b;
+  Mutex.lock a;
+  Mutex.unlock a;
+  Mutex.unlock b

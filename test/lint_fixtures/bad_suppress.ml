@@ -1,0 +1,10 @@
+(* DML000: a suppression without a rationale is itself a finding, and
+   does not suppress anything — the DML002 below still fires. *)
+
+let m = Mutex.create ()
+
+let f () =
+  Mutex.lock m;
+  Thread.delay 0.01;
+  Mutex.unlock m
+[@@dmflint.allow "blocking-under-lock"]

@@ -1,0 +1,11 @@
+(* Clean counterpart of bad_blocking: the lock covers only the shared
+   state, the sleep happens outside it. *)
+
+let m = Mutex.create ()
+let counter = ref 0
+
+let tick () =
+  Mutex.lock m;
+  incr counter;
+  Mutex.unlock m;
+  Thread.delay 0.01

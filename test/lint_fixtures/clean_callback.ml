@@ -1,0 +1,11 @@
+(* Clean counterpart of bad_callback: snapshot under the lock, invoke
+   the callback after releasing it. *)
+
+let m = Mutex.create ()
+let state = ref 0
+
+let notify cb =
+  Mutex.lock m;
+  let snapshot = !state in
+  Mutex.unlock m;
+  cb snapshot

@@ -1,0 +1,19 @@
+(* Clean counterpart of bad_condvar: the canonical lock / re-check /
+   wait loop. *)
+
+let m = Mutex.create ()
+let ready = Condition.create ()
+let flag = ref false
+
+let await () =
+  Mutex.lock m;
+  while not !flag do
+    Condition.wait ready m
+  done;
+  Mutex.unlock m
+
+let fire () =
+  Mutex.lock m;
+  flag := true;
+  Condition.signal ready;
+  Mutex.unlock m

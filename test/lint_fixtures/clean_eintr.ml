@@ -1,0 +1,12 @@
+(* Clean counterpart of bad_eintr: the interruptible call runs inside
+   Analysis.Runtime.retry_eintr. *)
+
+let () = Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> ()))
+
+let poll fd =
+  ignore
+    (Analysis.Runtime.retry_eintr (fun () -> Unix.select [ fd ] [] [] 0.01))
+
+let main () = poll Unix.stdin
+
+let () = if Array.length Sys.argv > 10 then main ()

@@ -1,0 +1,8 @@
+(* Clean counterpart of bad_fork: no domains anywhere, and the fork
+   site carries the runtime assertion dmflint demands. *)
+
+let run () =
+  Analysis.Runtime.assert_no_domains_spawned ();
+  match Unix.fork () with
+  | 0 -> exit 0
+  | pid -> ignore (Unix.waitpid [] pid)

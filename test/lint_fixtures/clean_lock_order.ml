@@ -1,0 +1,16 @@
+(* Clean counterpart of bad_lock_order: both paths take a before b. *)
+
+let a = Mutex.create ()
+let b = Mutex.create ()
+
+let first () =
+  Mutex.lock a;
+  Mutex.lock b;
+  Mutex.unlock b;
+  Mutex.unlock a
+
+let second () =
+  Mutex.lock a;
+  Mutex.lock b;
+  Mutex.unlock b;
+  Mutex.unlock a

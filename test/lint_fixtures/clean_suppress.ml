@@ -1,0 +1,13 @@
+(* The suppression contract done right: rule name, colon, reviewable
+   rationale.  The DML002 in this file is reported as suppressed and
+   does not gate. *)
+
+let m = Mutex.create ()
+
+let f () =
+  Mutex.lock m;
+  Thread.delay 0.01;
+  Mutex.unlock m
+[@@dmflint.allow
+  "blocking-under-lock: fixture — demonstrates a well-formed \
+   suppression; the sleep is deliberate and harmless here"]

@@ -273,6 +273,7 @@ let dir_lock_exclusive () =
         }
       in
       let manager, _ = Durable.Manager.start config in
+      Analysis.Runtime.assert_no_domains_spawned ();
       (match Unix.fork () with
       | 0 -> (
         match Durable.Manager.start config with

@@ -1,0 +1,131 @@
+(* Tests for the dmflint analyzer itself, in two layers:
+
+   1. A fixture corpus (test/lint_fixtures) with one known-bad and one
+      known-clean module per rule.  We assert the exact (rule, file,
+      line) triples the engine reports — nothing more, nothing less —
+      so a precision or recall regression in any rule pack fails here
+      with a readable diff.
+
+   2. A self-check over the repository's own build: every finding in
+      lib/ and bin/ must carry a rationale-bearing suppression, and the
+      interprocedural lock-order graph must be acyclic.
+
+   The fixture modules are deliberately NOT linked into this
+   executable: bad_eintr's module initializer installs a SIGTERM
+   handler, which must not happen inside the test process.  The dune
+   rule only depends on the fixture *build* so the .cmt files exist. *)
+
+(* Under `dune runtest` the action runs in _build/default/test, where
+   the fixture tree is a sibling; under `dune exec` from the source
+   root it is not, so fall back to the explicit build path. *)
+let fixture_root, repo_root =
+  if Sys.file_exists "lint_fixtures" then ("lint_fixtures", "..")
+  else ("_build/default/test/lint_fixtures", "_build/default")
+
+(* (rule id, file basename, line), sorted. *)
+let triples findings =
+  findings
+  |> List.map (fun (f : Lint.Finding.t) ->
+         (f.rule.Lint.Ids.id, Filename.basename f.loc.Lint.Summary.file,
+          f.loc.Lint.Summary.line))
+  |> List.sort compare
+
+let show (id, file, line) = Printf.sprintf "%s %s:%d" id file line
+
+let triple_list = Alcotest.(list (triple string string int))
+
+let run_fixtures () = Lint.Engine.run ~root:fixture_root ~excludes:[]
+
+let test_fixture_findings () =
+  let r = run_fixtures () in
+  Alcotest.(check (list string)) "fixtures load cleanly" []
+    (List.map (fun (e : Lint.Loader.error) -> e.path) r.errors);
+  let expected =
+    [
+      ("DML000", "bad_suppress.ml", 10);
+      ("DML001", "bad_lock_order.ml", 9);
+      ("DML002", "bad_blocking.ml", 8);
+      ("DML002", "bad_suppress.ml", 8);
+      ("DML003", "bad_callback.ml", 8);
+      ("DML004", "bad_condvar.ml", 7);
+      ("DML005", "bad_fork.ml", 6);
+      ("DML006", "bad_eintr.ml", 6);
+    ]
+  in
+  Alcotest.check triple_list "unsuppressed findings" expected
+    (triples (Lint.Engine.unsuppressed r));
+  (* Exactly one rule per bad file means every clean_* counterpart
+     produced nothing; make the contrapositive explicit anyway. *)
+  List.iter
+    (fun t ->
+      let _, file, _ = t in
+      if String.length file >= 6 && String.sub file 0 6 = "clean_" then
+        Alcotest.failf "clean fixture produced a finding: %s" (show t))
+    (triples (Lint.Engine.unsuppressed r))
+
+let test_fixture_suppression () =
+  let r = run_fixtures () in
+  let suppressed =
+    List.filter (fun (f : Lint.Finding.t) -> f.suppressed <> None) r.findings
+  in
+  Alcotest.check triple_list "suppressed findings"
+    [ ("DML002", "clean_suppress.ml", 9) ]
+    (triples suppressed);
+  List.iter
+    (fun (f : Lint.Finding.t) ->
+      match f.suppressed with
+      | Some why -> Alcotest.(check bool) "rationale present" false (why = "")
+      | None -> ())
+    suppressed
+
+let test_fixture_cycle () =
+  let r = run_fixtures () in
+  Alcotest.(check int) "one lock-order cycle" 1 (List.length r.cycles);
+  let cycle = List.concat r.cycles in
+  let expect_node n =
+    Alcotest.(check bool) (n ^ " in cycle") true (List.mem n cycle)
+  in
+  expect_node "Lint_fixtures.Bad_lock_order.a";
+  expect_node "Lint_fixtures.Bad_lock_order.b";
+  List.iter
+    (fun n ->
+      if
+        String.length n >= 5
+        && String.sub n 0 5 <> "Lint_"
+        (* all fixture locks live in Lint_fixtures.* *)
+      then Alcotest.failf "unexpected lock in cycle: %s" n)
+    cycle
+
+(* The repository gate, run from _build/default/test: scan the whole
+   build tree two levels up, minus the deliberately-broken fixtures. *)
+let test_repo_clean () =
+  let r = Lint.Engine.run ~root:repo_root ~excludes:[ "lint_fixtures" ] in
+  Alcotest.(check bool) "analyzed a real unit count" true
+    (List.length r.units > 20);
+  (match Lint.Engine.unsuppressed r with
+  | [] -> ()
+  | leaks ->
+      Alcotest.failf "repo has unsuppressed findings:\n%s"
+        (String.concat "\n" (List.map Lint.Finding.to_human leaks)));
+  Alcotest.(check (list (list string))) "repo lock graph is acyclic" []
+    r.cycles;
+  List.iter
+    (fun (f : Lint.Finding.t) ->
+      match f.suppressed with
+      | Some "" -> Alcotest.failf "empty rationale on %s" (Lint.Finding.key f)
+      | _ -> ())
+    r.findings
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "fixtures",
+        [
+          Alcotest.test_case "exact findings" `Quick test_fixture_findings;
+          Alcotest.test_case "suppression contract" `Quick
+            test_fixture_suppression;
+          Alcotest.test_case "lock-order cycle" `Quick test_fixture_cycle;
+        ] );
+      ( "self-check",
+        [ Alcotest.test_case "repo lints clean" `Quick test_repo_clean ] );
+    ]

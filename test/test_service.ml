@@ -468,6 +468,7 @@ let kill9_recovery () =
       in
       let req_read, req_write = Unix.pipe ~cloexec:false () in
       let resp_read, resp_write = Unix.pipe ~cloexec:false () in
+      Analysis.Runtime.assert_no_domains_spawned ();
       match Unix.fork () with
       | 0 ->
         (* The daemon-to-be-crashed.  Never exits on its own: the parent
