@@ -16,17 +16,18 @@
 
    Experiments: cluster fig1 fig3 fig5 table2 table3 fig6 fig7 table4
    ablation dilution robust assay pins routing recovery wash pareto
-   scaling service wal speed.  (cluster forks daemon processes and so
-   must precede anything that spawns domains; keep it first when
+   scaling service wal store speed.  (cluster forks daemon processes
+   and so must precede anything that spawns domains; keep it first when
    selecting subsets that include it.)
 
-   Every run additionally writes BENCH_PR7.json — per-experiment wall
+   Every run additionally writes BENCH_PR9.json — per-experiment wall
    times, Bechamel ns/run, service req/s with p50/p95/p99 request
    latencies, cluster req/s vs shard count through dmfrouter (cold and
    warm, with the exact-coalescing flag and the 4-shard warm speedup),
-   WAL fsync-batch throughput (same percentiles), domain/core counts
-   and corpus sizes — so successive PRs accumulate a machine-readable
-   performance trajectory.  The same JSON is copied to
+   WAL fsync-batch throughput (same percentiles), the cold-vs-warm
+   plan-store sweep, domain/core counts and corpus sizes — so
+   successive PRs accumulate a machine-readable performance
+   trajectory.  The same JSON is copied to
    bench_results/bench-<timestamp>.json plus the stable alias
    bench_results/bench-latest.json (both untracked).  Everything printed
    is also teed into bench_output.txt (untracked) for local
@@ -87,6 +88,12 @@ let cluster_results :
 
 let cluster_plans_exact = ref true
 
+(* Cold vs warm table3-style sweep through the content-addressed plan
+   store: (specs, cold_s, warm_s, warm_hits, writes, entries, bytes). *)
+let plan_store_result :
+    (int * float * float * int * int * int * int) option ref =
+  ref None
+
 (* (policy, plan, counters) rows of the scheduler-core experiment. *)
 let scheduler_core_results :
     (string * string * Mdst.Instr.counters) list ref =
@@ -106,7 +113,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let bench_json_path = "BENCH_PR7.json"
+let bench_json_path = "BENCH_PR9.json"
 let bench_results_dir = "bench_results"
 
 let write_bench_json () =
@@ -196,10 +203,21 @@ let write_bench_json () =
           (percentile_fields latencies))
       !wal_results
   in
+  let plan_store_json =
+    match !plan_store_result with
+    | None -> "{\"ran\": false}"
+    | Some (specs, cold_s, warm_s, warm_hits, writes, entries, bytes) ->
+      Printf.sprintf
+        "{\"ran\": true, \"specs\": %d, \"cold_s\": %.6f, \"warm_s\": %.6f, \
+         \"warm_hits\": %d, \"writes\": %d, \"entries\": %d, \"bytes\": %d, \
+         \"warm_speedup\": %.3f}"
+        specs cold_s warm_s warm_hits writes entries bytes
+        (if warm_s > 0. then cold_s /. warm_s else 0.)
+  in
   let oc = open_out bench_json_path in
   Printf.fprintf oc
     "{\n\
-    \  \"pr\": 7,\n\
+    \  \"pr\": 9,\n\
     \  \"bench\": \"dmfstream\",\n\
     \  \"domains\": %d,\n\
     \  \"cores\": %d,\n\
@@ -215,6 +233,7 @@ let write_bench_json () =
     \    \"rows\": [\n      %s\n    ]\n\
     \  },\n\
     \  \"wal\": [\n    %s\n  ],\n\
+    \  \"plan_store\": %s,\n\
     \  \"micro_ns_per_run\": [\n    %s\n  ]\n\
      }\n"
     domains
@@ -229,6 +248,7 @@ let write_bench_json () =
     !cluster_plans_exact cluster_speedup
     (String.concat ",\n      " cluster_rows)
     (String.concat ",\n    " wal)
+    plan_store_json
     (String.concat ",\n    " micro);
   close_out oc;
   (* Keep the trajectory under bench_results/ too: one timestamped copy
@@ -1311,6 +1331,96 @@ let wal () =
     \ strict mode pays ~2 fsyncs per response)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Plan store: table3-style sweep, cold vs warm (PR 9)                 *)
+
+(* The same workload as table3 — the subsampled corpus under the
+   streamed algorithms — but routed through the content-addressed plan
+   store: the cold pass plans every spec and persists it, the warm pass
+   answers every spec from disk.  The gap between the two passes is the
+   planning work a restarted or sibling daemon skips when it shares the
+   store directory. *)
+
+let store () =
+  section
+    "Plan store (PR 9): table3-style corpus sweep, cold (plan + persist) vs \
+     warm (decoded from the content-addressed store)";
+  let specs =
+    List.concat_map
+      (fun ratio ->
+        List.concat_map
+          (fun algorithm ->
+            List.map
+              (fun scheduler ->
+                {
+                  Service.Request.ratio;
+                  demand = 32;
+                  algorithm;
+                  scheduler;
+                  mixers = None;
+                  storage_limit = None;
+                })
+              [ Mdst.Scheduler.mms; Mdst.Scheduler.srs ])
+          [ Mixtree.Algorithm.MM; Mixtree.Algorithm.RMA ])
+      (corpus ~every:8)
+  in
+  let n = List.length specs in
+  let with_temp_dir f =
+    let dir = Filename.temp_dir "dmfd-bench-store" "" in
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter
+          (fun name ->
+            try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+          (try Sys.readdir dir with Sys_error _ -> [||]);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ())
+      (fun () -> f dir)
+  in
+  with_temp_dir (fun dir ->
+      let ps = Durable.Plan_store.open_store ~dir () in
+      (* Both passes run the daemon's store-first protocol: a hit is
+         served from disk, a miss is planned and written through. *)
+      let run_pass () =
+        let t0 = Unix.gettimeofday () in
+        List.iter
+          (fun spec ->
+            match Durable.Plan_store.find ps spec with
+            | Some _ -> ()
+            | None -> Durable.Plan_store.add ps spec (Service.Prep.run spec))
+          specs;
+        Unix.gettimeofday () -. t0
+      in
+      let cold_s = run_pass () in
+      let after_cold = Durable.Plan_store.stats ps in
+      let warm_s = run_pass () in
+      let s = Durable.Plan_store.stats ps in
+      let warm_hits = s.Durable.Plan_store.hits - after_cold.Durable.Plan_store.hits in
+      plan_store_result :=
+        Some
+          ( n, cold_s, warm_s, warm_hits, s.Durable.Plan_store.writes,
+            s.Durable.Plan_store.entries, s.Durable.Plan_store.bytes );
+      let row phase wall hits =
+        [
+          phase; i2s n; i2s hits;
+          Printf.sprintf "%.4f" wall;
+          Printf.sprintf "%.0f" (float_of_int n /. wall);
+        ]
+      in
+      print_string
+        (Mdst.Report.table
+           ~header:[ "pass"; "specs"; "store hits"; "wall s"; "specs/s" ]
+           ~rows:
+             [
+               row "cold" cold_s after_cold.Durable.Plan_store.hits;
+               row "warm" warm_s warm_hits;
+             ]);
+      Printf.printf
+        "\n(warm/cold speedup %.1fx over %d entries, %d bytes on disk; the\n\
+        \ warm pass decodes and re-validates every plan instead of\n\
+        \ re-planning it)\n"
+        (if warm_s > 0. then cold_s /. warm_s else 0.)
+        s.Durable.Plan_store.entries s.Durable.Plan_store.bytes)
+
+(* ------------------------------------------------------------------ *)
 (* Cluster throughput: dmfrouter over N dmfd shards (PR 7)             *)
 
 (* Spawns real dmfd/dmfrouter processes, so it must run before any
@@ -1739,7 +1849,7 @@ let experiments =
     ("assay", assay); ("pins", pins); ("routing", routing);
     ("recovery", recovery); ("wash", wash); ("pareto", pareto);
     ("scaling", scaling); ("instrument", instrument); ("service", service);
-    ("wal", wal); ("speed", speed);
+    ("wal", wal); ("store", store); ("speed", speed);
   ]
 
 (* Tee fd 1 into [path]: everything the experiments print reaches both

@@ -101,9 +101,44 @@ let snapshot_arg =
           "Snapshot the durable state (and compact the journal) after every \
            $(docv) journaled records. 0 snapshots only on clean shutdown.")
 
+let store_dir_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "store-dir" ] ~docv:"DIR"
+        ~doc:
+          "Enable the content-addressed plan store: persist every built plan \
+           to $(docv) and serve cache misses from it instead of re-planning. \
+           Entries survive restarts and may be shared by several daemons \
+           (shards) pointing at the same directory. Off by default.")
+
+let store_max_bytes_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "store-max-bytes" ] ~docv:"BYTES"
+        ~doc:
+          "Bound the plan store's total size: once exceeded, oldest entries \
+           are deleted down to 80% of $(docv) at each journal compaction \
+           (and after writes). Unbounded by default.")
+
 let run stdio host port workers queue_capacity cache_capacity wal_dir
-    fsync_batch fsync_ms snapshot_every =
+    fsync_batch fsync_ms snapshot_every store_dir store_max_bytes =
   Service.Validate.run_cli (fun () ->
+      let plan_store =
+        Option.map
+          (fun dir ->
+            Durable.Plan_store.open_store ?max_bytes:store_max_bytes ~dir ())
+          store_dir
+      in
+      let store =
+        Option.map
+          (fun ps ->
+            {
+              Service.Store.find = Durable.Plan_store.find ps;
+              add = Durable.Plan_store.add ps;
+              stats = (fun () -> Durable.Plan_store.stats_json ps);
+            })
+          plan_store
+      in
       let durable =
         Option.map
           (fun dir ->
@@ -115,35 +150,53 @@ let run stdio host port workers queue_capacity cache_capacity wal_dir
                 cache_capacity;
               }
             in
-            Durable.Manager.start config)
+            Durable.Manager.start ?store:plan_store config)
           wal_dir
       in
       let server =
         match durable with
-        | None -> Service.Server.create ?workers ~queue_capacity ~cache_capacity ()
+        | None ->
+          Service.Server.create ?workers ~queue_capacity ~cache_capacity ?store
+            ()
         | Some (manager, _) ->
           Service.Server.create ?workers ~queue_capacity ~cache_capacity
             ~on_accept:(Durable.Manager.on_accept manager)
             ~on_complete:(fun ~spec ~requests ~ok ->
               Durable.Manager.on_complete manager ~spec ~requests ~ok)
             ~wal_stats:(fun () -> Durable.Manager.stats_json manager)
-            ()
+            ?store ()
       in
+      (match (plan_store, durable) with
+      | Some ps, None ->
+        Printf.eprintf "dmfd: plan store at %s (%d entries)\n%!"
+          (Durable.Plan_store.dir ps)
+          (Durable.Plan_store.stats ps).Durable.Plan_store.entries
+      | _ -> ());
       (match durable with
       | None -> ()
       | Some (manager, recovery) ->
         let t0 = Unix.gettimeofday () in
         let cache = Durable.Manager.recovered_cache manager in
         let pending = Durable.Manager.recovered_pending manager in
-        let plans = Service.Server.prime server ~cache ~pending in
+        let primed = Service.Server.prime server ~cache ~pending in
+        let plans =
+          primed.Service.Server.replanned + primed.Service.Server.from_store
+        in
         let prime_ms = (Unix.gettimeofday () -. t0) *. 1000. in
-        Durable.Manager.note_prime manager ~ms:prime_ms ~plans
+        Durable.Manager.note_prime manager ~ms:prime_ms
+          ~replanned:primed.Service.Server.replanned
+          ~from_store:primed.Service.Server.from_store
           ~pending:(List.length pending);
         Printf.eprintf
-          "dmfd: recovered %d plan(s) and %d pending job(s) from %d replayed \
-           record(s)%s%s in %.1f ms\n\
+          "dmfd: recovered %d plan(s)%s and %d pending job(s) from %d \
+           replayed record(s)%s%s in %.1f ms\n\
            %!"
-          plans (List.length pending) recovery.Durable.Replay.replayed
+          plans
+          (if plan_store <> None then
+             Printf.sprintf " (%d from the plan store, %d re-planned)"
+               primed.Service.Server.from_store primed.Service.Server.replanned
+           else "")
+          (List.length pending) recovery.Durable.Replay.replayed
           (match recovery.Durable.Replay.snapshot_seq with
           | Some s -> Printf.sprintf " on snapshot #%d" s
           | None -> "")
@@ -209,8 +262,12 @@ let run stdio host port workers queue_capacity cache_capacity wal_dir
           Printf.eprintf "dmfd: serving on %s:%d with %d worker(s)%s\n%!" host
             bound
             (Service.Server.workers server)
-            (match wal_dir with
-            | Some dir -> Printf.sprintf ", journaling to %s" dir
+            ((match wal_dir with
+             | Some dir -> Printf.sprintf ", journaling to %s" dir
+             | None -> "")
+            ^
+            match store_dir with
+            | Some dir -> Printf.sprintf ", plan store at %s" dir
             | None -> "")
         in
         Service.Server.serve_tcp server ~on_listen ~host ~port)
@@ -221,7 +278,7 @@ let cmd =
     Term.(
       const run $ stdio_arg $ host_arg $ port_arg $ workers_arg $ queue_arg
       $ cache_arg $ wal_dir_arg $ fsync_batch_arg $ fsync_ms_arg
-      $ snapshot_arg)
+      $ snapshot_arg $ store_dir_arg $ store_max_bytes_arg)
   in
   Cmd.v (Cmd.info "dmfd" ~version:"1.0.0" ~doc) term
 

@@ -772,8 +772,9 @@ let client_cmd =
   let run ratio demand algorithm scheduler mixers storage host port kind =
     protect @@ fun () ->
     (* recover-stats is a stats request whose response is narrowed to
-       the wal object — the recovery/journal counters of a daemon
-       running with --wal-dir. *)
+       the durability objects — the wal (recovery/journal) counters of
+       a daemon running with --wal-dir, plus the plan_store counters
+       when it also runs with --store-dir. *)
     let wal_only = kind = "recover-stats" in
     (* route is a prepare whose "req" field is rewritten: the router
        answers it locally with the shard placement of the coalesce key
@@ -838,11 +839,20 @@ let client_cmd =
         let json =
           if not wal_only then json
           else
-            match Service.Jsonl.member "wal" json with
-            | Some wal -> wal
-            | None ->
+            let wal = Service.Jsonl.member "wal" json in
+            let store = Service.Jsonl.member "plan_store" json in
+            match (wal, store) with
+            | None, None ->
               failwith
-                "the daemon runs without --wal-dir (no wal object in stats)"
+                "the daemon runs without --wal-dir or --store-dir (no wal or \
+                 plan_store object in stats)"
+            | _ ->
+              Service.Jsonl.Obj
+                ((match wal with Some w -> [ ("wal", w) ] | None -> [])
+                @
+                match store with
+                | Some s -> [ ("plan_store", s) ]
+                | None -> [])
         in
         Format.printf "%a@." Service.Jsonl.pp json
       | Error msg -> failwith ("malformed response: " ^ msg))
@@ -864,9 +874,9 @@ let client_cmd =
       & info [ "req" ] ~docv:"KIND"
           ~doc:
             "Request kind: prepare, stats, ping, recover-stats (the stats \
-             response's wal/recovery counters only), or route (ask a \
-             dmfrouter which shard owns the coalesce key; takes the same \
-             options as prepare).")
+             response's wal/recovery and plan_store counters only), or route \
+             (ask a dmfrouter which shard owns the coalesce key; takes the \
+             same options as prepare).")
   in
   let client_storage =
     Arg.(

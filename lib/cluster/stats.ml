@@ -4,9 +4,11 @@
    alone — same inputs, same output, independent of fan-out completion
    order — so the bench and the CI smoke can assert on it.  Counters
    are summed, avg_latency_ms is weighted by each shard's served count,
-   uptime_s is the oldest shard's, and everything per-shard (including
-   the nested durability [wal] object, which has no meaningful sum) is
-   kept verbatim under a [shards] array in ring-index order. *)
+   uptime_s is the oldest shard's, plan-store counters are summed (with
+   the on-disk totals taken as maxima, since shards share one store
+   directory), and everything per-shard (including the nested
+   durability [wal] object, which has no meaningful sum) is kept
+   verbatim under a [shards] array in ring-index order. *)
 
 module Jsonl = Service.Jsonl
 
@@ -26,6 +28,16 @@ let summed_fields =
     "plans_built" ]
 
 let cache_fields = [ "hits"; "misses"; "evictions"; "size"; "capacity" ]
+
+(* Per-handle plan-store counters sum across shards; [entries] and
+   [bytes] do not — the shards of one cluster share a single store
+   directory, so each reports the same files and the merged view takes
+   the maximum instead of counting them once per shard. *)
+let store_summed_fields =
+  [ "hits"; "misses"; "writes"; "errors"; "gc_runs"; "gc_removed";
+    "served_from_store" ]
+
+let store_max_fields = [ "entries"; "bytes"; "max_bytes" ]
 
 let merge entries =
   let answered =
@@ -62,6 +74,34 @@ let merge entries =
   let uptime_s =
     List.fold_left (fun acc s -> Float.max acc (getf "uptime_s" s)) 0. answered
   in
+  let stores =
+    List.filter_map (fun s -> Jsonl.member "plan_store" s) answered
+  in
+  let plan_store =
+    if stores = [] then []
+    else
+      [
+        ( "plan_store",
+          Jsonl.Obj
+            (List.map
+               (fun name ->
+                 ( name,
+                   Jsonl.Int
+                     (List.fold_left (fun acc st -> acc + geti name st) 0 stores)
+                 ))
+               store_summed_fields
+            @ List.filter_map
+                (fun name ->
+                  let vs = List.filter_map (Jsonl.member name) stores in
+                  let ints = List.filter_map Jsonl.to_int vs in
+                  match ints with
+                  | [] -> None
+                  | _ ->
+                    Some
+                      (name, Jsonl.Int (List.fold_left Int.max 0 ints)))
+                store_max_fields) );
+      ]
+  in
   let shard_entries =
     List.map
       (fun ((c : Shard_client.stats), stats) ->
@@ -84,7 +124,7 @@ let merge entries =
             in
             List.concat_map keep
               (summed_fields
-              @ [ "cache"; "avg_latency_ms"; "uptime_s"; "wal" ])
+              @ [ "cache"; "avg_latency_ms"; "uptime_s"; "wal"; "plan_store" ])
           | None -> []))
       entries
   in
@@ -98,6 +138,9 @@ let merge entries =
         ("cache", cache);
         ("avg_latency_ms", Jsonl.Float avg_latency_ms);
         ("uptime_s", Jsonl.Float uptime_s);
+      ]
+    @ plan_store
+    @ [
         ( "cluster",
           Jsonl.Obj
             [

@@ -8,7 +8,11 @@
     object with shard/healthy counts, and a [shards] array in ring
     order carrying each shard's address, health, transport counters and
     verbatim per-shard fields (including the nested [wal] object, which
-    has no meaningful cluster-wide sum).
+    has no meaningful cluster-wide sum).  When any shard reports a
+    [plan_store] object its counters are summed into a cluster-wide
+    [plan_store], except the on-disk totals ([entries], [bytes],
+    [max_bytes]), which merge as maxima: shards share one store
+    directory, so summing would count the same files once per shard.
 
     The output is a pure function of the inputs: fan-out timing and
     completion order cannot change it. *)

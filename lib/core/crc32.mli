@@ -1,15 +1,11 @@
 (** CRC-32 (the IEEE 802.3 polynomial, reflected: 0xEDB88320) over
-    bytes — the per-record integrity check of the write-ahead log and
-    the plan store.
+    bytes — the per-record integrity check of the write-ahead log.
 
     A torn write (the process or the machine died mid-[write]) leaves a
     record whose bytes parse as a prefix of valid JSON or not at all;
     either way the stored checksum no longer matches the recomputed one
     and {!Replay} truncates the journal there.  The well-known check
-    value is [string "123456789" = 0xCBF43926].
-
-    This is a re-export of [Mdst.Crc32] (the implementation lives in
-    the core library so {!Mdst.Plan_codec} can share it). *)
+    value is [string "123456789" = 0xCBF43926]. *)
 
 val string : string -> int
 (** Checksum of a whole string; the result is in [0, 0xFFFFFFFF]. *)

@@ -1,0 +1,371 @@
+(* Canonical binary codec for plans and schedules.
+
+   Canonical means: the encoding is a pure function of the value with
+   no optional representations (fixed-width little-endian integers,
+   length-prefixed sequences, fixed field order), so byte equality is
+   value equality and [encode (decode b) = b].  The store layers CRC
+   framing on top; this module only defines the bytes under the CRC. *)
+
+let version = 1
+
+(* ------------------------------------------------------------------ *)
+(* Wire primitives                                                     *)
+
+module Wire = struct
+  type writer = Buffer.t
+
+  let writer () = Buffer.create 256
+
+  let u8 b v =
+    if v < 0 || v > 0xFF then invalid_arg "Plan_codec.Wire.u8: out of range";
+    Buffer.add_char b (Char.chr v)
+
+  let u32 b v =
+    if v < 0 || v > 0xFFFFFFFF then
+      invalid_arg "Plan_codec.Wire.u32: out of range";
+    Buffer.add_char b (Char.chr (v land 0xFF));
+    Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF));
+    Buffer.add_char b (Char.chr ((v lsr 16) land 0xFF));
+    Buffer.add_char b (Char.chr ((v lsr 24) land 0xFF))
+
+  let int64 b v =
+    for i = 0 to 7 do
+      Buffer.add_char b
+        (Char.chr (Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xFF))
+    done
+
+  let int b v = int64 b (Int64.of_int v)
+  let f64 b v = int64 b (Int64.bits_of_float v)
+  let bool b v = u8 b (if v then 1 else 0)
+
+  let bytes b s =
+    u32 b (String.length s);
+    Buffer.add_string b s
+
+  let contents = Buffer.contents
+
+  type reader = { buf : string; mutable pos : int }
+
+  exception Corrupt of string
+
+  let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+  let reader buf = { buf; pos = 0 }
+
+  let take r n =
+    if n < 0 || r.pos > String.length r.buf - n then
+      corrupt "truncated: wanted %d byte(s) at offset %d of %d" n r.pos
+        (String.length r.buf);
+    let pos = r.pos in
+    r.pos <- pos + n;
+    pos
+
+  let r_u8 r = Char.code r.buf.[take r 1]
+
+  let r_u32 r =
+    let p = take r 4 in
+    let byte i = Char.code r.buf.[p + i] in
+    byte 0 lor (byte 1 lsl 8) lor (byte 2 lsl 16) lor (byte 3 lsl 24)
+
+  let r_int64 r =
+    let p = take r 8 in
+    let v = ref 0L in
+    for i = 7 downto 0 do
+      v :=
+        Int64.logor
+          (Int64.shift_left !v 8)
+          (Int64.of_int (Char.code r.buf.[p + i]))
+    done;
+    !v
+
+  let r_int r =
+    let v = r_int64 r in
+    let i = Int64.to_int v in
+    if Int64.of_int i <> v then corrupt "integer out of native range";
+    i
+
+  let r_f64 r = Int64.float_of_bits (r_int64 r)
+
+  let r_bool r =
+    match r_u8 r with
+    | 0 -> false
+    | 1 -> true
+    | v -> corrupt "bad boolean byte %d" v
+
+  let r_bytes r =
+    let n = r_u32 r in
+    let p = take r n in
+    String.sub r.buf p n
+
+  let expect_end r =
+    if r.pos <> String.length r.buf then
+      corrupt "%d trailing byte(s)" (String.length r.buf - r.pos)
+end
+
+open Wire
+
+(* ------------------------------------------------------------------ *)
+(* Ratios, mixtures, sources                                           *)
+
+let tag_plan = 0x50 (* 'P' *)
+let tag_schedule = 0x53 (* 'S' *)
+
+let w_ratio b r =
+  let parts = Dmf.Ratio.parts r in
+  u32 b (Array.length parts);
+  Array.iter (u32 b) parts;
+  Array.iter (bytes b) (Dmf.Ratio.names r)
+
+let r_ratio r =
+  let n = r_u32 r in
+  if n < 2 || n > 0xFFFF then corrupt "implausible fluid count %d" n;
+  let parts = Array.init n (fun _ -> r_u32 r) in
+  let names = Array.init n (fun _ -> r_bytes r) in
+  Dmf.Ratio.make ~names parts
+
+(* A mixture travels as (numerators, scale k): value = <num>/2^k.
+   Numerators of deep mixes can exceed 32 bits, so they ride as full
+   ints. *)
+let w_mixture b m =
+  let num = Dmf.Mixture.numerators m in
+  u32 b (Array.length num);
+  int b (Dmf.Mixture.scale m);
+  Array.iter (int b) num
+
+let r_mixture_parts ~n_fluids r =
+  let n = r_u32 r in
+  if n <> n_fluids then corrupt "mixture width %d in a %d-fluid plan" n n_fluids;
+  let k = r_int r in
+  if k < 0 || k > 62 then corrupt "implausible mixture scale %d" k;
+  let num = Array.init n (fun _ -> r_int r) in
+  (num, k)
+
+let mixture_equals_parts m (num, k) =
+  Dmf.Mixture.scale m = k
+  && Array.for_all2 ( = ) (Dmf.Mixture.numerators m) num
+
+(* Mixture exposes no raw constructor (its canonical form is an
+   internal invariant), so a stored mixture with no producing node — a
+   reserve droplet — is rebuilt through the public mix algebra: 2^k
+   pure leaves in numerator order, reduced pairwise.  [mix] canonicalizes
+   at every step, so the result equals the stored parts iff they were a
+   canonical mixture in the first place. *)
+let mixture_of_parts ~n_fluids (num, k) =
+  let total = Array.fold_left ( + ) 0 num in
+  if total < 1 || total > 0x10000 || total <> 1 lsl k then
+    corrupt "mixture numerators sum to %d, scale %d" total k;
+  let leaves = ref [] in
+  for i = n_fluids - 1 downto 0 do
+    for _ = 1 to num.(i) do
+      leaves := Dmf.Mixture.pure ~n:n_fluids (Dmf.Fluid.make i) :: !leaves
+    done
+  done;
+  let rec reduce = function
+    | [] -> corrupt "empty mixture"
+    | [ m ] -> m
+    | ms ->
+      let rec pair = function
+        | a :: b :: rest -> Dmf.Mixture.mix a b :: pair rest
+        | [ _ ] -> corrupt "mixture leaf count is not a power of two"
+        | [] -> []
+      in
+      reduce (pair ms)
+  in
+  let m = reduce !leaves in
+  if not (mixture_equals_parts m (num, k)) then
+    corrupt "mixture parts are not in canonical form";
+  m
+
+let w_source b = function
+  | Plan.Input f ->
+    u8 b 0;
+    u32 b (Dmf.Fluid.index f)
+  | Plan.Output { node; port } ->
+    u8 b 1;
+    u32 b node;
+    u8 b port
+  | Plan.Reserve i ->
+    u8 b 2;
+    u32 b i
+
+let r_source r =
+  match r_u8 r with
+  | 0 -> Plan.Input (Dmf.Fluid.make (r_u32 r))
+  | 1 ->
+    let node = r_u32 r in
+    let port = r_u8 r in
+    Plan.Output { node; port }
+  | 2 -> Plan.Reserve (r_u32 r)
+  | t -> corrupt "unknown source tag %d" t
+
+(* ------------------------------------------------------------------ *)
+(* Plans                                                               *)
+
+let encode_plan p =
+  let b = writer () in
+  u8 b tag_plan;
+  u8 b version;
+  w_ratio b (Plan.ratio p);
+  u32 b (Plan.demand p);
+  let reserves = Plan.reserves p in
+  u32 b (Array.length reserves);
+  Array.iter (w_mixture b) reserves;
+  u32 b (Plan.n_nodes p);
+  List.iter
+    (fun (n : Plan.node) ->
+      u32 b n.Plan.tree;
+      u32 b n.Plan.level;
+      u32 b n.Plan.bfs;
+      w_mixture b n.Plan.value;
+      w_source b n.Plan.left;
+      w_source b n.Plan.right)
+    (Plan.nodes p);
+  let roots = Plan.roots p in
+  u32 b (List.length roots);
+  List.iter
+    (fun root ->
+      u32 b root;
+      w_mixture b (Plan.root_value p root))
+    roots;
+  contents b
+
+(* Node and root values are recomputed bottom-up from the sources
+   rather than trusted: the stored mixture bytes become a pure
+   cross-check, so a bit pattern that somehow survived the CRC still
+   cannot smuggle in a wrong concentration, and [Plan.create_multi]
+   re-runs the full structural validation at the end. *)
+let decode_plan_exn buf =
+  let r = reader buf in
+  if r_u8 r <> tag_plan then corrupt "not a plan";
+  let v = r_u8 r in
+  if v <> version then corrupt "codec version %d, expected %d" v version;
+  let ratio = r_ratio r in
+  let n_fluids = Dmf.Ratio.n_fluids ratio in
+  let demand = r_u32 r in
+  let n_reserves = r_u32 r in
+  if n_reserves > 0xFFFFF then corrupt "implausible reserve count %d" n_reserves;
+  let reserves =
+    Array.init n_reserves (fun _ ->
+        mixture_of_parts ~n_fluids (r_mixture_parts ~n_fluids r))
+  in
+  let n_nodes = r_u32 r in
+  if n_nodes > 0xFFFFFF then corrupt "implausible node count %d" n_nodes;
+  let values = Array.make n_nodes (Dmf.Mixture.pure ~n:n_fluids (Dmf.Fluid.make 0)) in
+  let nodes =
+    Array.init n_nodes (fun id ->
+        let tree = r_u32 r in
+        let level = r_u32 r in
+        let bfs = r_u32 r in
+        let stored = r_mixture_parts ~n_fluids r in
+        let left = r_source r in
+        let right = r_source r in
+        let source_value = function
+          | Plan.Input f -> Dmf.Mixture.pure ~n:n_fluids f
+          | Plan.Output { node; port = _ } ->
+            if node < 0 || node >= id then
+              corrupt "node %d: producer %d out of order" id node;
+            values.(node)
+          | Plan.Reserve i ->
+            if i < 0 || i >= n_reserves then
+              corrupt "node %d: reserve %d out of range" id i;
+            reserves.(i)
+        in
+        let value = Dmf.Mixture.mix (source_value left) (source_value right) in
+        if not (mixture_equals_parts value stored) then
+          corrupt "node %d: stored value disagrees with its sources" id;
+        values.(id) <- value;
+        { Plan.id; tree; level; bfs; value; left; right })
+  in
+  let n_roots = r_u32 r in
+  if n_roots > n_nodes then corrupt "more roots than nodes";
+  let roots = Array.make n_roots 0 in
+  let root_values =
+    Array.init n_roots (fun i ->
+        let root = r_u32 r in
+        if root < 0 || root >= n_nodes then corrupt "root %d out of range" root;
+        roots.(i) <- root;
+        let stored = r_mixture_parts ~n_fluids r in
+        if not (mixture_equals_parts values.(root) stored) then
+          corrupt "root %d: stored target disagrees with the node value" root;
+        values.(root))
+  in
+  expect_end r;
+  Plan.create_multi ~reserves ~ratio ~demand ~nodes ~roots ~root_values ()
+
+let decode_plan buf =
+  match decode_plan_exn buf with
+  | p -> Ok p
+  | exception Corrupt msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Schedules                                                           *)
+
+let encode_schedule ~plan s =
+  let b = writer () in
+  u8 b tag_schedule;
+  u8 b version;
+  u32 b (Schedule.mixers s);
+  let n = Plan.n_nodes plan in
+  u32 b n;
+  for id = 0 to n - 1 do
+    u32 b (Schedule.cycle s id)
+  done;
+  for id = 0 to n - 1 do
+    u32 b (Schedule.mixer s id)
+  done;
+  contents b
+
+let decode_schedule ~plan buf =
+  match
+    let r = reader buf in
+    if r_u8 r <> tag_schedule then corrupt "not a schedule";
+    let v = r_u8 r in
+    if v <> version then corrupt "codec version %d, expected %d" v version;
+    let mixers = r_u32 r in
+    let n = r_u32 r in
+    if n <> Plan.n_nodes plan then
+      corrupt "schedule covers %d node(s), plan has %d" n (Plan.n_nodes plan);
+    let cycles = Array.init n (fun _ -> r_u32 r) in
+    let mixer_of = Array.init n (fun _ -> r_u32 r) in
+    expect_end r;
+    Schedule.create ~plan ~mixers ~cycles ~mixer_of
+  with
+  | s -> Ok s
+  | exception Corrupt msg -> Error msg
+  | exception Invalid_argument msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Content hashing                                                     *)
+
+(* Two independently seeded FNV-1a-64 lanes + splitmix64 finalizer:
+   cheap, allocation-free, stable across platforms, and — unlike
+   Hashtbl.hash — contractually frozen, because the hex result names
+   files on disk that outlive any one process. *)
+
+let fnv_prime = 0x100000001b3L
+
+let splitmix64 h =
+  let h =
+    Int64.mul
+      (Int64.logxor h (Int64.shift_right_logical h 30))
+      0xbf58476d1ce4e5b9L
+  in
+  let h =
+    Int64.mul
+      (Int64.logxor h (Int64.shift_right_logical h 27))
+      0x94d049bb133111ebL
+  in
+  Int64.logxor h (Int64.shift_right_logical h 31)
+
+let fnv1a ~seed s =
+  let h = ref seed in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  splitmix64 !h
+
+let hash_hex s =
+  let lane1 = fnv1a ~seed:0xcbf29ce484222325L s in
+  let lane2 = fnv1a ~seed:0x9e3779b97f4a7c15L s in
+  Printf.sprintf "%016Lx%016Lx" lane1 lane2

@@ -1,7 +1,8 @@
 let try_remove path =
   match Sys.remove path with () -> true | exception Sys_error _ -> false
 
-let run ~dir ~upto =
+let run ?store ~dir ~upto () =
+  (match store with None -> () | Some s -> Plan_store.gc s);
   let segments = Wal.segments ~dir in
   (* A segment covers [start, next_start - 1]; without a successor its
      end is unknown, so it stays. *)

@@ -6,10 +6,14 @@
     segments are rotated at snapshot time precisely so the boundary
     falls between files and no rewrite is needed. *)
 
-val run : dir:string -> upto:int -> int * int
+val run : ?store:Plan_store.t -> dir:string -> upto:int -> unit -> int * int
 (** [run ~dir ~upto] deletes journal segments that end at or before
     sequence [upto] and snapshots older than [upto]; returns
     [(segments_removed, snapshots_removed)].  A segment's end is
     inferred from the next segment's start, so the newest segment is
     never removed.  Deletion failures are ignored (compaction retries
-    at the next snapshot). *)
+    at the next snapshot).
+
+    [store] additionally runs the plan store's size-bounded GC
+    ({!Plan_store.gc}) on the same cadence — disk reclamation for the
+    journal and the store happen at one well-defined point. *)

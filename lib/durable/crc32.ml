@@ -1,25 +1,5 @@
-(* Table-driven CRC-32, reflected polynomial 0xEDB88320.  OCaml's
-   native [int] is 63-bit on every platform dune supports here, so the
-   32-bit arithmetic fits without boxing; [land 0xFFFFFFFF] keeps the
-   running remainder in range. *)
+(* The implementation moved to lib/core (Mdst.Crc32) so the canonical
+   plan codec can checksum without depending on this library; the WAL,
+   snapshot and plan-store call sites keep their Durable.Crc32 name. *)
 
-let table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
-
-let sub s ~pos ~len =
-  if pos < 0 || len < 0 || pos > String.length s - len then
-    invalid_arg "Crc32.sub";
-  let table = Lazy.force table in
-  let crc = ref 0xFFFFFFFF in
-  for i = pos to pos + len - 1 do
-    crc := table.((!crc lxor Char.code s.[i]) land 0xFF) lxor (!crc lsr 8)
-  done;
-  !crc lxor 0xFFFFFFFF
-
-let string s = sub s ~pos:0 ~len:(String.length s)
+include Mdst.Crc32

@@ -7,6 +7,7 @@ type config = {
 
 type t = {
   config : config;
+  store : Plan_store.t option;
   lock : Mutex.t;
   lock_file : Unix.file_descr;
   wal : Wal.t;
@@ -21,7 +22,8 @@ type t = {
   mutable segments_compacted : int;
   mutable snapshots_compacted : int;
   mutable prime_ms : float;
-  mutable primed_plans : int;
+  mutable primed_replanned : int;
+  mutable primed_from_store : int;
   mutable primed_pending : int;
   mutable closed : bool;
 }
@@ -75,7 +77,7 @@ let quarantine_segments dir =
       n + 1)
     0 (Wal.segments ~dir)
 
-let start config =
+let start ?store config =
   Wal.ensure_dir config.dir;
   let lock_file = acquire_dir_lock config.dir in
   let state, recovery =
@@ -99,6 +101,7 @@ let start config =
   in
   ( {
       config;
+      store;
       lock = Mutex.create ();
       lock_file;
       wal;
@@ -115,7 +118,8 @@ let start config =
       segments_compacted = 0;
       snapshots_compacted = 0;
       prime_ms = 0.;
-      primed_plans = 0;
+      primed_replanned = 0;
+      primed_from_store = 0;
       primed_pending = 0;
       closed = false;
     },
@@ -135,7 +139,7 @@ let snapshot_locked t =
     Wal.sync t.wal;
     ignore (Snapshot.write ~dir:t.config.dir ~seq:upto t.mirror);
     Wal.rotate t.wal;
-    let segs, snaps = Compact.run ~dir:t.config.dir ~upto in
+    let segs, snaps = Compact.run ?store:t.store ~dir:t.config.dir ~upto () in
     t.last_snapshot_seq <- upto;
     t.since_snapshot <- 0;
     t.snapshots_written <- t.snapshots_written + 1;
@@ -176,10 +180,11 @@ let recovered_cache t = t.recovered_cache
 let recovered_pending t = t.recovered_pending
 let quarantined_segments t = t.segments_quarantined
 
-let note_prime t ~ms ~plans ~pending =
+let note_prime t ~ms ~replanned ~from_store ~pending =
   locked t (fun () ->
       t.prime_ms <- ms;
-      t.primed_plans <- plans;
+      t.primed_replanned <- replanned;
+      t.primed_from_store <- from_store;
       t.primed_pending <- pending)
 
 let state t = locked t (fun () -> State.copy t.mirror)
@@ -219,7 +224,11 @@ let stats_json t =
                 ("gap", Service.Jsonl.Bool r.Replay.gap);
                 ("wall_ms", Service.Jsonl.Float r.Replay.wall_ms);
                 ("prime_ms", Service.Jsonl.Float t.prime_ms);
-                ("primed_plans", Service.Jsonl.Int t.primed_plans);
+                ( "primed_plans",
+                  Service.Jsonl.Int (t.primed_replanned + t.primed_from_store)
+                );
+                ("primed_replanned", Service.Jsonl.Int t.primed_replanned);
+                ("primed_from_store", Service.Jsonl.Int t.primed_from_store);
                 ("primed_pending", Service.Jsonl.Int t.primed_pending);
               ] );
         ])

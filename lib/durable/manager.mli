@@ -25,8 +25,10 @@ type config = {
 
 type t
 
-val start : config -> t * Replay.stats
-(** Recover, then open the journal for appending.
+val start : ?store:Plan_store.t -> config -> t * Replay.stats
+(** Recover, then open the journal for appending.  [store] hands the
+    manager the daemon's plan store so threshold snapshots run its GC
+    alongside journal compaction ({!Compact.run}).
 
     Recovery side effects on the directory: torn segment tails reported
     by {!Replay.recover} are truncated back to their valid prefix (so a
@@ -63,8 +65,11 @@ val quarantined_segments : t -> int
 (** Segments this boot renamed aside because a sequence gap made them
     unreplayable; 0 on a clean recovery. *)
 
-val note_prime : t -> ms:float -> plans:int -> pending:int -> unit
-(** Record what re-planning the recovered state cost, for {!stats_json}. *)
+val note_prime :
+  t -> ms:float -> replanned:int -> from_store:int -> pending:int -> unit
+(** Record what rebuilding the recovered state cost, split by how each
+    plan came back ({!Service.Server.primed}), for {!stats_json}'s
+    [recovery] object ([primed_plans] stays the total). *)
 
 val state : t -> State.t
 (** A copy of the live durable-state mirror (tests compare it against

@@ -39,6 +39,7 @@ type stats = {
   avg_latency_ms : float;
   uptime_s : float;
   wal : Jsonl.t option;
+  store : Jsonl.t option;
 }
 
 type body =
@@ -127,6 +128,7 @@ let to_json t =
         ("uptime_s", Jsonl.Float s.uptime_s);
       ]
       @ (match s.wal with Some w -> [ ("wal", w) ] | None -> [])
+      @ (match s.store with Some st -> [ ("plan_store", st) ] | None -> [])
   in
   let elapsed =
     match t.elapsed_ms with

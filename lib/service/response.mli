@@ -40,6 +40,11 @@ type stats = {
       (** Journal/recovery counters when the daemon runs with a
           write-ahead log ([dmfd --wal-dir]), [None] otherwise — so a
           daemon without durability serves byte-identical stats. *)
+  store : Jsonl.t option;
+      (** Plan-store counters when the daemon runs with a
+          content-addressed store ([dmfd --store-dir]), encoded as the
+          [plan_store] object; [None] otherwise, same discipline as
+          [wal]. *)
 }
 
 type body =

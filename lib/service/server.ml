@@ -4,6 +4,7 @@ type counters = {
   mutable errors : int;
   mutable jobs : int;
   mutable plans_built : int;
+  mutable store_hits : int;
   mutable latency_ms_sum : float;
   mutable latency_samples : int;
 }
@@ -15,6 +16,7 @@ type t = {
   pool : Pool.t;
   started_at : float;
   wal_stats : (unit -> Jsonl.t) option;
+  store : Store.t option;
 }
 
 let with_counters c f =
@@ -24,28 +26,41 @@ let with_counters c f =
   "callback-under-lock: with-lock combinator over the counters record; \
    every closure passed in is a handful of integer field updates"]
 
-(* The planning handler every pool worker runs: plan cache first, the
-   engine on a miss.  The spec demand is already the coalesced sum.
+(* The planning handler every pool worker runs: plan cache first, then
+   the on-disk plan store, the engine only when both miss.  The spec
+   demand is already the coalesced sum.  A store hit enters the LRU
+   like a fresh plan but reports [cache_hit = false] — the response
+   surface is unchanged by the store, only the stats object knows.
    [on_complete] (the WAL's completion hook) fires for every job — hits
    refresh LRU recency, which recovery must replay — and strictly
    before [Queue.fulfil] releases the waiters, so with a strict fsync
    policy no client ever observes a response that is not yet durable. *)
-let run_job cache counters on_complete job =
+let run_job cache counters on_complete store job =
   let spec = Queue.job_spec job in
   let coalesced = Queue.job_requests job in
   let batch_demand = spec.Request.demand in
   let key = Request.cache_key spec in
+  let store_find () =
+    match store with None -> None | Some s -> s.Store.find spec
+  in
   let result =
     match Cache.find cache key with
     | Some prepared ->
       Ok { Queue.prepared; batch_demand; coalesced; cache_hit = true }
     | None -> (
-      match Validate.protect (fun () -> Prep.run spec) with
-      | Ok prepared ->
+      match store_find () with
+      | Some prepared ->
         Cache.add cache key prepared;
-        with_counters counters (fun c -> c.plans_built <- c.plans_built + 1);
+        with_counters counters (fun c -> c.store_hits <- c.store_hits + 1);
         Ok { Queue.prepared; batch_demand; coalesced; cache_hit = false }
-      | Error msg -> Error msg)
+      | None -> (
+        match Validate.protect (fun () -> Prep.run spec) with
+        | Ok prepared ->
+          Cache.add cache key prepared;
+          (match store with None -> () | Some s -> s.Store.add spec prepared);
+          with_counters counters (fun c -> c.plans_built <- c.plans_built + 1);
+          Ok { Queue.prepared; batch_demand; coalesced; cache_hit = false }
+        | Error msg -> Error msg))
   in
   with_counters counters (fun c -> c.jobs <- c.jobs + 1);
   (match on_complete with
@@ -54,7 +69,7 @@ let run_job cache counters on_complete job =
   Queue.fulfil job result
 
 let create ?workers ?(queue_capacity = 256) ?(cache_capacity = 1024) ?on_accept
-    ?on_complete ?wal_stats () =
+    ?on_complete ?wal_stats ?store () =
   let workers =
     match workers with Some w -> w | None -> Mdst.Par.default_domains ()
   in
@@ -67,38 +82,66 @@ let create ?workers ?(queue_capacity = 256) ?(cache_capacity = 1024) ?on_accept
       errors = 0;
       jobs = 0;
       plans_built = 0;
+      store_hits = 0;
       latency_ms_sum = 0.;
       latency_samples = 0;
     }
   in
   let pool =
-    Pool.start ~workers ~handler:(run_job cache counters on_complete) queue
+    Pool.start ~workers ~handler:(run_job cache counters on_complete store) queue
   in
-  { queue; cache; counters; pool; started_at = Unix.gettimeofday (); wal_stats }
+  {
+    queue;
+    cache;
+    counters;
+    pool;
+    started_at = Unix.gettimeofday ();
+    wal_stats;
+    store;
+  }
 
 let workers t = Pool.workers t.pool
 let cache_keys t = Cache.keys t.cache
 
-(* Recovery priming: rebuild the plans the crashed process had.
-   Re-planning is deterministic (every spec dispatches through the
-   Mdst.Scheduler registry), so inserting in least-recently-used-first
-   order reproduces both the cache contents and the recency chain.
-   Recovered pending requests are resubmitted quietly — their accepted
-   records are already journaled — with no waiter: the pool plans them
-   and the completion hook discharges them, re-warming the cache. *)
+type primed = { replanned : int; from_store : int }
+
+(* Recovery priming: rebuild the plans the crashed process had.  The
+   plan store is consulted first — a decoded entry is bit-identical to
+   a re-plan (the differential tests in [test_plan_store] hold the
+   codec to that), so priming from it preserves PR 5's determinism
+   guarantee while skipping the planning work.  Re-planning remains the
+   fallback for misses and version mismatches; it is deterministic
+   (every spec dispatches through the Mdst.Scheduler registry), so
+   inserting in least-recently-used-first order reproduces both the
+   cache contents and the recency chain either way.  Recovered pending
+   requests are resubmitted quietly — their accepted records are
+   already journaled — with no waiter: the pool plans them and the
+   completion hook discharges them, re-warming the cache. *)
 let prime t ~cache ~pending =
-  let plans =
+  let primed =
     List.fold_left
-      (fun n spec ->
-        match Validate.protect (fun () -> Prep.run spec) with
-        | Ok prepared ->
+      (fun acc spec ->
+        let from_store =
+          match t.store with None -> None | Some s -> s.Store.find spec
+        in
+        match from_store with
+        | Some prepared ->
           Cache.add t.cache (Request.cache_key spec) prepared;
-          n + 1
-        | Error _ -> n)
-      0 cache
+          { acc with from_store = acc.from_store + 1 }
+        | None -> (
+          match Validate.protect (fun () -> Prep.run spec) with
+          | Ok prepared ->
+            Cache.add t.cache (Request.cache_key spec) prepared;
+            (match t.store with
+            | None -> ()
+            | Some s -> s.Store.add spec prepared);
+            { acc with replanned = acc.replanned + 1 }
+          | Error _ -> acc))
+      { replanned = 0; from_store = 0 }
+      cache
   in
   List.iter (fun spec -> ignore (Queue.submit ~quiet:true t.queue spec)) pending;
-  plans
+  primed
 
 let stats t =
   let c = t.counters in
@@ -107,6 +150,7 @@ let stats t =
   and errors = c.errors
   and jobs = c.jobs
   and plans_built = c.plans_built
+  and store_hits = c.store_hits
   and latency_ms_sum = c.latency_ms_sum
   and latency_samples = c.latency_samples in
   Mutex.unlock c.lock;
@@ -124,6 +168,18 @@ let stats t =
        else latency_ms_sum /. float_of_int latency_samples);
     uptime_s = Unix.gettimeofday () -. t.started_at;
     wal = Option.map (fun f -> f ()) t.wal_stats;
+    store =
+      (* The store's own counters (shared-directory totals) plus this
+         server's [served_from_store] — the requests the store saved
+         from re-planning here. *)
+      Option.map
+        (fun s ->
+          match s.Store.stats () with
+          | Jsonl.Obj fields ->
+            Jsonl.Obj
+              (fields @ [ ("served_from_store", Jsonl.Int store_hits) ])
+          | other -> other)
+        t.store;
   }
 
 (* ------------------------------------------------------------------ *)

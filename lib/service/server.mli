@@ -25,6 +25,7 @@ val create :
   ?on_accept:(Request.spec -> unit) ->
   ?on_complete:(spec:Request.spec -> requests:int -> ok:bool -> unit) ->
   ?wal_stats:(unit -> Jsonl.t) ->
+  ?store:Store.t ->
   unit ->
   t
 (** Start the pool.  [workers] defaults to {!Mdst.Par.default_domains}
@@ -42,7 +43,13 @@ val create :
       the job's waiters are released, so a synced journal record always
       precedes the response a client can observe;
     - [wal_stats] is evaluated on each [stats] request and becomes the
-      response's [wal] object. *)
+      response's [wal] object.
+
+    [store] plugs in a second plan-cache tier (see {!Store}): workers
+    consult it after an LRU miss and before planning, write every
+    freshly built plan through to it, and {!prime} reads it before
+    falling back to re-planning.  Its counters become the stats
+    response's [plan_store] object. *)
 
 val workers : t -> int
 
@@ -52,13 +59,19 @@ val cache_keys : t -> string list
 (** Cached plan keys, most recently used first (recovery tests compare
     these against the durable state model). *)
 
-val prime : t -> cache:Request.spec list -> pending:Request.spec list -> int
-(** Rebuild recovered state on boot: re-plan and insert [cache] specs
-    (given least recently used first, reproducing the recency order),
-    then resubmit [pending] specs without waiters and without
-    re-triggering [on_accept] (their accepted records are already
-    journaled).  Returns the number of plans rebuilt; specs that fail
-    validation or planning are skipped.  Call before serving any
+type primed = { replanned : int; from_store : int }
+(** How {!prime} rebuilt each recovered plan: decoded from the plan
+    store, or re-planned from scratch. *)
+
+val prime : t -> cache:Request.spec list -> pending:Request.spec list -> primed
+(** Rebuild recovered state on boot: for each [cache] spec (given least
+    recently used first, reproducing the recency order), decode from
+    the plan store when one is configured and the entry is valid,
+    otherwise re-plan — both paths produce identical values, see the
+    differential tests — then resubmit [pending] specs without waiters
+    and without re-triggering [on_accept] (their accepted records are
+    already journaled).  Specs that fail validation or planning are
+    skipped and counted in neither field.  Call before serving any
     transport. *)
 
 val serve_channels : t -> in_channel -> out_channel -> unit

@@ -1,0 +1,5 @@
+type t = {
+  find : Request.spec -> Prep.prepared option;
+  add : Request.spec -> Prep.prepared -> unit;
+  stats : unit -> Jsonl.t;
+}

@@ -1,0 +1,19 @@
+(** The server's view of a second plan-cache tier.
+
+    The on-disk content-addressed store lives in [Durable.Plan_store],
+    which depends on this library — so the server cannot name it.  As
+    with the WAL hooks on {!Server.create}, the dependency is inverted:
+    this record is the narrow interface the server consults on an LRU
+    miss, and [dmfd] wires [Durable.Plan_store] into it.  All three
+    closures must be safe to call from any worker domain. *)
+
+type t = {
+  find : Request.spec -> Prep.prepared option;
+      (** Consulted on LRU miss, before planning.  Must return [None]
+          rather than raise: a store failure costs a re-plan, never a
+          request. *)
+  add : Request.spec -> Prep.prepared -> unit;
+      (** Write-through after a fresh plan is built. *)
+  stats : unit -> Jsonl.t;
+      (** Becomes the [plan_store] object of stats responses. *)
+}
