@@ -14,17 +14,19 @@
                                                  phases 5x and pool their
                                                  latency samples (default 1)
 
-   Experiments: cluster fig1 fig3 fig5 table2 table3 fig6 fig7 table4
-   ablation dilution robust assay pins routing recovery wash pareto
-   scaling service wal store speed.  (cluster forks daemon processes
-   and so must precede anything that spawns domains; keep it first when
-   selecting subsets that include it.)
+   Experiments: cluster replication fig1 fig3 fig5 table2 table3 fig6
+   fig7 table4 ablation dilution robust assay pins routing recovery
+   wash pareto scaling service wal store speed.  (cluster forks daemon
+   processes and so must precede anything that spawns domains; keep it
+   first when selecting subsets that include it.)
 
-   Every run additionally writes BENCH_PR9.json — per-experiment wall
+   Every run additionally writes BENCH_PR10.json — per-experiment wall
    times, Bechamel ns/run, service req/s with p50/p95/p99 request
    latencies, cluster req/s vs shard count through dmfrouter (cold and
    warm, with the exact-coalescing flag and the 4-shard warm speedup),
-   WAL fsync-batch throughput (same percentiles), the cold-vs-warm
+   WAL fsync-batch throughput (same percentiles), the group-commit
+   sweep (concurrent strict committers vs the serialized PR 5
+   discipline), follower replication lag, the cold-vs-warm
    plan-store sweep, domain/core counts and corpus sizes — so
    successive PRs accumulate a machine-readable performance
    trajectory.  The same JSON is copied to
@@ -79,6 +81,19 @@ let service_results : (int * string * int * float * float list) list ref =
 let wal_results : (string * int * int * float * int * float list) list ref =
   ref []
 
+(* (mode, threads, records, wall_s, fsyncs, group_commits,
+   avg_batch_size) per group-commit sweep row: the WAL alone under
+   concurrent strict committers. *)
+let group_commit_results :
+    (string * int * int * float * int * int * float) list ref =
+  ref []
+
+(* Follower-lag experiment: (backlog_records, backlog_s, live_records,
+   live_s, max_lag_records, max_lag_ms). *)
+let replication_result :
+    (int * float * int * float * int * float) option ref =
+  ref None
+
 (* (config, shards, phase, requests, wall_s, ok, latencies_ms) per
    cluster-experiment phase; coalescing is exact iff every cluster
    configuration built precisely one plan per distinct cache key. *)
@@ -113,7 +128,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let bench_json_path = "BENCH_PR9.json"
+let bench_json_path = "BENCH_PR10.json"
 let bench_results_dir = "bench_results"
 
 let write_bench_json () =
@@ -203,6 +218,30 @@ let write_bench_json () =
           (percentile_fields latencies))
       !wal_results
   in
+  let group_commit =
+    List.rev_map
+      (fun (mode, threads, records, wall_s, fsyncs, gcs, avg_batch) ->
+        Printf.sprintf
+          "{\"mode\": \"%s\", \"threads\": %d, \"records\": %d, \
+           \"wall_s\": %.6f, \"rec_per_s\": %.1f, \"fsyncs\": %d, \
+           \"group_commits\": %d, \"avg_batch_size\": %.2f}"
+          (json_escape mode) threads records wall_s
+          (if wall_s > 0. then float_of_int records /. wall_s else 0.)
+          fsyncs gcs avg_batch)
+      !group_commit_results
+  in
+  let replication_json =
+    match !replication_result with
+    | None -> "{\"ran\": false}"
+    | Some (backlog, backlog_s, live, live_s, max_lag, max_lag_ms) ->
+      Printf.sprintf
+        "{\"ran\": true, \"backlog_records\": %d, \"backlog_s\": %.6f, \
+         \"backlog_rec_per_s\": %.1f, \"live_records\": %d, \
+         \"live_s\": %.6f, \"max_lag_records\": %d, \"max_lag_ms\": %.3f}"
+        backlog backlog_s
+        (if backlog_s > 0. then float_of_int backlog /. backlog_s else 0.)
+        live live_s max_lag max_lag_ms
+  in
   let plan_store_json =
     match !plan_store_result with
     | None -> "{\"ran\": false}"
@@ -217,7 +256,7 @@ let write_bench_json () =
   let oc = open_out bench_json_path in
   Printf.fprintf oc
     "{\n\
-    \  \"pr\": 9,\n\
+    \  \"pr\": 10,\n\
     \  \"bench\": \"dmfstream\",\n\
     \  \"domains\": %d,\n\
     \  \"cores\": %d,\n\
@@ -233,6 +272,8 @@ let write_bench_json () =
     \    \"rows\": [\n      %s\n    ]\n\
     \  },\n\
     \  \"wal\": [\n    %s\n  ],\n\
+    \  \"group_commit\": [\n    %s\n  ],\n\
+    \  \"replication\": %s,\n\
     \  \"plan_store\": %s,\n\
     \  \"micro_ns_per_run\": [\n    %s\n  ]\n\
      }\n"
@@ -248,6 +289,8 @@ let write_bench_json () =
     !cluster_plans_exact cluster_speedup
     (String.concat ",\n      " cluster_rows)
     (String.concat ",\n    " wal)
+    (String.concat ",\n    " group_commit)
+    replication_json
     plan_store_json
     (String.concat ",\n    " micro);
   close_out oc;
@@ -1328,7 +1371,117 @@ let wal () =
   print_string
     "\n(each mode streams the same cold corpus through a fresh server; the\n\
     \ journal records two lines per request — accepted + completed — so\n\
-    \ strict mode pays ~2 fsyncs per response)\n"
+    \ strict mode pays ~2 fsyncs per response)\n";
+  (* Group commit (PR 10): the WAL alone, strict durability, concurrent
+     committers — no planning cost in the way.  "serial" emulates the
+     PR 5 discipline (append + fsync under one global lock, one fsync
+     per record, which is what committing under the manager lock
+     amounted to); "group" is the commit queue, where concurrent
+     committers share the leader's fsync; "unsynced" bounds what the
+     device allows with no durability at all.  When serial already runs
+     at unsynced speed (tmpfs, battery-backed write cache) an fsync is
+     nearly free and there is nothing for batching to win — the CI gate
+     uses the unsynced row to detect that and stand down. *)
+  section
+    "Group commit (PR 10): strict WAL records/s, serialized fsync-per-record \
+     vs shared leader fsync";
+  let total_records = 1200 * bench_reps in
+  let record =
+    Durable.Record.Accepted
+      {
+        Service.Request.ratio = pcr16;
+        demand = 8;
+        algorithm = Mixtree.Algorithm.MM;
+        scheduler = Mdst.Scheduler.srs;
+        mixers = Some 3;
+        storage_limit = None;
+      }
+  in
+  let run_gc mode threads =
+    with_temp_dir (fun dir ->
+        let fsync =
+          match mode with
+          | `Unsynced -> { Durable.Wal.every_n = 0; every_ms = 0. }
+          | `Serial | `Group -> Durable.Wal.strict
+        in
+        let wal = Durable.Wal.open_segment ~dir ~start_seq:1 ~fsync in
+        let append_lock = Mutex.create () in
+        let serial_lock = Mutex.create () in
+        let per_thread = total_records / threads in
+        let[@dmflint.allow
+             "blocking-under-lock: the serial baseline exists to measure \
+              exactly this anti-pattern — one fsync per record under a \
+              global lock, the PR 5 discipline the commit queue replaced; \
+              the lock is bench-local and guards nothing else"] worker () =
+          for _ = 1 to per_thread do
+            match mode with
+            | `Serial ->
+              (* One fsync per record, fully serialized: PR 5. *)
+              Mutex.lock serial_lock;
+              ignore (Durable.Wal.append wal record);
+              Durable.Wal.sync wal;
+              Mutex.unlock serial_lock
+            | `Group ->
+              let seq =
+                Mutex.lock append_lock;
+                let seq = Durable.Wal.append wal record in
+                Mutex.unlock append_lock;
+                seq
+              in
+              Durable.Wal.commit wal ~upto:seq
+            | `Unsynced ->
+              Mutex.lock append_lock;
+              ignore (Durable.Wal.append wal record);
+              Mutex.unlock append_lock
+          done
+        in
+        let t0 = Unix.gettimeofday () in
+        let ths = List.init threads (fun _ -> Thread.create worker ()) in
+        List.iter Thread.join ths;
+        let wall = Unix.gettimeofday () -. t0 in
+        let fsyncs = Durable.Wal.fsyncs wal in
+        let gcs = Durable.Wal.group_commits wal in
+        let avg_batch = Durable.Wal.avg_batch_size wal in
+        Durable.Wal.close wal;
+        let records = per_thread * threads in
+        let name =
+          match mode with
+          | `Serial -> "serial"
+          | `Group -> "group"
+          | `Unsynced -> "unsynced"
+        in
+        group_commit_results :=
+          (name, threads, records, wall, fsyncs, gcs, avg_batch)
+          :: !group_commit_results;
+        [
+          name; i2s threads; i2s records; i2s fsyncs; i2s gcs;
+          Printf.sprintf "%.2f" avg_batch;
+          Printf.sprintf "%.4f" wall;
+          Printf.sprintf "%.0f" (float_of_int records /. wall);
+        ])
+  in
+  let gc_rows =
+    List.map
+      (fun (mode, threads) -> run_gc mode threads)
+      [
+        (`Unsynced, 4);
+        (`Serial, 1); (`Serial, 4);
+        (`Group, 1); (`Group, 4); (`Group, 16);
+      ]
+  in
+  print_string
+    (Mdst.Report.table
+       ~header:
+         [
+           "mode"; "threads"; "records"; "fsyncs"; "group commits";
+           "avg batch"; "wall s"; "rec/s";
+         ]
+       ~rows:gc_rows);
+  print_string
+    "\n(every row journals the same records with strict durability except\n\
+    \ unsynced; serial holds a global lock across append + fsync, group\n\
+    \ lets concurrent committers ride one leader fsync — compare the\n\
+    \ 4-thread rows for the batching win at equal offered concurrency)\n"
 
 (* ------------------------------------------------------------------ *)
 (* Plan store: table3-style sweep, cold vs warm (PR 9)                 *)
@@ -1655,6 +1808,194 @@ let cluster () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Replication: follower backlog catch-up and live-tail lag (PR 10)    *)
+
+(* An in-process primary (manager + feed on an ephemeral port) and a
+   real follower: the backlog phase measures how fast a fresh follower
+   streams and applies a journal it has never seen; the live phase
+   journals while the follower is connected and samples how far it
+   trails.  Specs cycle over a handful of distinct ratios so the
+   follower's cache-priming replan cost is paid once per ratio and
+   streaming dominates — this measures the pipe, not the planner. *)
+
+let replication () =
+  section
+    "Replication (PR 10): follower backlog catch-up rate and live-tail lag";
+  let with_temp_dir f =
+    let dir = Filename.temp_dir "dmfd-bench-repl" "" in
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter
+          (fun name ->
+            try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+          (try Sys.readdir dir with Sys_error _ -> [||]);
+        try Unix.rmdir dir with Unix.Unix_error _ -> ())
+      (fun () -> f dir)
+  in
+  let specs =
+    List.filteri
+      (fun i _ -> i < 4)
+      (List.map
+         (fun ratio ->
+           {
+             Service.Request.ratio;
+             demand = 8;
+             algorithm = Mixtree.Algorithm.MM;
+             scheduler = Mdst.Scheduler.srs;
+             mixers = Some 3;
+             storage_limit = None;
+           })
+         (corpus ~every:40))
+  in
+  let nspecs = List.length specs in
+  let spec i = List.nth specs (i mod nspecs) in
+  with_temp_dir (fun primary_dir ->
+      with_temp_dir (fun follower_dir ->
+          (* The primary journals with a relaxed batch policy: this
+             experiment measures the feed and the follower, not the
+             primary's own fsyncs. *)
+          let manager, _ =
+            Durable.Manager.start
+              {
+                Durable.Manager.dir = primary_dir;
+                fsync = { Durable.Wal.every_n = 64; every_ms = 0. };
+                snapshot_every = 0;
+                cache_capacity = 64;
+              }
+          in
+          let feed =
+            Replication.Feed.create
+              {
+                Replication.Feed.dir = primary_dir;
+                last_seq = (fun () -> Durable.Manager.last_seq manager);
+                fetch_plan = (fun _ -> None);
+              }
+          in
+          Durable.Manager.subscribe_journal manager
+            (Replication.Feed.notify feed);
+          let m = Mutex.create () in
+          let cv = Condition.create () in
+          let port = ref 0 in
+          ignore
+            (Thread.create
+               (fun () ->
+                 try
+                   Replication.Feed.serve_tcp feed
+                     ~on_listen:(fun bound ->
+                       Mutex.lock m;
+                       port := bound;
+                       Condition.signal cv;
+                       Mutex.unlock m)
+                     ~host:"127.0.0.1" ~port:0
+                 with _ -> ())
+               ());
+          Mutex.lock m;
+          while !port = 0 do
+            Condition.wait cv m
+          done;
+          let port = !port in
+          Mutex.unlock m;
+          let journal s =
+            Durable.Manager.on_accept manager s;
+            Durable.Manager.on_complete manager ~spec:s ~requests:1 ~ok:true
+          in
+          let await what pred =
+            let deadline = Unix.gettimeofday () +. 120. in
+            while (not (pred ())) && Unix.gettimeofday () < deadline do
+              Thread.delay 0.001
+            done;
+            if not (pred ()) then failwith ("replication bench: " ^ what)
+          in
+          (* Backlog: the journal exists before the follower does. *)
+          let backlog_specs = 400 * bench_reps in
+          for i = 1 to backlog_specs do
+            journal (spec i)
+          done;
+          let backlog_records = 2 * backlog_specs in
+          let follower =
+            Replication.Follower.create
+              {
+                Replication.Follower.host = "127.0.0.1";
+                port;
+                dir = follower_dir;
+                cache_capacity = 64;
+                queue_capacity = 64;
+                workers = Some 1;
+                fsync = { Durable.Wal.every_n = 0; every_ms = 0. };
+                snapshot_every = 0;
+                store = None;
+                fetch_plans = false;
+                reconnect_ms = 50.;
+              }
+          in
+          let t0 = Unix.gettimeofday () in
+          Replication.Follower.start follower;
+          await "backlog catch-up timed out" (fun () ->
+              Replication.Follower.last_applied follower >= backlog_records);
+          let backlog_s = Unix.gettimeofday () -. t0 in
+          (* Live tail: journal with the follower connected, sampling
+             how many records it trails the primary by. *)
+          let live_specs = 400 * bench_reps in
+          let max_lag = ref 0 in
+          let t1 = Unix.gettimeofday () in
+          for i = 1 to live_specs do
+            journal (spec i);
+            let lag =
+              Durable.Manager.last_seq manager
+              - Replication.Follower.last_applied follower
+            in
+            if lag > !max_lag then max_lag := lag
+          done;
+          let live_records = 2 * live_specs in
+          await "live tail catch-up timed out" (fun () ->
+              Replication.Follower.last_applied follower
+              >= backlog_records + live_records);
+          let live_s = Unix.gettimeofday () -. t1 in
+          let max_lag_ms =
+            match
+              Option.bind
+                (Service.Jsonl.member "lag_ms"
+                   (Replication.Follower.repl_json follower))
+                Service.Jsonl.to_float
+            with
+            | Some v -> Float.max 0. v
+            | None -> 0.
+          in
+          replication_result :=
+            Some
+              ( backlog_records, backlog_s, live_records, live_s, !max_lag,
+                max_lag_ms );
+          print_string
+            (Mdst.Report.table
+               ~header:[ "phase"; "records"; "wall s"; "rec/s"; "max lag" ]
+               ~rows:
+                 [
+                   [
+                     "backlog"; i2s backlog_records;
+                     Printf.sprintf "%.4f" backlog_s;
+                     Printf.sprintf "%.0f"
+                       (float_of_int backlog_records /. backlog_s);
+                     "-";
+                   ];
+                   [
+                     "live"; i2s live_records;
+                     Printf.sprintf "%.4f" live_s;
+                     Printf.sprintf "%.0f"
+                       (float_of_int live_records /. live_s);
+                     i2s !max_lag;
+                   ];
+                 ]);
+          Printf.printf
+            "\n(backlog: a fresh follower streams a journal it has never\n\
+            \ seen; live: the primary journals while the follower applies —\n\
+            \ max lag is the worst records-behind sampled after each\n\
+            \ journaled spec; residual heartbeat lag %.3f ms)\n"
+            max_lag_ms;
+          Replication.Follower.close follower;
+          Replication.Feed.stop feed;
+          Durable.Manager.close manager))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per experiment workload    *)
 
 let speed () =
@@ -1843,6 +2184,7 @@ let experiments =
     (* cluster first: it forks daemon processes, which OCaml 5 forbids
        after any other experiment has spawned worker domains. *)
     ("cluster", cluster);
+    ("replication", replication);
     ("fig1", fig1); ("fig3", fig3); ("fig5", fig5); ("table2", table2);
     ("table3", table3); ("fig6", fig6); ("fig7", fig7); ("table4", table4);
     ("ablation", ablation); ("dilution", dilution); ("robust", robust);

@@ -18,7 +18,18 @@
    cache through the deterministic scheduler registry and resubmits
    requests that were accepted but never answered.  SIGTERM/SIGINT
    shut the daemon down cleanly: the queue drains, the workers join,
-   and the journal is synced, snapshotted and compacted. *)
+   and the journal is synced, snapshotted and compacted.
+
+   Replication (lib/replication) rides on the journal:
+
+     dmfd --port 7433 --wal-dir wal --repl-port 7533   # primary
+     dmfd --port 7434 --wal-dir wal2 --follow 127.0.0.1:7533
+
+   --repl-port streams WAL segments plus the live tail to followers;
+   --follow mirrors a primary byte-for-byte, applies its records, and
+   serves read-only traffic until promoted (SIGUSR1 or a
+   {"req":"promote"} request), at which point it recovers from its
+   mirrored journal and becomes a writable primary. *)
 
 open Cmdliner
 
@@ -120,8 +131,116 @@ let store_max_bytes_arg =
            are deleted down to 80% of $(docv) at each journal compaction \
            (and after writes). Unbounded by default.")
 
+let repl_port_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "repl-port" ] ~docv:"PORT"
+        ~doc:
+          "Serve the replication feed on $(docv): stream WAL segments and \
+           the live journal tail to followers. Requires --wal-dir. 0 binds \
+           an ephemeral port announced on stdout as REPL_PORT=<n>.")
+
+let follow_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "follow" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Run as a streaming follower of the primary whose replication feed \
+           listens at $(docv): mirror its WAL into --wal-dir, apply every \
+           record, and serve read-only traffic until promoted (SIGUSR1 or a \
+           {\"req\":\"promote\"} request). Requires --wal-dir.")
+
+let no_plan_fetch_arg =
+  Arg.(
+    value & flag
+    & info [ "no-plan-fetch" ]
+        ~doc:
+          "Follower mode: never fetch plan payloads over the feed's \
+           plan-fetch session; prime the warm cache from the plan store or \
+           by local re-planning only.")
+
+let parse_follow s =
+  match String.rindex_opt s ':' with
+  | None -> failwith (Printf.sprintf "dmfd: --follow %S is not HOST:PORT" s)
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port_s = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port_s with
+    | Some port when port > 0 && port < 65536 && host <> "" -> (host, port)
+    | _ -> failwith (Printf.sprintf "dmfd: --follow %S is not HOST:PORT" s))
+
+(* Follower mode: no queue, no pool, no journal of its own — just the
+   replication engine plus a read-only serving loop, promotable into
+   the full daemon below. *)
+let run_follower ~stdio ~host ~port ~workers ~queue_capacity ~cache_capacity
+    ~wal_dir ~fsync_batch ~fsync_ms ~snapshot_every ~plan_store ~no_plan_fetch
+    ~upstream =
+  let upstream_host, upstream_port = parse_follow upstream in
+  let follower =
+    Replication.Follower.create
+      {
+        Replication.Follower.host = upstream_host;
+        port = upstream_port;
+        dir = wal_dir;
+        cache_capacity;
+        queue_capacity;
+        workers;
+        fsync = { Durable.Wal.every_n = fsync_batch; every_ms = fsync_ms };
+        snapshot_every;
+        store = plan_store;
+        fetch_plans = not no_plan_fetch;
+        reconnect_ms = 200.;
+      }
+  in
+  Replication.Follower.start follower;
+  let shutdown_lock = Mutex.create () in
+  let stopped = ref false in
+  let[@dmflint.allow
+       "blocking-under-lock: shutdown_lock exists precisely to make one \
+        caller do the blocking teardown while the loser waits for it; \
+        nothing else ever takes this lock"] shutdown_once () =
+    Mutex.lock shutdown_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock shutdown_lock)
+      (fun () ->
+        if not !stopped then begin
+          stopped := true;
+          Replication.Follower.close follower
+        end)
+  in
+  let shutdown _signal =
+    ignore
+      (Thread.create
+         (fun () ->
+           shutdown_once ();
+           exit 0)
+         ())
+  in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle shutdown);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle shutdown);
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Sys.set_signal Sys.sigusr1
+    (Sys.Signal_handle
+       (fun _ ->
+         ignore
+           (Thread.create
+              (fun () ->
+                Replication.Follower.promote follower;
+                Printf.eprintf "dmfd: promoted to primary (SIGUSR1)\n%!")
+              ())));
+  Printf.eprintf "dmfd: following %s:%d, mirroring into %s\n%!" upstream_host
+    upstream_port wal_dir;
+  if stdio then begin
+    Replication.Follower.serve_channels follower stdin stdout;
+    shutdown_once ()
+  end
+  else
+    let on_listen bound = Printf.printf "PORT=%d\n%!" bound in
+    Replication.Follower.serve_tcp follower ~on_listen ~host ~port
+
 let run stdio host port workers queue_capacity cache_capacity wal_dir
-    fsync_batch fsync_ms snapshot_every store_dir store_max_bytes =
+    fsync_batch fsync_ms snapshot_every store_dir store_max_bytes repl_port
+    follow no_plan_fetch =
   Service.Validate.run_cli (fun () ->
       let plan_store =
         Option.map
@@ -129,6 +248,21 @@ let run stdio host port workers queue_capacity cache_capacity wal_dir
             Durable.Plan_store.open_store ?max_bytes:store_max_bytes ~dir ())
           store_dir
       in
+      (match follow with
+      | Some _ when repl_port <> None ->
+        failwith "dmfd: --follow and --repl-port are mutually exclusive"
+      | _ -> ());
+      match follow with
+      | Some upstream ->
+        let wal_dir =
+          match wal_dir with
+          | Some dir -> dir
+          | None -> failwith "dmfd: --follow requires --wal-dir"
+        in
+        run_follower ~stdio ~host ~port ~workers ~queue_capacity
+          ~cache_capacity ~wal_dir ~fsync_batch ~fsync_ms ~snapshot_every
+          ~plan_store ~no_plan_fetch ~upstream
+      | None ->
       let store =
         Option.map
           (fun ps ->
@@ -153,6 +287,33 @@ let run stdio host port workers queue_capacity cache_capacity wal_dir
             Durable.Manager.start ?store:plan_store config)
           wal_dir
       in
+      let feed =
+        match (repl_port, durable) with
+        | None, _ -> None
+        | Some _, None -> failwith "dmfd: --repl-port requires --wal-dir"
+        | Some rport, Some (manager, _) ->
+          let fetch_plan spec =
+            match plan_store with
+            | None -> None
+            | Some ps ->
+              Option.map Durable.Plan_store.encode_prepared
+                (Durable.Plan_store.find ps spec)
+          in
+          let feed =
+            Replication.Feed.create
+              {
+                Replication.Feed.dir = Durable.Manager.dir manager;
+                last_seq = (fun () -> Durable.Manager.last_seq manager);
+                fetch_plan;
+              }
+          in
+          Durable.Manager.subscribe_journal manager
+            (Replication.Feed.notify feed);
+          Some (rport, feed)
+      in
+      let repl_stats =
+        Option.map (fun (_, f) () -> Replication.Feed.stats_json f) feed
+      in
       let server =
         match durable with
         | None ->
@@ -164,8 +325,24 @@ let run stdio host port workers queue_capacity cache_capacity wal_dir
             ~on_complete:(fun ~spec ~requests ~ok ->
               Durable.Manager.on_complete manager ~spec ~requests ~ok)
             ~wal_stats:(fun () -> Durable.Manager.stats_json manager)
-            ?store ()
+            ?repl_stats ?store ()
       in
+      (match feed with
+      | None -> ()
+      | Some (rport, feed) ->
+        ignore
+          (Thread.create
+             (fun () ->
+               Replication.Feed.serve_tcp feed
+                 ~on_listen:(fun bound ->
+                   (* Machine-parseable, like PORT=: supervisors launch
+                      `--repl-port 0` and read back where the feed
+                      landed. *)
+                   Printf.printf "REPL_PORT=%d\n%!" bound;
+                   Printf.eprintf "dmfd: replication feed on %s:%d\n%!" host
+                     bound)
+                 ~host ~port:rport)
+             ()));
       (match (plan_store, durable) with
       | Some ps, None ->
         Printf.eprintf "dmfd: plan store at %s (%d entries)\n%!"
@@ -229,6 +406,9 @@ let run stdio host port workers queue_capacity cache_capacity wal_dir
           (fun () ->
             if not !stopped then begin
               stopped := true;
+              (match feed with
+              | Some (_, feed) -> Replication.Feed.stop feed
+              | None -> ());
               Service.Server.stop server;
               match durable with
               | Some (manager, _) -> Durable.Manager.close manager
@@ -278,7 +458,8 @@ let cmd =
     Term.(
       const run $ stdio_arg $ host_arg $ port_arg $ workers_arg $ queue_arg
       $ cache_arg $ wal_dir_arg $ fsync_batch_arg $ fsync_ms_arg
-      $ snapshot_arg $ store_dir_arg $ store_max_bytes_arg)
+      $ snapshot_arg $ store_dir_arg $ store_max_bytes_arg $ repl_port_arg
+      $ follow_arg $ no_plan_fetch_arg)
   in
   Cmd.v (Cmd.info "dmfd" ~version:"1.0.0" ~doc) term
 

@@ -11,14 +11,18 @@
 
      dmfrouter --shard 127.0.0.1:7433 --shard 127.0.0.1:7434 --port 7400
      dmfrouter --shard 127.0.0.1:7433 --port 0   # announce PORT=<n>
+     dmfrouter --shard 127.0.0.1:7433,127.0.0.1:7533   # with hot standby
 
    A dead shard produces error responses within a bounded retry budget
    (never a hang) and is reported healthy:false in merged stats; the
-   other shards keep streaming. *)
+   other shards keep streaming.  When a shard lists a follower after a
+   comma, requests fail over to it while the primary's transport is
+   down: cached reads immediately, writes once the follower is promoted
+   (dmfd --follow promotes on SIGUSR1 or a promote request). *)
 
 open Cmdliner
 
-let parse_endpoint s =
+let parse_host_port s =
   match String.rindex_opt s ':' with
   | None -> Error (`Msg (Printf.sprintf "%S is not HOST:PORT" s))
   | Some i -> (
@@ -29,18 +33,33 @@ let parse_endpoint s =
       Ok (host, port)
     | _ -> Error (`Msg (Printf.sprintf "%S is not HOST:PORT" s)))
 
+let parse_endpoint s =
+  match String.index_opt s ',' with
+  | None -> Result.map (fun p -> (p, None)) (parse_host_port s)
+  | Some i ->
+    let primary = String.sub s 0 i in
+    let follower = String.sub s (i + 1) (String.length s - i - 1) in
+    Result.bind (parse_host_port primary) (fun p ->
+        Result.map (fun f -> (p, Some f)) (parse_host_port follower))
+
 let endpoint_conv =
+  let pp_host_port ppf (host, port) = Format.fprintf ppf "%s:%d" host port in
   Arg.conv
     ( parse_endpoint,
-      fun ppf (host, port) -> Format.fprintf ppf "%s:%d" host port )
+      fun ppf (primary, follower) ->
+        match follower with
+        | None -> pp_host_port ppf primary
+        | Some f -> Format.fprintf ppf "%a,%a" pp_host_port primary pp_host_port f
+    )
 
 let shards_arg =
   Arg.(
     non_empty
     & opt_all endpoint_conv []
-    & info [ "s"; "shard" ] ~docv:"HOST:PORT"
+    & info [ "s"; "shard" ] ~docv:"HOST:PORT[,FHOST:FPORT]"
         ~doc:
-          "A dmfd shard endpoint. Repeatable; the option order defines the \
+          "A dmfd shard endpoint, optionally paired with a hot-standby \
+           follower after a comma. Repeatable; the option order defines the \
            ring's shard indices, so every router over the same list routes \
            identically.")
 
@@ -105,11 +124,18 @@ let run shards host port vnodes retries backoff_ms cooldown_ms =
       Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
       let on_listen bound =
         Printf.printf "PORT=%d\n%!" bound;
-        Printf.eprintf "dmfrouter: routing %s:%d over %d shard(s): %s\n%!" host
-          bound
+        Printf.eprintf
+          "dmfrouter: routing %s:%d over %d shard(s), %d follower(s): %s\n%!"
+          host bound
           (Cluster.Router.shards router)
+          (Cluster.Router.followers router)
           (String.concat ", "
-             (List.map (fun (h, p) -> Printf.sprintf "%s:%d" h p) shards))
+             (List.map
+                (fun ((h, p), follower) ->
+                  match follower with
+                  | None -> Printf.sprintf "%s:%d" h p
+                  | Some (fh, fp) -> Printf.sprintf "%s:%d,%s:%d" h p fh fp)
+                shards))
       in
       Cluster.Router.serve_tcp router ~on_listen ~host ~port)
 

@@ -773,13 +773,19 @@ let client_cmd =
     protect @@ fun () ->
     (* recover-stats is a stats request whose response is narrowed to
        the durability objects — the wal (recovery/journal) counters of
-       a daemon running with --wal-dir, plus the plan_store counters
-       when it also runs with --store-dir. *)
+       a daemon running with --wal-dir, the plan_store counters when it
+       also runs with --store-dir, and the replication counters (role,
+       last_applied_seq, lag) of a primary serving a feed or a
+       follower. *)
     let wal_only = kind = "recover-stats" in
     (* route is a prepare whose "req" field is rewritten: the router
        answers it locally with the shard placement of the coalesce key
        instead of forwarding, so scripts can learn key ownership. *)
     let route = kind = "route" in
+    (* promote is a ping whose "req" field is rewritten: a dmfd
+       follower answers it by becoming a writable primary (same effect
+       as SIGUSR1) and reports the recovery it ran. *)
+    let promote = kind = "promote" in
     let kind =
       match kind with
       | "prepare" | "route" ->
@@ -803,18 +809,21 @@ let client_cmd =
             storage_limit = storage;
           }
       | "stats" | "recover-stats" -> Service.Request.Stats
-      | "ping" -> Service.Request.Ping
+      | "ping" | "promote" -> Service.Request.Ping
       | other -> failwith ("unknown request kind " ^ other)
     in
     let request = { Service.Request.id = None; kind } in
+    let rewrite_req =
+      if route then Some "route" else if promote then Some "promote" else None
+    in
     let json =
-      match (route, Service.Request.to_json request) with
-      | true, Service.Jsonl.Obj fields ->
+      match (rewrite_req, Service.Request.to_json request) with
+      | Some kind, Service.Jsonl.Obj fields ->
         Service.Jsonl.Obj
           (List.map
              (function
                | "req", Service.Jsonl.String _ ->
-                 ("req", Service.Jsonl.String "route")
+                 ("req", Service.Jsonl.String kind)
                | binding -> binding)
              fields)
       | _, json -> json
@@ -839,20 +848,20 @@ let client_cmd =
         let json =
           if not wal_only then json
           else
-            let wal = Service.Jsonl.member "wal" json in
-            let store = Service.Jsonl.member "plan_store" json in
-            match (wal, store) with
-            | None, None ->
+            let keep name =
+              match Service.Jsonl.member name json with
+              | Some v -> [ (name, v) ]
+              | None -> []
+            in
+            match
+              keep "wal" @ keep "plan_store" @ keep "replication"
+            with
+            | [] ->
               failwith
-                "the daemon runs without --wal-dir or --store-dir (no wal or \
-                 plan_store object in stats)"
-            | _ ->
-              Service.Jsonl.Obj
-                ((match wal with Some w -> [ ("wal", w) ] | None -> [])
-                @
-                match store with
-                | Some s -> [ ("plan_store", s) ]
-                | None -> [])
+                "the daemon runs without --wal-dir, --store-dir or a \
+                 replication role (no wal, plan_store or replication object \
+                 in stats)"
+            | fields -> Service.Jsonl.Obj fields
         in
         Format.printf "%a@." Service.Jsonl.pp json
       | Error msg -> failwith ("malformed response: " ^ msg))
@@ -874,9 +883,10 @@ let client_cmd =
       & info [ "req" ] ~docv:"KIND"
           ~doc:
             "Request kind: prepare, stats, ping, recover-stats (the stats \
-             response's wal/recovery and plan_store counters only), or route \
-             (ask a dmfrouter which shard owns the coalesce key; takes the \
-             same options as prepare).")
+             response's wal/recovery, plan_store and replication counters \
+             only), route (ask a dmfrouter which shard owns the coalesce \
+             key; takes the same options as prepare), or promote (turn a \
+             dmfd follower into a writable primary, like SIGUSR1).")
   in
   let client_storage =
     Arg.(

@@ -14,44 +14,90 @@
    enough of the line to compute the coalesce key and never re-encodes,
    so the shard sees exactly what the client wrote (ids included).
    Ping and the [route] placement diagnostic are answered locally;
-   stats fans out to every shard and merges deterministically
-   (Cluster.Stats).  A dead shard turns into error responses within the
-   shard client's bounded retry budget — never a hang — and shows up
-   with [healthy:false] in the merged stats. *)
+   stats fans out to every shard (and every follower) and merges
+   deterministically (Cluster.Stats).  A dead shard turns into error
+   responses within the shard client's bounded retry budget — never a
+   hang — and shows up with [healthy:false] in the merged stats.
+
+   A shard may register a hot standby (a dmfd --follow node).  The ring
+   still hashes to the primary's label, but each forwarded request goes
+   through the group: lead with the healthy primary, and when its
+   transport is down and the follower's is not, lead with the follower
+   instead — which serves cached reads while following and everything
+   once promoted.  Whichever node leads, a [None] falls through to the
+   other exactly once before the client sees an error. *)
 
 module Jsonl = Service.Jsonl
 module Request = Service.Request
 module Response = Service.Response
 
+type group = {
+  primary : Shard_client.t;
+  follower : Shard_client.t option;
+}
+
 type t = {
   ring : Ring.t;
-  shards : Shard_client.t array;
+  groups : group array;
 }
 
 let create ?vnodes ?(retries = 3) ?(backoff_ms = 50.) ?(cooldown_ms = 1000.)
     endpoints =
   if endpoints = [] then invalid_arg "Router.create: at least one shard";
+  let client (host, port) =
+    Shard_client.create
+      { Shard_client.host; port; retries; backoff_ms; cooldown_ms }
+  in
   let labels =
-    List.map (fun (host, port) -> Printf.sprintf "%s:%d" host port) endpoints
+    List.map
+      (fun ((host, port), _) -> Printf.sprintf "%s:%d" host port)
+      endpoints
   in
   let ring = Ring.create ?vnodes labels in
-  let shards =
+  let groups =
     Array.of_list
       (List.map
-         (fun (host, port) ->
-           Shard_client.create
-             { Shard_client.host; port; retries; backoff_ms; cooldown_ms })
+         (fun (primary, follower) ->
+           { primary = client primary; follower = Option.map client follower })
          endpoints)
   in
-  { ring; shards }
+  { ring; groups }
 
-let shards t = Array.length t.shards
+let shards t = Array.length t.groups
+
+let followers t =
+  Array.fold_left
+    (fun acc g -> if g.follower = None then acc else acc + 1)
+    0 t.groups
 
 let route t spec =
   let idx = Ring.lookup t.ring (Request.coalesce_key spec) in
   (idx, Ring.label t.ring idx)
 
-let close t = Array.iter Shard_client.close t.shards
+let close t =
+  Array.iter
+    (fun g ->
+      Shard_client.close g.primary;
+      Option.iter Shard_client.close g.follower)
+    t.groups
+
+(* Failover ordering for one forwarded line.  Prefer the primary while
+   its transport looks healthy; when it is down and the follower is
+   not, lead with the follower.  Chaining [Shard_client.send] on the
+   second client from inside the first's continuation is allowed — the
+   no-reentrancy rule in [Shard_client.send] is per client handle. *)
+let group_send g line k =
+  match g.follower with
+  | None -> Shard_client.send g.primary line k
+  | Some f ->
+    let first, second =
+      if Shard_client.healthy g.primary || not (Shard_client.healthy f) then
+        (g.primary, f)
+      else (f, g.primary)
+    in
+    Shard_client.send first line (function
+      | Some _ as resp -> k resp
+      | None -> Shard_client.send second line k)
 
 (* ------------------------------------------------------------------ *)
 (* Response slots: filled out of order, drained in order.              *)
@@ -92,47 +138,61 @@ let error_line ~id msg =
 
 let stats_line = "{\"req\":\"stats\"}"
 
-(* Ask every shard for its stats; when the last answer (or failure)
-   lands, merge and hand the body to [k].  A shard is reported healthy
-   iff it answered {e this} probe with [ok:true] — live truth at probe
-   time, not the transport's optimism — which is what the kill-9 smoke
-   asserts on. *)
+(* Ask every node — primaries and followers alike — for its stats;
+   when the last answer (or failure) lands, merge and hand the body to
+   [k].  A node is reported healthy iff it answered {e this} probe with
+   [ok:true] — live truth at probe time, not the transport's optimism —
+   which is what the kill-9 smoke asserts on. *)
 let stats_fanout t k =
-  let n = Array.length t.shards in
-  let results = Array.make n None in
+  let n = Array.length t.groups in
+  let prim = Array.make n None in
+  let fol = Array.make n None in
   let m = Mutex.create () in
-  let remaining = ref n in
+  let remaining =
+    ref
+      (Array.fold_left
+         (fun acc g -> acc + if g.follower = None then 1 else 2)
+         0 t.groups)
+  in
   let finish () =
+    let probe client body =
+      let c = Shard_client.stats client in
+      ({ c with Shard_client.healthy = c.healthy && body <> None }, body)
+    in
     let entries =
       List.map
         (fun i ->
-          let c = Shard_client.stats t.shards.(i) in
-          let body = results.(i) in
-          ( { c with Shard_client.healthy = c.healthy && body <> None },
-            body ))
+          let g = t.groups.(i) in
+          ( probe g.primary prim.(i),
+            Option.map (fun f -> probe f fol.(i)) g.follower ))
         (List.init n Fun.id)
     in
     k (Stats.merge entries)
   in
+  let parse resp =
+    Option.bind resp (fun line ->
+        match Jsonl.of_string line with
+        | Ok json
+          when Option.bind (Jsonl.member "ok" json) Jsonl.to_bool = Some true
+          ->
+          Some json
+        | Ok _ | Error _ -> None)
+  in
+  let probe client arr i =
+    Shard_client.send client stats_line (fun resp ->
+        let parsed = parse resp in
+        Mutex.lock m;
+        arr.(i) <- parsed;
+        decr remaining;
+        let last = !remaining = 0 in
+        Mutex.unlock m;
+        if last then finish ())
+  in
   Array.iteri
-    (fun i shard ->
-      Shard_client.send shard stats_line (fun resp ->
-          let parsed =
-            Option.bind resp (fun line ->
-                match Jsonl.of_string line with
-                | Ok json
-                  when Option.bind (Jsonl.member "ok" json) Jsonl.to_bool
-                       = Some true ->
-                  Some json
-                | Ok _ | Error _ -> None)
-          in
-          Mutex.lock m;
-          results.(i) <- parsed;
-          decr remaining;
-          let last = !remaining = 0 in
-          Mutex.unlock m;
-          if last then finish ()))
-    t.shards
+    (fun i g ->
+      probe g.primary prim i;
+      Option.iter (fun f -> probe f fol i) g.follower)
+    t.groups
 
 let stats_response_line ~id body =
   let fields = match body with Jsonl.Obj fields -> fields | other -> [ ("stats", other) ] in
@@ -191,7 +251,7 @@ let handle_line t push line =
         let idx, addr = route t spec in
         let slot = slot_make () in
         push (`Slot slot);
-        Shard_client.send t.shards.(idx) line (function
+        group_send t.groups.(idx) line (function
           | Some response -> slot_fill slot response
           | None ->
             slot_fill slot

@@ -10,10 +10,18 @@
     Per client connection, responses are emitted strictly in request
     order even though shards answer concurrently.  [ping] and the
     [route] placement diagnostic are answered locally; [stats] fans out
-    to every shard and merges deterministically ({!Stats.merge}).  A
-    dead shard yields error responses within the shard client's bounded
-    retry budget — never a hang — and is reported [healthy:false] in
-    merged stats (health = did it answer this stats probe). *)
+    to every node — primaries and followers — and merges
+    deterministically ({!Stats.merge}).  A dead shard yields error
+    responses within the shard client's bounded retry budget — never a
+    hang — and is reported [healthy:false] in merged stats (health =
+    did it answer this stats probe).
+
+    A shard may register a hot standby (a [dmfd --follow] node): the
+    ring still hashes to the primary, but every forwarded request leads
+    with whichever of the pair looks healthy (primary preferred) and
+    falls through to the other exactly once on transport failure — so
+    reads fail over to the follower's warm cache while the primary is
+    down, and writes follow as soon as the follower is promoted. *)
 
 type t
 
@@ -22,15 +30,19 @@ val create :
   ?retries:int ->
   ?backoff_ms:float ->
   ?cooldown_ms:float ->
-  (string * int) list ->
+  ((string * int) * (string * int) option) list ->
   t
-(** [create endpoints] builds the ring over [(host, port)] shards; the
-    list order defines shard indices.  Connections are opened lazily on
-    first use.  Defaults: {!Ring.default_vnodes}, 3 retries, 50 ms
-    backoff, 1 s cooldown.
+(** [create endpoints] builds the ring over [(host, port)] primaries,
+    each optionally paired with a follower endpoint; the list order
+    defines shard indices.  Connections are opened lazily on first use.
+    Defaults: {!Ring.default_vnodes}, 3 retries, 50 ms backoff, 1 s
+    cooldown.
     @raise Invalid_argument on an empty endpoint list. *)
 
 val shards : t -> int
+
+val followers : t -> int
+(** Number of shards with a registered follower. *)
 
 val route : t -> Service.Request.spec -> int * string
 (** Owner of a spec's coalesce key: [(shard index, "host:port")].

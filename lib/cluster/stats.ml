@@ -7,10 +7,18 @@
    uptime_s is the oldest shard's, plan-store counters are summed (with
    the on-disk totals taken as maxima, since shards share one store
    directory), and everything per-shard (including the nested
-   durability [wal] object, which has no meaningful sum) is kept
-   verbatim under a [shards] array in ring-index order. *)
+   durability [wal] and [replication] objects, which have no meaningful
+   sum) is kept verbatim under a [shards] array in ring-index order.
+
+   A shard may carry a follower probe: its body is merged into the
+   summed counters too (a follower's cache hits answered requests the
+   primary never saw), its verbatim fields nest under the shard entry's
+   [follower] object, and the [cluster] and [replication] summaries
+   count roles and the worst follower lag. *)
 
 module Jsonl = Service.Jsonl
+
+type probe = Shard_client.stats * Jsonl.t option
 
 let geti name json =
   match Option.bind (Jsonl.member name json) Jsonl.to_int with
@@ -39,9 +47,39 @@ let store_summed_fields =
 
 let store_max_fields = [ "entries"; "bytes"; "max_bytes" ]
 
+(* Per-node fields kept verbatim inside a shard (or follower) entry. *)
+let kept_fields =
+  summed_fields
+  @ [ "cache"; "avg_latency_ms"; "uptime_s"; "wal"; "plan_store";
+      "replication" ]
+
+let node_entry ((c : Shard_client.stats), stats) =
+  [
+    ("addr", Jsonl.String c.Shard_client.addr);
+    ("healthy", Jsonl.Bool c.Shard_client.healthy);
+    ("sent", Jsonl.Int c.Shard_client.sent);
+    ("answered", Jsonl.Int c.Shard_client.answered);
+    ("failed", Jsonl.Int c.Shard_client.failed);
+    ("connects", Jsonl.Int c.Shard_client.connects);
+  ]
+  @
+  match stats with
+  | Some s ->
+    let keep name =
+      match Jsonl.member name s with Some v -> [ (name, v) ] | None -> []
+    in
+    List.concat_map keep kept_fields
+  | None -> []
+
+let repl_role body =
+  Option.bind (Jsonl.member "replication" body) (fun r ->
+      Option.bind (Jsonl.member "role" r) Jsonl.to_str)
+
 let merge entries =
+  let primaries = List.map fst entries in
+  let followers = List.filter_map snd entries in
   let answered =
-    List.filter_map (fun (_, stats) -> stats) entries
+    List.filter_map (fun (_, stats) -> stats) (primaries @ followers)
   in
   let sum get name = List.fold_left (fun acc s -> acc + get name s) 0 answered in
   let counters =
@@ -102,35 +140,50 @@ let merge entries =
                 store_max_fields) );
       ]
   in
+  (* Role census plus the worst follower lag — only present when some
+     node reported a [replication] object at all. *)
+  let repl_bodies =
+    List.filter_map (fun s -> Jsonl.member "replication" s) answered
+  in
+  let replication =
+    if repl_bodies = [] then []
+    else
+      let count role =
+        List.length
+          (List.filter
+             (fun s -> repl_role s = Some role)
+             answered)
+      in
+      let max_lag get =
+        List.fold_left (fun acc r -> Float.max acc (get r)) 0. repl_bodies
+      in
+      [
+        ( "replication",
+          Jsonl.Obj
+            [
+              ("primaries", Jsonl.Int (count "primary"));
+              ("followers", Jsonl.Int (count "follower"));
+              ( "max_lag_records",
+                Jsonl.Int
+                  (int_of_float (max_lag (fun r -> float_of_int (geti "lag_records" r)))) );
+              ("max_lag_ms", Jsonl.Float (max_lag (getf "lag_ms")));
+            ] );
+      ]
+  in
   let shard_entries =
     List.map
-      (fun ((c : Shard_client.stats), stats) ->
+      (fun (primary, follower) ->
         Jsonl.Obj
-          ([
-             ("addr", Jsonl.String c.Shard_client.addr);
-             ("healthy", Jsonl.Bool c.Shard_client.healthy);
-             ("sent", Jsonl.Int c.Shard_client.sent);
-             ("answered", Jsonl.Int c.Shard_client.answered);
-             ("failed", Jsonl.Int c.Shard_client.failed);
-             ("connects", Jsonl.Int c.Shard_client.connects);
-           ]
+          (node_entry primary
           @
-          match stats with
-          | Some s ->
-            let keep name =
-              match Jsonl.member name s with
-              | Some v -> [ (name, v) ]
-              | None -> []
-            in
-            List.concat_map keep
-              (summed_fields
-              @ [ "cache"; "avg_latency_ms"; "uptime_s"; "wal"; "plan_store" ])
+          match follower with
+          | Some probe -> [ ("follower", Jsonl.Obj (node_entry probe)) ]
           | None -> []))
       entries
   in
-  let healthy =
+  let healthy probes =
     List.length
-      (List.filter (fun ((c : Shard_client.stats), _) -> c.healthy) entries)
+      (List.filter (fun ((c : Shard_client.stats), _) -> c.healthy) probes)
   in
   Jsonl.Obj
     (counters
@@ -140,12 +193,15 @@ let merge entries =
         ("uptime_s", Jsonl.Float uptime_s);
       ]
     @ plan_store
+    @ replication
     @ [
         ( "cluster",
           Jsonl.Obj
             [
               ("shards", Jsonl.Int (List.length entries));
-              ("healthy", Jsonl.Int healthy);
+              ("healthy", Jsonl.Int (healthy primaries));
+              ("followers", Jsonl.Int (List.length followers));
+              ("followers_healthy", Jsonl.Int (healthy followers));
             ] );
         ("shards", Jsonl.List shard_entries);
       ])

@@ -1,23 +1,33 @@
 (** Deterministic aggregation of per-shard stats responses.
 
-    Given one entry per ring shard — the client-side transport counters
-    plus the shard's parsed stats body ([None] if the shard did not
-    answer) — builds the cluster-wide stats payload: daemon counters
-    summed, [cache] sub-counters summed, [avg_latency_ms] weighted by
-    each shard's [served], [uptime_s] as the maximum, a [cluster]
-    object with shard/healthy counts, and a [shards] array in ring
-    order carrying each shard's address, health, transport counters and
-    verbatim per-shard fields (including the nested [wal] object, which
-    has no meaningful cluster-wide sum).  When any shard reports a
+    Given one entry per ring shard — the primary's probe (client-side
+    transport counters plus the parsed stats body, [None] if it did not
+    answer) and, when a hot standby is registered, the follower's probe
+    — builds the cluster-wide stats payload: daemon counters summed
+    across every answering node, [cache] sub-counters summed,
+    [avg_latency_ms] weighted by each node's [served], [uptime_s] as
+    the maximum, a [cluster] object with shard/healthy/follower counts,
+    and a [shards] array in ring order carrying each shard's address,
+    health, transport counters and verbatim per-node fields (including
+    the nested [wal] and [replication] objects, which have no
+    meaningful cluster-wide sum); a follower's entry nests the same way
+    under its shard's [follower] member.  When any shard reports a
     [plan_store] object its counters are summed into a cluster-wide
     [plan_store], except the on-disk totals ([entries], [bytes],
     [max_bytes]), which merge as maxima: shards share one store
     directory, so summing would count the same files once per shard.
+    When any node reports a [replication] object, a top-level
+    [replication] summary carries the role census and the worst
+    follower lag (records and ms).
 
     The output is a pure function of the inputs: fan-out timing and
     completion order cannot change it. *)
 
-val merge :
-  (Shard_client.stats * Service.Jsonl.t option) list -> Service.Jsonl.t
-(** The returned object is the merged stats {e body}; the router adds
-    the protocol envelope ([ok]/[req]/[id]). *)
+type probe = Shard_client.stats * Service.Jsonl.t option
+(** One node's probe result: transport counters plus the parsed stats
+    body ([None] if the node did not answer the probe). *)
+
+val merge : (probe * probe option) list -> Service.Jsonl.t
+(** [merge entries] with one [(primary, follower)] pair per ring
+    shard.  The returned object is the merged stats {e body}; the
+    router adds the protocol envelope ([ok]/[req]/[id]). *)

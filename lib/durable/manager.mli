@@ -83,6 +83,26 @@ val snapshot_now : t -> unit
 val appends : t -> int
 val fsyncs : t -> int
 
+val group_commits : t -> int
+(** Group-commit fsyncs the journal has issued ({!Wal.group_commits}). *)
+
+val avg_batch_size : t -> float
+(** Mean records per group commit ({!Wal.avg_batch_size}). *)
+
+val dir : t -> string
+(** The journal directory this manager owns. *)
+
+val last_seq : t -> int
+(** Sequence number of the most recently journaled record (0 before
+    the first). *)
+
+val subscribe_journal : t -> (int -> unit) -> unit
+(** Register a listener called with each record's sequence number just
+    after it is appended (outside the manager's lock, from the
+    journaling thread, possibly before the record is fsynced).  The
+    replication feed uses this to wake segment tails; listeners must
+    be fast and must not call back into the manager. *)
+
 val stats_json : t -> Service.Jsonl.t
 (** The [wal] object of the daemon's [stats] response: journal and
     snapshot counters plus the boot's recovery stats. *)

@@ -1,4 +1,4 @@
-(** The append-only NDJSON journal.
+(** The append-only NDJSON journal, with group-commit durability.
 
     A WAL directory holds segment files named [wal-<seq12>.ndjson],
     where [<seq12>] is the zero-padded sequence number of the segment's
@@ -7,20 +7,26 @@
     and rotates to a new one at each snapshot, so {!Compact} can drop
     whole files that a snapshot has made redundant.
 
-    Durability is tunable with {!fsync_policy}: [every_n = 1] fsyncs
-    after every record (strict — a response the client saw is always
-    recoverable), larger batches trade a bounded window of lost tail
-    records for throughput (measured by the [wal] bench experiment).
-    [every_ms] adds a time bound so a slow trickle of requests does not
-    postpone the sync indefinitely; either trigger alone may be
-    disabled with a non-positive value.
+    Durability is tunable with {!fsync_policy} and decoupled from
+    appending: {!append} only writes; a thread whose record is due
+    (per {!sync_due}) calls {!commit} and parks until an fsync covers
+    its sequence number.  Concurrent committers share one fsync — the
+    first to arrive leads, the rest ride the batch and all release
+    together — so [every_n = 1] keeps its strict meaning (no caller
+    returns before its record is on disk) at far fewer than one fsync
+    per record under load.  [every_ms] adds a time bound so a slow
+    trickle of requests does not postpone the sync indefinitely;
+    either trigger alone may be disabled with a non-positive value.
 
-    Not thread-safe; {!Manager} serializes access. *)
+    {!append} must still be serialized by the caller ({!Manager}'s
+    lock — appends assign sequence numbers and interleave bytes);
+    {!commit}, {!sync} and the counters are safe from any thread. *)
 
 type fsync_policy = { every_n : int; every_ms : float }
 
 val strict : fsync_policy
-(** [{ every_n = 1; every_ms = 0. }] — sync every record. *)
+(** [{ every_n = 1; every_ms = 0. }] — every record durable before its
+    journaling call returns. *)
 
 type t
 
@@ -31,10 +37,22 @@ val open_segment : dir:string -> start_seq:int -> fsync:fsync_policy -> t
 
 val append : t -> Record.kind -> int
 (** Journal one record; returns the sequence number it was assigned.
-    Syncs afterwards if the fsync policy says so. *)
+    Does not sync — check {!sync_due} and call {!commit} (outside any
+    lock {!append} is serialized under). *)
+
+val sync_due : t -> bool
+(** Whether the fsync policy wants a sync now (count or time
+    trigger). *)
+
+val commit : t -> upto:int -> unit
+(** Park until an fsync covers sequence number [upto], leading the
+    group fsync if no sync is in flight.  Must be called with no locks
+    held. *)
 
 val sync : t -> unit
-(** Force an fsync of any unsynced appends now. *)
+(** Force an fsync of any unsynced appends now, without parking on the
+    commit queue (safe under the manager's lock; rotate, close and
+    snapshots use this). *)
 
 val rotate : t -> unit
 (** Sync and close the current segment, then open a fresh one starting
@@ -50,7 +68,15 @@ val appends : t -> int
 (** Records appended through this value (all segments). *)
 
 val fsyncs : t -> int
-(** fsync calls issued through this value. *)
+(** fsync calls issued through this value (group commits included). *)
+
+val group_commits : t -> int
+(** fsyncs issued by {!commit} leaders — each released a whole batch
+    of parked committers at once. *)
+
+val avg_batch_size : t -> float
+(** Mean records newly covered per group commit ([0.] before the
+    first); the batching win strict durability gets from concurrency. *)
 
 (** {2 Directory layout} *)
 

@@ -1,0 +1,152 @@
+(* The follower's local journal: a byte-for-byte mirror of the
+   primary's WAL directory, written from the feed stream.
+
+   Record lines arrive verbatim and are appended to segment files of
+   the same names the primary uses, so the local directory is always a
+   prefix-plus-tail copy of the primary's — which is what makes the
+   write position a valid resume cursor and lets promotion reuse
+   {!Durable.Manager.start}'s ordinary crash recovery unchanged.
+
+   The sink is single-writer: only the follower's engine thread calls
+   the mutating operations, so there is no lock here beyond the
+   cross-process directory claim.  {!Follower} snapshots the counters
+   it publishes under its own mutex. *)
+
+module Wal = Durable.Wal
+module Snapshot = Durable.Snapshot
+
+type t = {
+  dir : string;
+  lock_file : Unix.file_descr;
+  mutable fd : Unix.file_descr option;
+  mutable segment : int;
+  mutable offset : int;
+  mutable dirty : bool;
+  mutable appended : int;
+  mutable fsyncs : int;
+}
+
+(* Same claim discipline as {!Durable.Manager}: a promoted follower and
+   a still-running one must never share a directory, and the kernel
+   drops the lock if the process dies. *)
+let acquire_dir_lock dir =
+  let fd =
+    Unix.openfile (Filename.concat dir "LOCK")
+      [ Unix.O_RDWR; Unix.O_CREAT ]
+      0o644
+  in
+  match Unix.lockf fd Unix.F_TLOCK 0 with
+  | () -> fd
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES), _, _) ->
+    Unix.close fd;
+    failwith
+      (Printf.sprintf "wal directory %s is in use by another process" dir)
+
+let create ~dir =
+  Wal.ensure_dir dir;
+  {
+    dir;
+    lock_file = acquire_dir_lock dir;
+    fd = None;
+    segment = 0;
+    offset = 0;
+    dirty = false;
+    appended = 0;
+    fsyncs = 0;
+  }
+
+let dir t = t.dir
+
+(* The resume cursor is just where the last mirrored segment ends.  A
+   follower that crashed mid-line resumes from the torn offset; the
+   resumed stream then re-appends from there, so the torn bytes must be
+   cut first — {!Follower} truncates what {!Durable.Replay} reports
+   before asking for the cursor. *)
+let cursor t =
+  match t.fd with
+  | Some _ -> { Wire.segment = t.segment; offset = t.offset }
+  | None -> (
+    match List.rev (Wal.segments ~dir:t.dir) with
+    | (segment, path) :: _ ->
+      { Wire.segment; offset = (Unix.stat path).Unix.st_size }
+    | [] -> Wire.start)
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      go (off + Unix.write_substring fd s off (len - off))
+  in
+  go 0
+
+let close_fd t =
+  match t.fd with
+  | None -> ()
+  | Some fd ->
+    if t.dirty then begin
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      t.fsyncs <- t.fsyncs + 1;
+      t.dirty <- false
+    end;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    t.fd <- None
+
+(* Full resync: the primary could not resume our cursor, so drop every
+   mirrored file (the LOCK stays) and start over from its snapshot. *)
+let reset t =
+  close_fd t;
+  t.segment <- 0;
+  t.offset <- 0;
+  List.iter (fun (_seq, path) -> Sys.remove path) (Wal.segments ~dir:t.dir);
+  List.iter (fun (_seq, path) -> Sys.remove path) (Snapshot.list ~dir:t.dir)
+
+(* Verbatim snapshot bytes from the primary, written with the same
+   tmp + fsync + rename discipline {!Durable.Snapshot.write} uses so a
+   crash mid-reset never leaves a half snapshot for promotion to load. *)
+let put_snapshot t ~seq ~data =
+  let path = Filename.concat t.dir (Snapshot.name seq) in
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      write_all fd data;
+      Unix.fsync fd);
+  Sys.rename tmp path;
+  let dfd = Unix.openfile t.dir [ Unix.O_RDONLY ] 0 in
+  (try Unix.fsync dfd with Unix.Unix_error _ -> ());
+  Unix.close dfd
+
+let open_segment t segment =
+  close_fd t;
+  let path = Filename.concat t.dir (Wal.segment_name segment) in
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  t.fd <- Some fd;
+  t.segment <- segment;
+  t.offset <- (Unix.fstat fd).Unix.st_size
+
+let append_line t line =
+  match t.fd with
+  | None -> failwith "replication sink: record line before any open frame"
+  | Some fd ->
+    write_all fd (line ^ "\n");
+    t.offset <- t.offset + String.length line + 1;
+    t.appended <- t.appended + 1;
+    t.dirty <- true
+
+let flush t =
+  match t.fd with
+  | Some fd when t.dirty ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    t.fsyncs <- t.fsyncs + 1;
+    t.dirty <- false
+  | _ -> ()
+
+let appended t = t.appended
+let fsyncs t = t.fsyncs
+
+let close t =
+  close_fd t;
+  try Unix.close t.lock_file with Unix.Unix_error _ -> ()

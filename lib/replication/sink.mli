@@ -1,0 +1,57 @@
+(** The follower's local journal: a byte-for-byte mirror of the
+    primary's WAL directory.
+
+    Record lines from the feed are appended verbatim to segment files
+    of the same names the primary uses, so the local directory is
+    always a prefix copy of the primary's.  That identity is what the
+    whole design leans on: the sink's write position doubles as the
+    resume cursor ({!cursor}), and promotion can hand the directory to
+    {!Durable.Manager.start} and get ordinary crash recovery.
+
+    Single-writer: only the follower's engine thread may call the
+    mutating operations.  The directory is claimed with the same
+    advisory [LOCK] file the manager uses; {!close} releases it (which
+    is how promotion hands the directory over). *)
+
+type t
+
+val create : dir:string -> t
+(** Create [dir] as needed and claim its [LOCK].
+    @raise Failure when another process holds the directory. *)
+
+val dir : t -> string
+
+val cursor : t -> Wire.cursor
+(** Where the mirror ends: the current segment and write offset, read
+    from the directory listing when nothing is open yet
+    ({!Wire.start} for an empty directory).  Truncate any torn tail
+    {e before} asking, or the cursor points past valid bytes. *)
+
+val reset : t -> unit
+(** Full resync: delete every mirrored segment and snapshot (the
+    [LOCK] stays held). *)
+
+val put_snapshot : t -> seq:int -> data:string -> unit
+(** Write the primary's snapshot bytes verbatim as
+    [snapshot-<seq12>.json], atomically (tmp, fsync, rename). *)
+
+val open_segment : t -> int -> unit
+(** Direct subsequent {!append_line}s into segment [wal-<seq12>];
+    appends continue at the file's current end on resume. *)
+
+val append_line : t -> string -> unit
+(** Append one verbatim record line plus newline.
+    @raise Failure before the first {!open_segment}. *)
+
+val flush : t -> unit
+(** fsync the current segment if it has unsynced appends.  The engine
+    calls this at stream-idle points (heartbeats), trading bounded
+    replay-on-crash for not paying an fsync per record. *)
+
+val appended : t -> int
+(** Record lines mirrored through this value. *)
+
+val fsyncs : t -> int
+
+val close : t -> unit
+(** Flush, close and release the directory [LOCK]. *)

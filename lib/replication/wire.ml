@@ -1,0 +1,194 @@
+(* The replication wire protocol.
+
+   One feed session is NDJSON both ways, like the service protocol.
+   Control frames are JSON objects carrying a ["repl"] field; journal
+   records are forwarded as their verbatim WAL line — byte-identical
+   to the segment file on the primary, so the follower re-verifies the
+   CRC on exactly the bytes the primary journaled and can mirror its
+   segment files byte-for-byte.  [classify] splits the two: a line
+   whose JSON has a ["repl"] member is a control frame, anything else
+   is a record line.
+
+   The cursor is [(segment, offset)]: the [start_seq] name of a
+   segment file plus a byte offset into it.  Because the follower's
+   files mirror the primary's, its own write position {e is} a valid
+   primary cursor, so resuming after a disconnect is just re-sending
+   where the sink's last byte landed. *)
+
+module Jsonl = Service.Jsonl
+
+type cursor = { segment : int; offset : int }
+
+let start = { segment = 0; offset = 0 }
+
+type frame =
+  | Subscribe of cursor
+      (** Follower -> primary: stream records from this cursor
+          ({!start} for a full resync). *)
+  | Hello of { resumed : bool; last_seq : int }
+      (** Primary's first answer: [resumed = false] means the cursor
+          was unusable (fresh follower, compacted-away segment) and a
+          reset follows — wipe local state, expect a snapshot. *)
+  | Snapshot of { seq : int; data : string }
+      (** Verbatim bytes of the primary's latest snapshot file. *)
+  | Open_segment of int
+      (** Record lines that follow belong to segment [wal-<seq12>]. *)
+  | At of { last_seq : int; ms : float }
+      (** Heartbeat: the primary's journal position and wall clock at
+          emission — the follower's lag estimate. *)
+  | Plan_get of Service.Request.spec
+      (** Follower -> primary (plan-fetch session): ship the
+          {!Durable.Plan_store} payload bytes for this spec. *)
+  | Plan of { key : string; data : string option }
+      (** Answer to {!Plan_get}; [data] is the Plan_codec payload,
+          [None] when the primary has no store or no entry. *)
+
+(* Plan payloads are arbitrary bytes; hex keeps them JSON-safe without
+   trusting the Jsonl escaper with unpaired high bytes. *)
+let to_hex s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents b
+
+let of_hex s =
+  let n = String.length s in
+  if n mod 2 <> 0 then Error "hex string has odd length"
+  else
+    let digit c =
+      match c with
+      | '0' .. '9' -> Ok (Char.code c - Char.code '0')
+      | 'a' .. 'f' -> Ok (Char.code c - Char.code 'a' + 10)
+      | 'A' .. 'F' -> Ok (Char.code c - Char.code 'A' + 10)
+      | _ -> Error (Printf.sprintf "invalid hex digit %C" c)
+    in
+    let b = Bytes.create (n / 2) in
+    let rec go i =
+      if i >= n then Ok (Bytes.unsafe_to_string b)
+      else
+        match (digit s.[i], digit s.[i + 1]) with
+        | Ok hi, Ok lo ->
+          Bytes.set b (i / 2) (Char.chr ((hi lsl 4) lor lo));
+          go (i + 2)
+        | Error e, _ | _, Error e -> Error e
+    in
+    go 0
+
+let to_json = function
+  | Subscribe { segment; offset } ->
+    Jsonl.Obj
+      [
+        ("repl", Jsonl.String "subscribe");
+        ("segment", Jsonl.Int segment);
+        ("offset", Jsonl.Int offset);
+      ]
+  | Hello { resumed; last_seq } ->
+    Jsonl.Obj
+      [
+        ("repl", Jsonl.String "hello");
+        ("resumed", Jsonl.Bool resumed);
+        ("last_seq", Jsonl.Int last_seq);
+      ]
+  | Snapshot { seq; data } ->
+    Jsonl.Obj
+      [
+        ("repl", Jsonl.String "snapshot");
+        ("seq", Jsonl.Int seq);
+        ("data", Jsonl.String (to_hex data));
+      ]
+  | Open_segment seq ->
+    Jsonl.Obj [ ("repl", Jsonl.String "open"); ("segment", Jsonl.Int seq) ]
+  | At { last_seq; ms } ->
+    Jsonl.Obj
+      [
+        ("repl", Jsonl.String "at");
+        ("last_seq", Jsonl.Int last_seq);
+        ("ms", Jsonl.Float ms);
+      ]
+  | Plan_get spec ->
+    Jsonl.Obj
+      [ ("repl", Jsonl.String "plan_get"); ("spec", Durable.Record.spec_to_json spec) ]
+  | Plan { key; data } ->
+    Jsonl.Obj
+      ([ ("repl", Jsonl.String "plan"); ("key", Jsonl.String key) ]
+      @
+      match data with
+      | Some payload -> [ ("data", Jsonl.String (to_hex payload)) ]
+      | None -> [])
+
+let to_line frame = Jsonl.to_string (to_json frame)
+
+let ( let* ) = Result.bind
+
+let int_field name json =
+  match Option.bind (Jsonl.member name json) Jsonl.to_int with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "frame is missing integer field %S" name)
+
+let of_json json =
+  match Option.bind (Jsonl.member "repl" json) Jsonl.to_str with
+  | None -> Error "not a replication frame (no \"repl\" field)"
+  | Some kind -> (
+    match kind with
+    | "subscribe" ->
+      let* segment = int_field "segment" json in
+      let* offset = int_field "offset" json in
+      Ok (Subscribe { segment; offset })
+    | "hello" ->
+      let* last_seq = int_field "last_seq" json in
+      let resumed =
+        Option.bind (Jsonl.member "resumed" json) Jsonl.to_bool = Some true
+      in
+      Ok (Hello { resumed; last_seq })
+    | "snapshot" ->
+      let* seq = int_field "seq" json in
+      let* hex =
+        match Option.bind (Jsonl.member "data" json) Jsonl.to_str with
+        | Some s -> Ok s
+        | None -> Error "snapshot frame is missing \"data\""
+      in
+      let* data = of_hex hex in
+      Ok (Snapshot { seq; data })
+    | "open" ->
+      let* segment = int_field "segment" json in
+      Ok (Open_segment segment)
+    | "at" ->
+      let* last_seq = int_field "last_seq" json in
+      let ms =
+        match Option.bind (Jsonl.member "ms" json) Jsonl.to_float with
+        | Some v -> v
+        | None -> 0.
+      in
+      Ok (At { last_seq; ms })
+    | "plan_get" -> (
+      match Jsonl.member "spec" json with
+      | None -> Error "plan_get frame is missing \"spec\""
+      | Some spec_json ->
+        let* spec = Durable.Record.spec_of_json spec_json in
+        Ok (Plan_get spec))
+    | "plan" -> (
+      let key =
+        match Option.bind (Jsonl.member "key" json) Jsonl.to_str with
+        | Some k -> k
+        | None -> ""
+      in
+      match Option.bind (Jsonl.member "data" json) Jsonl.to_str with
+      | None -> Ok (Plan { key; data = None })
+      | Some hex ->
+        let* data = of_hex hex in
+        Ok (Plan { key; data = Some data }))
+    | other -> Error (Printf.sprintf "unknown replication frame %S" other))
+
+let of_line line =
+  let* json = Jsonl.of_string line in
+  of_json json
+
+(* A feed stream interleaves control frames with verbatim record
+   lines; the ["repl"] member is what tells them apart (records carry
+   ["rec"]). *)
+let classify line =
+  match Jsonl.of_string line with
+  | Error msg -> Error msg
+  | Ok json -> (
+    match Jsonl.member "repl" json with
+    | Some _ -> ( match of_json json with Ok f -> Ok (`Frame f) | Error e -> Error e)
+    | None -> Ok (`Record line))

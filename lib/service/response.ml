@@ -40,6 +40,7 @@ type stats = {
   uptime_s : float;
   wal : Jsonl.t option;
   store : Jsonl.t option;
+  replication : Jsonl.t option;
 }
 
 type body =
@@ -129,6 +130,9 @@ let to_json t =
       ]
       @ (match s.wal with Some w -> [ ("wal", w) ] | None -> [])
       @ (match s.store with Some st -> [ ("plan_store", st) ] | None -> [])
+      @ (match s.replication with
+        | Some r -> [ ("replication", r) ]
+        | None -> [])
   in
   let elapsed =
     match t.elapsed_ms with

@@ -45,6 +45,11 @@ type stats = {
           content-addressed store ([dmfd --store-dir]), encoded as the
           [plan_store] object; [None] otherwise, same discipline as
           [wal]. *)
+  replication : Jsonl.t option;
+      (** Replication role and progress (role, last_applied_seq, lag)
+          when the daemon serves or follows a replication feed, encoded
+          as the [replication] object; [None] otherwise, same
+          discipline as [wal]. *)
 }
 
 type body =

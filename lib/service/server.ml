@@ -16,6 +16,7 @@ type t = {
   pool : Pool.t;
   started_at : float;
   wal_stats : (unit -> Jsonl.t) option;
+  repl_stats : (unit -> Jsonl.t) option;
   store : Store.t option;
 }
 
@@ -69,7 +70,7 @@ let run_job cache counters on_complete store job =
   Queue.fulfil job result
 
 let create ?workers ?(queue_capacity = 256) ?(cache_capacity = 1024) ?on_accept
-    ?on_complete ?wal_stats ?store () =
+    ?on_complete ?wal_stats ?repl_stats ?store () =
   let workers =
     match workers with Some w -> w | None -> Mdst.Par.default_domains ()
   in
@@ -97,6 +98,7 @@ let create ?workers ?(queue_capacity = 256) ?(cache_capacity = 1024) ?on_accept
     pool;
     started_at = Unix.gettimeofday ();
     wal_stats;
+    repl_stats;
     store;
   }
 
@@ -168,6 +170,7 @@ let stats t =
        else latency_ms_sum /. float_of_int latency_samples);
     uptime_s = Unix.gettimeofday () -. t.started_at;
     wal = Option.map (fun f -> f ()) t.wal_stats;
+    replication = Option.map (fun f -> f ()) t.repl_stats;
     store =
       (* The store's own counters (shared-directory totals) plus this
          server's [served_from_store] — the requests the store saved

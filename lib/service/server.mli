@@ -25,6 +25,7 @@ val create :
   ?on_accept:(Request.spec -> unit) ->
   ?on_complete:(spec:Request.spec -> requests:int -> ok:bool -> unit) ->
   ?wal_stats:(unit -> Jsonl.t) ->
+  ?repl_stats:(unit -> Jsonl.t) ->
   ?store:Store.t ->
   unit ->
   t
@@ -43,7 +44,10 @@ val create :
       the job's waiters are released, so a synced journal record always
       precedes the response a client can observe;
     - [wal_stats] is evaluated on each [stats] request and becomes the
-      response's [wal] object.
+      response's [wal] object;
+    - [repl_stats] likewise becomes the response's [replication]
+      object (a promoted follower or a feed-serving primary wires it,
+      see [lib/replication]).
 
     [store] plugs in a second plan-cache tier (see {!Store}): workers
     consult it after an LRU miss and before planning, write every

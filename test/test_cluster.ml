@@ -181,11 +181,13 @@ let merge_stats () =
   let merged =
     Cluster.Stats.merge
       [
-        ( client ~addr:"a:1" ~healthy:true,
-          Some (fake_body ~served:30 ~latency:2.0 ~uptime:5.0) );
-        ( client ~addr:"b:2" ~healthy:true,
-          Some (fake_body ~served:10 ~latency:6.0 ~uptime:9.0) );
-        (client ~addr:"c:3" ~healthy:false, None);
+        ( ( client ~addr:"a:1" ~healthy:true,
+            Some (fake_body ~served:30 ~latency:2.0 ~uptime:5.0) ),
+          None );
+        ( ( client ~addr:"b:2" ~healthy:true,
+            Some (fake_body ~served:10 ~latency:6.0 ~uptime:9.0) ),
+          None );
+        ((client ~addr:"c:3" ~healthy:false, None), None);
       ]
   in
   Alcotest.(check int) "served summed" 40 (geti "served" merged);
@@ -228,11 +230,72 @@ let merge_stats () =
   | None -> Alcotest.fail "merged stats lacks shards array"
 
 let merge_empty () =
-  let merged = Cluster.Stats.merge [ (client ~addr:"a:1" ~healthy:false, None) ] in
+  let merged =
+    Cluster.Stats.merge [ ((client ~addr:"a:1" ~healthy:false, None), None) ]
+  in
   Alcotest.(check int) "all counters zero" 0 (geti "served" merged);
   match Service.Jsonl.member "cluster" merged with
   | Some c -> Alcotest.(check int) "nothing healthy" 0 (geti "healthy" c)
   | None -> Alcotest.fail "merged stats lacks cluster object"
+
+(* A shard with a hot standby: the follower's counters join the sums,
+   its entry nests under the shard's [follower] member, and the
+   top-level [replication] summary carries role census and worst lag. *)
+let follower_body ~lag_records ~lag_ms =
+  match
+    Service.Jsonl.of_string
+      (Printf.sprintf
+         {|{"queue_depth": 0, "workers": 0, "served": 5, "errors": 0,
+           "coalesced": 0, "jobs": 0, "plans_built": 1,
+           "cache": {"hits": 5, "misses": 0, "evictions": 0, "size": 2,
+                     "capacity": 64},
+           "avg_latency_ms": 1.0, "uptime_s": 2.0,
+           "wal": {"records": 7},
+           "replication": {"role": "follower", "last_applied_seq": 7,
+                           "lag_records": %d, "lag_ms": %f}}|}
+         lag_records lag_ms)
+  with
+  | Ok json -> json
+  | Error msg -> Alcotest.failf "fake follower body: %s" msg
+
+let merge_follower () =
+  let merged =
+    Cluster.Stats.merge
+      [
+        ( ( client ~addr:"a:1" ~healthy:true,
+            Some (fake_body ~served:30 ~latency:2.0 ~uptime:5.0) ),
+          Some
+            ( client ~addr:"a:2" ~healthy:true,
+              Some (follower_body ~lag_records:3 ~lag_ms:12.5) ) );
+        ((client ~addr:"b:3" ~healthy:false, None), None);
+      ]
+  in
+  Alcotest.(check int)
+    "served sums primary and follower" 35 (geti "served" merged);
+  (match Service.Jsonl.member "cluster" merged with
+  | Some c ->
+    Alcotest.(check int) "shard count excludes followers" 2 (geti "shards" c);
+    Alcotest.(check int) "one follower registered" 1 (geti "followers" c);
+    Alcotest.(check int) "follower healthy" 1 (geti "followers_healthy" c)
+  | None -> Alcotest.fail "merged stats lacks cluster object");
+  (match Service.Jsonl.member "replication" merged with
+  | Some r ->
+    Alcotest.(check int) "one follower role" 1 (geti "followers" r);
+    Alcotest.(check int) "worst lag in records" 3 (geti "max_lag_records" r)
+  | None -> Alcotest.fail "merged stats lacks replication summary");
+  match
+    Option.bind (Service.Jsonl.member "shards" merged) Service.Jsonl.to_list
+  with
+  | Some [ a; _b ] -> (
+    match Service.Jsonl.member "follower" a with
+    | Some f ->
+      Alcotest.(check string) "follower addr nested" "a:2" (gets "addr" f);
+      (match Service.Jsonl.member "replication" f with
+      | Some r ->
+        Alcotest.(check string) "role verbatim" "follower" (gets "role" r)
+      | None -> Alcotest.fail "follower entry lacks replication object")
+    | None -> Alcotest.fail "shard entry lacks follower member")
+  | _ -> Alcotest.fail "merged stats lacks the two shard entries"
 
 (* ------------------------------------------------------------------ *)
 (* Router end-to-end: one live shard, one dead                         *)
@@ -307,7 +370,10 @@ let router_end_to_end () =
   let dead_port = refused_port () in
   let router =
     Cluster.Router.create ~retries:1 ~backoff_ms:5. ~cooldown_ms:100.
-      [ ("127.0.0.1", live_port); ("127.0.0.1", dead_port) ]
+      [
+        (("127.0.0.1", live_port), None);
+        (("127.0.0.1", dead_port), None);
+      ]
   in
   let live_ratio, dead_ratio = ratios_per_shard router in
   let req_read, req_write = Unix.pipe () in
@@ -403,6 +469,76 @@ let router_end_to_end () =
   Cluster.Router.close router;
   Service.Server.stop server
 
+(* Failover: the shard's primary endpoint refuses connections, its
+   follower is a live daemon.  Forwarded requests must fall through to
+   the follower (answered, not error lines), and the merged stats must
+   show the primary dead but the follower healthy. *)
+let router_failover () =
+  let server, live_port = start_live_shard () in
+  let dead_port = refused_port () in
+  let router =
+    Cluster.Router.create ~retries:1 ~backoff_ms:5. ~cooldown_ms:100.
+      [ (("127.0.0.1", dead_port), Some ("127.0.0.1", live_port)) ]
+  in
+  Alcotest.(check int) "one follower" 1 (Cluster.Router.followers router);
+  let req_read, req_write = Unix.pipe () in
+  let resp_read, resp_write = Unix.pipe () in
+  let proxy =
+    Thread.create
+      (fun () ->
+        Cluster.Router.serve_channels router
+          (Unix.in_channel_of_descr req_read)
+          (Unix.out_channel_of_descr resp_write))
+      ()
+  in
+  let oc = Unix.out_channel_of_descr req_write in
+  let ic = Unix.in_channel_of_descr resp_read in
+  let ratio = List.hd (Lazy.force Generators.corpus_slice) in
+  let lines =
+    [
+      Printf.sprintf {|{"req": "prepare", "ratio": "%s", "D": 8, "id": 1}|}
+        (Dmf.Ratio.to_string ratio);
+      Printf.sprintf {|{"req": "prepare", "ratio": "%s", "D": 8, "id": 2}|}
+        (Dmf.Ratio.to_string ratio);
+      {|{"req": "stats", "id": 3}|};
+    ]
+  in
+  List.iter
+    (fun line ->
+      output_string oc line;
+      output_char oc '\n')
+    lines;
+  flush oc;
+  let responses =
+    List.map
+      (fun _ ->
+        match Service.Jsonl.of_string (input_line ic) with
+        | Ok json -> json
+        | Error msg -> Alcotest.failf "bad response line: %s" msg)
+      lines
+  in
+  (match responses with
+  | [ first; second; stats ] ->
+    Alcotest.(check bool) "failover answers the prepare" true
+      (getb "ok" first);
+    Alcotest.(check bool) "failover answers again" true (getb "ok" second);
+    Alcotest.(check bool) "second hit is a cache hit" true
+      (getb "cache_hit" second);
+    Alcotest.(check bool) "merged stats ok" true (getb "ok" stats);
+    (match Service.Jsonl.member "cluster" stats with
+    | Some c ->
+      Alcotest.(check int) "primary dead" 0 (geti "healthy" c);
+      Alcotest.(check int) "follower healthy" 1 (geti "followers_healthy" c)
+    | None -> Alcotest.fail "merged stats lacks cluster object");
+    Alcotest.(check int) "follower served the prepares" 2
+      (geti "served" stats)
+  | _ -> Alcotest.fail "wrong response count");
+  close_out oc;
+  Thread.join proxy;
+  Unix.close resp_read;
+  Cluster.Router.close router;
+  Service.Server.stop server
+
 let () =
   Alcotest.run "cluster"
     [
@@ -420,10 +556,14 @@ let () =
         [
           Alcotest.test_case "merge sums, weights and nests" `Quick merge_stats;
           Alcotest.test_case "merge of nothing is all zeros" `Quick merge_empty;
+          Alcotest.test_case "follower probes sum and nest" `Quick
+            merge_follower;
         ] );
       ( "router",
         [
           Alcotest.test_case "live + dead shard end-to-end" `Quick
             router_end_to_end;
+          Alcotest.test_case "dead primary fails over to its follower" `Quick
+            router_failover;
         ] );
     ]

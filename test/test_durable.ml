@@ -299,6 +299,94 @@ let missing_dir_recovers_empty () =
     (Durable.State.equal state (Durable.State.create ~cache_capacity:8))
 
 (* ------------------------------------------------------------------ *)
+(* Group commit                                                        *)
+
+(* Counters under deterministic single-threaded use: a strict commit
+   after every append leads its own fsync of exactly one record; a
+   batch of appends followed by one commit is one group fsync covering
+   them all; a commit at an already-covered seq does nothing. *)
+let group_commit_counters () =
+  with_temp_dir (fun dir ->
+      let wal =
+        Durable.Wal.open_segment ~dir ~start_seq:1 ~fsync:Durable.Wal.strict
+      in
+      let n = List.length sample_kinds in
+      List.iter
+        (fun kind ->
+          let seq = Durable.Wal.append wal kind in
+          Durable.Wal.commit wal ~upto:seq)
+        sample_kinds;
+      Alcotest.(check int) "one group commit per sequential record" n
+        (Durable.Wal.group_commits wal);
+      Alcotest.(check (float 1e-9)) "batches of one" 1.0
+        (Durable.Wal.avg_batch_size wal);
+      let last =
+        List.fold_left
+          (fun _ kind -> Durable.Wal.append wal kind)
+          0 sample_kinds
+      in
+      Durable.Wal.commit wal ~upto:last;
+      Alcotest.(check int) "the batch is one group commit" (n + 1)
+        (Durable.Wal.group_commits wal);
+      Alcotest.(check (float 1e-9)) "batch size averages in"
+        (float_of_int (2 * n) /. float_of_int (n + 1))
+        (Durable.Wal.avg_batch_size wal);
+      Durable.Wal.commit wal ~upto:last;
+      Alcotest.(check int) "covered seq needs no new fsync" (n + 1)
+        (Durable.Wal.group_commits wal);
+      Durable.Wal.close wal;
+      let _, stats = Durable.Replay.recover ~dir ~cache_capacity:8 in
+      Alcotest.(check int) "every committed record recovered" (2 * n)
+        stats.Durable.Replay.replayed)
+
+(* Concurrent journaling threads under strict durability: every record
+   must be on disk when its call returns (recovery proves it), while
+   the commit queue is free to cover many records per fsync.  Batch
+   sharing itself is timing-dependent, so the assertions are the safe
+   invariants: fsyncs never exceed appends, and the counters stay
+   consistent. *)
+let group_commit_concurrent () =
+  with_temp_dir (fun dir ->
+      let config =
+        {
+          Durable.Manager.dir;
+          fsync = Durable.Wal.strict;
+          snapshot_every = 0;
+          cache_capacity = 8;
+        }
+      in
+      let manager, _ = Durable.Manager.start config in
+      let threads = 4 and per_thread = 25 in
+      let workers =
+        List.init threads (fun i ->
+            Thread.create
+              (fun () ->
+                for _ = 1 to per_thread do
+                  Durable.Manager.on_accept manager
+                    spec_pool.(i mod Array.length spec_pool)
+                done)
+              ())
+      in
+      List.iter Thread.join workers;
+      let appends = Durable.Manager.appends manager in
+      Alcotest.(check int) "every call journaled one record"
+        (threads * per_thread) appends;
+      if Durable.Manager.fsyncs manager > appends then
+        Alcotest.failf "%d fsyncs for %d strict appends"
+          (Durable.Manager.fsyncs manager)
+          appends;
+      Alcotest.(check bool) "group commits happened" true
+        (Durable.Manager.group_commits manager > 0);
+      Alcotest.(check bool) "avg batch size is at least one" true
+        (Durable.Manager.avg_batch_size manager >= 1.0);
+      (* Crash without close: strict durability means every record a
+         caller returned from is recoverable. *)
+      let _, stats = Durable.Replay.recover ~dir ~cache_capacity:8 in
+      Alcotest.(check int) "all strict appends recovered"
+        (threads * per_thread) stats.Durable.Replay.replayed;
+      Durable.Manager.close manager)
+
+(* ------------------------------------------------------------------ *)
 (* Snapshots                                                           *)
 
 let snapshot_roundtrip () =
@@ -624,6 +712,13 @@ let () =
             gap_segments_quarantined;
           Alcotest.test_case "wal dir is single-writer" `Quick
             dir_lock_exclusive;
+        ] );
+      ( "group-commit",
+        [
+          Alcotest.test_case "counters under sequential and batched commits"
+            `Quick group_commit_counters;
+          Alcotest.test_case "concurrent strict journaling stays durable"
+            `Quick group_commit_concurrent;
         ] );
       ( "snapshot",
         [

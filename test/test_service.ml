@@ -559,16 +559,272 @@ let kill9_recovery () =
         Service.Server.stop server;
         Durable.Manager.close manager)
 
+(* ------------------------------------------------------------------ *)
+(* Primary failover: kill -9 the primary, promote the hot standby      *)
+
+(* Serve one NDJSON stream through the follower (which may promote
+   itself mid-stream and delegate to its full server). *)
+let follower_round_trip follower requests =
+  let req_read, req_write = Unix.pipe ~cloexec:false () in
+  let resp_read, resp_write = Unix.pipe ~cloexec:false () in
+  let server_ic = Unix.in_channel_of_descr req_read in
+  let server_oc = Unix.out_channel_of_descr resp_write in
+  let server_thread =
+    Thread.create
+      (fun () ->
+        Replication.Follower.serve_channels follower server_ic server_oc;
+        close_out_noerr server_oc;
+        close_in_noerr server_ic)
+      ()
+  in
+  let client_oc = Unix.out_channel_of_descr req_write in
+  let client_ic = Unix.in_channel_of_descr resp_read in
+  List.iter
+    (fun line ->
+      output_string client_oc line;
+      output_char client_oc '\n')
+    requests;
+  close_out client_oc;
+  let responses =
+    List.map
+      (fun _ ->
+        match Service.Jsonl.of_string (input_line client_ic) with
+        | Ok json -> json
+        | Error msg -> failwith ("bad response line: " ^ msg))
+      requests
+  in
+  Thread.join server_thread;
+  close_in_noerr client_ic;
+  responses
+
+(* The whole scenario runs in a forked child so the promotion's worker
+   domains never taint this (fork-using) test process: the child forks
+   the primary-to-be-killed FIRST, then runs the follower — threads
+   only — and spawns domains only at promotion, after its own fork. *)
+let failover_scenario ~primary_dir ~follower_dir =
+  let die fmt =
+    Printf.ksprintf
+      (fun msg ->
+        prerr_endline ("failover scenario: " ^ msg);
+        Unix._exit 1)
+      fmt
+  in
+  let ratios =
+    List.filteri (fun i _ -> i < 4) (Lazy.force Generators.corpus_slice)
+  in
+  let lines =
+    List.mapi
+      (fun i ratio ->
+        Printf.sprintf {|{"req": "prepare", "ratio": "%s", "D": 32, "id": %d}|}
+          (Dmf.Ratio.to_string ratio) i)
+      ratios
+  in
+  let req_read, req_write = Unix.pipe ~cloexec:false () in
+  let resp_read, resp_write = Unix.pipe ~cloexec:false () in
+  let port_read, port_write = Unix.pipe ~cloexec:false () in
+  (* This runs in a child forked from the domain-free test process;
+     domains appear only at promotion, strictly after this fork. *)
+  Analysis.Runtime.assert_no_domains_spawned ();
+  match Unix.fork () with
+  | 0 ->
+    (* The primary: a dmfd core plus a replication feed, to be
+       SIGKILLed with no chance to clean up. *)
+    Unix.close req_write;
+    Unix.close resp_read;
+    Unix.close port_read;
+    (try
+       let config =
+         {
+           Durable.Manager.dir = primary_dir;
+           fsync = Durable.Wal.strict;
+           snapshot_every = 0;
+           cache_capacity = 16;
+         }
+       in
+       let manager, _ = Durable.Manager.start config in
+       let feed =
+         Replication.Feed.create
+           {
+             Replication.Feed.dir = primary_dir;
+             last_seq = (fun () -> Durable.Manager.last_seq manager);
+             fetch_plan = (fun _ -> None);
+           }
+       in
+       Durable.Manager.subscribe_journal manager (Replication.Feed.notify feed);
+       ignore
+         (Thread.create
+            (fun () ->
+              Replication.Feed.serve_tcp feed
+                ~on_listen:(fun port ->
+                  let oc = Unix.out_channel_of_descr port_write in
+                  output_string oc (string_of_int port);
+                  output_char oc '\n';
+                  flush oc)
+                ~host:"127.0.0.1" ~port:0)
+            ());
+       let server =
+         Service.Server.create ~workers:1 ~cache_capacity:16
+           ~on_accept:(Durable.Manager.on_accept manager)
+           ~on_complete:(fun ~spec ~requests ~ok ->
+             Durable.Manager.on_complete manager ~spec ~requests ~ok)
+           ()
+       in
+       Service.Server.serve_channels server
+         (Unix.in_channel_of_descr req_read)
+         (Unix.out_channel_of_descr resp_write)
+     with _ -> Unix._exit 1);
+    Unix._exit 0
+  | primary_pid ->
+    Unix.close req_read;
+    Unix.close resp_write;
+    Unix.close port_write;
+    let feed_port =
+      match input_line (Unix.in_channel_of_descr port_read) with
+      | line -> (
+        match int_of_string_opt (String.trim line) with
+        | Some port -> port
+        | None -> die "bad feed port announce %S" line)
+      | exception End_of_file -> die "primary died before announcing its feed"
+    in
+    let follower =
+      Replication.Follower.create
+        {
+          Replication.Follower.host = "127.0.0.1";
+          port = feed_port;
+          dir = follower_dir;
+          cache_capacity = 16;
+          queue_capacity = 64;
+          workers = Some 1;
+          fsync = Durable.Wal.strict;
+          snapshot_every = 0;
+          store = None;
+          fetch_plans = false;
+          reconnect_ms = 50.;
+        }
+    in
+    Replication.Follower.start follower;
+    (* Stream the requests to the primary and collect every response:
+       these are the accepted-and-answered payloads that must survive
+       the kill. *)
+    let client_oc = Unix.out_channel_of_descr req_write in
+    let client_ic = Unix.in_channel_of_descr resp_read in
+    List.iter
+      (fun line ->
+        output_string client_oc line;
+        output_char client_oc '\n')
+      lines;
+    flush client_oc;
+    let answered =
+      List.map
+        (fun _ ->
+          match Service.Jsonl.of_string (input_line client_ic) with
+          | Ok json -> json
+          | Error msg -> die "bad primary response: %s" msg
+          | exception End_of_file -> die "primary died early")
+        lines
+    in
+    (* Each answered prepare journaled an accepted and a completed
+       record; wait until the follower has applied them all. *)
+    let target = 2 * List.length lines in
+    let deadline = Unix.gettimeofday () +. 30. in
+    while
+      Replication.Follower.last_applied follower < target
+      && Unix.gettimeofday () < deadline
+    do
+      Thread.delay 0.02
+    done;
+    if Replication.Follower.last_applied follower < target then
+      die "follower stuck at seq %d of %d"
+        (Replication.Follower.last_applied follower)
+        target;
+    (* SIGKILL the primary: no flush, no close, no goodbye. *)
+    Unix.kill primary_pid Sys.sigkill;
+    (match Unix.waitpid [] primary_pid with
+    | _, Unix.WSIGNALED s when s = Sys.sigkill -> ()
+    | _ -> die "primary did not die of SIGKILL");
+    close_out_noerr client_oc;
+    close_in_noerr client_ic;
+    (* Promote over the wire, then re-issue every answered request on
+       the same stream — the promoted node must recover its mirror
+       (replayed > 0) and serve byte-identical payloads. *)
+    let responses =
+      follower_round_trip follower
+        (({|{"req": "promote", "id": 100}|} :: lines)
+        @ [ {|{"req": "stats", "id": 101}|} ])
+    in
+    let promote_resp, replayed_resps, stats_resp =
+      match responses with
+      | p :: rest -> (
+        match List.rev rest with
+        | s :: answered_rev -> (p, List.rev answered_rev, s)
+        | [] -> die "no stats response")
+      | [] -> die "no promote response"
+    in
+    if not (getb promote_resp "ok") then die "promote failed";
+    if geti promote_resp "replayed" <= 0 then
+      die "promotion replayed nothing (expected a real recovery)";
+    if geti stats_resp "served" < List.length lines then
+      die "promoted node served %d of %d re-issued requests"
+        (geti stats_resp "served") (List.length lines);
+    (match Service.Jsonl.member "replication" stats_resp with
+    | Some r -> (
+      match
+        Option.bind (Service.Jsonl.member "role" r) Service.Jsonl.to_str
+      with
+      | Some "primary" -> ()
+      | _ -> die "promoted node does not report role primary")
+    | None -> die "promoted node's stats lack a replication object");
+    let volatile = [ "elapsed_ms"; "cache_hit"; "coalesced"; "batch_D" ] in
+    let normalize = function
+      | Service.Jsonl.Obj kvs ->
+        Service.Jsonl.Obj
+          (List.filter (fun (k, _) -> not (List.mem k volatile)) kvs)
+      | j -> j
+    in
+    List.iter2
+      (fun a b ->
+        if not (Service.Jsonl.equal (normalize a) (normalize b)) then
+          die "payload diverged after failover:\n  %s\n  %s"
+            (Service.Jsonl.to_string a) (Service.Jsonl.to_string b))
+      answered replayed_resps;
+    Replication.Follower.close follower;
+    Unix._exit 0
+
+let primary_failover () =
+  with_temp_dir (fun primary_dir ->
+      with_temp_dir (fun follower_dir ->
+          Analysis.Runtime.assert_no_domains_spawned ();
+          match Unix.fork () with
+          | 0 -> (
+            try failover_scenario ~primary_dir ~follower_dir
+            with e ->
+              prerr_endline ("failover scenario: " ^ Printexc.to_string e);
+              Unix._exit 1)
+          | pid -> (
+            match Unix.waitpid [] pid with
+            | _, Unix.WEXITED 0 -> ()
+            | _, Unix.WEXITED n ->
+              Alcotest.failf "failover scenario exited with %d" n
+            | _ -> Alcotest.fail "failover scenario died of a signal")))
+
 let () =
   Alcotest.run "service"
     [
       (* Must run first: OCaml 5 forbids Unix.fork once any domain has
          ever been spawned, and every later server test spawns worker
-         domains.  (The child forks before creating its own.) *)
+         domains.  (Each forked child forks again, or spawns domains,
+         only after its own fork.) *)
       ( "crash-recovery",
         [
+          Alcotest.test_case "kill -9 primary, promote the follower" `Quick
+            primary_failover;
           Alcotest.test_case "kill -9 mid-stream, recover, re-answer" `Quick
-            kill9_recovery;
+            (kill9_recovery
+            [@dmflint.allow
+              "fork-after-domain: the preceding failover test spawns domains \
+               only inside its forked child; this test process is still \
+               domain-free here, and the fork site re-asserts that at \
+               runtime"]);
         ] );
       ( "jsonl",
         [
